@@ -1,0 +1,1 @@
+bench/harness.ml: Array Hashtbl Lazy List Printf Stdlib String Sys Unix Xtwig_cst Xtwig_datagen Xtwig_eval Xtwig_path Xtwig_sketch Xtwig_synopsis Xtwig_util Xtwig_workload Xtwig_xml

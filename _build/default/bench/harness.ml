@@ -1,0 +1,125 @@
+(* Shared machinery of the reproduction benchmarks: datasets, truth
+   oracles, XBUILD drivers with size-grid snapshots, error evaluation.
+
+   Scaling note (see EXPERIMENTS.md): the paper's datasets carry many
+   more distinct tags than our simulations, so its coarsest synopses
+   are ~8-12KB where ours are ~0.7-2.7KB. Synopsis budgets here are
+   therefore expressed as multiples of the coarsest size; the grids
+   below span the same 4x-40x relative range as the paper's 8KB-50KB
+   axis. *)
+
+module Doc = Xtwig_xml.Doc
+module G = Xtwig_synopsis.Graph_synopsis
+module Sketch = Xtwig_sketch.Sketch
+module Est = Xtwig_sketch.Estimator
+module Xbuild = Xtwig_sketch.Xbuild
+module Cst = Xtwig_cst.Cst
+module Wgen = Xtwig_workload.Wgen
+module EM = Xtwig_workload.Error_metric
+module Prng = Xtwig_util.Prng
+
+type dataset = { name : string; doc : Doc.t Lazy.t }
+
+(* XTWIG_SCALE shrinks every dataset for quick validation runs;
+   published numbers use the default 1.0. *)
+let scale =
+  match Sys.getenv_opt "XTWIG_SCALE" with
+  | Some s -> ( try float_of_string s with _ -> 1.0)
+  | None -> 1.0
+
+let datasets =
+  [
+    { name = "XMark"; doc = lazy (Xtwig_datagen.Xmark.generate ~scale ()) };
+    { name = "IMDB"; doc = lazy (Xtwig_datagen.Imdb.generate ~scale ()) };
+    { name = "SProt"; doc = lazy (Xtwig_datagen.Sprot.generate ~scale ()) };
+  ]
+
+let dataset name =
+  List.find (fun d -> String.lowercase_ascii d.name = String.lowercase_ascii name) datasets
+
+let kb bytes = float_of_int bytes /. 1024.0
+
+let now () = Unix.gettimeofday ()
+
+let log fmt = Printf.ksprintf (fun s -> Printf.eprintf "[bench] %s\n%!" s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Truth oracles                                                       *)
+
+let truth_oracle doc =
+  let cache : (string, float) Hashtbl.t = Hashtbl.create 4096 in
+  fun q ->
+    let key = Xtwig_path.Path_printer.twig_to_string q in
+    match Hashtbl.find_opt cache key with
+    | Some v -> v
+    | None ->
+        let v = float_of_int (Xtwig_eval.Eval_twig.selectivity doc q) in
+        Hashtbl.add cache key v;
+        v
+
+let truths_of truth queries = Array.of_list (List.map truth queries)
+
+let estimates_of sk queries =
+  Array.of_list (List.map (fun q -> Est.estimate sk q) queries)
+
+(* ------------------------------------------------------------------ *)
+(* XBUILD with snapshots on a size grid                                *)
+
+type curve_point = { size_bytes : int; error : float }
+
+(* Builds to the largest grid budget, evaluating the held-out workload
+   at the first crossing of every grid size. *)
+let error_curve ?(seed = 42) ?(candidates = 8) ?(max_steps = 700)
+    ~scoring_spec ~eval_queries ~grid doc =
+  let truth = truth_oracle doc in
+  let truths = truths_of truth eval_queries in
+  let eval sk = EM.average_error ~truths ~estimates:(estimates_of sk eval_queries) in
+  let workload prng ~focus = Wgen.generate ~focus scoring_spec prng doc in
+  let grid = List.sort compare grid in
+  let max_budget = List.fold_left Stdlib.max 0 grid in
+  let remaining = ref grid in
+  let points = ref [] in
+  let take sk size =
+    match !remaining with
+    | g :: rest when size >= g ->
+        remaining := rest;
+        let e = eval sk in
+        log "  snapshot %6.1f KB  error %.3f" (kb size) e;
+        points := { size_bytes = size; error = e } :: !points
+    | _ -> ()
+  in
+  let coarse = Sketch.default_of_doc doc in
+  take coarse (Sketch.size_bytes coarse);
+  let final =
+    Xbuild.build ~seed ~candidates ~max_steps ~workload ~truth ~budget:max_budget
+      ~on_step:(fun sk info -> take sk info.Xbuild.size)
+      doc
+  in
+  (* record the end point if the last grid budget was never crossed *)
+  (match !remaining with
+  | _ :: _ ->
+      let size = Sketch.size_bytes final in
+      if
+        not (List.exists (fun p -> p.size_bytes = size) !points)
+      then begin
+        let e = eval final in
+        log "  final    %6.1f KB  error %.3f" (kb size) e;
+        points := { size_bytes = size; error = e } :: !points
+      end
+  | [] -> ());
+  (List.rev !points, final)
+
+(* grid as multiples of the coarsest synopsis size *)
+let grid_of doc multiples =
+  let coarse = Sketch.size_bytes (Sketch.default_of_doc doc) in
+  List.map (fun m -> int_of_float (float_of_int coarse *. m)) multiples
+
+let default_multiples = [ 1.0; 2.0; 4.0; 8.0; 16.0; 24.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table printing                                                      *)
+
+let print_header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let print_row fmt = Printf.ksprintf print_endline fmt

@@ -1,0 +1,1 @@
+examples/auction_tuning.ml: Array Format Hashtbl List Xtwig_cst Xtwig_datagen Xtwig_eval Xtwig_path Xtwig_sketch Xtwig_util Xtwig_workload Xtwig_xml

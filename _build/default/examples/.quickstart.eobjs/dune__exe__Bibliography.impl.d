@@ -1,0 +1,1 @@
+examples/bibliography.ml: Array Format List Printf String Xtwig_eval Xtwig_fixtures Xtwig_hist Xtwig_path Xtwig_sketch Xtwig_synopsis Xtwig_xml

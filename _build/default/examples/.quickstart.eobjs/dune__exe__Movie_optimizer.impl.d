@@ -1,0 +1,1 @@
+examples/movie_optimizer.ml: Float Format List Option Printf Stdlib String Xtwig_datagen Xtwig_eval Xtwig_path Xtwig_sketch Xtwig_synopsis Xtwig_workload Xtwig_xml

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Xtwig_eval Xtwig_path Xtwig_sketch Xtwig_synopsis Xtwig_util Xtwig_workload Xtwig_xml

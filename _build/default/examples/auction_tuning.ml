@@ -1,0 +1,79 @@
+(* Space-budget tuning on the XMark-like auction site: how much
+   synopsis memory does a target accuracy need, and how does the CST
+   baseline spend the same bytes?
+
+   Run with:  dune exec examples/auction_tuning.exe *)
+
+module Sketch = Xtwig_sketch.Sketch
+module Est = Xtwig_sketch.Estimator
+module Wgen = Xtwig_workload.Wgen
+module EM = Xtwig_workload.Error_metric
+module Prng = Xtwig_util.Prng
+
+let () =
+  let doc = Xtwig_datagen.Xmark.generate ~scale:0.25 () in
+  Format.printf "auction site: %d elements, %.2f MB of XML@."
+    (Xtwig_xml.Doc.size doc)
+    (float_of_int (Xtwig_xml.Xml_writer.text_size doc) /. 1_048_576.0);
+
+  (* the workload a production deployment would care about *)
+  let queries = Wgen.generate { Wgen.paper_p with n_queries = 150 } (Prng.create 3) doc in
+  let truth_tbl = Hashtbl.create 256 in
+  let truth q =
+    let k = Xtwig_path.Path_printer.twig_to_string q in
+    match Hashtbl.find_opt truth_tbl k with
+    | Some v -> v
+    | None ->
+        let v = float_of_int (Xtwig_eval.Eval_twig.selectivity doc q) in
+        Hashtbl.add truth_tbl k v;
+        v
+  in
+  let truths = Array.of_list (List.map truth queries) in
+  let error sk =
+    EM.average_error ~truths
+      ~estimates:(Array.of_list (List.map (fun q -> Est.estimate sk q) queries))
+  in
+
+  (* XBUILD to an ample budget, snapshotting along the way *)
+  let snapshots = ref [] in
+  let next = ref 1024 in
+  let workload prng ~focus =
+    Wgen.generate ~focus { Wgen.paper_p with n_queries = 10 } prng doc
+  in
+  let final =
+    Xtwig_sketch.Xbuild.build ~budget:10240 ~max_steps:200 ~workload ~truth
+      ~on_step:(fun sk info ->
+        if info.Xtwig_sketch.Xbuild.size >= !next then begin
+          next := !next * 2;
+          snapshots := (info.Xtwig_sketch.Xbuild.size, sk) :: !snapshots
+        end)
+      doc
+  in
+  snapshots := (Sketch.size_bytes final, final) :: !snapshots;
+
+  Format.printf "@.%12s %14s %14s@." "bytes" "xsketch error" "CST error";
+  let coarse = Sketch.default_of_doc doc in
+  let points = (Sketch.size_bytes coarse, coarse) :: List.rev !snapshots in
+  List.iter
+    (fun (size, sk) ->
+      let cst = Xtwig_cst.Cst.build ~budget_bytes:size doc in
+      let cst_err =
+        EM.average_error ~truths
+          ~estimates:
+            (Array.of_list (List.map (fun q -> Xtwig_cst.Cst.estimate cst q) queries))
+      in
+      Format.printf "%12d %14.3f %14.3f@." size (error sk) cst_err)
+    points;
+
+  (* answer the deployment question *)
+  let target = 0.10 in
+  (match
+     List.find_opt (fun (_, sk) -> error sk <= target) points
+   with
+  | Some (size, _) ->
+      Format.printf "@.target %.0f%% average error reached at %d bytes (%.1f KB)@."
+        (100.0 *. target) size
+        (float_of_int size /. 1024.0)
+  | None ->
+      Format.printf "@.target %.0f%% average error not reached within 10 KB@."
+        (100.0 *. target))

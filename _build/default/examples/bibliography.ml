@@ -1,0 +1,97 @@
+(* The paper's running example, end to end: the Figure 1 bibliography
+   document, Example 2.1's twig query and its three binding tuples,
+   the Example 3.1 edge distribution, the TREEPARSE decomposition and
+   the estimation pipeline over it.
+
+   Run with:  dune exec examples/bibliography.exe *)
+
+module Doc = Xtwig_xml.Doc
+module G = Xtwig_synopsis.Graph_synopsis
+module Tsn = Xtwig_synopsis.Tsn
+module Sketch = Xtwig_sketch.Sketch
+module Fx = Xtwig_fixtures.Fixtures
+
+let () =
+  let doc = Fx.bibliography () in
+  Format.printf "--- Figure 1 document ---@.%s@."
+    (Xtwig_xml.Xml_writer.to_string doc);
+
+  (* Example 2.1: the twig query and its binding tuples *)
+  let q = Fx.example_2_1_query () in
+  Format.printf "--- Example 2.1 ---@.query: %s@."
+    (Xtwig_path.Path_printer.twig_to_string q);
+  let tuples = Xtwig_eval.Eval_twig.bindings doc q in
+  Format.printf "%d binding tuples:@." (List.length tuples);
+  List.iter
+    (fun tuple ->
+      Format.printf "  [%s]@."
+        (String.concat "; "
+           (Array.to_list
+              (Array.map
+                 (fun e -> Printf.sprintf "%s#%d" (Doc.tag_name doc e) e)
+                 tuple))))
+    tuples;
+
+  (* The Figure 3 synopsis: label-split with stabilities *)
+  let syn = G.label_split doc in
+  Format.printf "@.--- Figure 3(b): label-split synopsis ---@.%a" G.pp syn;
+
+  (* Example 3.1: the edge distribution f_P(C_K, C_Y, C_P) *)
+  let node l = List.hd (G.nodes_with_label syn l) in
+  let sk = Sketch.coarsest syn in
+  let dims =
+    [|
+      { Sketch.src = node "paper"; dst = node "keyword"; kind = Sketch.Forward };
+      { Sketch.src = node "paper"; dst = node "year"; kind = Sketch.Forward };
+      { Sketch.src = node "author"; dst = node "paper"; kind = Sketch.Backward };
+    |]
+  in
+  let dist = Sketch.distribution sk (node "paper") dims in
+  Format.printf "@.--- Example 3.1: f_P(C_K, C_Y, C_P) ---@.";
+  Format.printf "  C_K C_Y C_P   f_P@.";
+  Xtwig_hist.Sparse_dist.fold dist ~init:() ~f:(fun () v f ->
+      Format.printf "  %3d %3d %3d   %.2f@." v.(0) v.(1) v.(2) f);
+
+  (* TREEPARSE over a full-information sketch *)
+  let full =
+    let groupings =
+      Array.init (G.node_count syn) (fun n ->
+          match Tsn.scope_edges syn n with
+          | [] -> []
+          | edges ->
+              [
+                List.map
+                  (fun (src, dst) ->
+                    let kind = if src = n then Sketch.Forward else Sketch.Backward in
+                    { Sketch.src; dst; kind })
+                  edges;
+              ])
+    in
+    Sketch.exact_for_scopes syn groupings
+  in
+  let q2 =
+    Xtwig_path.Path_parser.twig_of_string
+      "for t0 in //author, t1 in t0/name, t2 in t0/paper, t3 in t2/keyword"
+  in
+  (match Xtwig_sketch.Embed.embeddings syn q2 with
+  | e :: _ ->
+      Format.printf "@.--- TREEPARSE of %s ---@."
+        (Xtwig_path.Path_printer.twig_to_string q2);
+      Xtwig_sketch.Treeparse.pp syn Format.std_formatter
+        (Xtwig_sketch.Treeparse.parse full e)
+  | [] -> ());
+
+  (* and the estimates *)
+  Format.printf "@.--- Estimates ---@.";
+  List.iter
+    (fun (name, query) ->
+      Format.printf "%-60s exact %5d   estimate %8.3f@." name
+        (Xtwig_eval.Eval_twig.selectivity doc query)
+        (Xtwig_sketch.Estimator.estimate full query))
+    [
+      ("Example 2.1 (branch + value predicates)", q);
+      ("authors x names x papers x keywords", q2);
+      ( "keyword self-join",
+        Xtwig_path.Path_parser.twig_of_string
+          "for t0 in //paper, t1 in t0/keyword, t2 in t0/keyword" );
+    ]

@@ -1,0 +1,106 @@
+(* Quickstart: parse an XML document, build a Twig XSKETCH, estimate a
+   twig query, compare against the exact answer.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Doc = Xtwig_xml.Doc
+module Sketch = Xtwig_sketch.Sketch
+module Estimator = Xtwig_sketch.Estimator
+
+(* actor and producer counts are anticorrelated across movies, so the
+   independence product E[actors] x E[producers] misestimates the join *)
+let xml =
+  {|<catalog>
+  <movie><title>Heat</title><genre>action</genre><year>1995</year>
+    <actor>Pacino</actor><actor>De Niro</actor><actor>Kilmer</actor><actor>Venora</actor>
+    <producer>Milchan</producer></movie>
+  <movie><title>Koyaanisqatsi</title><genre>documentary</genre><year>1982</year>
+    <actor>Narrator</actor>
+    <producer>Reggio</producer><producer>Coppola</producer><producer>Gardner</producer></movie>
+  <movie><title>Ran</title><genre>drama</genre><year>1985</year>
+    <actor>Nakadai</actor><actor>Terao</actor>
+    <producer>Kurosawa</producer><producer>Silberman</producer></movie>
+</catalog>|}
+
+let () =
+  (* 1. Parse the document. *)
+  let doc = Xtwig_xml.Xml_parser.parse_string xml in
+  Format.printf "parsed: %a@." Doc.pp_summary doc;
+
+  (* 2. Write a twig query: movies paired with every (actor, producer)
+        combination — the paper's canonical structural join. *)
+  let query =
+    Xtwig_path.Path_parser.twig_of_string
+      "for t0 in //movie, t1 in t0/actor, t2 in t0/producer"
+  in
+  Format.printf "query:  %s@." (Xtwig_path.Path_printer.twig_to_string query);
+
+  (* 3. The exact answer, by full evaluation. *)
+  let exact = Xtwig_eval.Eval_twig.selectivity doc query in
+  Format.printf "exact selectivity: %d binding tuples@." exact;
+
+  (* 4. A coarse synopsis (label-split + 1-bucket histograms). *)
+  let coarse = Sketch.default_of_doc doc in
+  Format.printf "coarse synopsis (%d bytes) estimate: %.2f@."
+    (Sketch.size_bytes coarse)
+    (Estimator.estimate coarse query);
+
+  (* 5. Refine by hand: put the (movie->actor, movie->producer) pair
+        into one joint histogram, lifting the independence assumption
+        across the join — the paper's edge-expand refinement. *)
+  let syn = Sketch.synopsis coarse in
+  let module G = Xtwig_synopsis.Graph_synopsis in
+  let movie = List.hd (G.nodes_with_label syn "movie") in
+  let actor = List.hd (G.nodes_with_label syn "actor") in
+  let producer = List.hd (G.nodes_with_label syn "producer") in
+  let refined =
+    Xtwig_sketch.Refinement.apply coarse
+      (Xtwig_sketch.Refinement.Edge_expand
+         {
+           node = movie;
+           dim = { Sketch.src = movie; dst = producer; kind = Sketch.Forward };
+           into = None;
+         })
+  in
+  let refined =
+    Xtwig_sketch.Refinement.apply refined
+      (Xtwig_sketch.Refinement.Edge_expand
+         {
+           node = movie;
+           dim = { Sketch.src = movie; dst = actor; kind = Sketch.Forward };
+           into = Some (List.length (Sketch.config refined).especs.(movie) - 1);
+         })
+  in
+  (* ... and give the joint histogram buckets to spend (edge-refine) *)
+  let refined =
+    Xtwig_sketch.Refinement.apply refined
+      (Xtwig_sketch.Refinement.Edge_refine
+         {
+           node = movie;
+           hist = List.length (Sketch.config refined).especs.(movie) - 1;
+           extra_buckets = 4;
+         })
+  in
+  Format.printf "refined synopsis (%d bytes) estimate: %.2f@."
+    (Sketch.size_bytes refined)
+    (Estimator.estimate refined query);
+
+  (* 6. Or let XBUILD do the refining against a workload. *)
+  let truth q = float_of_int (Xtwig_eval.Eval_twig.selectivity doc q) in
+  let workload prng ~focus =
+    Xtwig_workload.Wgen.generate ~focus
+      { Xtwig_workload.Wgen.paper_p with n_queries = 12; min_nodes = 3; max_nodes = 4 }
+      prng doc
+  in
+  let built =
+    Xtwig_sketch.Xbuild.build ~budget:2048 ~max_steps:80 ~workload ~truth doc
+  in
+  let eval_wl =
+    Xtwig_workload.Wgen.generate
+      { Xtwig_workload.Wgen.paper_p with n_queries = 30; min_nodes = 2; max_nodes = 4 }
+      (Xtwig_util.Prng.create 99) doc
+  in
+  Format.printf "XBUILD synopsis (%d bytes) workload error: %.3f (coarse: %.3f)@."
+    (Sketch.size_bytes built)
+    (Xtwig_sketch.Xbuild.workload_error built ~truth eval_wl)
+    (Xtwig_sketch.Xbuild.workload_error coarse ~truth eval_wl)

@@ -1,0 +1,1 @@
+lib/cst/cst.ml: Hashtbl List Stdlib String Suffix_trie Xtwig_path

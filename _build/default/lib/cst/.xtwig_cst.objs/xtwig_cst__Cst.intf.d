@@ -1,0 +1,1 @@
+lib/cst/cst.mli: Xtwig_path Xtwig_xml

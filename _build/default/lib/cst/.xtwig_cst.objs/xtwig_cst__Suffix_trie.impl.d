@@ -1,0 +1,1 @@
+lib/cst/suffix_trie.ml: Hashtbl List Stdlib Xtwig_xml

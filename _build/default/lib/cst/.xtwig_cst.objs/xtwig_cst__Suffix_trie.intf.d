@@ -1,0 +1,1 @@
+lib/cst/suffix_trie.mli: Xtwig_xml

@@ -1,0 +1,90 @@
+open Xtwig_path.Path_types
+
+type t = {
+  trie : Suffix_trie.t;
+  memo : (string, float) Hashtbl.t;
+}
+
+let build ?budget_bytes doc =
+  let trie = Suffix_trie.build doc in
+  (match budget_bytes with
+  | Some b -> Suffix_trie.prune trie ~budget_bytes:b
+  | None -> ());
+  { trie; memo = Hashtbl.create 256 }
+
+let size_bytes t = Suffix_trie.size_bytes t.trie
+
+let key seq = String.concat "\x00" seq
+
+(* Maximal-overlap count estimate for a label sequence. *)
+let rec count t seq =
+  match seq with
+  | [] -> 0.0
+  | _ -> (
+      match Hashtbl.find_opt t.memo (key seq) with
+      | Some c -> c
+      | None ->
+          let c =
+            match Suffix_trie.lookup t.trie seq with
+            | Some n -> float_of_int n
+            | None ->
+                if not (Suffix_trie.existed t.trie seq) then 0.0
+                else (
+                  match seq with
+                  | [] | [ _ ] -> 0.0
+                  | _ ->
+                      let init = List.filteri (fun i _ -> i < List.length seq - 1) seq in
+                      let tail = List.tl seq in
+                      let tail_init =
+                        List.filteri (fun i _ -> i < List.length tail - 1) tail
+                      in
+                      let denom = count t tail_init in
+                      if denom <= 0.0 then 0.0
+                      else count t init *. count t tail /. denom)
+          in
+          Hashtbl.replace t.memo (key seq) c;
+          c)
+
+let path_count t ~anchored seq =
+  if anchored then count t (Suffix_trie.anchor :: seq) else count t seq
+
+(* Label sequence of a path; interior '//' approximated as '/'. *)
+let labels_of_path p = List.map (fun s -> s.label) p
+
+let anchored_root p =
+  match p with { axis = Child; _ } :: _ -> true | _ -> false
+
+(* Existence factor of the branching predicates along [p]'s steps,
+   each evaluated against the sequence prefix ending at its step. *)
+let rec branch_factor t ctx (p : path) =
+  let rec walk acc prefix = function
+    | [] -> acc
+    | s :: rest ->
+        let prefix = prefix @ [ s.label ] in
+        let acc =
+          List.fold_left
+            (fun acc b -> acc *. Stdlib.min 1.0 (match_ratio t prefix b))
+            acc s.branches
+        in
+        walk acc prefix rest
+  in
+  walk 1.0 ctx p
+
+(* Expected matches of [p] per binding of the context sequence,
+   including nested branch factors. *)
+and match_ratio t ctx (p : path) =
+  let seq = ctx @ labels_of_path p in
+  let c_ctx = count t ctx in
+  if c_ctx <= 0.0 then 0.0
+  else count t seq /. c_ctx *. branch_factor t ctx p
+
+let estimate t (twig : twig) =
+  let root_ctx = if anchored_root twig.path then [ Suffix_trie.anchor ] else [] in
+  let root_seq = root_ctx @ labels_of_path twig.path in
+  let c_root = count t root_seq *. branch_factor t root_ctx twig.path in
+  let rec tw ctx (node : twig) =
+    let seq = ctx @ labels_of_path node.path in
+    let ratio = match_ratio t ctx node.path in
+    List.fold_left (fun acc sub -> acc *. tw seq sub) ratio node.subs
+  in
+  List.fold_left (fun acc sub -> acc *. tw root_seq sub) c_root twig.subs

@@ -1,0 +1,33 @@
+(** The Correlated Suffix Tree baseline (Chen et al., ICDE 2001), in
+    the configuration the paper compares against: element values are
+    ignored and the trie summarizes path structure only; twig
+    selectivities use maximal-overlap estimation (the P-MOSH variant's
+    maximal-overlap component, with independence across siblings in
+    place of set-hashing correlation — see DESIGN.md).
+
+    Pruning is greedy on node frequency, which — unlike XBUILD — never
+    consults the estimation assumptions; this is the structural reason
+    CSTs lose accuracy on skewed data (Section 6.2). *)
+
+type t
+
+val build : ?budget_bytes:int -> Xtwig_xml.Doc.t -> t
+(** Builds the full suffix trie and prunes it to [budget_bytes]
+    (default: unpruned). *)
+
+val size_bytes : t -> int
+
+val path_count : t -> anchored:bool -> string list -> float
+(** Maximal-overlap estimate of the number of elements reached by
+    [l1/…/lm] ([anchored] = absolute path from the document root).
+    Exact when the trie retains the sequence; pruned sequences are
+    estimated by the Markov overlap rule
+    [c(l1..ln) = c(l1..ln-1) * c(l2..ln) / c(l2..ln-1)]. *)
+
+val estimate : t -> Xtwig_path.Path_types.twig -> float
+(** Twig selectivity: the root path count times, per twig child, the
+    expected number of child matches per parent binding (a ratio of
+    path counts), independently across siblings. Branching predicates
+    contribute capped existence fractions; value predicates are
+    ignored (CSTs do not support range predicates). Interior
+    descendant steps are approximated as child steps. *)

@@ -1,0 +1,111 @@
+module Doc = Xtwig_xml.Doc
+
+let anchor = "^"
+
+type node = {
+  label : string;
+  depth : int;
+  mutable count : int;
+  children : (string, node) Hashtbl.t;
+  parent : node option;
+  mutable lost_children : bool; (* some child subtree was pruned *)
+}
+
+type t = { root : node; mutable nodes : int }
+
+let new_node ?parent label depth =
+  { label; depth; count = 0; children = Hashtbl.create 4; parent; lost_children = false }
+
+let child_of t parent label =
+  match Hashtbl.find_opt parent.children label with
+  | Some n -> n
+  | None ->
+      let n = new_node ~parent label (parent.depth + 1) in
+      Hashtbl.add parent.children label n;
+      t.nodes <- t.nodes + 1;
+      n
+
+let build doc =
+  let t = { root = new_node "" 0; nodes = 0 } in
+  Doc.iter doc (fun e ->
+      (* walk the reversed root path: tag(e), tag(parent(e)), ..., ^ *)
+      let rec up elem trie_node =
+        let trie_node = child_of t trie_node (Doc.tag_name doc elem) in
+        trie_node.count <- trie_node.count + 1;
+        match Doc.parent doc elem with
+        | Some p -> up p trie_node
+        | None ->
+            let fin = child_of t trie_node anchor in
+            fin.count <- fin.count + 1
+      in
+      up e t.root);
+  t
+
+let node_count t = t.nodes
+let size_bytes t = 12 * t.nodes
+
+let all_leaves t =
+  let acc = ref [] in
+  let rec go n =
+    if Hashtbl.length n.children = 0 then acc := n :: !acc
+    else Hashtbl.iter (fun _ c -> go c) n.children
+  in
+  Hashtbl.iter (fun _ c -> go c) t.root.children;
+  !acc
+
+let remove t n =
+  match n.parent with
+  | None -> ()
+  | Some p ->
+      Hashtbl.remove p.children n.label;
+      p.lost_children <- true;
+      t.nodes <- t.nodes - 1
+
+let prune t ~budget_bytes =
+  let target = Stdlib.max 1 (budget_bytes / 12) in
+  while t.nodes > target do
+    let removable =
+      List.filter (fun n -> n.depth > 1) (all_leaves t)
+    in
+    match removable with
+    | [] -> (* only depth-1 label nodes remain *) raise Exit
+    | _ ->
+        let sorted =
+          List.sort
+            (fun a b ->
+              match compare a.count b.count with
+              | 0 -> compare b.depth a.depth
+              | c -> c)
+            removable
+        in
+        let excess = t.nodes - target in
+        let wave = Stdlib.max 1 (Stdlib.min excess (List.length sorted / 2 + 1)) in
+        List.iteri (fun i n -> if i < wave then remove t n) sorted
+  done
+
+let prune t ~budget_bytes = try prune t ~budget_bytes with Exit -> ()
+
+(* Find the trie node for the reversed sequence; the input sequence is
+   in path order (l1 ... lm), so walk it reversed. *)
+let find t seq =
+  let rec go node = function
+    | [] -> Some node
+    | l :: rest -> (
+        match Hashtbl.find_opt node.children l with
+        | Some c -> go c rest
+        | None -> None)
+  in
+  go t.root (List.rev seq)
+
+let lookup t seq =
+  match find t seq with Some n when n.depth > 0 -> Some n.count | _ -> None
+
+let existed t seq =
+  let rec go node = function
+    | [] -> true
+    | l :: rest -> (
+        match Hashtbl.find_opt node.children l with
+        | Some c -> go c rest
+        | None -> node.lost_children)
+  in
+  go t.root (List.rev seq)

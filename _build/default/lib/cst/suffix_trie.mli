@@ -1,0 +1,39 @@
+(** Suffix tries over root-to-element label paths.
+
+    The substrate of the Correlated Suffix Tree baseline (Chen et al.,
+    ICDE 2001): a trie over the {e reversed} label paths of every
+    document element, so that the node reached by the reversed
+    sequence [\[lm; ...; l1\]] counts the elements whose incoming path
+    ends with [l1/…/lm] — i.e. the exact result cardinality of
+    [//l1/…/lm]. A virtual anchor label ["^"] terminates every path,
+    which makes absolute lookups ([/l1/…/lm] = sequence anchored with
+    ["^"]) exact as well.
+
+    Pruning removes lowest-count deep nodes until a byte budget is
+    met; {!Cst} compensates for pruned lookups with maximal-overlap
+    estimation. *)
+
+type t
+
+val build : Xtwig_xml.Doc.t -> t
+(** Unpruned trie of every element's full reversed root path. *)
+
+val prune : t -> budget_bytes:int -> unit
+(** Greedily removes the deepest, lowest-count nodes (depth-1 label
+    nodes are always kept) until {!size_bytes} fits the budget. *)
+
+val lookup : t -> string list -> int option
+(** [lookup t \[l1; ...; lm\]] is the stored count for paths ending in
+    [l1/…/lm], or [None] if the node was pruned or never existed.
+    Prepend ["^"] to anchor at the document root. *)
+
+val existed : t -> string list -> bool
+(** Whether the unpruned trie contained this sequence — distinguishes
+    "pruned" (estimate it) from "impossible" (count 0). *)
+
+val node_count : t -> int
+val size_bytes : t -> int
+(** 12 bytes per retained trie node (label, count, parent link). *)
+
+val anchor : string
+(** The virtual root label ["^"]. *)

@@ -1,0 +1,1 @@
+lib/datagen/gen_common.ml: Buffer Printf Xtwig_util Xtwig_xml

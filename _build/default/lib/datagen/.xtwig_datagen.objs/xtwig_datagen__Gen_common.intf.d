@@ -1,0 +1,1 @@
+lib/datagen/gen_common.mli: Xtwig_util Xtwig_xml

@@ -1,0 +1,1 @@
+lib/datagen/imdb.ml: Gen_common Stdlib Xtwig_util Xtwig_xml

@@ -1,0 +1,1 @@
+lib/datagen/imdb.mli: Xtwig_xml

@@ -1,0 +1,1 @@
+lib/datagen/sprot.ml: Gen_common Printf Xtwig_util Xtwig_xml

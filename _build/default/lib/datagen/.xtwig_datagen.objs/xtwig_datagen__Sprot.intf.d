@@ -1,0 +1,1 @@
+lib/datagen/sprot.mli: Xtwig_xml

@@ -1,0 +1,1 @@
+lib/datagen/xmark.ml: Array Gen_common Printf Stdlib Xtwig_util Xtwig_xml

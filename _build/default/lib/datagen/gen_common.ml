@@ -1,0 +1,42 @@
+module B = Xtwig_xml.Doc.Builder
+module Value = Xtwig_xml.Value
+module Prng = Xtwig_util.Prng
+
+let text b parent tag s = ignore (B.child b parent ~value:(Value.Text s) tag)
+let int_leaf b parent tag i = ignore (B.child b parent ~value:(Value.Int i) tag)
+let leaf b parent tag = ignore (B.child b parent tag)
+
+let dictionary =
+  [|
+    "auction"; "market"; "vintage"; "classic"; "rare"; "signed"; "limited";
+    "original"; "pristine"; "antique"; "modern"; "design"; "crafted"; "wooden";
+    "silver"; "golden"; "condition"; "shipping"; "offer"; "reserve"; "catalog";
+    "archive"; "protein"; "sequence"; "domain"; "binding"; "membrane"; "story";
+    "drama"; "scene"; "camera"; "director"; "festival"; "award"; "release";
+  |]
+
+let words prng n =
+  let buf = Buffer.create (n * 8) in
+  for i = 1 to n do
+    if i > 1 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Prng.pick prng dictionary)
+  done;
+  Buffer.contents buf
+
+let first_names =
+  [| "Ada"; "Alan"; "Grace"; "Edsger"; "Barbara"; "John"; "Donald"; "Leslie";
+     "Tony"; "Robin"; "Niklaus"; "Frances"; "Kurt"; "Yuri"; "Rosa"; "Maryam" |]
+
+let last_names =
+  [| "Lovelace"; "Turing"; "Hopper"; "Dijkstra"; "Liskov"; "McCarthy";
+     "Knuth"; "Lamport"; "Hoare"; "Milner"; "Wirth"; "Allen"; "Goedel";
+     "Matiyasevich"; "Peter"; "Mirzakhani" |]
+
+let name prng =
+  Printf.sprintf "%s %s" (Prng.pick prng first_names) (Prng.pick prng last_names)
+
+let repeat prng ~min ~max f =
+  let n = Prng.int_range prng min max in
+  for i = 0 to n - 1 do
+    f i
+  done

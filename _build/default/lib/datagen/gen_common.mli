@@ -1,0 +1,21 @@
+(** Shared helpers for the synthetic dataset generators. *)
+
+module B := Xtwig_xml.Doc.Builder
+
+val text : B.t -> Xtwig_xml.Doc.node -> string -> string -> unit
+(** [text b parent tag s] appends a leaf child with a text value. *)
+
+val int_leaf : B.t -> Xtwig_xml.Doc.node -> string -> int -> unit
+
+val leaf : B.t -> Xtwig_xml.Doc.node -> string -> unit
+(** Value-less leaf. *)
+
+val words : Xtwig_util.Prng.t -> int -> string
+(** Pseudo-sentence of [n] dictionary words — fills description-like
+    leaves so serialized text sizes resemble real documents. *)
+
+val name : Xtwig_util.Prng.t -> string
+(** A two-token personal name. *)
+
+val repeat : Xtwig_util.Prng.t -> min:int -> max:int -> (int -> unit) -> unit
+(** Calls the function a uniform number of times. *)

@@ -1,0 +1,118 @@
+module B = Xtwig_xml.Doc.Builder
+module Prng = Xtwig_util.Prng
+module Zipf = Xtwig_util.Zipf
+open Gen_common
+
+type genre = Action | Drama | Comedy | Documentary | Thriller
+
+let default_element_count = 103_000
+
+let genre_name = function
+  | Action -> "action"
+  | Drama -> "drama"
+  | Comedy -> "comedy"
+  | Documentary -> "documentary"
+  | Thriller -> "thriller"
+
+let pick_genre prng =
+  let r = Prng.float prng 1.0 in
+  if r < 0.25 then Action
+  else if r < 0.55 then Drama
+  else if r < 0.75 then Comedy
+  else if r < 0.90 then Documentary
+  else Thriller
+
+(* Genre-conditioned fanout distributions: the source of the twig-join
+   skew the paper's IMDB experiments exhibit. *)
+let actor_zipf = Zipf.create ~n:30 ~theta:0.8
+let kw_zipf = Zipf.create ~n:12 ~theta:1.0
+
+let actors_of prng = function
+  | Action -> 6 + Zipf.sample actor_zipf prng (* 7 .. 36, skewed low *)
+  | Thriller -> 4 + (Zipf.sample actor_zipf prng / 2)
+  | Drama -> 2 + Prng.int_range prng 1 6
+  | Comedy -> 2 + Prng.int_range prng 1 4
+  | Documentary -> Prng.int_range prng 0 1
+
+let producers_of prng genre actors =
+  (* correlated with the actor count on top of the genre *)
+  let base = Stdlib.max 1 (actors / 3) in
+  match genre with
+  | Action | Thriller -> base + Prng.int_range prng 0 2
+  | Drama | Comedy -> Stdlib.max 1 (base + Prng.int_range prng (-1) 1)
+  | Documentary -> 1
+
+let keywords_of prng = function
+  | Action | Thriller -> 1 + Prng.int_range prng 0 2
+  | Drama -> 1 + Prng.int_range prng 0 4
+  | Comedy -> 1 + Prng.int_range prng 0 3
+  | Documentary -> 5 + Zipf.sample kw_zipf prng
+
+let year_of prng = function
+  | Action -> Prng.int_range prng 1985 2003
+  | Thriller -> Prng.int_range prng 1975 2003
+  | Drama -> Prng.int_range prng 1950 2003
+  | Comedy -> Prng.int_range prng 1960 2003
+  | Documentary -> Prng.int_range prng 1940 2003
+
+let rating_of prng = function
+  | Documentary -> 65 + Prng.int_range prng 0 30 (* of 100 *)
+  | Drama -> 50 + Prng.int_range prng 0 45
+  | Action -> 30 + Prng.int_range prng 0 50
+  | Comedy -> 35 + Prng.int_range prng 0 50
+  | Thriller -> 40 + Prng.int_range prng 0 45
+
+let generate ?(seed = 11) ?(scale = 1.0) () =
+  let prng = Prng.create seed in
+  let n_movies = int_of_float (2990.0 *. scale) in
+  let b = B.create ~hint:(default_element_count + 1024) () in
+  let root = B.root b "imdb" in
+  for i = 0 to n_movies - 1 do
+    let m = B.child b root "movie" in
+    let genre = pick_genre prng in
+    let year = year_of prng genre in
+    let rating = rating_of prng genre in
+    text b m "title" (words prng (Prng.int_range prng 1 4));
+    int_leaf b m "year" year;
+    text b m "genre" (genre_name genre);
+    let actors = actors_of prng genre in
+    for _ = 1 to actors do
+      let a = B.child b m "actor" in
+      text b a "name" (name prng)
+    done;
+    for _ = 1 to producers_of prng genre actors do
+      let p = B.child b m "producer" in
+      text b p "name" (name prng)
+    done;
+    let d = B.child b m "director" in
+    text b d "name" (name prng);
+    for _ = 1 to keywords_of prng genre do
+      text b m "keyword" (words prng 1)
+    done;
+    int_leaf b m "rating" rating;
+    (* review count correlated with the rating *)
+    let reviews = Stdlib.max 0 ((rating - 40) / 18) + Prng.int_range prng 0 1 in
+    for _ = 1 to reviews do
+      let r = B.child b m "review" in
+      text b r "reviewer" (name prng);
+      int_leaf b r "score" (Stdlib.max 0 (Stdlib.min 100 (rating + Prng.int_range prng (-15) 15)))
+    done;
+    (* optional structure, genre- and year-correlated: the presence of
+       these sub-elements is a strong predictor of the fanouts above,
+       which is what breaks the independence of branching predicates
+       and structural-join counts on a coarse summary *)
+    (match genre with
+    | Action | Comedy ->
+        if year >= 1980 && Prng.chance prng 0.85 then
+          int_leaf b m "box_office" ((1 + Prng.int prng 400) * 1_000_000)
+    | Drama | Documentary ->
+        if Prng.chance prng 0.5 then begin
+          let aw = B.child b m "award" in
+          text b aw "category" (words prng 1);
+          int_leaf b aw "year" (Stdlib.min 2003 (year + Prng.int_range prng 0 2))
+        end
+    | Thriller -> ());
+    if year >= 1995 && Prng.chance prng 0.6 then leaf b m "dvd";
+    ignore i
+  done;
+  B.finish b

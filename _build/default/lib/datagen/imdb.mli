@@ -1,0 +1,20 @@
+(** IMDB-like synthetic movie catalog (see DESIGN.md §4).
+
+    The real IMDB dataset used by the paper is not redistributable, so
+    this generator reproduces its estimation-relevant property
+    instead: heavily {e correlated, skewed} structure. The movie genre
+    drives Zipf-skewed actor/producer/keyword fanouts (the
+    introduction's motivating example: action movies carry many more
+    actors and producers than documentaries), release years, rating
+    distributions and the {e presence} of optional sub-elements
+    (box-office figures, awards, episodes). A label-split synopsis
+    mixes all genres in one [movie] node, so coarse twig estimates err
+    badly and XBUILD's refinements have real correlations to
+    capture — matching the IMDB curves of Figure 9. *)
+
+type genre = Action | Drama | Comedy | Documentary | Thriller
+
+val generate : ?seed:int -> ?scale:float -> unit -> Xtwig_xml.Doc.t
+(** [scale = 1.0] (default) yields roughly 103K elements. *)
+
+val default_element_count : int

@@ -1,0 +1,40 @@
+module B = Xtwig_xml.Doc.Builder
+module Prng = Xtwig_util.Prng
+open Gen_common
+
+let default_element_count = 70_000
+
+let dbs = [| "EMBL"; "PDB"; "PROSITE"; "PFAM"; "INTERPRO" |]
+let feature_types = [| "DOMAIN"; "CHAIN"; "BINDING"; "HELIX"; "STRAND"; "SITE" |]
+let organisms =
+  [| "Homo sapiens"; "Mus musculus"; "E. coli"; "S. cerevisiae"; "D. melanogaster" |]
+
+let generate ?(seed = 23) ?(scale = 1.0) () =
+  let prng = Prng.create seed in
+  let n_entries = int_of_float (2370.0 *. scale) in
+  let b = B.create ~hint:(default_element_count + 1024) () in
+  let root = B.root b "sprot" in
+  for i = 0 to n_entries - 1 do
+    let e = B.child b root "entry" in
+    text b e "ac" (Printf.sprintf "P%05d" i);
+    text b e "id" (Printf.sprintf "PROT%05d_SP" i);
+    int_leaf b e "mod_date" (Prng.int_range prng 1990 2003);
+    text b e "descr" (words prng (Prng.int_range prng 3 8));
+    let org = B.child b e "organism" in
+    text b org "species" (Prng.pick prng organisms);
+    if Prng.chance prng 0.4 then text b org "strain" (words prng 1);
+    repeat prng ~min:1 ~max:4 (fun _ ->
+        let r = B.child b e "db_ref" in
+        text b r "db" (Prng.pick prng dbs);
+        text b r "key" (Printf.sprintf "X%06d" (Prng.int prng 1_000_000)));
+    repeat prng ~min:1 ~max:4 (fun _ ->
+        let f = B.child b e "feature" in
+        text b f "type" (Prng.pick prng feature_types);
+        let from_pos = Prng.int_range prng 1 800 in
+        int_leaf b f "from" from_pos;
+        int_leaf b f "to" (from_pos + Prng.int_range prng 5 120);
+        if Prng.chance prng 0.3 then text b f "note" (words prng 3));
+    repeat prng ~min:1 ~max:5 (fun _ -> text b e "keyword" (words prng 1));
+    int_leaf b e "seq_length" (Prng.int_range prng 80 2000)
+  done;
+  B.finish b

@@ -1,0 +1,14 @@
+(** SwissProt-like synthetic protein annotation document (see
+    DESIGN.md §4).
+
+    Mostly-regular entries — accession, identifiers, organism,
+    cross-references, sequence features, keywords — with moderate
+    optionality and mild fanout skew. In the paper, SwissProt sits
+    between XMark (fully regular) and IMDB (highly correlated):
+    CSTs and XSKETCHes are roughly tied on it at 50KB (Figure 9(c)). *)
+
+val generate : ?seed:int -> ?scale:float -> unit -> Xtwig_xml.Doc.t
+(** [scale = 1.0] (default) yields roughly 70K elements, matching
+    Table 1. *)
+
+val default_element_count : int

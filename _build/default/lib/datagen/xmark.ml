@@ -1,0 +1,114 @@
+module B = Xtwig_xml.Doc.Builder
+module Prng = Xtwig_util.Prng
+open Gen_common
+
+let default_element_count = 103_000
+
+let regions_names =
+  [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+let generate ?(seed = 7) ?(scale = 1.0) () =
+  let prng = Prng.create seed in
+  let n_items = int_of_float (2250.0 *. scale) in
+  let n_persons = int_of_float (2850.0 *. scale) in
+  let n_open = int_of_float (1120.0 *. scale) in
+  let n_closed = int_of_float (1360.0 *. scale) in
+  let n_categories = int_of_float (450.0 *. scale) in
+  let b = B.create ~hint:(default_element_count + 1024) () in
+  let site = B.root b "site" in
+
+  (* regions *)
+  let regions = B.child b site "regions" in
+  let region_nodes = Array.map (fun r -> B.child b regions r) regions_names in
+  for i = 0 to n_items - 1 do
+    let region = Prng.pick prng region_nodes in
+    let item = B.child b region "item" in
+    text b item "location" (Prng.pick prng regions_names);
+    int_leaf b item "quantity" (Prng.int_range prng 1 10);
+    text b item "name" (words prng 2);
+    text b item "payment" (Prng.pick_list prng [ "cash"; "check"; "wire" ]);
+    text b item "description" (words prng (Prng.int_range prng 4 12));
+    leaf b item "shipping";
+    repeat prng ~min:0 ~max:2 (fun _ -> leaf b item "photo");
+    repeat prng ~min:1 ~max:3 (fun _ ->
+        int_leaf b item "incategory" (Prng.int prng (Stdlib.max 1 n_categories)));
+    let mailbox = B.child b item "mailbox" in
+    repeat prng ~min:0 ~max:2 (fun _ ->
+        let mail = B.child b mailbox "mail" in
+        text b mail "from" (name prng);
+        text b mail "to" (name prng);
+        int_leaf b mail "date" (Prng.int_range prng 1998 2003);
+        text b mail "text" (words prng (Prng.int_range prng 3 8)));
+    ignore i
+  done;
+
+  (* categories *)
+  let categories = B.child b site "categories" in
+  for i = 0 to n_categories - 1 do
+    let c = B.child b categories "category" in
+    text b c "name" (words prng 1);
+    text b c "description" (words prng (Prng.int_range prng 2 6));
+    ignore i
+  done;
+
+  (* people *)
+  let people = B.child b site "people" in
+  for i = 0 to n_persons - 1 do
+    let p = B.child b people "person" in
+    text b p "name" (name prng);
+    text b p "emailaddress" (Printf.sprintf "user%d@example.net" i);
+    if Prng.chance prng 0.5 then
+      text b p "phone" (Printf.sprintf "+1-555-%04d" (Prng.int prng 10000));
+    if Prng.chance prng 0.7 then begin
+      let a = B.child b p "address" in
+      text b a "street" (words prng 2);
+      text b a "city" (words prng 1);
+      text b a "country" (Prng.pick prng regions_names);
+      int_leaf b a "zipcode" (Prng.int_range prng 10000 99999)
+    end;
+    if Prng.chance prng 0.5 then
+      text b p "creditcard" (Printf.sprintf "%04d %04d" (Prng.int prng 10000) (Prng.int prng 10000));
+    let w = B.child b p "watches" in
+    repeat prng ~min:0 ~max:4 (fun _ ->
+        int_leaf b w "watch" (Prng.int prng (Stdlib.max 1 n_open)))
+  done;
+
+  (* open auctions *)
+  let opens = B.child b site "open_auctions" in
+  for _ = 1 to n_open do
+    let a = B.child b opens "open_auction" in
+    int_leaf b a "initial" (Prng.int_range prng 1 500);
+    if Prng.chance prng 0.5 then int_leaf b a "reserve" (Prng.int_range prng 100 900);
+    repeat prng ~min:0 ~max:5 (fun _ ->
+        let bidder = B.child b a "bidder" in
+        int_leaf b bidder "date" (Prng.int_range prng 1998 2003);
+        int_leaf b bidder "time" (Prng.int_range prng 0 86399);
+        int_leaf b bidder "increase" (Prng.int_range prng 1 50));
+    int_leaf b a "current" (Prng.int_range prng 1 1500);
+    int_leaf b a "itemref" (Prng.int prng (Stdlib.max 1 n_items));
+    int_leaf b a "seller" (Prng.int prng (Stdlib.max 1 n_persons));
+    int_leaf b a "quantity" (Prng.int_range prng 1 10);
+    let itv = B.child b a "interval" in
+    int_leaf b itv "start" (Prng.int_range prng 1998 2000);
+    int_leaf b itv "end" (Prng.int_range prng 2001 2003);
+    let ann = B.child b a "annotation" in
+    text b ann "author" (name prng);
+    text b ann "description" (words prng (Prng.int_range prng 3 10))
+  done;
+
+  (* closed auctions *)
+  let closed = B.child b site "closed_auctions" in
+  for _ = 1 to n_closed do
+    let a = B.child b closed "closed_auction" in
+    int_leaf b a "seller" (Prng.int prng (Stdlib.max 1 n_persons));
+    int_leaf b a "buyer" (Prng.int prng (Stdlib.max 1 n_persons));
+    int_leaf b a "itemref" (Prng.int prng (Stdlib.max 1 n_items));
+    int_leaf b a "price" (Prng.int_range prng 1 2000);
+    int_leaf b a "date" (Prng.int_range prng 1998 2003);
+    int_leaf b a "quantity" (Prng.int_range prng 1 10);
+    let ann = B.child b a "annotation" in
+    text b ann "author" (name prng);
+    text b ann "description" (words prng (Prng.int_range prng 3 10))
+  done;
+
+  B.finish b

@@ -1,0 +1,15 @@
+(** XMark-like synthetic auction document (see DESIGN.md §4).
+
+    Reproduces the auction-site schema of the XMark benchmark —
+    regions with items, people, open and closed auctions, categories —
+    with {e uniform} fanout and value distributions. The paper relies
+    on exactly this property ("generated from uniform distributions
+    and thus more regular in structure"), which keeps twig estimation
+    error low even for coarse synopses. *)
+
+val generate : ?seed:int -> ?scale:float -> unit -> Xtwig_xml.Doc.t
+(** [scale = 1.0] (default) yields roughly 103K elements, matching
+    Table 1. *)
+
+val default_element_count : int
+(** Approximate element count at scale 1. *)

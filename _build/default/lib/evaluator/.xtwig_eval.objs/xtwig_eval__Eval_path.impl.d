@@ -1,0 +1,1 @@
+lib/evaluator/eval_path.ml: Array Float Hashtbl List String Xtwig_path Xtwig_xml

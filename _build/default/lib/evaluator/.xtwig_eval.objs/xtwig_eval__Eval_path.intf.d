@@ -1,0 +1,1 @@
+lib/evaluator/eval_path.mli: Xtwig_path Xtwig_xml

@@ -1,0 +1,1 @@
+lib/evaluator/eval_twig.ml: Array Eval_path Hashtbl List Xtwig_path Xtwig_xml

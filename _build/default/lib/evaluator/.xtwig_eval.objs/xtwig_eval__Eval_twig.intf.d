@@ -1,0 +1,1 @@
+lib/evaluator/eval_twig.mli: Xtwig_path Xtwig_xml

@@ -1,0 +1,82 @@
+open Xtwig_path.Path_types
+module Doc = Xtwig_xml.Doc
+module Value = Xtwig_xml.Value
+
+let value_pred_holds pred (v : Value.t) =
+  match pred with
+  | Range (lo, hi) -> (
+      match Value.as_float v with
+      | Some f -> lo <= f && f <= hi
+      | None -> false)
+  | Cmp (op, bound) -> (
+      let test c =
+        match op with
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Eq -> c = 0
+        | Ne -> c <> 0
+        | Ge -> c >= 0
+        | Gt -> c > 0
+      in
+      match (Value.as_float v, Value.as_float bound) with
+      | Some a, Some b -> test (Float.compare a b)
+      | _ -> (
+          match (v, bound) with
+          | Text a, Text b -> test (String.compare a b)
+          | _ -> false))
+
+(* Nodes reached from [from] by one application of the axis. *)
+let axis_candidates doc from axis =
+  match (from, axis) with
+  | None, Child -> [ Doc.root doc ]
+  | None, Descendant ->
+      let acc = ref [] in
+      Doc.iter doc (fun n -> acc := n :: !acc);
+      List.rev !acc
+  | Some n, Child -> Array.to_list (Doc.children doc n)
+  | Some n, Descendant ->
+      let acc = ref [] in
+      let rec go n =
+        Array.iter
+          (fun k ->
+            acc := k :: !acc;
+            go k)
+          (Doc.children doc n)
+      in
+      go n;
+      List.rev !acc
+
+let rec step_matches doc s n =
+  String.equal (Doc.tag_name doc n) s.label
+  && (match s.vpred with
+     | None -> true
+     | Some p -> value_pred_holds p (Doc.value doc n))
+  && List.for_all (fun b -> exists doc ~from:n b) s.branches
+
+and eval doc ~from p =
+  match p with
+  | [] -> ( match from with None -> [] | Some n -> [ n ])
+  | s :: rest ->
+      let here =
+        List.filter (step_matches doc s) (axis_candidates doc from s.axis)
+      in
+      if rest = [] then here
+      else
+        (* child-axis steps from distinct nodes yield distinct nodes; a
+           descendant step may revisit, so dedupe while keeping order *)
+        let seen = Hashtbl.create 16 in
+        List.concat_map
+          (fun n ->
+            List.filter
+              (fun m ->
+                if Hashtbl.mem seen m then false
+                else begin
+                  Hashtbl.add seen m ();
+                  true
+                end)
+              (eval doc ~from:(Some n) rest))
+          here
+
+and exists doc ~from p = eval doc ~from:(Some from) p <> []
+
+let count doc ~from p = List.length (eval doc ~from p)

@@ -1,0 +1,29 @@
+(** Exact evaluation of single path expressions over a document.
+
+    These are the reference semantics: every estimate in the synopsis
+    layer is judged against the numbers produced here. *)
+
+val value_pred_holds : Xtwig_path.Path_types.value_pred -> Xtwig_xml.Value.t -> bool
+(** Truth of a value predicate on a concrete leaf value. Numeric
+    comparisons require a numeric value; [Cmp] against text compares
+    strings; a [Null] value satisfies nothing. *)
+
+val step_matches :
+  Xtwig_xml.Doc.t -> Xtwig_path.Path_types.step -> Xtwig_xml.Doc.node -> bool
+(** Label, value-predicate and branching-predicate checks for a node
+    already reached by the step's axis. *)
+
+val eval :
+  Xtwig_xml.Doc.t ->
+  from:Xtwig_xml.Doc.node option ->
+  Xtwig_path.Path_types.path ->
+  Xtwig_xml.Doc.node list
+(** [eval doc ~from p] is the result set of [p] evaluated from [from]
+    ([None] = the virtual root above the document root, for absolute
+    paths). Results are distinct, in document order. *)
+
+val count : Xtwig_xml.Doc.t -> from:Xtwig_xml.Doc.node option -> Xtwig_path.Path_types.path -> int
+(** [List.length (eval ...)] without building the list. *)
+
+val exists : Xtwig_xml.Doc.t -> from:Xtwig_xml.Doc.node -> Xtwig_path.Path_types.path -> bool
+(** Branching-predicate semantics: at least one match. *)

@@ -1,0 +1,103 @@
+open Xtwig_path.Path_types
+module Doc = Xtwig_xml.Doc
+
+(* Internal indexed form: twig nodes numbered in pre-order, children as
+   index lists, so (twig node, element) pairs can key a memo table even
+   when the input twig physically shares sub-trees. *)
+type itwig = { paths : path array; subs : int list array }
+
+let index_twig t =
+  let n = twig_size t in
+  let paths = Array.make n [] in
+  let subs = Array.make n [] in
+  let counter = ref 0 in
+  let rec go t =
+    let id = !counter in
+    incr counter;
+    paths.(id) <- t.path;
+    let kids = List.map go t.subs in
+    subs.(id) <- kids;
+    id
+  in
+  ignore (go t);
+  { paths; subs }
+
+(* Counts saturate well below max_int so that degenerate queries (e.g.
+   pairing thousands of top-level siblings repeatedly) stay ordered
+   instead of wrapping around. *)
+let saturation = 1 lsl 55
+
+let sat_add a b = if a > saturation - b then saturation else a + b
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a > saturation / b then saturation
+  else a * b
+
+let selectivity doc t =
+  let it = index_twig t in
+  let memo : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  (* tuples rooted at element [e] bound to twig node [tn] *)
+  let rec tuples_at e tn =
+    match it.subs.(tn) with
+    | [] -> 1
+    | subs -> (
+        let key = (tn, e) in
+        match Hashtbl.find_opt memo key with
+        | Some v -> v
+        | None ->
+            let v =
+              List.fold_left
+                (fun acc sub ->
+                  if acc = 0 then 0
+                  else
+                    let matches =
+                      Eval_path.eval doc ~from:(Some e) it.paths.(sub)
+                    in
+                    let s =
+                      List.fold_left
+                        (fun s e' -> sat_add s (tuples_at e' sub))
+                        0 matches
+                    in
+                    sat_mul acc s)
+                1 subs
+            in
+            Hashtbl.add memo key v;
+            v)
+  in
+  let roots = Eval_path.eval doc ~from:None it.paths.(0) in
+  List.fold_left (fun acc e -> sat_add acc (tuples_at e 0)) 0 roots
+
+let bindings ?(limit = 1000) doc t =
+  let it = index_twig t in
+  let width = Array.length it.paths in
+  let out = ref [] in
+  let n_out = ref 0 in
+  let tuple = Array.make width (-1) in
+  let exception Done in
+  let rec emit e tn k =
+    tuple.(tn) <- e;
+    match it.subs.(tn) with
+    | [] -> k ()
+    | subs ->
+        let rec across = function
+          | [] -> k ()
+          | sub :: more ->
+              let matches = Eval_path.eval doc ~from:(Some e) it.paths.(sub) in
+              List.iter (fun e' -> emit e' sub (fun () -> across more)) matches
+        in
+        across subs
+  in
+  (try
+     let roots = Eval_path.eval doc ~from:None it.paths.(0) in
+     List.iter
+       (fun e ->
+         emit e 0 (fun () ->
+             out := Array.copy tuple :: !out;
+             incr n_out;
+             if !n_out >= limit then raise Done))
+       roots
+   with Done -> ());
+  List.rev !out
+
+let node_matches doc t = Eval_path.count doc ~from:None t.path

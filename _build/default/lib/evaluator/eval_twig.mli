@@ -1,0 +1,22 @@
+(** Exact twig-query evaluation: the number of binding tuples.
+
+    The selectivity [s(T_Q)] of a twig query is the number of binding
+    tuples it generates (Section 2 of the paper): each tuple assigns
+    one document element to every twig node such that every
+    parent/child pair of twig nodes is connected by the child's path
+    expression. *)
+
+val selectivity : Xtwig_xml.Doc.t -> Xtwig_path.Path_types.twig -> int
+(** Exact binding-tuple count. Memoized internally; linear-ish in
+    (matched elements x twig nodes). *)
+
+val bindings :
+  ?limit:int -> Xtwig_xml.Doc.t -> Xtwig_path.Path_types.twig ->
+  Xtwig_xml.Doc.node array list
+(** Materializes binding tuples (pre-order twig-node order), up to
+    [limit] (default 1000) — used by tests and the examples, not by
+    the benchmarks. *)
+
+val node_matches : Xtwig_xml.Doc.t -> Xtwig_path.Path_types.twig -> int
+(** Number of elements matched by the root twig node alone (its
+    per-node result cardinality). *)

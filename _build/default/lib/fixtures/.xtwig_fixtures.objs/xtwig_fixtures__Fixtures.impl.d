@@ -1,0 +1,1 @@
+lib/fixtures/fixtures.ml: List Printf Xtwig_path Xtwig_xml

@@ -1,0 +1,1 @@
+lib/fixtures/fixtures.mli: Xtwig_path Xtwig_xml

@@ -1,0 +1,87 @@
+module Doc = Xtwig_xml.Doc
+module Value = Xtwig_xml.Value
+
+let paper b author ~year ~keywords =
+  let p = Doc.Builder.child b author "paper" in
+  ignore (Doc.Builder.child b p ~value:(Value.Text "a title") "title");
+  ignore (Doc.Builder.child b p ~value:(Value.Int year) "year");
+  for i = 1 to keywords do
+    ignore
+      (Doc.Builder.child b p
+         ~value:(Value.Text (Printf.sprintf "kw%d" i))
+         "keyword")
+  done;
+  p
+
+let bibliography () =
+  let b = Doc.Builder.create () in
+  let root = Doc.Builder.root b "bibliography" in
+  (* a1: name n6, papers p4 (old, 2 keywords) and p5 (2001, 2 keywords),
+     and a book *)
+  let a1 = Doc.Builder.child b root "author" in
+  ignore (Doc.Builder.child b a1 ~value:(Value.Text "n6") "name");
+  ignore (paper b a1 ~year:1998 ~keywords:2);
+  ignore (paper b a1 ~year:2001 ~keywords:2);
+  let book = Doc.Builder.child b a1 "book" in
+  ignore (Doc.Builder.child b book ~value:(Value.Text "book title") "title");
+  (* a2: name n7, paper p8 (2002, 1 keyword) *)
+  let a2 = Doc.Builder.child b root "author" in
+  ignore (Doc.Builder.child b a2 ~value:(Value.Text "n7") "name");
+  ignore (paper b a2 ~year:2002 ~keywords:1);
+  (* a3: name, paper p9 (1999, 1 keyword) *)
+  let a3 = Doc.Builder.child b root "author" in
+  ignore (Doc.Builder.child b a3 ~value:(Value.Text "n9") "name");
+  ignore (paper b a3 ~year:1999 ~keywords:1);
+  Doc.Builder.finish b
+
+let example_2_1_query () =
+  Xtwig_path.Path_parser.twig_of_string
+    "for t0 in //author, t1 in t0/name, t2 in t0/paper[year[. > 2000]], \
+     t3 in t2/title, t4 in t2/keyword"
+
+let figure_4 pairs =
+  let b = Doc.Builder.create () in
+  let root = Doc.Builder.root b "r" in
+  List.iter
+    (fun (nb, nc) ->
+      let a = Doc.Builder.child b root "a" in
+      for _ = 1 to nb do
+        ignore (Doc.Builder.child b a "b")
+      done;
+      for _ = 1 to nc do
+        ignore (Doc.Builder.child b a "c")
+      done)
+    pairs;
+  Doc.Builder.finish b
+
+let figure_4_doc_a () = figure_4 [ (10, 100); (100, 10) ]
+let figure_4_doc_b () = figure_4 [ (10, 10); (100, 100) ]
+
+let figure_4_query () =
+  Xtwig_path.Path_parser.twig_of_string "for t0 in //a, t1 in t0/b, t2 in t0/c"
+
+let movie_fragment () =
+  let b = Doc.Builder.create () in
+  let root = Doc.Builder.root b "movies" in
+  let movie genre ~actors ~producers =
+    let m = Doc.Builder.child b root "movie" in
+    ignore (Doc.Builder.child b m ~value:(Value.Text genre) "type");
+    for i = 1 to actors do
+      ignore
+        (Doc.Builder.child b m
+           ~value:(Value.Text (Printf.sprintf "actor%d" i))
+           "actor")
+    done;
+    for i = 1 to producers do
+      ignore
+        (Doc.Builder.child b m
+           ~value:(Value.Text (Printf.sprintf "prod%d" i))
+           "producer")
+    done
+  in
+  movie "Action" ~actors:10 ~producers:3;
+  movie "Action" ~actors:12 ~producers:4;
+  movie "Documentary" ~actors:2 ~producers:1;
+  movie "Documentary" ~actors:1 ~producers:1;
+  movie "Drama" ~actors:6 ~producers:2;
+  Doc.Builder.finish b

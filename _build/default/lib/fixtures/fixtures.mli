@@ -1,0 +1,35 @@
+(** The paper's running examples as concrete documents and queries.
+
+    These fixtures pin the implementation to the paper: the test suite
+    checks the exact numbers the paper derives from them (3 binding
+    tuples for Example 2.1, the 2000-vs-10100 discrimination of
+    Figure 4, the 10/3 estimate of Section 4). *)
+
+val bibliography : unit -> Xtwig_xml.Doc.t
+(** The Figure 1 bibliography document: a root containing three
+    [author] elements, each with a [name] and one or more [paper]s
+    (with [title], [year], [keyword]s) and possibly a [book] (with
+    [title]). Consistent with Example 2.1: the twig
+    {!example_2_1_query} has exactly 3 binding tuples. *)
+
+val example_2_1_query : unit -> Xtwig_path.Path_types.twig
+(** [for t0 in //author, t1 in t0/name, t2 in t0/paper\[year > 2000\],
+    t3 in t2/title, t4 in t2/keyword]. *)
+
+val figure_4_doc_a : unit -> Xtwig_xml.Doc.t
+(** Two [a] elements under the root: one with 10 [b] and 100 [c]
+    children, one with 100 [b] and 10 [c]. *)
+
+val figure_4_doc_b : unit -> Xtwig_xml.Doc.t
+(** Two [a] elements: one with 10 [b] and 10 [c], one with 100 [b] and
+    100 [c] children. Same single-path selectivities as
+    {!figure_4_doc_a} for every path, but the pairing twig
+    {!figure_4_query} has selectivity 10100 here vs 2000 there. *)
+
+val figure_4_query : unit -> Xtwig_path.Path_types.twig
+(** [for t0 in //a, t1 in t0/b, t2 in t0/c]. *)
+
+val movie_fragment : unit -> Xtwig_xml.Doc.t
+(** The introduction's movie example, small scale: [movie] elements
+    with [type], [actor]s and [producer]s, where action movies have
+    many actors/producers and documentaries few. *)

@@ -1,0 +1,1 @@
+lib/histogram/edge_hist.ml: Array Format List Printf Sparse_dist Stdlib String

@@ -1,0 +1,1 @@
+lib/histogram/edge_hist.mli: Format Sparse_dist

@@ -1,0 +1,1 @@
+lib/histogram/hist1d.mli:

@@ -1,0 +1,1 @@
+lib/histogram/mcv.ml: Hashtbl List Option Stdlib String

@@ -1,0 +1,1 @@
+lib/histogram/sparse_dist.mli:

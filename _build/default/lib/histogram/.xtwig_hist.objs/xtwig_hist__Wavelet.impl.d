@@ -1,0 +1,1 @@
+lib/histogram/wavelet.ml: Array Float List Stdlib

@@ -1,0 +1,96 @@
+type bucket = {
+  lo : float;
+  hi : float;
+  frac : float;
+  distinct : int;
+}
+
+type t = { buckets : bucket array; count : int }
+
+let build ?(budget = 16) data =
+  let budget = Stdlib.max 1 budget in
+  let n = Array.length data in
+  if n = 0 then { buckets = [||]; count = 0 }
+  else begin
+    let sorted = Array.copy data in
+    Array.sort Float.compare sorted;
+    let per = Stdlib.max 1 (n / budget) in
+    let buckets = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let start = !i in
+      let stop0 = Stdlib.min (n - 1) (start + per - 1) in
+      (* extend so equal boundary values stay in one bucket *)
+      let stop = ref stop0 in
+      while !stop + 1 < n && sorted.(!stop + 1) = sorted.(!stop) do
+        incr stop
+      done;
+      let members = !stop - start + 1 in
+      let distinct = ref 1 in
+      for k = start + 1 to !stop do
+        if sorted.(k) <> sorted.(k - 1) then incr distinct
+      done;
+      buckets :=
+        {
+          lo = sorted.(start);
+          hi = sorted.(!stop);
+          frac = float_of_int members /. float_of_int n;
+          distinct = !distinct;
+        }
+        :: !buckets;
+      i := !stop + 1
+    done;
+    { buckets = Array.of_list (List.rev !buckets); count = n }
+  end
+
+let count t = t.count
+let bucket_count t = Array.length t.buckets
+
+(* Fraction of one bucket's mass below-or-equal x, uniform inside. *)
+let bucket_mass_le b x =
+  if x < b.lo then 0.0
+  else if x >= b.hi then b.frac
+  else if b.hi = b.lo then b.frac
+  else b.frac *. ((x -. b.lo) /. (b.hi -. b.lo))
+
+let frac_le t x = Array.fold_left (fun a b -> a +. bucket_mass_le b x) 0.0 t.buckets
+
+let frac_range t lo hi =
+  if hi < lo then 0.0
+  else
+    let below_hi = frac_le t hi in
+    (* subtract strictly-below-lo mass; approximate P(v = lo) by the
+       containing bucket's per-distinct-value density *)
+    let below_lo = frac_le t lo in
+    let at_lo =
+      Array.fold_left
+        (fun a b ->
+          if lo >= b.lo && lo <= b.hi then a +. (b.frac /. float_of_int b.distinct)
+          else a)
+        0.0 t.buckets
+    in
+    Stdlib.max 0.0 (Stdlib.min 1.0 (below_hi -. below_lo +. at_lo))
+
+let frac_eq t x =
+  Array.fold_left
+    (fun a b ->
+      if x >= b.lo && x <= b.hi then a +. (b.frac /. float_of_int b.distinct)
+      else a)
+    0.0 t.buckets
+
+let frac_cmp t op x =
+  let le = frac_le t x in
+  let eq = frac_eq t x in
+  match op with
+  | `Le -> le
+  | `Lt -> Stdlib.max 0.0 (le -. eq)
+  | `Eq -> eq
+  | `Ne -> 1.0 -. eq
+  | `Gt -> Stdlib.max 0.0 (1.0 -. le)
+  | `Ge -> Stdlib.min 1.0 (1.0 -. le +. eq)
+
+let domain t =
+  if Array.length t.buckets = 0 then None
+  else Some (t.buckets.(0).lo, t.buckets.(Array.length t.buckets - 1).hi)
+
+let size_bytes t = 12 * bucket_count t

@@ -1,0 +1,36 @@
+(** One-dimensional equi-depth value histograms.
+
+    These implement the paper's per-node value summaries [H(v)] in the
+    single-dimensional configuration its prototype uses: the fraction
+    of a synopsis node's elements whose value satisfies a range or
+    comparison predicate. *)
+
+type t
+
+val build : ?budget:int -> float array -> t
+(** Equi-depth over the (copied, sorted) data; [budget] buckets
+    (default 16, min 1). The empty array yields an empty histogram
+    whose selectivities are all 0. *)
+
+val count : t -> int
+(** Number of summarized values. *)
+
+val bucket_count : t -> int
+
+val frac_range : t -> float -> float -> float
+(** Estimated fraction of values in [\[lo, hi\]] (inclusive), assuming
+    uniformity inside buckets. *)
+
+val frac_le : t -> float -> float
+(** Estimated fraction of values [<= x]. *)
+
+val frac_cmp : t -> [ `Lt | `Le | `Eq | `Ne | `Ge | `Gt ] -> float -> float
+(** Estimated fraction of values satisfying [v op x]. [`Eq] uses the
+    containing bucket's density over its distinct-value count. *)
+
+val domain : t -> (float * float) option
+(** Min and max summarized value; [None] when empty. *)
+
+val size_bytes : t -> int
+(** [12] bytes per bucket (boundary, cumulative fraction, distinct
+    count). *)

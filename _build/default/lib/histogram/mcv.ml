@@ -1,0 +1,54 @@
+type t = {
+  total : int;
+  entries : (string * float) list; (* most frequent first *)
+  other_mass : float;
+  other_distinct : int;
+}
+
+let build ?(budget = 8) values =
+  let budget = Stdlib.max 1 budget in
+  let counts = Hashtbl.create 64 in
+  let total = List.length values in
+  List.iter
+    (fun v ->
+      Hashtbl.replace counts v
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+    values;
+  let all =
+    Hashtbl.fold (fun v c acc -> (v, c) :: acc) counts []
+    |> List.sort (fun (va, a) (vb, b) ->
+           match compare b a with 0 -> compare va vb | c -> c)
+  in
+  let kept = List.filteri (fun i _ -> i < budget) all in
+  let dropped = List.filteri (fun i _ -> i >= budget) all in
+  let tf = float_of_int (Stdlib.max 1 total) in
+  {
+    total;
+    entries = List.map (fun (v, c) -> (v, float_of_int c /. tf)) kept;
+    other_mass =
+      List.fold_left (fun a (_, c) -> a +. (float_of_int c /. tf)) 0.0 dropped;
+    other_distinct = List.length dropped;
+  }
+
+let count t = t.total
+let entries t = t.entries
+let other_mass t = t.other_mass
+let other_distinct t = t.other_distinct
+
+let frac_eq t v =
+  match List.assoc_opt v t.entries with
+  | Some f -> f
+  | None ->
+      if t.other_distinct = 0 then 0.0
+      else t.other_mass /. float_of_int t.other_distinct
+
+let frac_ne t v = Stdlib.max 0.0 (1.0 -. frac_eq t v)
+
+let rank t v =
+  let rec go i = function
+    | [] -> None
+    | (v', _) :: rest -> if String.equal v v' then Some i else go (i + 1) rest
+  in
+  go 0 t.entries
+
+let size_bytes t = (12 * List.length t.entries) + 8

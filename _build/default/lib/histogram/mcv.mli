@@ -1,0 +1,42 @@
+(** Most-common-value summaries for categorical (text) values.
+
+    The paper's prototype keeps single-dimensional histograms over
+    numeric values; real documents also carry low-cardinality string
+    values (genres, types, country codes) on which equality predicates
+    are common. An MCV summary stores the top-k values with their
+    exact fractions and lumps the rest into an "other" mass — the
+    classic optimizer structure. Section 3.3 notes that count-based
+    estimation frees the join machinery from value-distribution
+    assumptions "e.g. attributes with categorical values"; this module
+    supplies the selection-predicate side for those attributes. *)
+
+type t
+
+val build : ?budget:int -> string list -> t
+(** Keeps the [budget] (default 8) most frequent values. *)
+
+val count : t -> int
+(** Number of summarized values. *)
+
+val entries : t -> (string * float) list
+(** The retained (value, fraction) pairs, most frequent first. *)
+
+val other_mass : t -> float
+(** Total fraction of values not retained. *)
+
+val other_distinct : t -> int
+(** Number of distinct values not retained. *)
+
+val frac_eq : t -> string -> float
+(** Estimated fraction of values equal to the string: exact for
+    retained values, [other_mass / other_distinct] for the rest. *)
+
+val frac_ne : t -> string -> float
+
+val rank : t -> string -> int option
+(** Position of a retained value (0 = most frequent); [None] when the
+    value fell into "other". *)
+
+val size_bytes : t -> int
+(** 12 bytes per retained entry (hashed value + fraction) plus 8 for
+    the other-mass summary. *)

@@ -1,0 +1,74 @@
+type t = {
+  dims : int;
+  table : (int array, int) Hashtbl.t; (* vector -> multiplicity *)
+  total : int;
+}
+
+let of_counted ~dims pairs =
+  let table = Hashtbl.create 64 in
+  let total = ref 0 in
+  List.iter
+    (fun (v, m) ->
+      assert (Array.length v = dims);
+      assert (m > 0);
+      total := !total + m;
+      match Hashtbl.find_opt table v with
+      | Some m0 -> Hashtbl.replace table v (m0 + m)
+      | None -> Hashtbl.add table (Array.copy v) m)
+    pairs;
+  { dims; table; total = !total }
+
+let of_vectors ~dims vectors =
+  of_counted ~dims (List.map (fun v -> (v, 1)) vectors)
+
+let dims t = t.dims
+let support t = Hashtbl.length t.table
+let total t = t.total
+
+let frac t v =
+  if t.total = 0 then 0.0
+  else
+    match Hashtbl.find_opt t.table v with
+    | Some m -> float_of_int m /. float_of_int t.total
+    | None -> 0.0
+
+let fold t ~init ~f =
+  if t.total = 0 then init
+  else
+    let tot = float_of_int t.total in
+    Hashtbl.fold (fun v m acc -> f acc v (float_of_int m /. tot)) t.table init
+
+let points t = Hashtbl.fold (fun v m acc -> (v, m) :: acc) t.table []
+
+let marginalize t ~keep =
+  let arr = Array.of_list keep in
+  let pairs =
+    Hashtbl.fold
+      (fun v m acc -> (Array.map (fun d -> v.(d)) arr, m) :: acc)
+      t.table []
+  in
+  of_counted ~dims:(Array.length arr) pairs
+
+let expected_product t ~over =
+  fold t ~init:0.0 ~f:(fun acc v f ->
+      let p = List.fold_left (fun p d -> p *. float_of_int v.(d)) 1.0 over in
+      acc +. (f *. p))
+
+let mean t d = expected_product t ~over:[ d ]
+
+let correlation t a b =
+  let ma = mean t a and mb = mean t b in
+  let cov, va, vb =
+    fold t ~init:(0.0, 0.0, 0.0) ~f:(fun (cov, va, vb) v f ->
+        let da = float_of_int v.(a) -. ma and db = float_of_int v.(b) -. mb in
+        (cov +. (f *. da *. db), va +. (f *. da *. da), vb +. (f *. db *. db)))
+  in
+  if va <= 1e-12 || vb <= 1e-12 then 0.0 else cov /. sqrt (va *. vb)
+
+let conditional_correlation_gain t d =
+  let all = List.init t.dims Fun.id in
+  let others = List.filter (fun x -> x <> d) all in
+  let joint = expected_product t ~over:all in
+  let indep = mean t d *. expected_product t ~over:others in
+  let denom = Stdlib.max joint 1e-9 in
+  Float.abs (joint -. indep) /. denom

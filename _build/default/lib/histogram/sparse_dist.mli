@@ -1,0 +1,58 @@
+(** Exact multidimensional distributions of integer count vectors.
+
+    An edge distribution [f_i(C_1, ..., C_k)] (Section 3.2 of the
+    paper) maps each observed vector of edge counts to the fraction of
+    elements exhibiting it. This module stores such a distribution
+    exactly; {!Edge_hist} compresses it to a space budget.
+
+    The module is generic: dimensions are just positions [0 .. k-1];
+    the synopsis layer maps them to synopsis edges. *)
+
+type t
+
+val of_vectors : dims:int -> int array list -> t
+(** Aggregates one count vector per element. All vectors must have
+    length [dims]. *)
+
+val of_counted : dims:int -> (int array * int) list -> t
+(** Pre-aggregated form: (vector, multiplicity). Multiplicities of
+    equal vectors are merged. *)
+
+val dims : t -> int
+
+val support : t -> int
+(** Number of distinct vectors. *)
+
+val total : t -> int
+(** Number of underlying elements (sum of multiplicities). *)
+
+val frac : t -> int array -> float
+(** Fraction of elements with exactly this vector (0 if absent). *)
+
+val fold : t -> init:'a -> f:('a -> int array -> float -> 'a) -> 'a
+(** Iterates (vector, fraction) pairs. The vectors must not be
+    mutated. *)
+
+val points : t -> (int array * int) list
+(** All (vector, multiplicity) pairs, in an unspecified order. *)
+
+val marginalize : t -> keep:int list -> t
+(** Projects onto the given dimensions (in the order listed). *)
+
+val expected_product : t -> over:int list -> float
+(** [Σ_v frac(v) · Π_{d ∈ over} v.(d)] — the [ΣF] operator of
+    Section 4. A dimension listed twice is squared, matching the
+    semantics of two twig children following the same edge. *)
+
+val mean : t -> int -> float
+(** Expected count on one dimension. *)
+
+val correlation : t -> int -> int -> float
+(** Pearson correlation between two dimensions; 0 when either is
+    constant. Drives the edge-expand refinement's choice of which
+    dimension to add. *)
+
+val conditional_correlation_gain : t -> int -> float
+(** How much dimension [d] matters to the joint product expectation:
+    |E[Π all] − E[d]·E[Π others]| / max(E[Π all], epsilon). Used to
+    rank candidate dimensions. *)

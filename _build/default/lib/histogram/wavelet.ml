@@ -1,0 +1,82 @@
+type t = {
+  length : int; (* original length *)
+  padded : int; (* power-of-two transform length *)
+  coeffs : (int * float) list; (* kept (index, value) in the transform *)
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* In-place standard Haar decomposition of a power-of-two vector. *)
+let decompose a =
+  let n = Array.length a in
+  let tmp = Array.make n 0.0 in
+  let len = ref n in
+  while !len > 1 do
+    let half = !len / 2 in
+    for i = 0 to half - 1 do
+      tmp.(i) <- (a.(2 * i) +. a.((2 * i) + 1)) /. 2.0;
+      tmp.(half + i) <- (a.(2 * i) -. a.((2 * i) + 1)) /. 2.0
+    done;
+    Array.blit tmp 0 a 0 !len;
+    len := half
+  done
+
+let reconstruct_full padded coeffs =
+  let a = Array.make padded 0.0 in
+  List.iter (fun (i, v) -> a.(i) <- v) coeffs;
+  let len = ref 1 in
+  let tmp = Array.make padded 0.0 in
+  while !len < padded do
+    let half = !len in
+    for i = 0 to half - 1 do
+      tmp.(2 * i) <- a.(i) +. a.(half + i);
+      tmp.((2 * i) + 1) <- a.(i) -. a.(half + i)
+    done;
+    Array.blit tmp 0 a 0 (2 * half);
+    len := 2 * half
+  done;
+  a
+
+(* Normalization weight for thresholding: level-dependent, so that
+   dropping a coefficient costs its true L2 energy. *)
+let level_weight padded idx =
+  if idx = 0 then sqrt (float_of_int padded)
+  else
+    let rec level i l = if i = 0 then l else level (i / 2) (l + 1) in
+    let l = level idx 0 in
+    sqrt (float_of_int padded /. float_of_int (1 lsl l))
+
+let build ?(budget = 16) data =
+  let length = Array.length data in
+  if length = 0 then { length; padded = 1; coeffs = [] }
+  else begin
+    let padded = next_pow2 length in
+    let a = Array.make padded 0.0 in
+    Array.blit data 0 a 0 length;
+    decompose a;
+    let scored =
+      Array.to_list
+        (Array.mapi (fun i v -> (Float.abs v *. level_weight padded i, i, v)) a)
+    in
+    let sorted = List.sort (fun (x, _, _) (y, _, _) -> Float.compare y x) scored in
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | (_, i, v) :: rest ->
+          if v = 0.0 then take k rest else (i, v) :: take (k - 1) rest
+    in
+    { length; padded; coeffs = take (Stdlib.max 1 budget) sorted }
+  end
+
+let reconstruct t =
+  let full = reconstruct_full t.padded t.coeffs in
+  Array.sub full 0 t.length
+
+let point t i =
+  if i < 0 || i >= t.length then 0.0 else (reconstruct t).(i)
+
+let coefficients_kept t = List.length t.coeffs
+let original_length t = t.length
+let size_bytes t = 8 * coefficients_kept t

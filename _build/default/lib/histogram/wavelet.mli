@@ -1,0 +1,27 @@
+(** One-dimensional Haar wavelet summaries.
+
+    Section 3.2 notes that edge distributions "can be summarized very
+    efficiently using multidimensional methods such as histograms and
+    wavelets". This module provides the wavelet alternative for the
+    one-dimensional case, used by the ablation benchmark that compares
+    bucket histograms against wavelet coefficient retention on the
+    same space budget. *)
+
+type t
+
+val build : ?budget:int -> float array -> t
+(** [build ~budget data] decomposes the frequency vector [data]
+    (implicitly zero-padded to a power of two) with the Haar
+    transform and keeps the [budget] largest coefficients by absolute
+    normalized magnitude (default 16). *)
+
+val reconstruct : t -> float array
+(** Approximate frequency vector, truncated to the original length. *)
+
+val point : t -> int -> float
+(** Reconstructed value at one index (0 outside the original range). *)
+
+val coefficients_kept : t -> int
+val original_length : t -> int
+val size_bytes : t -> int
+(** 8 bytes per kept coefficient (index + value). *)

@@ -1,0 +1,1 @@
+lib/pathlang/path_parser.ml: Buffer Float List Path_types Printf String Xtwig_xml

@@ -1,0 +1,1 @@
+lib/pathlang/path_parser.mli: Path_types

@@ -1,0 +1,1 @@
+lib/pathlang/path_printer.ml: Buffer Format List Path_types Printf String Xtwig_xml

@@ -1,0 +1,1 @@
+lib/pathlang/path_printer.mli: Format Path_types

@@ -1,0 +1,1 @@
+lib/pathlang/path_types.ml: Hashtbl List Stdlib Xtwig_xml

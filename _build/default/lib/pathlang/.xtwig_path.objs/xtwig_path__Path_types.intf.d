@@ -1,0 +1,1 @@
+lib/pathlang/path_types.mli: Xtwig_xml

@@ -1,0 +1,234 @@
+open Path_types
+
+exception Parse_error of string
+
+type st = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "at offset %d in %S: %s" st.pos st.src msg))
+
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while (not (eof st)) && (peek st = ' ' || peek st = '\t' || peek st = '\n') do
+    advance st
+  done
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let eat st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else fail st (Printf.sprintf "expected %S" s)
+
+let is_label_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '@' -> true
+  | _ -> false
+
+let read_label st =
+  let start = st.pos in
+  while (not (eof st)) && is_label_char (peek st) do
+    advance st
+  done;
+  if st.pos = start then fail st "expected a label";
+  String.sub st.src start (st.pos - start)
+
+let read_number st =
+  let start = st.pos in
+  if peek st = '-' then advance st;
+  while
+    (not (eof st))
+    && (match peek st with '0' .. '9' | '.' | 'e' | 'E' | '+' -> true | _ -> false)
+    && not (looking_at st "..")
+  do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail st (Printf.sprintf "bad number %S" s)
+
+let read_quoted st =
+  eat st "\"";
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if eof st then fail st "unterminated string literal"
+    else
+      match peek st with
+      | '"' -> advance st
+      | '\\' ->
+          advance st;
+          if eof st then fail st "dangling escape";
+          Buffer.add_char buf (peek st);
+          advance st;
+          loop ()
+      | c ->
+          Buffer.add_char buf c;
+          advance st;
+          loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let read_literal st : Xtwig_xml.Value.t =
+  if peek st = '"' then Text (read_quoted st)
+  else
+    let f = read_number st in
+    if Float.is_integer f && Float.abs f < 1e15 then Int (int_of_float f)
+    else Float f
+
+let read_comparison st =
+  if looking_at st "<=" then begin eat st "<="; Le end
+  else if looking_at st ">=" then begin eat st ">="; Ge end
+  else if looking_at st "!=" then begin eat st "!="; Ne end
+  else if looking_at st "<" then begin eat st "<"; Lt end
+  else if looking_at st ">" then begin eat st ">"; Gt end
+  else if looking_at st "=" then begin eat st "="; Eq end
+  else fail st "expected a comparison operator"
+
+(* Inside "[...]": a value predicate starts with '.', otherwise it is a
+   relative branch path. *)
+let rec read_pred st =
+  skip_ws st;
+  if peek st = '.' && not (looking_at st "..") then begin
+    advance st;
+    skip_ws st;
+    if looking_at st "in" then begin
+      eat st "in";
+      skip_ws st;
+      let lo = read_number st in
+      skip_ws st;
+      eat st "..";
+      skip_ws st;
+      let hi = read_number st in
+      if lo > hi then fail st "empty range";
+      `Value (Range (lo, hi))
+    end
+    else
+      let op = read_comparison st in
+      skip_ws st;
+      let v = read_literal st in
+      `Value (Cmp (op, v))
+  end
+  else `Branch (read_path_body st ~leading_axis_required:false)
+
+and read_step st axis =
+  let label = read_label st in
+  let vpred = ref None in
+  let branches = ref [] in
+  let rec preds () =
+    skip_ws st;
+    if peek st = '[' then begin
+      advance st;
+      (match read_pred st with
+      | `Value p ->
+          if !vpred <> None then fail st "duplicate value predicate";
+          vpred := Some p
+      | `Branch b -> branches := b :: !branches);
+      skip_ws st;
+      eat st "]";
+      preds ()
+    end
+  in
+  preds ();
+  { axis; label; vpred = !vpred; branches = List.rev !branches }
+
+and read_path_body st ~leading_axis_required =
+  skip_ws st;
+  let first_axis =
+    if looking_at st "//" then begin eat st "//"; Descendant end
+    else if looking_at st "/" then begin eat st "/"; Child end
+    else if leading_axis_required then fail st "expected '/' or '//'"
+    else Child
+  in
+  let first = read_step st first_axis in
+  let rec more acc =
+    if looking_at st "//" then begin
+      eat st "//";
+      more (read_step st Descendant :: acc)
+    end
+    else if looking_at st "/" then begin
+      eat st "/";
+      more (read_step st Child :: acc)
+    end
+    else List.rev acc
+  in
+  more [ first ]
+
+let path_of_string s =
+  let st = { src = s; pos = 0 } in
+  let p = read_path_body st ~leading_axis_required:false in
+  skip_ws st;
+  if not (eof st) then fail st "trailing input after the path";
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Twig for-clause parsing                                             *)
+
+type binding = { var : string; parent : string option; bpath : path }
+
+let read_var st =
+  let start = st.pos in
+  while (not (eof st)) && is_label_char (peek st) do
+    advance st
+  done;
+  if st.pos = start then fail st "expected a variable name";
+  String.sub st.src start (st.pos - start)
+
+let read_binding st ~bound =
+  skip_ws st;
+  let var = read_var st in
+  if List.mem_assoc var bound then fail st (Printf.sprintf "variable %s re-bound" var);
+  skip_ws st;
+  eat st "in";
+  skip_ws st;
+  if peek st = '/' then
+    (* absolute path: only legal for the first binding *)
+    { var; parent = None; bpath = read_path_body st ~leading_axis_required:true }
+  else begin
+    let head = read_var st in
+    if not (List.mem_assoc head bound) then
+      fail st (Printf.sprintf "unbound variable %s" head);
+    let bpath = read_path_body st ~leading_axis_required:true in
+    { var; parent = Some head; bpath }
+  end
+
+let twig_of_string s =
+  let st = { src = s; pos = 0 } in
+  skip_ws st;
+  if looking_at st "for " then eat st "for";
+  let rec bindings acc bound =
+    let b = read_binding st ~bound in
+    let bound = (b.var, ()) :: bound in
+    skip_ws st;
+    if peek st = ',' || peek st = ';' then begin
+      advance st;
+      bindings (b :: acc) bound
+    end
+    else List.rev (b :: acc)
+  in
+  let bs = bindings [] [] in
+  skip_ws st;
+  if looking_at st "return" then st.pos <- String.length st.src;
+  skip_ws st;
+  if not (eof st) then fail st "trailing input after the bindings";
+  match bs with
+  | [] -> fail st "no bindings"
+  | { parent = Some _; _ } :: _ -> fail st "the first binding must be absolute"
+  | root :: rest ->
+      if List.exists (fun b -> b.parent = None) rest then
+        fail st "only the first binding may be absolute";
+      (* group children by parent, preserving order *)
+      let subs_of var =
+        List.filter (fun b -> b.parent = Some var) rest
+      in
+      let rec build b = { path = b.bpath; subs = List.map build (subs_of b.var) } in
+      let t = build root in
+      let built = twig_size t in
+      if built <> List.length bs then
+        fail st "some bindings are unreachable from the root";
+      t

@@ -1,0 +1,30 @@
+(** Parser for the concrete syntax of paths and twig queries.
+
+    Path syntax (grammar, informally):
+    {v
+      path      ::= ("/" | "//")? segment (("/" | "//") segment)*
+      segment   ::= label pred*
+      pred      ::= "[" value-pred "]" | "[" rel-path "]"
+      value-pred::= "." cmp literal | "." "in" number ".." number
+      cmp       ::= "<" | "<=" | "=" | "!=" | ">=" | ">"
+      literal   ::= number | quoted-string
+    v}
+    A leading ["//"] (or an interior one) makes the following step use
+    the descendant axis.
+
+    Twig syntax is a for-clause:
+    {v
+      for t0 in //movie[genre], t1 in t0/actor, t2 in t0/producer
+    v}
+    The [for] keyword is optional; bindings are separated by [','] or
+    [';']; each non-first binding must start with a previously bound
+    variable. A trailing [return ...] clause is ignored. *)
+
+exception Parse_error of string
+
+val path_of_string : string -> Path_types.path
+(** Raises {!Parse_error} on malformed input. *)
+
+val twig_of_string : string -> Path_types.twig
+(** Raises {!Parse_error} on malformed input, including re-bound or
+    unbound variables. *)

@@ -1,0 +1,99 @@
+open Path_types
+
+let comparison_to_string = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Eq -> "="
+  | Ne -> "!="
+  | Ge -> ">="
+  | Gt -> ">"
+
+let value_to_syntax (v : Xtwig_xml.Value.t) =
+  match v with
+  | Null -> "\"\""
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.6g" f
+  | Text s -> Printf.sprintf "%S" s
+
+let value_pred_to_string = function
+  | Cmp (op, v) ->
+      Printf.sprintf ". %s %s" (comparison_to_string op) (value_to_syntax v)
+  | Range (lo, hi) -> Printf.sprintf ". in %.6g .. %.6g" lo hi
+
+let rec step_to_string s =
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf s.label;
+  (match s.vpred with
+  | None -> ()
+  | Some p -> Buffer.add_string buf (Printf.sprintf "[%s]" (value_pred_to_string p)));
+  List.iter
+    (fun b -> Buffer.add_string buf (Printf.sprintf "[%s]" (path_to_string_rel b)))
+    s.branches;
+  Buffer.contents buf
+
+and path_to_string_rel p =
+  String.concat ""
+    (List.mapi
+       (fun i s ->
+         let sep =
+           match (i, s.axis) with
+           | 0, Child -> ""
+           | 0, Descendant -> "//"
+           | _, Child -> "/"
+           | _, Descendant -> "//"
+         in
+         sep ^ step_to_string s)
+       p)
+
+let path_to_string p =
+  match p with
+  | [] -> ""
+  | first :: _ ->
+      let prefix = match first.axis with Child -> "/" | Descendant -> "//" in
+      let body =
+        String.concat ""
+          (List.mapi
+             (fun i s ->
+               let sep =
+                 if i = 0 then ""
+                 else match s.axis with Child -> "/" | Descendant -> "//"
+               in
+               sep ^ step_to_string s)
+             p)
+      in
+      prefix ^ body
+
+let twig_to_string t =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "for ";
+  let counter = ref 0 in
+  let rec go parent t =
+    let var = Printf.sprintf "t%d" !counter in
+    incr counter;
+    if !counter > 1 then Buffer.add_string buf ", ";
+    (match parent with
+    | None -> Buffer.add_string buf (Printf.sprintf "%s in %s" var (path_to_string t.path))
+    | Some pvar ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s in %s%s%s" var pvar
+             (match t.path with
+             | { axis = Descendant; _ } :: _ -> "//"
+             | _ -> "/")
+             (path_to_string_rel_no_axis t.path)));
+    List.iter (go (Some var)) t.subs
+  and path_to_string_rel_no_axis p =
+    String.concat ""
+      (List.mapi
+         (fun i s ->
+           let sep =
+             if i = 0 then ""
+             else match s.axis with Child -> "/" | Descendant -> "//"
+           in
+           sep ^ step_to_string s)
+         p)
+  in
+  go None t;
+  Buffer.contents buf
+
+let pp_path ppf p = Format.pp_print_string ppf (path_to_string p)
+let pp_twig ppf t = Format.pp_print_string ppf (twig_to_string t)

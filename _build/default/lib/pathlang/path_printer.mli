@@ -1,0 +1,17 @@
+(** Rendering of paths and twig queries to concrete syntax.
+
+    The output parses back with {!Path_parser} to a structurally equal
+    value (the round-trip property tested by the qcheck suite). *)
+
+val comparison_to_string : Path_types.comparison -> string
+val value_pred_to_string : Path_types.value_pred -> string
+val step_to_string : Path_types.step -> string
+val path_to_string : Path_types.path -> string
+
+val twig_to_string : Path_types.twig -> string
+(** Renders as a for-clause, e.g.
+    [for t0 in //movie, t1 in t0/actor, t2 in t0/producer]. Variables
+    are numbered in pre-order. *)
+
+val pp_path : Format.formatter -> Path_types.path -> unit
+val pp_twig : Format.formatter -> Path_types.twig -> unit

@@ -1,0 +1,78 @@
+type comparison = Lt | Le | Eq | Ne | Ge | Gt
+
+type value_pred =
+  | Cmp of comparison * Xtwig_xml.Value.t
+  | Range of float * float
+
+type axis = Child | Descendant
+
+type step = {
+  axis : axis;
+  label : string;
+  vpred : value_pred option;
+  branches : path list;
+}
+
+and path = step list
+
+type twig = { path : path; subs : twig list }
+
+let step ?(axis = Child) ?vpred ?(branches = []) label =
+  { axis; label; vpred; branches }
+
+let path_of_labels labels =
+  assert (labels <> []);
+  List.map (fun l -> step l) labels
+
+let twig path subs = { path; subs }
+
+let rec twig_size t = 1 + List.fold_left (fun acc s -> acc + twig_size s) 0 t.subs
+
+let twig_fanouts t =
+  let rec go t acc =
+    let acc = if t.subs = [] then acc else List.length t.subs :: acc in
+    List.fold_left (fun acc s -> go s acc) acc t.subs
+  in
+  List.rev (go t [])
+
+let twig_fold t ~init ~f =
+  let rec go acc t = List.fold_left go (f acc t) t.subs in
+  go init t
+
+let rec path_has_value_pred p =
+  List.exists
+    (fun s -> s.vpred <> None || List.exists path_has_value_pred s.branches)
+    p
+
+let twig_has_value_pred t =
+  twig_fold t ~init:false ~f:(fun acc n -> acc || path_has_value_pred n.path)
+
+let twig_has_branches t =
+  twig_fold t ~init:false ~f:(fun acc n ->
+      acc || List.exists (fun s -> s.branches <> []) n.path)
+
+let twig_labels t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.add seen l ();
+      out := l :: !out
+    end
+  in
+  let rec go_path p =
+    List.iter
+      (fun s ->
+        add s.label;
+        List.iter go_path s.branches)
+      p
+  in
+  let rec go_twig t =
+    go_path t.path;
+    List.iter go_twig t.subs
+  in
+  go_twig t;
+  List.rev !out
+
+let compare_twig = Stdlib.compare
+let equal_twig a b = compare_twig a b = 0

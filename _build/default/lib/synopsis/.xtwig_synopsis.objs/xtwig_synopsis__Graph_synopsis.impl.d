@@ -1,0 +1,1 @@
+lib/synopsis/graph_synopsis.ml: Array Format Fun Hashtbl List Option Xtwig_xml

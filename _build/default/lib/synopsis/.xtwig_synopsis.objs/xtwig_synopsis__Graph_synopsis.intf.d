@@ -1,0 +1,1 @@
+lib/synopsis/graph_synopsis.mli: Format Xtwig_xml

@@ -1,0 +1,1 @@
+lib/synopsis/tsn.ml: Graph_synopsis Hashtbl List

@@ -1,0 +1,1 @@
+lib/synopsis/tsn.mli: Graph_synopsis

@@ -1,0 +1,250 @@
+module Doc = Xtwig_xml.Doc
+
+type edge = {
+  src : int;
+  dst : int;
+  count : int;
+  src_with_child : int;
+  b_stable : bool;
+  f_stable : bool;
+}
+
+type t = {
+  doc : Doc.t;
+  node_of : int array;
+  n_nodes : int;
+  node_tag : int array;
+  extents : int array array;
+  out : edge list array;
+  inc : edge list array;
+  edge_tbl : (int * int, edge) Hashtbl.t;
+  by_tag : (int, int list) Hashtbl.t; (* tag -> node ids *)
+  root_node : int;
+}
+
+let derive doc node_of =
+  let n_elems = Doc.size doc in
+  if Array.length node_of <> n_elems then
+    invalid_arg "Graph_synopsis.of_partition: wrong array length";
+  (* dense renumbering in order of first appearance *)
+  let remap = Hashtbl.create 64 in
+  let n_nodes = ref 0 in
+  let dense = Array.make n_elems 0 in
+  for e = 0 to n_elems - 1 do
+    let g = node_of.(e) in
+    let id =
+      match Hashtbl.find_opt remap g with
+      | Some id -> id
+      | None ->
+          let id = !n_nodes in
+          incr n_nodes;
+          Hashtbl.add remap g id;
+          id
+    in
+    dense.(e) <- id
+  done;
+  let n_nodes = !n_nodes in
+  let node_tag = Array.make n_nodes (-1) in
+  let sizes = Array.make n_nodes 0 in
+  for e = 0 to n_elems - 1 do
+    let v = dense.(e) in
+    let t = Doc.tag doc e in
+    if node_tag.(v) = -1 then node_tag.(v) <- t
+    else if node_tag.(v) <> t then
+      invalid_arg "Graph_synopsis.of_partition: mixed tags in one node";
+    sizes.(v) <- sizes.(v) + 1
+  done;
+  let extents = Array.map (fun s -> Array.make s 0) sizes in
+  let fill = Array.make n_nodes 0 in
+  for e = 0 to n_elems - 1 do
+    let v = dense.(e) in
+    extents.(v).(fill.(v)) <- e;
+    fill.(v) <- fill.(v) + 1
+  done;
+  (* edge aggregation *)
+  let counts : (int * int, int ref) Hashtbl.t = Hashtbl.create 256 in
+  let parents_seen : (int * int, int ref) Hashtbl.t = Hashtbl.create 256 in
+  (* src_with_child: count elements of src with >=1 child in dst *)
+  let bump tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> incr r
+    | None -> Hashtbl.add tbl key (ref 1)
+  in
+  let seen_child = Hashtbl.create 256 in
+  for e = 0 to n_elems - 1 do
+    match Doc.parent doc e with
+    | None -> ()
+    | Some p ->
+        let u = dense.(p) and v = dense.(e) in
+        bump counts (u, v);
+        (* parent-level distinct (p, v) pairs for src_with_child *)
+        if not (Hashtbl.mem seen_child (p, v)) then begin
+          Hashtbl.add seen_child (p, v) ();
+          bump parents_seen (u, v)
+        end
+  done;
+  (* elements of dst whose parent lies in src, per (src,dst): equals
+     counts since each element has one parent; b-stable iff
+     counts(u,v) = |v| AND only edge into v from u?? No: each element
+     of v contributes exactly one incoming document edge, so
+     counts(u,v) = number of v-elements whose parent is in u.
+     b_stable(u,v) <=> counts(u,v) = |v| (minus root handling). *)
+  let edge_tbl = Hashtbl.create 256 in
+  let out = Array.make n_nodes [] in
+  let inc = Array.make n_nodes [] in
+  Hashtbl.iter
+    (fun (u, v) cnt ->
+      let src_with_child =
+        match Hashtbl.find_opt parents_seen (u, v) with
+        | Some r -> !r
+        | None -> 0
+      in
+      let b_stable = !cnt = sizes.(v) in
+      let f_stable = src_with_child = sizes.(u) in
+      let e = { src = u; dst = v; count = !cnt; src_with_child; b_stable; f_stable } in
+      Hashtbl.add edge_tbl (u, v) e;
+      out.(u) <- e :: out.(u);
+      inc.(v) <- e :: inc.(v))
+    counts;
+  for v = 0 to n_nodes - 1 do
+    out.(v) <- List.sort (fun a b -> compare a.dst b.dst) out.(v);
+    inc.(v) <- List.sort (fun a b -> compare a.src b.src) inc.(v)
+  done;
+  let by_tag = Hashtbl.create 64 in
+  for v = n_nodes - 1 downto 0 do
+    let t = node_tag.(v) in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt by_tag t) in
+    Hashtbl.replace by_tag t (v :: prev)
+  done;
+  {
+    doc;
+    node_of = dense;
+    n_nodes;
+    node_tag;
+    extents;
+    out;
+    inc;
+    edge_tbl;
+    by_tag;
+    root_node = dense.(Doc.root doc);
+  }
+
+let of_partition doc node_of = derive doc node_of
+
+let label_split doc =
+  of_partition doc (Array.init (Doc.size doc) (fun e -> Doc.tag doc e))
+
+let perfect doc = of_partition doc (Array.init (Doc.size doc) Fun.id)
+
+let doc t = t.doc
+let node_count t = t.n_nodes
+let edge_count t = Hashtbl.length t.edge_tbl
+let extent t v = t.extents.(v)
+let extent_size t v = Array.length t.extents.(v)
+let node_tag t v = t.node_tag.(v)
+let tag_name t v = Doc.tag_to_string t.doc t.node_tag.(v)
+let node_of_elem t e = t.node_of.(e)
+
+let nodes_with_tag t tag =
+  Option.value ~default:[] (Hashtbl.find_opt t.by_tag tag)
+
+let nodes_with_label t label =
+  match Doc.tag_of_string t.doc label with
+  | None -> []
+  | Some tag -> nodes_with_tag t tag
+
+let edge t ~src ~dst = Hashtbl.find_opt t.edge_tbl (src, dst)
+let out_edges t v = t.out.(v)
+let in_edges t v = t.inc.(v)
+let edges t = Hashtbl.fold (fun _ e acc -> e :: acc) t.edge_tbl []
+let root_node t = t.root_node
+
+let split t ~node ~group_of =
+  let ext = t.extents.(node) in
+  (* how many distinct groups? *)
+  let groups = Hashtbl.create 8 in
+  Array.iter
+    (fun e ->
+      let g = group_of e in
+      if not (Hashtbl.mem groups g) then Hashtbl.add groups g ())
+    ext;
+  if Hashtbl.length groups <= 1 then t
+  else begin
+    let node_of = Array.copy t.node_of in
+    (* keep ids of untouched nodes stable: reuse [node]'s id for the
+       first group, allocate fresh ids beyond n_nodes for the rest *)
+    let fresh = ref t.n_nodes in
+    let assign = Hashtbl.create 8 in
+    Array.iter
+      (fun e ->
+        let g = group_of e in
+        let id =
+          match Hashtbl.find_opt assign g with
+          | Some id -> id
+          | None ->
+              let id = if Hashtbl.length assign = 0 then node else !fresh in
+              if id <> node then incr fresh;
+              Hashtbl.add assign g id;
+              id
+        in
+        node_of.(e) <- id)
+      ext;
+    derive t.doc node_of
+  end
+
+let b_stabilize_groups t ~dst =
+  ignore dst;
+  fun e ->
+    match Doc.parent t.doc e with
+    | None -> t.n_nodes (* reserved fresh key for the root *)
+    | Some p -> t.node_of.(p)
+
+let f_stabilize_groups t ~dst =
+  fun e ->
+    let kids = Doc.children t.doc e in
+    let has =
+      Array.exists (fun k -> t.node_of.(k) = dst) kids
+    in
+    if has then 0 else 1
+
+let stabilize_fixpoint ?(max_rounds = 100) t =
+  let rec round t k =
+    if k = 0 then t
+    else
+      let unstable =
+        List.find_opt (fun e -> not (e.b_stable && e.f_stable)) (edges t)
+      in
+      match unstable with
+      | None -> t
+      | Some e ->
+          let t' =
+            if not e.b_stable then
+              split t ~node:e.dst ~group_of:(b_stabilize_groups t ~dst:e.dst)
+            else split t ~node:e.src ~group_of:(f_stabilize_groups t ~dst:e.dst)
+          in
+          if t' == t then
+            (* the split was a no-op (cannot happen for a genuinely
+               unstable edge, but guard against looping) *)
+            t
+          else round t' (k - 1)
+  in
+  round t max_rounds
+
+let structure_bytes t = (8 * t.n_nodes) + (9 * edge_count t)
+
+let pp_stats ppf t =
+  Format.fprintf ppf "synopsis: %d nodes, %d edges over %d elements"
+    t.n_nodes (edge_count t) (Doc.size t.doc)
+
+let pp ppf t =
+  pp_stats ppf t;
+  Format.pp_print_newline ppf ();
+  for v = 0 to t.n_nodes - 1 do
+    Format.fprintf ppf "  node %d %s |%d|@." v (tag_name t v) (extent_size t v)
+  done;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  edge %d->%d count=%d%s%s@." e.src e.dst e.count
+        (if e.b_stable then " B" else "")
+        (if e.f_stable then " F" else ""))
+    (List.sort compare (edges t))

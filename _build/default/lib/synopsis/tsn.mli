@@ -1,0 +1,26 @@
+(** Twig stable neighborhoods (Section 3.2).
+
+    [TSN(n)] is the set of synopsis nodes that (a) reach [n] through a
+    chain of B-stable edges (including [n] itself), or (b) are reached
+    from an (a)-node by one F-stable edge. Every element of [n]
+    provably participates in a document twig touching all of
+    [TSN(n)], which is what makes the corresponding edge counts
+    well-defined for {e every} element of [n]: a histogram at [n] may
+    only carry dimensions for edges inside the neighborhood. *)
+
+val b_stable_ancestors : Graph_synopsis.t -> int -> int list
+(** The (a)-set: [n] followed by the chain of nodes reaching it
+    through B-stable edges, nearest first. Cycle-safe on synopses of
+    recursive documents. *)
+
+val nodes : Graph_synopsis.t -> int -> int list
+(** All of [TSN(n)], (a)-set first, then (b)-nodes, deduplicated. *)
+
+val scope_edges : Graph_synopsis.t -> int -> (int * int) list
+(** The edges whose counts a histogram at [n] may cover: [(a, z)]
+    pairs where [a] is in the (a)-set and [a -> z] is F-stable.
+    Deterministically ordered: the edges out of [n] first (nearest
+    ancestor last), each group sorted by destination id. *)
+
+val eligible : Graph_synopsis.t -> int -> src:int -> dst:int -> bool
+(** Whether one specific edge may appear in [n]'s histogram scope. *)

@@ -1,0 +1,77 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let s = bits64 g in
+  { state = mix s }
+
+let int g n =
+  assert (n > 0);
+  (* mask to 62 bits so the value stays non-negative in a native int *)
+  let x = Int64.to_int (Int64.shift_right_logical (bits64 g) 1) land max_int in
+  x mod n
+
+let int_range g lo hi =
+  assert (lo <= hi);
+  lo + int g (hi - lo + 1)
+
+let float g x =
+  let u = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  (* 53 significant bits, uniform in [0,1) *)
+  x *. (u /. 9007199254740992.0)
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let chance g p = float g 1.0 < p
+
+let pick g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))
+
+let pick_list g l =
+  let n = List.length l in
+  assert (n > 0);
+  List.nth l (int g n)
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_weighted g w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  assert (total > 0.0);
+  let target = float g total in
+  let n = Array.length w in
+  let rec loop i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else loop (i + 1) acc
+  in
+  loop 0 0.0
+
+let geometric g p =
+  assert (p > 0.0 && p <= 1.0);
+  if p >= 1.0 then 0
+  else
+    let u = Stdlib.max 1e-300 (float g 1.0) in
+    let x = Stdlib.log u /. Stdlib.log (1.0 -. p) in
+    int_of_float (Stdlib.floor x)

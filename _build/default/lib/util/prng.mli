@@ -1,0 +1,56 @@
+(** Deterministic pseudo-random number generator.
+
+    A small splittable PRNG (SplitMix64) used everywhere randomness is
+    needed — dataset generation, workload sampling, XBUILD candidate
+    sampling — so that every experiment in the repository is exactly
+    reproducible from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds produce equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of [g]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range g lo hi] is uniform in [\[lo, hi\]] (inclusive).
+    Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance g p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample_weighted : t -> float array -> int
+(** [sample_weighted g w] returns index [i] with probability
+    [w.(i) / sum w]. Requires some strictly positive weight. *)
+
+val geometric : t -> float -> int
+(** [geometric g p] counts Bernoulli(p) failures before the first
+    success; mean [(1-p)/p]. Requires [0 < p <= 1]. *)

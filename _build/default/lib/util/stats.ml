@@ -1,0 +1,51 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let mean_list xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (acc /. float_of_int n)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+  sorted.(idx)
+
+let median xs = percentile xs 50.0
+
+let minimum xs = Array.fold_left Stdlib.min infinity xs
+let maximum xs = Array.fold_left Stdlib.max neg_infinity xs
+
+let histogram_text ?(width = 40) xs =
+  if Array.length xs = 0 then "(empty)"
+  else
+    let lo = minimum xs and hi = maximum xs in
+    let span = if hi -. lo <= 0.0 then 1.0 else hi -. lo in
+    let buckets = Array.make width 0 in
+    Array.iter
+      (fun x ->
+        let b = int_of_float ((x -. lo) /. span *. float_of_int (width - 1)) in
+        buckets.(b) <- buckets.(b) + 1)
+      xs;
+    let top = Array.fold_left Stdlib.max 1 buckets in
+    let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in
+    let buf = Buffer.create (width + 32) in
+    Array.iter
+      (fun c ->
+        let g = c * (Array.length glyphs - 1) / top in
+        Buffer.add_char buf glyphs.(g))
+      buckets;
+    Printf.sprintf "[%s] min=%.3g max=%.3g" (Buffer.contents buf) lo hi

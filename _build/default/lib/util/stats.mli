@@ -1,0 +1,26 @@
+(** Small numeric helpers shared by the estimation-error machinery and
+    the benchmark harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val mean_list : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 on arrays of length < 2. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100]: nearest-rank percentile of
+    the (copied, sorted) data. Raises [Invalid_argument] on empty
+    input. *)
+
+val median : float array -> float
+(** 50th percentile. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val histogram_text : ?width:int -> float array -> string
+(** A one-line sparkline-ish rendering used by the CLI's [inspect]
+    command. *)

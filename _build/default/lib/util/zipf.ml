@@ -1,0 +1,36 @@
+type t = { n : int; theta : float; cumulative : float array; mean : float }
+
+let create ~n ~theta =
+  assert (n >= 1);
+  assert (theta >= 0.0);
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for k = 1 to n do
+    acc := !acc +. (1.0 /. (float_of_int k ** theta));
+    cumulative.(k - 1) <- !acc
+  done;
+  let total = !acc in
+  for k = 0 to n - 1 do
+    cumulative.(k) <- cumulative.(k) /. total
+  done;
+  let mean = ref 0.0 in
+  let prev = ref 0.0 in
+  for k = 0 to n - 1 do
+    mean := !mean +. (float_of_int (k + 1) *. (cumulative.(k) -. !prev));
+    prev := cumulative.(k)
+  done;
+  { n; theta; cumulative; mean = !mean }
+
+let sample t g =
+  let u = Prng.float g 1.0 in
+  (* binary search for the first cumulative weight >= u *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cumulative.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1
+
+let support t = t.n
+let theta t = t.theta
+let mean t = t.mean

@@ -1,0 +1,26 @@
+(** Zipfian samplers.
+
+    Skewed fanout distributions drive the correlated structure of the
+    simulated IMDB dataset: the paper's estimation problem is only hard
+    when join cardinalities are skewed, so the generators need heavy
+    tails that a uniform sampler cannot provide. *)
+
+type t
+(** A finite Zipf distribution over ranks [1..n] with parameter
+    [theta]: P(rank = k) proportional to [1 / k^theta]. *)
+
+val create : n:int -> theta:float -> t
+(** Precomputes the cumulative mass. Requires [n >= 1], [theta >= 0].
+    [theta = 0] degenerates to uniform. *)
+
+val sample : t -> Prng.t -> int
+(** Draws a rank in [1..n] (1 is most probable). *)
+
+val support : t -> int
+(** The number of ranks [n]. *)
+
+val theta : t -> float
+(** The skew parameter. *)
+
+val mean : t -> float
+(** Exact mean rank of the distribution. *)

@@ -1,0 +1,1 @@
+lib/workload/wgen.ml: Array Hashtbl List Option Stdlib Xtwig_eval Xtwig_path Xtwig_util Xtwig_xml

@@ -1,0 +1,1 @@
+lib/workload/wgen.mli: Xtwig_path Xtwig_util Xtwig_xml

@@ -1,0 +1,24 @@
+module Stats = Xtwig_util.Stats
+
+type t = {
+  sanity : float;
+  average : float;
+  per_query : float array;
+}
+
+let sanity_bound truths =
+  let positive = Array.of_list (List.filter (fun c -> c > 0.0) (Array.to_list truths)) in
+  if Array.length positive = 0 then 1.0 else Stats.percentile positive 10.0
+
+let evaluate ~truths ~estimates =
+  if Array.length truths <> Array.length estimates then
+    invalid_arg "Error_metric.evaluate: length mismatch";
+  let sanity = sanity_bound truths in
+  let per_query =
+    Array.mapi
+      (fun i c -> Float.abs (estimates.(i) -. c) /. Stdlib.max sanity c)
+      truths
+  in
+  { sanity; average = Stats.mean per_query; per_query }
+
+let average_error ~truths ~estimates = (evaluate ~truths ~estimates).average

@@ -1,0 +1,23 @@
+(** The paper's evaluation metric (Section 6.1): average absolute
+    relative error with a sanity bound.
+
+    For a query with true count [c] and estimate [r], the error is
+    [|r - c| / max(s, c)] where the sanity bound [s] is the 10th
+    percentile of the true counts of the (positive part of the)
+    workload — this avoids artificially high percentages on low-count
+    queries and defines the metric for negative queries ([c = 0]). *)
+
+type t = {
+  sanity : float;
+  average : float;
+  per_query : float array;
+}
+
+val sanity_bound : float array -> float
+(** 10th percentile of the strictly-positive true counts; 1.0 when
+    there are none. *)
+
+val evaluate : truths:float array -> estimates:float array -> t
+(** Requires equal lengths. *)
+
+val average_error : truths:float array -> estimates:float array -> float

@@ -1,0 +1,1 @@
+lib/xmlcore/value.ml: Float Format Printf String

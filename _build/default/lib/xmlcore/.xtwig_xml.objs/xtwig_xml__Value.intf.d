@@ -1,0 +1,1 @@
+lib/xmlcore/value.mli: Format

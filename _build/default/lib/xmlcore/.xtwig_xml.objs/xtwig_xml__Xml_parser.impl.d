@@ -1,0 +1,1 @@
+lib/xmlcore/xml_parser.ml: Buffer Char Doc Fun Printf String Value

@@ -1,0 +1,1 @@
+lib/xmlcore/xml_parser.mli: Doc

@@ -1,0 +1,1 @@
+lib/xmlcore/xml_writer.ml: Array Buffer Doc Fun Printf String Value

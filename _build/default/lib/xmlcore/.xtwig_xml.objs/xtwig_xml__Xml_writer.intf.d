@@ -1,0 +1,1 @@
+lib/xmlcore/xml_writer.mli: Buffer Doc

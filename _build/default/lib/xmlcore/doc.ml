@@ -1,0 +1,175 @@
+type node = int
+type tag = int
+
+type t = {
+  size : int;
+  tags : tag array;
+  parents : node array; (* -1 for the root *)
+  child_arr : node array array;
+  values : Value.t array;
+  tag_names : string array;
+  tag_codes : (string, tag) Hashtbl.t;
+  by_tag : node array array;
+  depths : int array;
+}
+
+module Builder = struct
+  type b = {
+    mutable n : int;
+    mutable tags : tag array;
+    mutable parents : node array;
+    mutable values : Value.t array;
+    mutable kids : node list array; (* reversed child lists *)
+    mutable names : string list;   (* reversed interned names *)
+    mutable name_count : int;
+    codes : (string, tag) Hashtbl.t;
+    mutable finished : bool;
+  }
+
+  type t = b
+
+  let create ?(hint = 1024) () =
+    {
+      n = 0;
+      tags = Array.make hint 0;
+      parents = Array.make hint (-1);
+      values = Array.make hint Value.Null;
+      kids = Array.make hint [];
+      names = [];
+      name_count = 0;
+      codes = Hashtbl.create 64;
+      finished = false;
+    }
+
+  let intern b name =
+    match Hashtbl.find_opt b.codes name with
+    | Some c -> c
+    | None ->
+        let c = b.name_count in
+        Hashtbl.add b.codes name c;
+        b.names <- name :: b.names;
+        b.name_count <- c + 1;
+        c
+
+  let grow b =
+    let cap = Array.length b.tags in
+    if b.n >= cap then begin
+      let cap' = Stdlib.max 8 (cap * 2) in
+      let extend a fill =
+        let a' = Array.make cap' fill in
+        Array.blit a 0 a' 0 cap;
+        a'
+      in
+      b.tags <- extend b.tags 0;
+      b.parents <- extend b.parents (-1);
+      b.values <- extend b.values Value.Null;
+      b.kids <- extend b.kids []
+    end
+
+  let alloc b parent value name =
+    assert (not b.finished);
+    grow b;
+    let id = b.n in
+    b.n <- id + 1;
+    b.tags.(id) <- intern b name;
+    b.parents.(id) <- parent;
+    b.values.(id) <- value;
+    b.kids.(id) <- [];
+    if parent >= 0 then b.kids.(parent) <- id :: b.kids.(parent);
+    id
+
+  let root b ?(value = Value.Null) name =
+    assert (b.n = 0);
+    alloc b (-1) value name
+
+  let child b parent ?(value = Value.Null) name =
+    assert (parent >= 0 && parent < b.n);
+    alloc b parent value name
+
+  let set_value b node v =
+    assert (node >= 0 && node < b.n);
+    b.values.(node) <- v
+
+  let finish b =
+    assert (not b.finished);
+    assert (b.n > 0);
+    b.finished <- true;
+    let size = b.n in
+    let tags = Array.sub b.tags 0 size in
+    let parents = Array.sub b.parents 0 size in
+    let values = Array.sub b.values 0 size in
+    let child_arr =
+      Array.init size (fun i -> Array.of_list (List.rev b.kids.(i)))
+    in
+    let tag_names = Array.of_list (List.rev b.names) in
+    let counts = Array.make (Array.length tag_names) 0 in
+    Array.iter (fun t -> counts.(t) <- counts.(t) + 1) tags;
+    let by_tag = Array.map (fun c -> Array.make c 0) counts in
+    let fill = Array.make (Array.length tag_names) 0 in
+    for i = 0 to size - 1 do
+      let t = tags.(i) in
+      by_tag.(t).(fill.(t)) <- i;
+      fill.(t) <- fill.(t) + 1
+    done;
+    let depths = Array.make size 0 in
+    for i = 1 to size - 1 do
+      (* parents precede children because ids are allocated top-down *)
+      depths.(i) <- depths.(parents.(i)) + 1
+    done;
+    {
+      size;
+      tags;
+      parents;
+      child_arr;
+      values;
+      tag_names;
+      tag_codes = b.codes;
+      by_tag;
+      depths;
+    }
+end
+
+let size t = t.size
+let root _ = 0
+let tag t n = t.tags.(n)
+let tag_name t n = t.tag_names.(t.tags.(n))
+let parent t n = if t.parents.(n) < 0 then None else Some t.parents.(n)
+let children t n = t.child_arr.(n)
+let value t n = t.values.(n)
+let tag_count t = Array.length t.tag_names
+let tag_to_string t c = t.tag_names.(c)
+let tag_of_string t name = Hashtbl.find_opt t.tag_codes name
+let nodes_with_tag t c = t.by_tag.(c)
+let depth t n = t.depths.(n)
+
+let iter t f =
+  for i = 0 to t.size - 1 do
+    f i
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc i
+  done;
+  !acc
+
+let children_with_tag t n c =
+  Array.fold_left (fun acc k -> if t.tags.(k) = c then acc + 1 else acc) 0 t.child_arr.(n)
+
+let max_depth t = Array.fold_left Stdlib.max 0 t.depths
+
+let leaf_count t =
+  fold t ~init:0 ~f:(fun acc n ->
+      if Array.length t.child_arr.(n) = 0 then acc + 1 else acc)
+
+let label_path t n =
+  let rec up n acc =
+    let acc = tag_name t n :: acc in
+    match parent t n with None -> acc | Some p -> up p acc
+  in
+  up n []
+
+let pp_summary ppf t =
+  Format.fprintf ppf "document: %d nodes, %d tags, depth %d" t.size
+    (tag_count t) (max_depth t)

@@ -1,0 +1,79 @@
+(** Immutable XML document trees.
+
+    A document is an arena of nodes identified by dense integer ids
+    (the root has id 0). Tags are interned to integer codes. The
+    representation is struct-of-arrays so that the exact evaluator,
+    synopsis construction and dataset generators can traverse ~100K
+    element documents cheaply. *)
+
+type node = int
+(** Node identifier, [0 .. size - 1]. *)
+
+type tag = int
+(** Interned tag code, [0 .. tag_count - 1]. *)
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type doc := t
+  type t
+
+  val create : ?hint:int -> unit -> t
+  (** [hint] pre-sizes the arenas. *)
+
+  val root : t -> ?value:Value.t -> string -> node
+  (** Creates the root node. Must be called exactly once, first. *)
+
+  val child : t -> node -> ?value:Value.t -> string -> node
+  (** [child b parent tag] appends a new child under [parent]. *)
+
+  val set_value : t -> node -> Value.t -> unit
+
+  val finish : t -> doc
+  (** Freezes the builder. The builder must not be reused. *)
+end
+
+(** {1 Accessors} *)
+
+val size : t -> int
+(** Number of nodes (the paper's "element count"). *)
+
+val root : t -> node
+val tag : t -> node -> tag
+val tag_name : t -> node -> string
+val parent : t -> node -> node option
+val children : t -> node -> node array
+(** Children in document order. Do not mutate the returned array. *)
+
+val value : t -> node -> Value.t
+val tag_count : t -> int
+val tag_to_string : t -> tag -> string
+val tag_of_string : t -> string -> tag option
+val nodes_with_tag : t -> tag -> node array
+(** All nodes carrying [tag], in document order. Do not mutate. *)
+
+val depth : t -> node -> int
+(** Root has depth 0. *)
+
+(** {1 Traversal} *)
+
+val iter : t -> (node -> unit) -> unit
+(** Visits every node in document (pre)order. *)
+
+val fold : t -> init:'a -> f:('a -> node -> 'a) -> 'a
+
+val children_with_tag : t -> node -> tag -> int
+(** Number of children of the node carrying the given tag — the
+    "forward count" primitive of edge distributions. *)
+
+(** {1 Statistics} *)
+
+val max_depth : t -> int
+val leaf_count : t -> int
+val label_path : t -> node -> string list
+(** Tags from the root down to (and including) the node. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: node count, tag count, max depth. *)

@@ -1,0 +1,58 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Text of string
+
+let is_null = function Null -> true | Int _ | Float _ | Text _ -> false
+
+let as_float = function
+  | Null -> None
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Text s -> float_of_string_opt s
+
+let to_string = function
+  | Null -> ""
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.6g" f
+  | Text s -> s
+
+let of_string s =
+  if s = "" then Null
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> Text s)
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Text x, Text y -> String.equal x y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | (Null | Int _ | Float _ | Text _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | Text x, Text y -> String.compare x y
+  | Text _, _ -> 1
+  | _, Text _ -> -1
+  | x, y -> (
+      match (as_float x, as_float y) with
+      | Some fx, Some fy -> Float.compare fx fy
+      | _ -> 0)
+
+let pp ppf v =
+  match v with
+  | Null -> Format.pp_print_string ppf "null"
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Text s -> Format.fprintf ppf "%S" s

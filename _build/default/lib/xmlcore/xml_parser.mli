@@ -1,0 +1,19 @@
+(** A small XML parser for the subset the repository produces and the
+    paper's data model needs.
+
+    Supported: elements, attributes (turned into leaf child nodes, per
+    the paper's convention that attributes are containment children),
+    text content (attached as the element's value; surrounding
+    whitespace trimmed), character entities, comments, XML
+    declarations, CDATA. Not supported: namespaces, DTDs, processing
+    instructions other than the declaration.
+
+    Round-trip property: [parse_string (Xml_writer.to_string d)] is
+    structurally equal to [d] for any document built by this
+    repository. *)
+
+exception Parse_error of string
+(** Raised with a human-readable message and position. *)
+
+val parse_string : string -> Doc.t
+val parse_file : string -> Doc.t

@@ -1,0 +1,56 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec write_node buf doc node depth =
+  let pad = String.make (2 * depth) ' ' in
+  let name = Doc.tag_name doc node in
+  let kids = Doc.children doc node in
+  let v = Doc.value doc node in
+  if Array.length kids = 0 then
+    if Value.is_null v then
+      Buffer.add_string buf (Printf.sprintf "%s<%s/>\n" pad name)
+    else
+      Buffer.add_string buf
+        (Printf.sprintf "%s<%s>%s</%s>\n" pad name
+           (escape (Value.to_string v))
+           name)
+  else begin
+    Buffer.add_string buf (Printf.sprintf "%s<%s>" pad name);
+    if not (Value.is_null v) then
+      Buffer.add_string buf (escape (Value.to_string v));
+    Buffer.add_char buf '\n';
+    Array.iter (fun k -> write_node buf doc k (depth + 1)) kids;
+    Buffer.add_string buf (Printf.sprintf "%s</%s>\n" pad name)
+  end
+
+let to_buffer buf doc = write_node buf doc (Doc.root doc) 0
+
+let to_string doc =
+  let buf = Buffer.create (64 * Doc.size doc) in
+  to_buffer buf doc;
+  Buffer.contents buf
+
+let to_file path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create (64 * Doc.size doc) in
+      to_buffer buf doc;
+      Buffer.output_buffer oc buf)
+
+let text_size doc =
+  let buf = Buffer.create (64 * Doc.size doc) in
+  to_buffer buf doc;
+  Buffer.length buf

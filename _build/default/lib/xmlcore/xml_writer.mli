@@ -1,0 +1,19 @@
+(** XML serialization.
+
+    Renders a {!Doc.t} back to textual XML. The byte size of this
+    rendering is the "text size" column of the paper's Table 1, so the
+    writer produces conventional, un-minified XML (one element per
+    line, two-space indentation). *)
+
+val to_buffer : Buffer.t -> Doc.t -> unit
+
+val to_string : Doc.t -> string
+
+val to_file : string -> Doc.t -> unit
+
+val text_size : Doc.t -> int
+(** Number of bytes of {!to_string} without materializing the string
+    more than once. *)
+
+val escape : string -> string
+(** XML-escapes ampersand, angle brackets and both quote characters. *)

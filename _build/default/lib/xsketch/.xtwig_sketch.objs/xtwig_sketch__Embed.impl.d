@@ -1,0 +1,1 @@
+lib/xsketch/embed.ml: Format List Printf String Xtwig_path Xtwig_synopsis Xtwig_xml

@@ -1,0 +1,1 @@
+lib/xsketch/embed.mli: Format Xtwig_path Xtwig_synopsis

@@ -1,0 +1,1 @@
+lib/xsketch/estimator.ml: Array Embed Hashtbl List Obj Sketch Stdlib Xtwig_hist Xtwig_path Xtwig_synopsis

@@ -1,0 +1,1 @@
+lib/xsketch/estimator.mli: Embed Sketch Xtwig_path

@@ -1,0 +1,1 @@
+lib/xsketch/refinement.ml: Array Float Fun Hashtbl List Option Printf Sketch Stdlib Xtwig_hist Xtwig_synopsis Xtwig_util Xtwig_xml

@@ -1,0 +1,1 @@
+lib/xsketch/refinement.mli: Sketch Xtwig_util

@@ -1,0 +1,1 @@
+lib/xsketch/sketch.ml: Array Format List Xtwig_hist Xtwig_path Xtwig_synopsis Xtwig_xml

@@ -1,0 +1,1 @@
+lib/xsketch/sketch.mli: Format Xtwig_hist Xtwig_path Xtwig_synopsis Xtwig_xml

@@ -1,0 +1,1 @@
+lib/xsketch/sketch_io.ml: Array Buffer Fun In_channel List Printf Sketch String Xtwig_synopsis Xtwig_xml

@@ -1,0 +1,1 @@
+lib/xsketch/sketch_io.mli: Sketch Xtwig_xml

@@ -1,0 +1,1 @@
+lib/xsketch/spath.ml: Array Estimator Sketch

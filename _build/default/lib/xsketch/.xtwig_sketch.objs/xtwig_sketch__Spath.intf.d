@@ -1,0 +1,1 @@
+lib/xsketch/spath.mli: Sketch Xtwig_path

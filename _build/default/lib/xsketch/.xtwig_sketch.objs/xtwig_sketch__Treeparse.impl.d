@@ -1,0 +1,1 @@
+lib/xsketch/treeparse.ml: Array Embed Format List Printf Sketch String Xtwig_synopsis

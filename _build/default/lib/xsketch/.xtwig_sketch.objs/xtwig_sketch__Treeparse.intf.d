@@ -1,0 +1,1 @@
+lib/xsketch/treeparse.mli: Embed Format Sketch Xtwig_synopsis

@@ -1,0 +1,1 @@
+lib/xsketch/xbuild.ml: Array Domain Estimator Float Fun List Refinement Seq Sketch Stdlib Xtwig_util

@@ -1,0 +1,1 @@
+lib/xsketch/xbuild.mli: Refinement Sketch Xtwig_path Xtwig_util Xtwig_xml

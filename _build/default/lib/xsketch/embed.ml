@@ -1,0 +1,168 @@
+open Xtwig_path.Path_types
+module G = Xtwig_synopsis.Graph_synopsis
+module Doc = Xtwig_xml.Doc
+
+type ebranch = {
+  bnode : int;
+  bvpred : value_pred option;
+  bsubs : ebranch list list;
+}
+
+type enode = {
+  snode : int;
+  vpred : value_pred option;
+  branches : ebranch list list;
+  kids : enode list list;
+}
+
+let truncated = ref false
+let last_truncated () = !truncated
+
+(* A chain item: one embedded single-step twig node. *)
+type item = {
+  inode : int;
+  ivpred : value_pred option;
+  ibranches : ebranch list list;
+}
+
+let bare_item v = { inode = v; ivpred = None; ibranches = [] }
+
+(* Candidate target chains for one step's axis+label, as reversed
+   node lists with the matching node in head position. [from = None]
+   is the virtual root above the document root. *)
+let step_chains syn max_len from axis label =
+  let matches v = String.equal (G.tag_name syn v) label in
+  match axis with
+  | Child ->
+      let targets =
+        match from with
+        | None -> [ G.root_node syn ]
+        | Some u -> List.map (fun (e : G.edge) -> e.dst) (G.out_edges syn u)
+      in
+      List.filter_map (fun v -> if matches v then Some [ v ] else None) targets
+  | Descendant ->
+      let out = ref [] in
+      let rec dfs rev_path len v =
+        let rev_path = v :: rev_path in
+        if matches v then out := rev_path :: !out;
+        if len < max_len then
+          List.iter
+            (fun (e : G.edge) -> dfs rev_path (len + 1) e.dst)
+            (G.out_edges syn v)
+      in
+      (match from with
+      | None -> dfs [] 0 (G.root_node syn)
+      | Some u ->
+          List.iter (fun (e : G.edge) -> dfs [] 1 e.dst) (G.out_edges syn u));
+      List.rev !out
+
+let take_capped cap l =
+  if List.length l > cap then begin
+    truncated := true;
+    List.filteri (fun i _ -> i < cap) l
+  end
+  else l
+
+let embeddings ?(max_alternatives = 64) syn twig =
+  truncated := false;
+  let max_len = Doc.max_depth (G.doc syn) + 1 in
+  (* chains embedding a whole path: lists of items, first step first *)
+  let rec path_chains from steps : item list list =
+    match steps with
+    | [] -> [ [] ]
+    | s :: rest ->
+        let raw = step_chains syn max_len from s.axis s.label in
+        List.concat_map
+          (fun rev_chain ->
+            match rev_chain with
+            | [] -> []
+            | target :: intermediates_rev -> (
+                match branch_preds target s.branches with
+                | None -> [] (* unsatisfiable branching predicate *)
+                | Some ibranches ->
+                    let head =
+                      List.rev_map bare_item intermediates_rev
+                      @ [ { inode = target; ivpred = s.vpred; ibranches } ]
+                    in
+                    List.map
+                      (fun tail -> head @ tail)
+                      (path_chains (Some target) rest)))
+          raw
+        |> take_capped max_alternatives
+  (* one branching predicate at node [u]: all alternative embedded
+     chains, or None when there are none *)
+  and branch_preds u preds : ebranch list list option =
+    let embedded =
+      List.map
+        (fun bp -> List.filter_map chain_to_ebranch (path_chains (Some u) bp))
+        preds
+    in
+    if List.exists (fun alts -> alts = []) embedded then None else Some embedded
+  and chain_to_ebranch items : ebranch option =
+    match items with
+    | [] -> None
+    | [ it ] -> Some { bnode = it.inode; bvpred = it.ivpred; bsubs = it.ibranches }
+    | it :: rest -> (
+        match chain_to_ebranch rest with
+        | None -> None
+        | Some tail ->
+            Some
+              {
+                bnode = it.inode;
+                bvpred = it.ivpred;
+                bsubs = it.ibranches @ [ [ tail ] ];
+              })
+  in
+  (* all alternative embeddings of one twig node evaluated from a
+     context synopsis node *)
+  let rec embed_twig from (t : twig) : enode list =
+    List.filter_map (fun items -> embed_chain items t.subs) (path_chains from t.path)
+  (* one chain plus the twig children attached at its end; None when
+     some child cannot be embedded *)
+  and embed_chain items subs : enode option =
+    match List.rev items with
+    | [] -> None
+    | last :: _ ->
+        let kid_alts = List.map (embed_twig (Some last.inode)) subs in
+        if List.exists (fun alts -> alts = []) kid_alts then None
+        else
+          let rec wrap = function
+            | [] -> assert false
+            | [ it ] ->
+                {
+                  snode = it.inode;
+                  vpred = it.ivpred;
+                  branches = it.ibranches;
+                  kids = kid_alts;
+                }
+            | it :: rest ->
+                {
+                  snode = it.inode;
+                  vpred = it.ivpred;
+                  branches = it.ibranches;
+                  kids = [ [ wrap rest ] ];
+                }
+          in
+          Some (wrap items)
+  in
+  embed_twig None twig
+
+let rec size e =
+  1 + List.fold_left (fun a alts -> List.fold_left (fun a k -> a + size k) a alts) 0 e.kids
+
+let pp syn ppf e =
+  let rec go indent e =
+    Format.fprintf ppf "%s%s (node %d)%s%s@." indent (G.tag_name syn e.snode)
+      e.snode
+      (if e.vpred <> None then " [vpred]" else "")
+      (if e.branches <> [] then
+         Printf.sprintf " [%d branch pred(s)]" (List.length e.branches)
+       else "");
+    List.iteri
+      (fun i alts ->
+        Format.fprintf ppf "%s kid %d (%d alternatives):@." indent i
+          (List.length alts);
+        List.iter (go (indent ^ "  ")) alts)
+      e.kids
+  in
+  go "" e

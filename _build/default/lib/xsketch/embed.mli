@@ -1,0 +1,63 @@
+(** Expansion of twig queries into maximal twig embeddings (Section 4).
+
+    A twig query is first rewritten into its {e maximal} forms — every
+    multi-step path becomes a chain of single-step twig nodes and
+    every ['//'] is expanded with valid synopsis paths — and each
+    maximal form is matched onto concrete synopsis nodes. The
+    selectivity of the query is the sum of the selectivities of its
+    unique embeddings.
+
+    Materializing the full cross product of per-child node assignments
+    is exponential, so embeddings are kept {e factored}: each twig
+    child carries the list of its alternative embedded chains, and the
+    estimator distributes the sum over alternatives through the
+    product over children (sound because different children's
+    assignments are independent choices and binding-tuple sets of
+    distinct assignments are disjoint). Only the root's alternative
+    chains are returned as separate embeddings. Branching predicates
+    are existential: their alternatives are combined into one
+    existence fraction rather than summed as disjoint embeddings. *)
+
+type ebranch = {
+  bnode : int;  (** synopsis node *)
+  bvpred : Xtwig_path.Path_types.value_pred option;
+  bsubs : ebranch list list;
+      (** one entry per existential predicate below this node (nested
+          branching predicates and the chain continuation); each entry
+          lists its alternative embeddings *)
+}
+
+type enode = {
+  snode : int;  (** synopsis node *)
+  vpred : Xtwig_path.Path_types.value_pred option;
+  branches : ebranch list list;
+      (** as [bsubs]: one alternatives-list per branching predicate *)
+  kids : enode list list;
+      (** one entry per twig child (chain intermediates have exactly
+          one); each entry lists the child's alternative embedded
+          chains — at least one, or the node would not exist *)
+}
+
+val embeddings :
+  ?max_alternatives:int ->
+  Xtwig_synopsis.Graph_synopsis.t ->
+  Xtwig_path.Path_types.twig ->
+  enode list
+(** The factored embeddings of the query: one per alternative chain of
+    the root path, each rooted at a node matching the first step
+    (anchored at the synopsis root for child-axis roots). Descendant
+    steps are expanded with synopsis paths of length bounded by the
+    document depth. [max_alternatives] (default 64) bounds the
+    alternative chains kept per path expansion; overflow is reported
+    by {!last_truncated}. A node one of whose twig children (or
+    branching predicates) cannot be embedded at all is dropped
+    (selectivity 0). *)
+
+val last_truncated : unit -> bool
+(** Whether the most recent {!embeddings} call hit a cap. *)
+
+val size : enode -> int
+(** Number of embedding nodes, counting each alternative (branch
+    nodes excluded). *)
+
+val pp : Xtwig_synopsis.Graph_synopsis.t -> Format.formatter -> enode -> unit

@@ -1,0 +1,259 @@
+module G = Xtwig_synopsis.Graph_synopsis
+module Edge_hist = Xtwig_hist.Edge_hist
+open Embed
+
+(* Edges referenced by any histogram dimension in the subtree of an
+   embedding node: if an upstream bucket enumeration fixes one of
+   these, the subtree's value depends on it and must be recomputed per
+   bucket. *)
+let rec subtree_needs sketch (e : enode) : (int * int) list =
+  let own =
+    List.concat_map
+      (fun ((dims : Sketch.dim array), _) ->
+        Array.to_list (Array.map (fun (d : Sketch.dim) -> (d.src, d.dst)) dims))
+      (Sketch.hists sketch e.snode)
+  in
+  List.sort_uniq compare
+    (own
+    @ List.concat_map
+        (fun alts -> List.concat_map (fun k -> subtree_needs sketch k) alts)
+        e.kids)
+
+let vfrac sketch snode = function
+  | None -> 1.0
+  | Some p -> Sketch.value_frac sketch snode p
+
+(* Existence fraction of one branching predicate (a list of alternative
+   embedded paths) below an element of node [u]: expected number of
+   matching children, capped at 1. *)
+let rec branch_frac sketch u (alts : ebranch list) =
+  let one (b : ebranch) =
+    (* the synopsis records the exact unconditioned existence fraction
+       of every edge *)
+    let expected = Sketch.exist_frac sketch ~src:u ~dst:b.bnode in
+    let nested =
+      List.fold_left
+        (fun acc pred -> acc *. branch_frac sketch b.bnode pred)
+        (vfrac sketch b.bnode b.bvpred)
+        b.bsubs
+    in
+    Stdlib.min 1.0 (expected *. nested)
+  in
+  Stdlib.min 1.0 (List.fold_left (fun acc b -> acc +. one b) 0.0 alts)
+
+(* Branch fraction of one alternative with the expected child count
+   taken from the environment when an enumerated histogram fixed it —
+   this is what correlates branching predicates with structural-join
+   counts once edge-expand covers the branch edge. *)
+let branch_frac_env sketch u env (alts : ebranch list) =
+  let one (b : ebranch) =
+    let expected =
+      match List.assoc_opt (u, b.bnode) env with
+      (* conditioned on the enumerated bucket: correlates the branch
+         with the structural-join counts *)
+      | Some (_, p1) -> p1
+      | None -> Sketch.exist_frac sketch ~src:u ~dst:b.bnode
+    in
+    let nested =
+      List.fold_left
+        (fun acc pred -> acc *. branch_frac sketch b.bnode pred)
+        (vfrac sketch b.bnode b.bvpred)
+        b.bsubs
+    in
+    Stdlib.min 1.0 (expected *. nested)
+  in
+  Stdlib.min 1.0 (List.fold_left (fun acc b -> acc +. one b) 0.0 alts)
+
+let all_branch_fracs_env sketch u env (preds : ebranch list list) =
+  List.fold_left (fun acc alts -> acc *. branch_frac_env sketch u env alts) 1.0 preds
+
+(* ------------------------------------------------------------------ *)
+
+(* Environment of expanded edge counts: edge -> (representative count,
+   within-bucket P(count >= 1)), threaded top-down so that
+   backward-count dimensions and branch existence can condition on the
+   counts chosen upstream (the correlation sets D_i). *)
+type env = ((int * int) * (float * float)) list
+
+let estimate_embedding sketch (root : enode) =
+  let syn = Sketch.synopsis sketch in
+  (* per-enode subtree needs, computed once per traversal *)
+  let memo_needs = Hashtbl.create 64 in
+  let rec fill (e : enode) =
+    Hashtbl.replace memo_needs (Obj.repr e) (subtree_needs sketch e);
+    List.iter (fun alts -> List.iter fill alts) e.kids
+  in
+  fill root;
+  let needs_of (e : enode) = Hashtbl.find memo_needs (Obj.repr e) in
+  (* expected number of tuple extensions below [e], per element bound
+     to [e] *)
+  let rec expand (e : enode) (env : env) : float =
+    let n = e.snode in
+    let hs = Sketch.hists sketch n in
+    let hist_edges ((dims : Sketch.dim array), _) =
+      Array.to_list (Array.map (fun (d : Sketch.dim) -> (d.src, d.dst)) dims)
+    in
+    (* is the edge to an alternative covered by histogram [i]? *)
+    let covering_idx (a : enode) =
+      let d : Sketch.dim = { src = n; dst = a.snode; kind = Sketch.Forward } in
+      let rec scan i = function
+        | [] -> None
+        | (dims, _) :: rest ->
+            if Array.exists (fun d' -> d' = d) dims then Some i else scan (i + 1) rest
+      in
+      scan 0 hs
+    in
+    (* first edges of this node's branching predicates: a histogram
+       covering one of them carries the branch/count correlation and
+       must be enumerated too *)
+    let branch_first_edges =
+      List.concat_map
+        (fun alts -> List.map (fun (b : ebranch) -> (n, b.bnode)) alts)
+        e.branches
+    in
+    (* histograms needing bucket enumeration: they cover some
+       alternative's edge, a branch edge, or a dimension some subtree
+       conditions on *)
+    let all_alts = List.concat e.kids in
+    let enum_flag =
+      Array.of_list
+        (List.mapi
+           (fun i h ->
+             List.exists (fun a -> covering_idx a = Some i) all_alts
+             ||
+             let es = hist_edges h in
+             List.exists (fun ed -> List.mem ed es) branch_first_edges
+             || List.exists
+                  (fun a -> List.exists (fun ed -> List.mem ed es) (needs_of a))
+                  all_alts)
+           hs)
+    in
+    let enum_hists = List.filteri (fun i _ -> enum_flag.(i)) hs in
+    let enum_edges = List.concat_map hist_edges enum_hists in
+    (* value of one alternative under an environment: its value
+       predicate times its subtree expansion (the alternative's own
+       branching predicates are handled inside its [expand], where its
+       histograms can condition them) *)
+    let alt_value (a : enode) env' =
+      vfrac sketch a.snode a.vpred *. expand a env'
+    in
+    (* one alternative's full contribution: count factor x value *)
+    let alt_contrib (a : enode) env' ~fixed =
+      let count =
+        match List.assoc_opt (n, a.snode) env' with
+        | Some (c, _) -> c
+        | None -> Sketch.avg_fanout sketch ~src:n ~dst:a.snode
+      in
+      let v = match fixed with Some v -> v | None -> alt_value a env' in
+      count *. v
+    in
+    (* does this alternative's contribution change per bucket? *)
+    let alt_dep (a : enode) =
+      List.mem (n, a.snode) enum_edges
+      || List.exists (fun ed -> List.mem ed enum_edges) (needs_of a)
+    in
+    (* kid contributions that do not depend on the bucket combo *)
+    let kid_dep = List.map (fun alts -> List.exists alt_dep alts) e.kids in
+    let indep_factor =
+      List.fold_left2
+        (fun acc alts dep ->
+          if dep then acc
+          else
+            acc
+            *. List.fold_left
+                 (fun s a -> s +. alt_contrib a env ~fixed:None)
+                 0.0 alts)
+        1.0 e.kids kid_dep
+    in
+    (* pre-compute bucket-independent alternative values inside
+       dependent kids (the count factor may vary while the subtree
+       value does not) *)
+    let fixed_values = Hashtbl.create 8 in
+    List.iteri
+      (fun i alts ->
+        if List.nth kid_dep i then
+          List.iteri
+            (fun j a ->
+              let subtree_dep =
+                List.exists (fun ed -> List.mem ed enum_edges) (needs_of a)
+              in
+              if not subtree_dep then
+                Hashtbl.replace fixed_values (i, j) (alt_value a env))
+            alts)
+      e.kids;
+    (* does the node's own branch factor vary with the bucket combo? *)
+    let branch_dep =
+      List.exists (fun ed -> List.mem ed enum_edges) branch_first_edges
+    in
+    (* sum over the bucket combos of the enumerated histograms *)
+    let rec combos hlist env' acc_w =
+      match hlist with
+      | [] ->
+          let factor = ref 1.0 in
+          if branch_dep then
+            factor := all_branch_fracs_env sketch n env' e.branches;
+          List.iteri
+            (fun i alts ->
+              if List.nth kid_dep i then begin
+                let s = ref 0.0 in
+                List.iteri
+                  (fun j a ->
+                    let fixed = Hashtbl.find_opt fixed_values (i, j) in
+                    s := !s +. alt_contrib a env' ~fixed)
+                  alts;
+                factor := !factor *. !s
+              end)
+            e.kids;
+          acc_w *. !factor
+      | ((dims : Sketch.dim array), h) :: rest ->
+          (* correlation set D: dimensions fixed upstream *)
+          let ctx = ref [] in
+          Array.iteri
+            (fun di (d : Sketch.dim) ->
+              match List.assoc_opt (d.src, d.dst) env' with
+              | Some (v, _) -> ctx := (di, v) :: !ctx
+              | None -> ())
+            dims;
+          List.fold_left
+            (fun acc (w, bucket) ->
+              let w' = acc_w *. w in
+              if w' < 1e-9 then acc
+              else begin
+                let env'' = ref env' in
+                Array.iteri
+                  (fun di (d : Sketch.dim) ->
+                    let key = (d.src, d.dst) in
+                    if not (List.mem_assoc key !env'') then
+                      env'' :=
+                        ( key,
+                          ( (bucket : Edge_hist.bucket).mean.(di),
+                            Edge_hist.p_ge1 bucket di ) )
+                        :: !env'')
+                  dims;
+                acc +. combos rest !env'' w'
+              end)
+            0.0
+            (Edge_hist.enum_buckets h ~ctx:!ctx)
+    in
+    let dep_factor =
+      match enum_hists with [] -> 1.0 | hl -> combos hl env 1.0
+    in
+    let indep_branch_factor =
+      if branch_dep then 1.0 else all_branch_fracs_env sketch n env e.branches
+    in
+    indep_branch_factor *. indep_factor *. dep_factor
+  in
+  let n0 = root.snode in
+  float_of_int (G.extent_size syn n0)
+  *. vfrac sketch n0 root.vpred
+  *. expand root []
+
+let estimate ?max_alternatives sketch twig =
+  let syn = Sketch.synopsis sketch in
+  let embs = Embed.embeddings ?max_alternatives syn twig in
+  List.fold_left (fun acc e -> acc +. estimate_embedding sketch e) 0.0 embs
+
+let estimate_path sketch p =
+  estimate sketch { Xtwig_path.Path_types.path = p; subs = [] }
+
+let existence_frac = branch_frac

@@ -1,0 +1,51 @@
+(** Selectivity estimation for twig queries over Twig XSKETCHes
+    (Section 4).
+
+    The estimate of a query is the sum of the estimates of its
+    embeddings. Each embedding is evaluated by a top-down traversal
+    that mirrors the TREEPARSE decomposition:
+
+    - at each embedding node, histogram dimensions matching edges
+      already expanded upstream form the correlation set [D] and
+      condition the bucket enumeration ({b Correlation-Scope
+      Independence}: distributions are independent of counts outside
+      the histogram's scope, so conditioning reduces to a ratio of
+      histogram marginals — realized here by renormalizing the
+      context-compatible buckets);
+    - child edges covered by a histogram contribute their per-bucket
+      mean counts multiplicatively (the expansion set [E]);
+    - child edges not covered by any histogram contribute their exact
+      average fanout [count(u->v)/|u|] ({b Forward Uniformity}),
+      independently of everything else ({b Forward Independence} —
+      also embodied by treating distinct histograms at one node as
+      independent);
+    - value predicates contribute fractions from the node's value
+      histogram, independent of structure (the prototype configuration
+      of Section 6.1);
+    - branching predicates contribute existence fractions: the
+      expected number of matching children, capped at 1, estimated
+      from the covering histogram when one exists and from average
+      fanout otherwise.
+
+    On a fully-refined synopsis with exact histograms covering every
+    queried edge, the estimate equals the true selectivity (the
+    zero-error property the paper derives for full distribution
+    information). *)
+
+val estimate_embedding : Sketch.t -> Embed.enode -> float
+(** Estimate for one factored embedding: sums over each twig child's
+    alternative assignments are distributed through the product over
+    children (per bucket), which evaluates the full cross product of
+    assignments without materializing it. *)
+
+val estimate :
+  ?max_alternatives:int -> Sketch.t -> Xtwig_path.Path_types.twig -> float
+(** Sum over all embeddings of the query. *)
+
+val estimate_path : Sketch.t -> Xtwig_path.Path_types.path -> float
+(** Single-path-expression cardinality (a chain twig). *)
+
+val existence_frac : Sketch.t -> int -> Embed.ebranch list -> float
+(** [existence_frac t u alts]: estimated fraction of node [u]'s
+    elements with at least one match of a branching predicate, given
+    the predicate's alternative embeddings. Exposed for tests. *)

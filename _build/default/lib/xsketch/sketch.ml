@@ -1,0 +1,283 @@
+module G = Xtwig_synopsis.Graph_synopsis
+module Tsn = Xtwig_synopsis.Tsn
+module Doc = Xtwig_xml.Doc
+module Value = Xtwig_xml.Value
+module Edge_hist = Xtwig_hist.Edge_hist
+module Sparse_dist = Xtwig_hist.Sparse_dist
+module Hist1d = Xtwig_hist.Hist1d
+
+type dim_kind = Forward | Backward
+
+type dim = { src : int; dst : int; kind : dim_kind }
+
+type hist_spec = { dims : dim list; budget : int }
+
+type config = { especs : hist_spec list array; vbudgets : int array }
+
+type t = {
+  syn : G.t;
+  config : config;
+  ehists : (dim array * Edge_hist.t) list array;
+  vhists : Hist1d.t option array;
+  vcats : Xtwig_hist.Mcv.t option array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Distribution computation                                            *)
+
+(* Count of [e]'s children lying in synopsis node [z]. *)
+let forward_count syn e z =
+  let doc = G.doc syn in
+  Array.fold_left
+    (fun acc k -> if G.node_of_elem syn k = z then acc + 1 else acc)
+    0 (Doc.children doc e)
+
+(* The (unique, B-stable-chain) ancestor of [e] in node [a], if any. *)
+let ancestor_in syn e a =
+  let doc = G.doc syn in
+  let rec up e =
+    if G.node_of_elem syn e = a then Some e
+    else match Doc.parent doc e with None -> None | Some p -> up p
+  in
+  up e
+
+let count_for_dim syn n e d =
+  match d.kind with
+  | Forward -> forward_count syn e d.dst
+  | Backward -> (
+      ignore n;
+      match ancestor_in syn e d.src with
+      | Some anc -> forward_count syn anc d.dst
+      | None -> 0)
+
+let distribution_of syn n dims =
+  let k = Array.length dims in
+  let vectors =
+    Array.to_list
+      (Array.map
+         (fun e -> Array.init k (fun i -> count_for_dim syn n e dims.(i)))
+         (G.extent syn n))
+  in
+  Sparse_dist.of_vectors ~dims:k vectors
+
+(* ------------------------------------------------------------------ *)
+(* Build                                                               *)
+
+let valid_dims syn n dims =
+  let eligible = Tsn.scope_edges syn n in
+  List.filter
+    (fun d ->
+      List.mem (d.src, d.dst) eligible
+      &&
+      match d.kind with
+      | Forward -> d.src = n
+      | Backward -> d.src <> n)
+    dims
+
+let build ?prev syn config =
+  let n_nodes = G.node_count syn in
+  if Array.length config.especs <> n_nodes || Array.length config.vbudgets <> n_nodes
+  then invalid_arg "Sketch.build: config arity mismatch";
+  let reusable =
+    match prev with
+    | Some p when p.syn == syn -> Some p
+    | Some _ | None -> None
+  in
+  let ehists =
+    Array.init n_nodes (fun n ->
+        match reusable with
+        | Some p when p.config.especs.(n) = config.especs.(n) -> p.ehists.(n)
+        | _ ->
+            List.filter_map
+              (fun spec ->
+                match valid_dims syn n spec.dims with
+                | [] -> None
+                | dims ->
+                    let dims = Array.of_list dims in
+                    let dist = distribution_of syn n dims in
+                    Some (dims, Edge_hist.build ~budget:spec.budget dist))
+              config.especs.(n))
+  in
+  let doc = G.doc syn in
+  let vhists =
+    Array.init n_nodes (fun n ->
+        match reusable with
+        | Some p when p.config.vbudgets.(n) = config.vbudgets.(n) -> p.vhists.(n)
+        | _ ->
+            if config.vbudgets.(n) <= 0 then None
+            else
+              let data =
+                Array.to_list (G.extent syn n)
+                |> List.filter_map (fun e -> Value.as_float (Doc.value doc e))
+              in
+              (match data with
+              | [] -> None
+              | _ ->
+                  Some
+                    (Hist1d.build ~budget:config.vbudgets.(n) (Array.of_list data))))
+  in
+  let vcats =
+    Array.init n_nodes (fun n ->
+        match reusable with
+        | Some p when p.config.vbudgets.(n) = config.vbudgets.(n) -> p.vcats.(n)
+        | _ ->
+            if config.vbudgets.(n) <= 0 then None
+            else
+              (* text values that are not merely numbers in disguise *)
+              let data =
+                Array.to_list (G.extent syn n)
+                |> List.filter_map (fun e ->
+                       match Doc.value doc e with
+                       | Value.Text s when Value.as_float (Value.Text s) = None ->
+                           Some s
+                       | Value.Text _ | Value.Null | Value.Int _ | Value.Float _ ->
+                           None)
+              in
+              (match data with
+              | [] -> None
+              | _ -> Some (Xtwig_hist.Mcv.build ~budget:config.vbudgets.(n) data)))
+  in
+  { syn; config; ehists; vhists; vcats }
+
+let coarsest ?(ebudget = 1) ?(vbudget = 2) syn =
+  let n_nodes = G.node_count syn in
+  let especs =
+    Array.init n_nodes (fun n ->
+        List.filter_map
+          (fun (e : G.edge) ->
+            if e.f_stable then
+              Some
+                {
+                  dims = [ { src = n; dst = e.dst; kind = Forward } ];
+                  budget = ebudget;
+                }
+            else None)
+          (G.out_edges syn n))
+  in
+  let vbudgets = Array.make n_nodes vbudget in
+  build syn { especs; vbudgets }
+
+let default_of_doc ?ebudget ?vbudget doc =
+  coarsest ?ebudget ?vbudget (G.label_split doc)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let synopsis t = t.syn
+let doc t = G.doc t.syn
+let config t = t.config
+let hists t n = t.ehists.(n)
+let vhist t n = t.vhists.(n)
+let vcat t n = t.vcats.(n)
+let node_count t = G.node_count t.syn
+
+let covering_hist t n d =
+  let rec scan = function
+    | [] -> None
+    | (dims, h) :: rest -> (
+        let idx = ref (-1) in
+        Array.iteri (fun i d' -> if d' = d then idx := i) dims;
+        match !idx with -1 -> scan rest | i -> Some (dims, h, i))
+  in
+  scan t.ehists.(n)
+
+let avg_fanout t ~src ~dst =
+  match G.edge t.syn ~src ~dst with
+  | None -> 0.0
+  | Some e ->
+      let n = G.extent_size t.syn src in
+      if n = 0 then 0.0 else float_of_int e.count /. float_of_int n
+
+let exist_frac t ~src ~dst =
+  match G.edge t.syn ~src ~dst with
+  | None -> 0.0
+  | Some e ->
+      let n = G.extent_size t.syn src in
+      if n = 0 then 0.0 else float_of_int e.src_with_child /. float_of_int n
+
+let value_frac t n pred =
+  match (pred : Xtwig_path.Path_types.value_pred) with
+  (* string equality goes to the categorical summary *)
+  | Cmp (Eq, Value.Text s) when Value.as_float (Value.Text s) = None -> (
+      match t.vcats.(n) with
+      | Some m -> Xtwig_hist.Mcv.frac_eq m s
+      | None -> 0.1)
+  | Cmp (Ne, Value.Text s) when Value.as_float (Value.Text s) = None -> (
+      match t.vcats.(n) with
+      | Some m -> Xtwig_hist.Mcv.frac_ne m s
+      | None -> 0.9)
+  | _ -> (
+      match t.vhists.(n) with
+      | None -> 0.1
+      | Some h -> (
+          match pred with
+          | Range (lo, hi) -> Hist1d.frac_range h lo hi
+          | Cmp (op, v) -> (
+              match Value.as_float v with
+              | None -> 0.1
+              | Some x ->
+                  let op' =
+                    match op with
+                    | Xtwig_path.Path_types.Lt -> `Lt
+                    | Le -> `Le
+                    | Eq -> `Eq
+                    | Ne -> `Ne
+                    | Ge -> `Ge
+                    | Gt -> `Gt
+                  in
+                  Hist1d.frac_cmp h op' x)))
+
+(* ------------------------------------------------------------------ *)
+(* Size accounting                                                     *)
+
+let size_bytes t =
+  let structural = G.structure_bytes t.syn in
+  let ebytes =
+    Array.fold_left
+      (fun acc hs ->
+        List.fold_left
+          (fun acc (dims, h) ->
+            acc + Edge_hist.size_bytes h + (8 * Array.length dims))
+          acc hs)
+      0 t.ehists
+  in
+  let vbytes =
+    Array.fold_left
+      (fun acc vh ->
+        match vh with None -> acc | Some h -> acc + Hist1d.size_bytes h)
+      0 t.vhists
+  in
+  let cbytes =
+    Array.fold_left
+      (fun acc vc ->
+        match vc with None -> acc | Some m -> acc + Xtwig_hist.Mcv.size_bytes m)
+      0 t.vcats
+  in
+  structural + ebytes + vbytes + cbytes
+
+let pp_stats ppf t =
+  let nh = Array.fold_left (fun a l -> a + List.length l) 0 t.ehists in
+  let nv =
+    Array.fold_left (fun a v -> match v with Some _ -> a + 1 | None -> a) 0 t.vhists
+  in
+  Format.fprintf ppf "xsketch: %a; %d edge-hists, %d value-hists, %d bytes"
+    G.pp_stats t.syn nh nv (size_bytes t)
+
+(* ------------------------------------------------------------------ *)
+(* Exact references                                                    *)
+
+let exact_for_scopes syn groupings =
+  let n_nodes = G.node_count syn in
+  if Array.length groupings <> n_nodes then
+    invalid_arg "Sketch.exact_for_scopes: arity mismatch";
+  let especs =
+    Array.map
+      (fun groups -> List.map (fun dims -> { dims; budget = max_int }) groups)
+      groupings
+  in
+  let vbudgets = Array.make n_nodes max_int in
+  build syn { especs; vbudgets }
+
+let dim_edges_of_node t n = Tsn.scope_edges t.syn n
+
+let distribution t n dims = distribution_of t.syn n dims

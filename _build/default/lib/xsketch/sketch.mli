@@ -1,0 +1,126 @@
+(** Twig XSKETCH synopses (Definition 3.1).
+
+    A Twig XSKETCH couples a {!Xtwig_synopsis.Graph_synopsis.t} with
+    localized distribution information:
+
+    - per synopsis node, a set of {e edge histograms}, each
+      approximating the joint distribution of a tuple of edge counts
+      drawn from the node's twig stable neighborhood (forward counts
+      to F-stable children; backward counts to F-stable children of
+      B-stable ancestors);
+    - per synopsis node with numeric leaf values, a one-dimensional
+      {e value histogram} (the configuration of the paper's prototype).
+
+    Keeping a {e set} of histograms per node (rather than exactly one)
+    lets the initial coarse synopsis carry the paper's
+    "single-dimensional edge-histograms ... to forward-stable children
+    only", with the edge-expand refinement merging histograms into
+    higher-dimensional ones as the budget grows. Dimensions of
+    distinct histograms at one node are treated as independent — the
+    Forward Independence assumption made structural. *)
+
+type dim_kind = Forward | Backward
+
+type dim = { src : int; dst : int; kind : dim_kind }
+(** One histogram dimension: the count of synopsis edge [src -> dst].
+    [Forward] dims have [src] = the owning node; [Backward] dims have
+    [src] = a B-stable ancestor of the owning node. *)
+
+type hist_spec = { dims : dim list; budget : int }
+(** Configuration of one histogram: which edges it covers and its
+    bucket budget. *)
+
+type config = {
+  especs : hist_spec list array;  (** per synopsis node *)
+  vbudgets : int array;
+      (** per synopsis node; 0 = no value histogram *)
+}
+
+type t
+
+(** {1 Construction} *)
+
+val build : ?prev:t -> Xtwig_synopsis.Graph_synopsis.t -> config -> t
+(** Computes every configured histogram from the document. Histogram
+    dimensions whose edges are not scope-eligible for the owning node
+    (per {!Xtwig_synopsis.Tsn}) are dropped silently — this is what
+    keeps configurations valid across structural refinements.
+
+    When [prev] is given and shares the {e same} (physically equal)
+    synopsis, nodes whose configuration is unchanged reuse [prev]'s
+    built histograms — this makes the non-structural refinements of
+    XBUILD candidate scoring O(touched node) instead of
+    O(document). *)
+
+val coarsest :
+  ?ebudget:int -> ?vbudget:int -> Xtwig_synopsis.Graph_synopsis.t -> t
+(** The initial synopsis of XBUILD: one 1-d histogram per F-stable
+    child edge ([ebudget] buckets each, default 1) and a [vbudget]-
+    bucket value histogram on every node with numeric values
+    (default 2). *)
+
+val default_of_doc : ?ebudget:int -> ?vbudget:int -> Xtwig_xml.Doc.t -> t
+(** [coarsest] over the label-split synopsis. *)
+
+(** {1 Accessors} *)
+
+val synopsis : t -> Xtwig_synopsis.Graph_synopsis.t
+val doc : t -> Xtwig_xml.Doc.t
+val config : t -> config
+val hists : t -> int -> (dim array * Xtwig_hist.Edge_hist.t) list
+(** The built histograms of one node, paired with their dimension
+    scopes. *)
+
+val vhist : t -> int -> Xtwig_hist.Hist1d.t option
+(** Numeric value histogram of a node, when its elements carry numeric
+    values. *)
+
+val vcat : t -> int -> Xtwig_hist.Mcv.t option
+(** Most-common-value summary of a node's categorical (text) values —
+    the extension beyond the paper's numeric-only prototype that
+    serves string-equality predicates (see DESIGN.md §5). *)
+
+val node_count : t -> int
+
+val covering_hist :
+  t -> int -> dim -> (dim array * Xtwig_hist.Edge_hist.t * int) option
+(** [covering_hist t n d] finds the histogram at node [n] containing
+    dimension [d], returning (scope, histogram, dim index). *)
+
+val avg_fanout : t -> src:int -> dst:int -> float
+(** [count(src -> dst) / |src|] — the Forward Uniformity estimate for
+    uncovered edges; 0 for absent edges. *)
+
+val exist_frac : t -> src:int -> dst:int -> float
+(** Fraction of [src] elements with at least one child in [dst],
+    straight from the synopsis edge record — the exact unconditioned
+    existence probability for single-step branching predicates
+    (1.0 when the edge is F-stable, 0 when absent). *)
+
+val value_frac : t -> int -> Xtwig_path.Path_types.value_pred -> float
+(** Estimated fraction of node elements satisfying a value predicate,
+    from the node's value histogram. Falls back to 0.1 when the node
+    has no histogram (a predicate on an unsummarized node). *)
+
+(** {1 Size accounting} *)
+
+val size_bytes : t -> int
+(** Structure + edge histograms (buckets plus 8 bytes per scope
+    dimension) + value histograms. This is the x-axis of Figure 9. *)
+
+val pp_stats : Format.formatter -> t -> unit
+
+(** {1 Exact references (tests / reference summaries)} *)
+
+val exact_for_scopes : Xtwig_synopsis.Graph_synopsis.t -> dim list list array -> t
+(** Builds with unbounded bucket budgets (exact histograms) for the
+    given per-node histogram groupings, and exact-budget value
+    histograms; the zero-error configuration used by tests. *)
+
+val dim_edges_of_node : t -> int -> (int * int) list
+(** All scope-eligible edges of a node (delegates to Tsn). *)
+
+val distribution : t -> int -> dim array -> Xtwig_hist.Sparse_dist.t
+(** The exact edge distribution of one node over the given dimensions,
+    recomputed from the document — used by refinement scoring and by
+    tests. *)

@@ -1,0 +1,196 @@
+module G = Xtwig_synopsis.Graph_synopsis
+module Doc = Xtwig_xml.Doc
+
+exception Format_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+
+let magic = "xtwig-sketch v1"
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+
+let emit_partition buf syn =
+  let doc = G.doc syn in
+  let n = Doc.size doc in
+  (* run-length encode the element -> node assignment *)
+  Buffer.add_string buf "partition";
+  let i = ref 0 in
+  while !i < n do
+    let v = G.node_of_elem syn !i in
+    let start = !i in
+    while !i < n && G.node_of_elem syn !i = v do
+      incr i
+    done;
+    Buffer.add_string buf (Printf.sprintf " %d*%d" v (!i - start))
+  done;
+  Buffer.add_char buf '\n'
+
+let emit_dim buf (d : Sketch.dim) =
+  Buffer.add_string buf
+    (Printf.sprintf "%d>%d%s" d.src d.dst
+       (match d.kind with Sketch.Forward -> "f" | Sketch.Backward -> "b"))
+
+let emit_config buf (cfg : Sketch.config) =
+  Array.iteri
+    (fun n specs ->
+      List.iter
+        (fun (spec : Sketch.hist_spec) ->
+          Buffer.add_string buf (Printf.sprintf "ehist %d %d" n spec.budget);
+          List.iter
+            (fun d ->
+              Buffer.add_char buf ' ';
+              emit_dim buf d)
+            spec.dims;
+          Buffer.add_char buf '\n')
+        specs)
+    cfg.especs;
+  Buffer.add_string buf "vbudgets";
+  Array.iter (fun b -> Buffer.add_string buf (Printf.sprintf " %d" b)) cfg.vbudgets;
+  Buffer.add_char buf '\n'
+
+let to_string sketch =
+  let syn = Sketch.synopsis sketch in
+  let doc = G.doc syn in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "elements %d\n" (Doc.size doc));
+  Buffer.add_string buf "tags";
+  for t = 0 to Doc.tag_count doc - 1 do
+    Buffer.add_string buf (" " ^ Doc.tag_to_string doc t)
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (G.node_count syn));
+  emit_partition buf syn;
+  emit_config buf (Sketch.config sketch);
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let save sketch path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string sketch))
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+
+let parse_dim s : Sketch.dim =
+  match String.index_opt s '>' with
+  | None -> fail "bad dimension %S" s
+  | Some i -> (
+      let src = int_of_string_opt (String.sub s 0 i) in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let n = String.length rest in
+      if n < 2 then fail "bad dimension %S" s
+      else
+        let dst = int_of_string_opt (String.sub rest 0 (n - 1)) in
+        let kind =
+          match rest.[n - 1] with
+          | 'f' -> Sketch.Forward
+          | 'b' -> Sketch.Backward
+          | _ -> fail "bad dimension kind in %S" s
+        in
+        match (src, dst) with
+        | Some src, Some dst -> { Sketch.src; dst; kind }
+        | _ -> fail "bad dimension %S" s)
+
+let of_string doc text =
+  let lines = String.split_on_char '\n' text in
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  let expect_prefix line p =
+    if not (String.length line >= String.length p && String.sub line 0 (String.length p) = p)
+    then fail "expected %S, got %S" p line
+  in
+  match lines with
+  | m :: elems :: tags :: nodes :: partition :: rest ->
+      if m <> magic then fail "not an xtwig sketch file (magic %S)" m;
+      expect_prefix elems "elements ";
+      let n_elems =
+        match int_of_string_opt (String.sub elems 9 (String.length elems - 9)) with
+        | Some n -> n
+        | None -> fail "bad element count"
+      in
+      if n_elems <> Doc.size doc then
+        fail "document mismatch: sketch built over %d elements, document has %d"
+          n_elems (Doc.size doc);
+      expect_prefix tags "tags ";
+      let tag_names =
+        String.split_on_char ' ' (String.sub tags 5 (String.length tags - 5))
+      in
+      let doc_tags = List.init (Doc.tag_count doc) (Doc.tag_to_string doc) in
+      if tag_names <> doc_tags then
+        fail "document mismatch: tag vocabulary differs";
+      expect_prefix nodes "nodes ";
+      let n_nodes =
+        match int_of_string_opt (String.sub nodes 6 (String.length nodes - 6)) with
+        | Some n -> n
+        | None -> fail "bad node count"
+      in
+      expect_prefix partition "partition ";
+      let node_of = Array.make n_elems 0 in
+      let pos = ref 0 in
+      List.iter
+        (fun run ->
+          match String.split_on_char '*' run with
+          | [ v; len ] -> (
+              match (int_of_string_opt v, int_of_string_opt len) with
+              | Some v, Some len ->
+                  if !pos + len > n_elems then fail "partition overruns document";
+                  Array.fill node_of !pos len v;
+                  pos := !pos + len
+              | _ -> fail "bad partition run %S" run)
+          | _ -> fail "bad partition run %S" run)
+        (String.split_on_char ' '
+           (String.sub partition 10 (String.length partition - 10)));
+      if !pos <> n_elems then fail "partition covers %d of %d elements" !pos n_elems;
+      let syn = G.of_partition doc node_of in
+      if G.node_count syn <> n_nodes then
+        fail "node count mismatch: file says %d, partition yields %d" n_nodes
+          (G.node_count syn);
+      let especs = Array.make n_nodes [] in
+      let vbudgets = ref None in
+      let finished = ref false in
+      List.iter
+        (fun line ->
+          if !finished then fail "content after end marker"
+          else if line = "end" then finished := true
+          else if String.length line >= 6 && String.sub line 0 6 = "ehist " then begin
+            match String.split_on_char ' ' line with
+            | "ehist" :: node :: budget :: dims -> (
+                match (int_of_string_opt node, int_of_string_opt budget) with
+                | Some node, Some budget when node >= 0 && node < n_nodes ->
+                    let dims = List.map parse_dim dims in
+                    especs.(node) <- especs.(node) @ [ { Sketch.dims; budget } ]
+                | _ -> fail "bad ehist line %S" line)
+            | _ -> fail "bad ehist line %S" line
+          end
+          else if String.length line >= 9 && String.sub line 0 9 = "vbudgets " then begin
+            let bs =
+              List.map
+                (fun s ->
+                  match int_of_string_opt s with
+                  | Some b -> b
+                  | None -> fail "bad vbudget %S" s)
+                (String.split_on_char ' '
+                   (String.sub line 9 (String.length line - 9)))
+            in
+            if List.length bs <> n_nodes then
+              fail "vbudgets arity %d, expected %d" (List.length bs) n_nodes;
+            vbudgets := Some (Array.of_list bs)
+          end
+          else fail "unrecognized line %S" line)
+        rest;
+      if not !finished then fail "missing end marker";
+      let vbudgets =
+        match !vbudgets with Some v -> v | None -> fail "missing vbudgets"
+      in
+      Sketch.build syn { Sketch.especs; vbudgets }
+  | _ -> fail "truncated sketch file"
+
+let load doc path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string doc (In_channel.input_all ic))

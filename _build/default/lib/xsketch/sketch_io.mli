@@ -1,0 +1,27 @@
+(** Persistence for Twig XSKETCH configurations.
+
+    A built sketch is determined by (document, element partition,
+    histogram configuration); the histograms themselves are cheap to
+    recompute (one document pass) while {e finding} a good partition
+    and configuration is what XBUILD spends minutes on. This module
+    saves exactly that product — the partition (run-length encoded)
+    and the configuration — in a small, versioned, line-oriented text
+    format, and rebuilds the sketch against the same document on load.
+
+    The format embeds the document's element count and tag list as a
+    consistency check: loading against a different document is
+    refused. *)
+
+exception Format_error of string
+
+val save : Sketch.t -> string -> unit
+(** [save sketch path] writes the sketch's partition and
+    configuration. *)
+
+val load : Xtwig_xml.Doc.t -> string -> Sketch.t
+(** [load doc path] rebuilds the sketch against [doc]. Raises
+    {!Format_error} on malformed input or a document mismatch, and
+    [Sys_error] on I/O failure. *)
+
+val to_string : Sketch.t -> string
+val of_string : Xtwig_xml.Doc.t -> string -> Sketch.t

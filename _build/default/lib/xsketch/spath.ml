@@ -1,0 +1,9 @@
+let strip_edge_hists sketch =
+  let syn = Sketch.synopsis sketch in
+  let cfg = Sketch.config sketch in
+  let especs = Array.make (Array.length cfg.Sketch.especs) [] in
+  Sketch.build syn { Sketch.especs; vbudgets = cfg.Sketch.vbudgets }
+
+let estimate_path sketch p = Estimator.estimate_path (strip_edge_hists sketch) p
+
+let estimate sketch t = Estimator.estimate (strip_edge_hists sketch) t

@@ -1,0 +1,22 @@
+(** The structural (single-path) XSKETCH baseline.
+
+    Our earlier-work baseline (Polyzotis & Garofalakis, SIGMOD'02)
+    estimates single XPath expressions from the synopsis structure
+    alone — node counts, edge counts and stabilities — with no edge
+    histograms. It is realized here as a Twig XSKETCH stripped of its
+    edge histograms, evaluated through the same estimation framework
+    (which then degenerates to count propagation under uniformity and
+    independence). Used by the single-path comparison experiment of
+    Section 6.2. *)
+
+val strip_edge_hists : Sketch.t -> Sketch.t
+(** Same synopsis and value histograms, no edge histograms. *)
+
+val estimate_path : Sketch.t -> Xtwig_path.Path_types.path -> float
+(** Single-path estimate using structure (and value histograms)
+    only. *)
+
+val estimate : Sketch.t -> Xtwig_path.Path_types.twig -> float
+(** Twig estimate under the structural model — what a single-path
+    XSKETCH would answer if forced to estimate a twig (degenerates to
+    full independence across the twig's branches). *)

@@ -1,0 +1,57 @@
+open Embed
+
+type sets = {
+  expansion : (int * int) list;
+  uncovered : (int * int) list;
+  correlation : (int * int) list;
+}
+
+let parse sketch root =
+  let covered = ref [] in
+  let out = ref [] in
+  let rec go (e : enode) =
+    if e.kids <> [] then begin
+      let n = e.snode in
+      let scope =
+        List.concat_map
+          (fun ((dims : Sketch.dim array), _) ->
+            Array.to_list
+              (Array.map (fun (d : Sketch.dim) -> (d.src, d.dst)) dims))
+          (Sketch.hists sketch n)
+        |> List.sort_uniq compare
+      in
+      (* the sets are taken over the first alternative of each child —
+         the maximal-twig view the paper's pseudo-code works on *)
+      let kid_edges =
+        List.filter_map
+          (fun alts ->
+            match alts with [] -> None | k :: _ -> Some (n, k.snode))
+          e.kids
+      in
+      let uncovered =
+        List.sort_uniq compare
+          (List.filter (fun ed -> not (List.mem ed scope)) kid_edges)
+      in
+      let correlation = List.filter (fun ed -> List.mem ed !covered) scope in
+      let expansion = List.filter (fun ed -> not (List.mem ed !covered)) scope in
+      covered := !covered @ expansion;
+      out := (e, { expansion; uncovered; correlation }) :: !out
+    end;
+    List.iter (fun alts -> match alts with k :: _ -> go k | [] -> ()) e.kids
+  in
+  go root;
+  List.rev !out
+
+let pp syn ppf parsed =
+  let edge (u, v) =
+    Printf.sprintf "%s->%s"
+      (Xtwig_synopsis.Graph_synopsis.tag_name syn u)
+      (Xtwig_synopsis.Graph_synopsis.tag_name syn v)
+  in
+  let set s = String.concat ", " (List.map edge s) in
+  List.iter
+    (fun ((e : enode), sets) ->
+      Format.fprintf ppf "node %s: E={%s} U={%s} D={%s}@."
+        (Xtwig_synopsis.Graph_synopsis.tag_name syn e.snode)
+        (set sets.expansion) (set sets.uncovered) (set sets.correlation))
+    parsed

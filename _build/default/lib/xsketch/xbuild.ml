@@ -1,0 +1,112 @@
+module Prng = Xtwig_util.Prng
+module Stats = Xtwig_util.Stats
+
+type step_info = {
+  step : int;
+  op : Refinement.op;
+  description : string;
+  size : int;
+  workload_error : float;
+}
+
+let workload_error sketch ~truth queries =
+  match queries with
+  | [] -> 0.0
+  | _ ->
+      let truths = Array.of_list (List.map truth queries) in
+      let positive = Array.of_list (List.filter (fun c -> c > 0.0) (Array.to_list truths)) in
+      let sanity =
+        if Array.length positive = 0 then 1.0 else Stats.percentile positive 10.0
+      in
+      let errs =
+        List.mapi
+          (fun i q ->
+            let est = Estimator.estimate sketch q in
+            let c = truths.(i) in
+            Float.abs (est -. c) /. Stdlib.max sanity c)
+          queries
+      in
+      Stats.mean_list errs
+
+let build ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1)
+    ?(vbudget0 = 2) ?on_step ~workload ~truth ~budget doc =
+  let prng = Prng.create seed in
+  let sketch = ref (Sketch.default_of_doc ~ebudget:ebudget0 ~vbudget:vbudget0 doc) in
+  (* a fixed anchor workload keeps candidate scores comparable across
+     steps; per-step queries focused on the touched regions are added
+     on top (the paper's region-local sampling) *)
+  let anchor = workload prng ~focus:[] in
+  let step = ref 0 in
+  let continue = ref true in
+  while !continue && Sketch.size_bytes !sketch < budget && !step < max_steps do
+    incr step;
+    let pool = Refinement.gen_candidates ~count:candidates !sketch prng in
+    if pool = [] then continue := false
+    else begin
+      let focus =
+        List.sort_uniq compare
+          (List.concat_map (Refinement.touched_labels !sketch) pool)
+      in
+      let queries = anchor @ workload prng ~focus in
+      (* force the truth cache on the current thread before fanning out *)
+      List.iter (fun q -> ignore (truth q)) queries;
+      let base_error = workload_error !sketch ~truth queries in
+      let base_size = Sketch.size_bytes !sketch in
+      let score op =
+        let refined = Refinement.apply !sketch op in
+        let size = Sketch.size_bytes refined in
+        if size <= base_size then None
+        else
+          let err = workload_error refined ~truth queries in
+          let gain = (base_error -. err) /. float_of_int (size - base_size) in
+          Some (gain, op, refined, size, err)
+      in
+      (* candidates are independent; score them on parallel domains *)
+      let scored =
+        let n_dom =
+          Stdlib.min (List.length pool)
+            (Stdlib.max 1 (Domain.recommended_domain_count () - 1))
+        in
+        if n_dom <= 1 then List.filter_map score pool
+        else begin
+          let arr = Array.of_list pool in
+          let slices =
+            List.init n_dom (fun d ->
+                Array.to_list
+                  (Array.of_seq
+                     (Seq.filter_map
+                        (fun i -> if i mod n_dom = d then Some arr.(i) else None)
+                        (Seq.init (Array.length arr) Fun.id))))
+          in
+          let domains =
+            List.map
+              (fun slice -> Domain.spawn (fun () -> List.filter_map score slice))
+              slices
+          in
+          List.concat_map Domain.join domains
+        end
+      in
+      match scored with
+      | [] -> continue := false
+      | _ ->
+          let best =
+            List.fold_left
+              (fun acc ((g, _, _, _, _) as cand) ->
+                match acc with
+                | Some (g0, _, _, _, _) when g0 >= g -> acc
+                | _ -> Some cand)
+              None scored
+          in
+          (match best with
+          | None -> continue := false
+          | Some (_, op, refined, size, err) ->
+              let description = Refinement.describe !sketch op in
+              sketch := refined;
+              (match on_step with
+              | None -> ()
+              | Some f ->
+                  f refined
+                    { step = !step; op; description; size; workload_error = err }))
+    end
+  done;
+  !sketch

@@ -1,0 +1,1 @@
+test/test_cst.ml: Alcotest Float List QCheck2 QCheck_alcotest Xtwig_cst Xtwig_datagen Xtwig_eval Xtwig_fixtures Xtwig_path

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Digest Float Lazy List Printf Xtwig_datagen Xtwig_eval Xtwig_hist Xtwig_path Xtwig_sketch Xtwig_synopsis Xtwig_xml

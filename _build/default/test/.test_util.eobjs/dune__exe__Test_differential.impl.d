@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Float Hashtbl Lazy List Printf Stdlib String Xtwig_cst Xtwig_datagen Xtwig_eval Xtwig_path Xtwig_sketch Xtwig_synopsis Xtwig_util Xtwig_workload Xtwig_xml

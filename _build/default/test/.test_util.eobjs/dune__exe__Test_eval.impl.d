@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array List QCheck2 QCheck_alcotest Xtwig_eval Xtwig_fixtures Xtwig_path Xtwig_xml

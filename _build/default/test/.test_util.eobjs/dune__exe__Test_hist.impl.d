@@ -1,0 +1,1 @@
+test/test_hist.ml: Alcotest Array Float List Printf QCheck2 QCheck_alcotest Stdlib Xtwig_hist

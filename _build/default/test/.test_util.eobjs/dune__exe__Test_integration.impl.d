@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Filename Fun Hashtbl List Printf Sys Xtwig_cst Xtwig_datagen Xtwig_eval Xtwig_path Xtwig_sketch Xtwig_synopsis Xtwig_util Xtwig_workload Xtwig_xml

@@ -1,0 +1,1 @@
+test/test_path.ml: Alcotest List QCheck2 QCheck_alcotest Xtwig_path Xtwig_xml

@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Array Float List Printf QCheck2 QCheck_alcotest String Xtwig_datagen Xtwig_eval Xtwig_fixtures Xtwig_hist Xtwig_path Xtwig_sketch Xtwig_synopsis Xtwig_util Xtwig_xml

@@ -1,0 +1,1 @@
+test/test_sketch.ml: Alcotest Array Float Fun List Option QCheck2 QCheck_alcotest Xtwig_datagen Xtwig_fixtures Xtwig_hist Xtwig_path Xtwig_sketch Xtwig_synopsis Xtwig_xml

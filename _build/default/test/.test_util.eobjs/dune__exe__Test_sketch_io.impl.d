@@ -1,0 +1,1 @@
+test/test_sketch_io.ml: Alcotest Array Filename Fun List String Sys Xtwig_datagen Xtwig_eval Xtwig_fixtures Xtwig_path Xtwig_sketch Xtwig_synopsis Xtwig_workload

@@ -1,0 +1,1 @@
+test/test_synopsis.ml: Alcotest Array List Option Printf QCheck2 QCheck_alcotest Xtwig_datagen Xtwig_fixtures Xtwig_synopsis Xtwig_xml

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List QCheck2 QCheck_alcotest Stdlib Xtwig_datagen Xtwig_eval Xtwig_path Xtwig_util Xtwig_workload Xtwig_xml

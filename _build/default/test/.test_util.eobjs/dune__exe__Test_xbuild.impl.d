@@ -1,0 +1,1 @@
+test/test_xbuild.ml: Alcotest Array Float Hashtbl List Printf Xtwig_datagen Xtwig_eval Xtwig_path Xtwig_sketch Xtwig_synopsis Xtwig_util Xtwig_workload

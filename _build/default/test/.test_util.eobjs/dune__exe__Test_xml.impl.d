@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array List Option QCheck2 QCheck_alcotest String Xtwig_fixtures Xtwig_xml

@@ -1,0 +1,150 @@
+module Trie = Xtwig_cst.Suffix_trie
+module Cst = Xtwig_cst.Cst
+module Eval = Xtwig_eval.Eval_twig
+module Fx = Xtwig_fixtures.Fixtures
+
+let checkf = Alcotest.(check (float 1e-6))
+let parse_t = Xtwig_path.Path_parser.twig_of_string
+
+let bib = Fx.bibliography ()
+
+(* ---------------- suffix trie ---------------- *)
+
+let test_trie_counts () =
+  let t = Trie.build bib in
+  Alcotest.(check (option int)) "//paper" (Some 4) (Trie.lookup t [ "paper" ]);
+  Alcotest.(check (option int)) "//author/paper" (Some 4)
+    (Trie.lookup t [ "author"; "paper" ]);
+  Alcotest.(check (option int)) "//paper/title" (Some 4)
+    (Trie.lookup t [ "paper"; "title" ]);
+  Alcotest.(check (option int)) "//book/title" (Some 1)
+    (Trie.lookup t [ "book"; "title" ]);
+  Alcotest.(check (option int)) "//title" (Some 5) (Trie.lookup t [ "title" ]);
+  Alcotest.(check (option int)) "unknown" None (Trie.lookup t [ "movie" ])
+
+let test_trie_anchored () =
+  let t = Trie.build bib in
+  Alcotest.(check (option int)) "/bibliography" (Some 1)
+    (Trie.lookup t [ Trie.anchor; "bibliography" ]);
+  Alcotest.(check (option int)) "/bibliography/author" (Some 3)
+    (Trie.lookup t [ Trie.anchor; "bibliography"; "author" ])
+
+let test_trie_existed () =
+  let t = Trie.build bib in
+  Alcotest.(check bool) "existing" true (Trie.existed t [ "author"; "paper" ]);
+  Alcotest.(check bool) "never" false (Trie.existed t [ "paper"; "author" ])
+
+let test_trie_prune_keeps_labels () =
+  let t = Trie.build bib in
+  let full = Trie.node_count t in
+  Trie.prune t ~budget_bytes:(12 * 8);
+  Alcotest.(check bool) "shrunk" true (Trie.node_count t < full);
+  (* depth-1 label counts always survive *)
+  Alcotest.(check (option int)) "//paper survives" (Some 4) (Trie.lookup t [ "paper" ]);
+  Alcotest.(check bool) "size accounting" true (Trie.size_bytes t = 12 * Trie.node_count t)
+
+(* ---------------- maximal overlap ---------------- *)
+
+let test_mo_exact_when_retained () =
+  let c = Cst.build bib in
+  checkf "//author/paper exact" 4.0 (Cst.path_count c ~anchored:false [ "author"; "paper" ]);
+  checkf "/bibliography/author" 3.0
+    (Cst.path_count c ~anchored:true [ "bibliography"; "author" ])
+
+let test_mo_markov_on_pruned () =
+  let c = Cst.build ~budget_bytes:(12 * 10) bib in
+  (* deep sequences got pruned; the Markov rule still gives a sensible
+     positive estimate for real paths *)
+  let est = Cst.path_count c ~anchored:false [ "author"; "paper"; "keyword" ] in
+  Alcotest.(check bool) "positive" true (est > 0.0);
+  Alcotest.(check bool) "bounded" true (est <= 12.0)
+
+let test_mo_impossible_is_zero () =
+  let c = Cst.build bib in
+  checkf "impossible" 0.0 (Cst.path_count c ~anchored:false [ "keyword"; "author" ])
+
+(* ---------------- twig estimation ---------------- *)
+
+let test_twig_chain () =
+  let c = Cst.build bib in
+  let q = parse_t "for t0 in //author, t1 in t0/paper, t2 in t1/keyword" in
+  checkf "chain twig" 6.0 (Cst.estimate c q)
+
+let test_twig_star_independence () =
+  let c = Cst.build bib in
+  (* papers x names per author under independence:
+     3 * (4/3) * (3/3) = 4 — happens to be exact here *)
+  let q = parse_t "for t0 in //author, t1 in t0/paper, t2 in t0/name" in
+  checkf "star" 4.0 (Cst.estimate c q)
+
+let test_twig_correlation_blindspot () =
+  (* CST cannot see the Figure 4 correlation: both documents get the
+     same (independence) estimate *)
+  let q = Fx.figure_4_query () in
+  let ca = Cst.build (Fx.figure_4_doc_a ()) in
+  let cb = Cst.build (Fx.figure_4_doc_b ()) in
+  checkf "same on both docs" (Cst.estimate ca q) (Cst.estimate cb q);
+  checkf "independence value" 6050.0 (Cst.estimate ca q)
+
+let test_twig_branch () =
+  let c = Cst.build bib in
+  let q = parse_t "for t0 in //author[book], t1 in t0/paper" in
+  (* existence fraction 1/3, papers per author 4/3: 3 * 1/3 * 4/3 *)
+  Alcotest.(check bool) "reasonable" true
+    (let e = Cst.estimate c q in
+     e > 0.5 && e < 4.0)
+
+let test_twig_absolute_root () =
+  let c = Cst.build bib in
+  let q = parse_t "for t0 in /bibliography/author/paper, t1 in t0/keyword" in
+  checkf "anchored twig" 6.0 (Cst.estimate c q)
+
+(* property: on generated documents, unpruned CST is exact for simple
+   child-axis path counts *)
+let prop_unpruned_paths_exact =
+  QCheck2.Test.make ~name:"unpruned CST exact on retained paths" ~count:20
+    QCheck2.Gen.(0 -- 1000)
+    (fun seed ->
+      let doc = Xtwig_datagen.Sprot.generate ~seed ~scale:0.02 () in
+      let c = Cst.build doc in
+      List.for_all
+        (fun labels ->
+          let p =
+            Xtwig_path.Path_types.(
+              { axis = Descendant; label = List.hd labels; vpred = None; branches = [] }
+              :: List.map (fun l -> Xtwig_path.Path_types.step l) (List.tl labels))
+          in
+          let truth =
+            float_of_int (Xtwig_eval.Eval_path.count doc ~from:None p)
+          in
+          Float.abs (Cst.path_count c ~anchored:false labels -. truth) < 1e-6)
+        [ [ "entry" ]; [ "entry"; "feature" ]; [ "feature"; "type" ]; [ "entry"; "keyword" ] ])
+
+let () =
+  Alcotest.run "cst"
+    [
+      ( "suffix-trie",
+        [
+          Alcotest.test_case "counts" `Quick test_trie_counts;
+          Alcotest.test_case "anchored lookups" `Quick test_trie_anchored;
+          Alcotest.test_case "existed" `Quick test_trie_existed;
+          Alcotest.test_case "pruning" `Quick test_trie_prune_keeps_labels;
+        ] );
+      ( "maximal-overlap",
+        [
+          Alcotest.test_case "exact when retained" `Quick test_mo_exact_when_retained;
+          Alcotest.test_case "markov on pruned" `Quick test_mo_markov_on_pruned;
+          Alcotest.test_case "impossible is zero" `Quick test_mo_impossible_is_zero;
+        ] );
+      ( "twigs",
+        [
+          Alcotest.test_case "chain" `Quick test_twig_chain;
+          Alcotest.test_case "star independence" `Quick test_twig_star_independence;
+          Alcotest.test_case "correlation blind spot" `Quick
+            test_twig_correlation_blindspot;
+          Alcotest.test_case "branch predicate" `Quick test_twig_branch;
+          Alcotest.test_case "absolute root" `Quick test_twig_absolute_root;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_unpruned_paths_exact ] );
+    ]

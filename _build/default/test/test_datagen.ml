@@ -1,0 +1,154 @@
+module Doc = Xtwig_xml.Doc
+module G = Xtwig_synopsis.Graph_synopsis
+module Xmark = Xtwig_datagen.Xmark
+module Imdb = Xtwig_datagen.Imdb
+module Sprot = Xtwig_datagen.Sprot
+
+let count_path doc s =
+  Xtwig_eval.Eval_path.count doc ~from:None (Xtwig_path.Path_parser.path_of_string s)
+
+(* full-scale generations are shared across tests *)
+let xmark = lazy (Xmark.generate ())
+let imdb = lazy (Imdb.generate ())
+let sprot = lazy (Sprot.generate ())
+
+let within_pct target pct actual =
+  Float.abs (float_of_int actual -. float_of_int target) /. float_of_int target
+  <= pct /. 100.0
+
+(* ---------------- Table 1 calibration ---------------- *)
+
+let test_element_counts () =
+  Alcotest.(check bool) "xmark ~103K" true
+    (within_pct 103_000 5.0 (Doc.size (Lazy.force xmark)));
+  Alcotest.(check bool) "imdb ~103K" true
+    (within_pct 103_000 5.0 (Doc.size (Lazy.force imdb)));
+  Alcotest.(check bool) "sprot ~70K" true
+    (within_pct 70_000 5.0 (Doc.size (Lazy.force sprot)))
+
+let test_determinism () =
+  let a = Imdb.generate ~seed:5 ~scale:0.01 () in
+  let b = Imdb.generate ~seed:5 ~scale:0.01 () in
+  Alcotest.(check int) "same size" (Doc.size a) (Doc.size b);
+  Alcotest.(check string) "same serialization"
+    (Digest.to_hex (Digest.string (Xtwig_xml.Xml_writer.to_string a)))
+    (Digest.to_hex (Digest.string (Xtwig_xml.Xml_writer.to_string b)))
+
+let test_seed_sensitivity () =
+  let a = Imdb.generate ~seed:5 ~scale:0.01 () in
+  let b = Imdb.generate ~seed:6 ~scale:0.01 () in
+  Alcotest.(check bool) "different docs" true
+    (Xtwig_xml.Xml_writer.to_string a <> Xtwig_xml.Xml_writer.to_string b)
+
+let test_scale_parameter () =
+  let small = Xmark.generate ~scale:0.1 () in
+  let full = Lazy.force xmark in
+  Alcotest.(check bool) "scale ~ 10x" true
+    (Doc.size full / Doc.size small >= 8 && Doc.size full / Doc.size small <= 12)
+
+(* ---------------- schema shape ---------------- *)
+
+let test_xmark_schema () =
+  let doc = Lazy.force xmark in
+  Alcotest.(check string) "root" "site" (Doc.tag_name doc (Doc.root doc));
+  Alcotest.(check bool) "items exist" true (count_path doc "//item" > 0);
+  Alcotest.(check bool) "six regions" true (count_path doc "/site/regions/africa" = 1);
+  Alcotest.(check bool) "persons" true (count_path doc "/site/people/person" > 0);
+  Alcotest.(check bool) "open auctions with bidders" true
+    (count_path doc "//open_auction/bidder/increase" > 0);
+  Alcotest.(check bool) "every item has a name" true
+    (count_path doc "//item" = count_path doc "//item[name]")
+
+let test_imdb_schema () =
+  let doc = Lazy.force imdb in
+  Alcotest.(check string) "root" "imdb" (Doc.tag_name doc (Doc.root doc));
+  Alcotest.(check bool) "movies" true (count_path doc "//movie" > 1000);
+  Alcotest.(check bool) "actors have names" true
+    (count_path doc "//actor" = count_path doc "//actor[name]");
+  Alcotest.(check bool) "genres attached" true
+    (count_path doc "//movie" = count_path doc "//movie[genre]")
+
+let test_sprot_schema () =
+  let doc = Lazy.force sprot in
+  Alcotest.(check string) "root" "sprot" (Doc.tag_name doc (Doc.root doc));
+  Alcotest.(check bool) "entries" true (count_path doc "//entry" > 1000);
+  Alcotest.(check bool) "features have positions" true
+    (count_path doc "//feature" = count_path doc "//feature[from][to]")
+
+(* ---------------- the correlations the experiments rely on ---------------- *)
+
+(* per-movie joint fanout expectation vs independence product: the
+   IMDB generator must be strongly correlated, the XMark-like items
+   must not be *)
+let joint_vs_indep doc parent_label c1 c2 =
+  let syn = G.label_split doc in
+  let p = List.hd (G.nodes_with_label syn parent_label) in
+  let n1 = List.hd (G.nodes_with_label syn c1) in
+  let n2 = List.hd (G.nodes_with_label syn c2) in
+  let sk = Xtwig_sketch.Sketch.coarsest syn in
+  let d =
+    Xtwig_sketch.Sketch.distribution sk p
+      [|
+        { Xtwig_sketch.Sketch.src = p; dst = n1; kind = Forward };
+        { Xtwig_sketch.Sketch.src = p; dst = n2; kind = Forward };
+      |]
+  in
+  let joint = Xtwig_hist.Sparse_dist.expected_product d ~over:[ 0; 1 ] in
+  let indep = Xtwig_hist.Sparse_dist.mean d 0 *. Xtwig_hist.Sparse_dist.mean d 1 in
+  joint /. indep
+
+let test_imdb_correlated () =
+  let r = joint_vs_indep (Imdb.generate ~scale:0.2 ()) "movie" "actor" "producer" in
+  Alcotest.(check bool) "actor x producer correlated (ratio > 1.3)" true (r > 1.3)
+
+let test_xmark_uncorrelated () =
+  let r = joint_vs_indep (Xmark.generate ~scale:0.2 ()) "item" "incategory" "photo" in
+  Alcotest.(check bool) "item fanouts near-independent" true
+    (r > 0.85 && r < 1.15)
+
+let test_imdb_genre_drives_structure () =
+  let doc = Imdb.generate ~scale:0.2 () in
+  (* movies with awards (drama/documentary) have far fewer actors than
+     movies with box_office (action/comedy) *)
+  let avg_actors filter =
+    let q =
+      Xtwig_path.Path_parser.twig_of_string
+        (Printf.sprintf "for t0 in //movie[%s], t1 in t0/actor" filter)
+    in
+    let tuples = Xtwig_eval.Eval_twig.selectivity doc q in
+    let movies = count_path doc (Printf.sprintf "//movie[%s]" filter) in
+    float_of_int tuples /. float_of_int (max 1 movies)
+  in
+  Alcotest.(check bool) "award-movies actor-poor vs box-office movies" true
+    (avg_actors "box_office" > 2.0 *. avg_actors "award")
+
+let test_sprot_regular () =
+  let doc = Sprot.generate ~scale:0.2 () in
+  let r = joint_vs_indep doc "entry" "feature" "keyword" in
+  Alcotest.(check bool) "sprot mild correlation" true (r > 0.8 && r < 1.3)
+
+let () =
+  Alcotest.run "datagen"
+    [
+      ( "calibration",
+        [
+          Alcotest.test_case "element counts (Table 1)" `Slow test_element_counts;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "scale parameter" `Slow test_scale_parameter;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "xmark" `Slow test_xmark_schema;
+          Alcotest.test_case "imdb" `Slow test_imdb_schema;
+          Alcotest.test_case "sprot" `Slow test_sprot_schema;
+        ] );
+      ( "correlations",
+        [
+          Alcotest.test_case "imdb is correlated" `Quick test_imdb_correlated;
+          Alcotest.test_case "xmark is not" `Quick test_xmark_uncorrelated;
+          Alcotest.test_case "genre drives structure" `Quick
+            test_imdb_genre_drives_structure;
+          Alcotest.test_case "sprot is regular" `Quick test_sprot_regular;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+module Doc = Xtwig_xml.Doc
+module Eval_path = Xtwig_eval.Eval_path
+module Eval_twig = Xtwig_eval.Eval_twig
+module Fx = Xtwig_fixtures.Fixtures
+open Xtwig_path.Path_types
+
+let parse_p = Xtwig_path.Path_parser.path_of_string
+let parse_t = Xtwig_path.Path_parser.twig_of_string
+
+let bib = Fx.bibliography ()
+
+let count_path doc s = Eval_path.count doc ~from:None (parse_p s)
+
+(* ---------------- value predicates ---------------- *)
+
+let test_value_pred_holds () =
+  let open Xtwig_xml.Value in
+  Alcotest.(check bool) "range in" true (Eval_path.value_pred_holds (Range (1.0, 3.0)) (Int 2));
+  Alcotest.(check bool) "range boundary" true
+    (Eval_path.value_pred_holds (Range (1.0, 3.0)) (Int 3));
+  Alcotest.(check bool) "range out" false
+    (Eval_path.value_pred_holds (Range (1.0, 3.0)) (Int 4));
+  Alcotest.(check bool) "gt" true (Eval_path.value_pred_holds (Cmp (Gt, Int 2000)) (Int 2001));
+  Alcotest.(check bool) "gt fails" false
+    (Eval_path.value_pred_holds (Cmp (Gt, Int 2000)) (Int 2000));
+  Alcotest.(check bool) "string eq" true
+    (Eval_path.value_pred_holds (Cmp (Eq, Text "x")) (Text "x"));
+  Alcotest.(check bool) "null never matches" false
+    (Eval_path.value_pred_holds (Cmp (Ne, Int 0)) Null);
+  Alcotest.(check bool) "numeric text coerces" true
+    (Eval_path.value_pred_holds (Cmp (Ge, Int 5)) (Text "7"))
+
+(* ---------------- path evaluation ---------------- *)
+
+let test_absolute_paths () =
+  Alcotest.(check int) "authors" 3 (count_path bib "/bibliography/author");
+  Alcotest.(check int) "papers" 4 (count_path bib "/bibliography/author/paper");
+  Alcotest.(check int) "keywords" 6 (count_path bib "/bibliography/author/paper/keyword");
+  Alcotest.(check int) "books" 1 (count_path bib "/bibliography/author/book");
+  Alcotest.(check int) "wrong root" 0 (count_path bib "/nope/author")
+
+let test_descendant_paths () =
+  Alcotest.(check int) "//paper" 4 (count_path bib "//paper");
+  Alcotest.(check int) "//keyword" 6 (count_path bib "//keyword");
+  Alcotest.(check int) "//title (papers+book)" 5 (count_path bib "//title");
+  Alcotest.(check int) "//author/paper" 4 (count_path bib "//author/paper");
+  Alcotest.(check int) "interior //" 5 (count_path bib "/bibliography//title")
+
+let test_value_predicates_on_paths () =
+  Alcotest.(check int) "recent years" 2 (count_path bib "//year[. > 2000]");
+  Alcotest.(check int) "range" 2 (count_path bib "//year[. in 1998 .. 1999]")
+
+let test_branch_predicates () =
+  Alcotest.(check int) "authors with book" 1 (count_path bib "//author[book]");
+  Alcotest.(check int) "authors with paper" 3 (count_path bib "//author[paper]");
+  Alcotest.(check int) "papers with recent year" 2
+    (count_path bib "//paper[year[. > 2000]]");
+  Alcotest.(check int) "nested branch" 1
+    (count_path bib "//author[book/title]");
+  Alcotest.(check int) "impossible branch" 0 (count_path bib "//author[movie]")
+
+let test_result_distinct_in_doc_order () =
+  let r = Eval_path.eval bib ~from:None (parse_p "//keyword") in
+  let sorted = List.sort_uniq compare r in
+  Alcotest.(check int) "distinct" (List.length r) (List.length sorted);
+  Alcotest.(check (list int)) "document order" sorted r
+
+let test_exists () =
+  let a = List.hd (Eval_path.eval bib ~from:None (parse_p "//author")) in
+  Alcotest.(check bool) "has name" true (Eval_path.exists bib ~from:a (parse_p "name"));
+  Alcotest.(check bool) "no movie" false (Eval_path.exists bib ~from:a (parse_p "movie"))
+
+(* ---------------- twig evaluation ---------------- *)
+
+let test_example_2_1 () =
+  Alcotest.(check int) "paper Example 2.1: 3 binding tuples" 3
+    (Eval_twig.selectivity bib (Fx.example_2_1_query ()))
+
+let test_figure_4 () =
+  let q = Fx.figure_4_query () in
+  Alcotest.(check int) "doc (a): 2000" 2000
+    (Eval_twig.selectivity (Fx.figure_4_doc_a ()) q);
+  Alcotest.(check int) "doc (b): 10100" 10100
+    (Eval_twig.selectivity (Fx.figure_4_doc_b ()) q)
+
+let test_single_node_twig () =
+  let q = parse_t "for t0 in //paper" in
+  Alcotest.(check int) "path-equivalent" 4 (Eval_twig.selectivity bib q)
+
+let test_chain_twig_equals_path () =
+  (* child-axis chains: tuple count equals endpoint count in a tree *)
+  let q = parse_t "for t0 in //author, t1 in t0/paper, t2 in t1/keyword" in
+  Alcotest.(check int) "chain = path count" 6 (Eval_twig.selectivity bib q)
+
+let test_star_twig_product () =
+  (* per author: papers x names; a1: 2x1, a2: 1x1, a3: 1x1 -> 4 *)
+  let q = parse_t "for t0 in //author, t1 in t0/paper, t2 in t0/name" in
+  Alcotest.(check int) "star product" 4 (Eval_twig.selectivity bib q)
+
+let test_self_join_twig () =
+  (* keyword pairs per paper: p4: 2x2, p5: 2x2, p8: 1, p9: 1 -> 10 *)
+  let q = parse_t "for t0 in //paper, t1 in t0/keyword, t2 in t0/keyword" in
+  Alcotest.(check int) "keyword pairs" 10 (Eval_twig.selectivity bib q)
+
+let test_zero_selectivity () =
+  let q = parse_t "for t0 in //author, t1 in t0/movie" in
+  Alcotest.(check int) "zero" 0 (Eval_twig.selectivity bib q)
+
+let test_bindings_match_selectivity () =
+  let q = Fx.example_2_1_query () in
+  let bs = Eval_twig.bindings bib q in
+  Alcotest.(check int) "3 tuples" 3 (List.length bs);
+  List.iter
+    (fun tuple ->
+      Alcotest.(check int) "tuple width = twig size" (twig_size q) (Array.length tuple);
+      (* every bound element carries the right tag *)
+      Alcotest.(check string) "t0 is author" "author" (Doc.tag_name bib tuple.(0));
+      Alcotest.(check string) "t4 is keyword" "keyword"
+        (Doc.tag_name bib tuple.(Array.length tuple - 1)))
+    bs
+
+let test_bindings_limit () =
+  let q = parse_t "for t0 in //paper, t1 in t0/keyword" in
+  Alcotest.(check int) "limit respected" 2 (List.length (Eval_twig.bindings ~limit:2 bib q))
+
+let test_bindings_count_figure4 () =
+  let q = Fx.figure_4_query () in
+  let doc = Fx.figure_4_doc_a () in
+  let bs = Eval_twig.bindings ~limit:5000 doc q in
+  Alcotest.(check int) "materialized = counted" 2000 (List.length bs);
+  let uniq = List.sort_uniq compare bs in
+  Alcotest.(check int) "all distinct" 2000 (List.length uniq)
+
+let test_shared_subtwig_physical () =
+  (* physically shared sub-twig values must not confuse the evaluator *)
+  let sub = { path = [ step "keyword" ]; subs = [] } in
+  let q = { path = [ step ~axis:Descendant "paper" ]; subs = [ sub; sub ] } in
+  Alcotest.(check int) "shared subs" 10 (Eval_twig.selectivity bib q)
+
+let test_node_matches () =
+  let q = Fx.example_2_1_query () in
+  Alcotest.(check int) "root matches = authors" 3 (Eval_twig.node_matches bib q)
+
+(* property: for random simple chains, twig selectivity equals path count *)
+let prop_chain_equals_path =
+  let doc = Fx.bibliography () in
+  let gen =
+    QCheck2.Gen.(
+      oneofl
+        [
+          "/bibliography/author";
+          "/bibliography/author/paper";
+          "/bibliography/author/paper/keyword";
+          "//paper/title";
+          "//book/title";
+          "//author/name";
+        ])
+  in
+  QCheck2.Test.make ~name:"chain twig = path count" ~count:50 gen (fun s ->
+      let p = parse_p s in
+      let t = { path = p; subs = [] } in
+      Eval_twig.selectivity doc t = Eval_path.count doc ~from:None p)
+
+let () =
+  Alcotest.run "evaluator"
+    [
+      ( "value-preds",
+        [ Alcotest.test_case "semantics" `Quick test_value_pred_holds ] );
+      ( "paths",
+        [
+          Alcotest.test_case "absolute" `Quick test_absolute_paths;
+          Alcotest.test_case "descendant" `Quick test_descendant_paths;
+          Alcotest.test_case "value predicates" `Quick test_value_predicates_on_paths;
+          Alcotest.test_case "branch predicates" `Quick test_branch_predicates;
+          Alcotest.test_case "distinct, ordered results" `Quick
+            test_result_distinct_in_doc_order;
+          Alcotest.test_case "exists" `Quick test_exists;
+        ] );
+      ( "twigs",
+        [
+          Alcotest.test_case "paper Example 2.1" `Quick test_example_2_1;
+          Alcotest.test_case "paper Figure 4" `Quick test_figure_4;
+          Alcotest.test_case "single node" `Quick test_single_node_twig;
+          Alcotest.test_case "chain equals path" `Quick test_chain_twig_equals_path;
+          Alcotest.test_case "star product" `Quick test_star_twig_product;
+          Alcotest.test_case "self join" `Quick test_self_join_twig;
+          Alcotest.test_case "zero selectivity" `Quick test_zero_selectivity;
+          Alcotest.test_case "node matches" `Quick test_node_matches;
+        ] );
+      ( "bindings",
+        [
+          Alcotest.test_case "match selectivity" `Quick test_bindings_match_selectivity;
+          Alcotest.test_case "limit" `Quick test_bindings_limit;
+          Alcotest.test_case "figure 4 materialization" `Quick
+            test_bindings_count_figure4;
+          Alcotest.test_case "shared sub-twigs" `Quick test_shared_subtwig_physical;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_chain_equals_path ] );
+    ]

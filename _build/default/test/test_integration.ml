@@ -1,0 +1,147 @@
+(* End-to-end scenarios across the whole stack: generate a document,
+   build synopses, compare estimators against exact evaluation — the
+   miniature version of the Section 6 experiments. *)
+
+module G = Xtwig_synopsis.Graph_synopsis
+module Sketch = Xtwig_sketch.Sketch
+module Est = Xtwig_sketch.Estimator
+module Xbuild = Xtwig_sketch.Xbuild
+module Cst = Xtwig_cst.Cst
+module Wgen = Xtwig_workload.Wgen
+module EM = Xtwig_workload.Error_metric
+module Prng = Xtwig_util.Prng
+
+let imdb = Xtwig_datagen.Imdb.generate ~scale:0.05 ()
+let xmark = Xtwig_datagen.Xmark.generate ~scale:0.05 ()
+
+let truth_of doc =
+  let cache = Hashtbl.create 512 in
+  fun q ->
+    let key = Xtwig_path.Path_printer.twig_to_string q in
+    match Hashtbl.find_opt cache key with
+    | Some v -> v
+    | None ->
+        let v = float_of_int (Xtwig_eval.Eval_twig.selectivity doc q) in
+        Hashtbl.add cache key v;
+        v
+
+let error_on doc sk queries =
+  let truth = truth_of doc in
+  let truths = Array.of_list (List.map truth queries) in
+  let estimates = Array.of_list (List.map (fun q -> Est.estimate sk q) queries) in
+  EM.average_error ~truths ~estimates
+
+(* ---------------- the paper's qualitative claims, miniature ---------------- *)
+
+let test_imdb_vs_xmark_coarse_gap () =
+  (* regular XMark must be much easier for the coarse summary than the
+     correlated IMDB (Figure 9a's two curves) *)
+  let queries doc =
+    Wgen.generate { Wgen.paper_p with n_queries = 60 } (Prng.create 1) doc
+  in
+  let e_imdb = error_on imdb (Sketch.default_of_doc imdb) (queries imdb) in
+  let e_xmark = error_on xmark (Sketch.default_of_doc xmark) (queries xmark) in
+  Alcotest.(check bool)
+    (Printf.sprintf "imdb %.3f >> xmark %.3f" e_imdb e_xmark)
+    true
+    (e_imdb > (1.4 *. e_xmark) +. 0.02)
+
+let test_refinement_beats_coarse_on_imdb () =
+  let queries =
+    Wgen.generate { Wgen.paper_p with n_queries = 50 } (Prng.create 2) imdb
+  in
+  let truth = truth_of imdb in
+  let workload prng ~focus =
+    Wgen.generate ~focus { Wgen.paper_p with n_queries = 8 } prng imdb
+  in
+  let coarse = Sketch.default_of_doc imdb in
+  let refined =
+    Xbuild.build ~seed:4 ~candidates:6 ~max_steps:60 ~workload ~truth ~budget:4000
+      imdb
+  in
+  let e0 = error_on imdb coarse queries in
+  let e1 = error_on imdb refined queries in
+  Alcotest.(check bool)
+    (Printf.sprintf "xbuild improves error (%.3f -> %.3f)" e0 e1)
+    true (e1 < e0)
+
+let test_xsketch_beats_cst_on_correlated_data () =
+  (* Figure 9(c): at comparable budgets, XSKETCH error < CST error on
+     correlated data *)
+  let queries =
+    Wgen.generate { Wgen.simple_paths with n_queries = 50 } (Prng.create 3) imdb
+  in
+  let truth = truth_of imdb in
+  let truths = Array.of_list (List.map truth queries) in
+  let workload prng ~focus =
+    Wgen.generate ~focus { Wgen.simple_paths with n_queries = 8 } prng imdb
+  in
+  let sk =
+    Xbuild.build ~seed:6 ~candidates:6 ~max_steps:50 ~workload ~truth ~budget:3000
+      imdb
+  in
+  let cst = Cst.build ~budget_bytes:(Sketch.size_bytes sk) imdb in
+  let e_x =
+    EM.average_error ~truths
+      ~estimates:(Array.of_list (List.map (fun q -> Est.estimate sk q) queries))
+  in
+  let e_c =
+    EM.average_error ~truths
+      ~estimates:(Array.of_list (List.map (fun q -> Cst.estimate cst q) queries))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "xsketch %.3f <= cst %.3f" e_x e_c)
+    true (e_x <= e_c +. 0.01)
+
+let test_negative_queries_near_zero () =
+  (* Section 6.1: "our synopses consistently give close to zero
+     estimates" for zero-selectivity queries *)
+  let sk = Sketch.default_of_doc imdb in
+  let negs =
+    Wgen.generate_negative { Wgen.paper_p with n_queries = 20 } (Prng.create 7) imdb
+  in
+  List.iter
+    (fun q ->
+      let est = Est.estimate sk q in
+      Alcotest.(check bool)
+        (Xtwig_path.Path_printer.twig_to_string q)
+        true (est < 1.0))
+    negs
+
+let test_xml_file_pipeline () =
+  (* serialize to a temp file, parse back, rebuild, estimate: the full
+     user-facing pipeline *)
+  let doc = Xtwig_datagen.Sprot.generate ~scale:0.02 () in
+  let path = Filename.temp_file "xtwig_test" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Xtwig_xml.Xml_writer.to_file path doc;
+      let doc2 = Xtwig_xml.Xml_parser.parse_file path in
+      Alcotest.(check int) "same size" (Xtwig_xml.Doc.size doc) (Xtwig_xml.Doc.size doc2);
+      let q =
+        Xtwig_path.Path_parser.twig_of_string
+          "for t0 in //entry, t1 in t0/feature, t2 in t1/type, t3 in t0/keyword"
+      in
+      Alcotest.(check int) "same selectivity"
+        (Xtwig_eval.Eval_twig.selectivity doc q)
+        (Xtwig_eval.Eval_twig.selectivity doc2 q);
+      let sk = Sketch.default_of_doc doc2 in
+      Alcotest.(check bool) "estimator runs" true (Est.estimate sk q >= 0.0))
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "imdb vs xmark coarse gap" `Slow
+            test_imdb_vs_xmark_coarse_gap;
+          Alcotest.test_case "xbuild beats coarse" `Slow
+            test_refinement_beats_coarse_on_imdb;
+          Alcotest.test_case "xsketch beats cst" `Slow
+            test_xsketch_beats_cst_on_correlated_data;
+          Alcotest.test_case "negative queries near zero" `Slow
+            test_negative_queries_near_zero;
+          Alcotest.test_case "xml file pipeline" `Quick test_xml_file_pipeline;
+        ] );
+    ]

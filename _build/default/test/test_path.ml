@@ -1,0 +1,226 @@
+open Xtwig_path.Path_types
+module Parser = Xtwig_path.Path_parser
+module Printer = Xtwig_path.Path_printer
+
+let path = Alcotest.testable Printer.pp_path (fun a b -> a = b)
+let twig_t = Alcotest.testable Printer.pp_twig equal_twig
+
+(* ---------------- parsing paths ---------------- *)
+
+let test_parse_simple () =
+  Alcotest.check path "a/b/c"
+    [ step "a"; step "b"; step "c" ]
+    (Parser.path_of_string "/a/b/c")
+
+let test_parse_descendant () =
+  Alcotest.check path "//a/b"
+    [ step ~axis:Descendant "a"; step "b" ]
+    (Parser.path_of_string "//a/b");
+  Alcotest.check path "interior //"
+    [ step "a"; step ~axis:Descendant "b" ]
+    (Parser.path_of_string "/a//b")
+
+let test_parse_relative_default_child () =
+  Alcotest.check path "bare label" [ step "a" ] (Parser.path_of_string "a")
+
+let test_parse_value_preds () =
+  Alcotest.check path "range"
+    [ step ~vpred:(Range (3.0, 7.0)) "a" ]
+    (Parser.path_of_string "/a[. in 3 .. 7]");
+  Alcotest.check path "cmp int"
+    [ step ~vpred:(Cmp (Gt, Xtwig_xml.Value.Int 2000)) "y" ]
+    (Parser.path_of_string "/y[. > 2000]");
+  Alcotest.check path "cmp string"
+    [ step ~vpred:(Cmp (Eq, Xtwig_xml.Value.Text "ok")) "s" ]
+    (Parser.path_of_string "/s[. = \"ok\"]")
+
+let test_parse_branches () =
+  let p = Parser.path_of_string "/a[b/c][d]/e" in
+  match p with
+  | [ s1; s2 ] ->
+      Alcotest.(check string) "first label" "a" s1.label;
+      Alcotest.(check int) "two branches" 2 (List.length s1.branches);
+      Alcotest.(check string) "second label" "e" s2.label;
+      Alcotest.check path "first branch" [ step "b"; step "c" ] (List.nth s1.branches 0)
+  | _ -> Alcotest.fail "expected two steps"
+
+let test_parse_nested_branch_with_pred () =
+  let p = Parser.path_of_string "/paper[year[. > 2000]]" in
+  match p with
+  | [ s ] -> (
+      match s.branches with
+      | [ [ b ] ] ->
+          Alcotest.(check string) "branch label" "year" b.label;
+          Alcotest.(check bool) "has vpred" true (b.vpred <> None)
+      | _ -> Alcotest.fail "expected one single-step branch")
+  | _ -> Alcotest.fail "expected one step"
+
+let test_parse_errors () =
+  let fails s =
+    match Parser.path_of_string s with
+    | exception Parser.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "empty" true (fails "");
+  Alcotest.(check bool) "trailing" true (fails "/a/");
+  Alcotest.(check bool) "bad range" true (fails "/a[. in 7 .. 3]");
+  Alcotest.(check bool) "unclosed bracket" true (fails "/a[b");
+  Alcotest.(check bool) "duplicate vpred" true (fails "/a[. > 1][. < 5]")
+
+(* ---------------- twigs ---------------- *)
+
+let test_twig_parse () =
+  let t = Parser.twig_of_string "for t0 in //m, t1 in t0/a, t2 in t0/b, t3 in t1/c" in
+  Alcotest.(check int) "size" 4 (twig_size t);
+  Alcotest.(check int) "root fanout" 2 (List.length t.subs);
+  Alcotest.(check (list int)) "fanouts" [ 2; 1 ] (twig_fanouts t)
+
+let test_twig_parse_no_for () =
+  let t = Parser.twig_of_string "x in //m, y in x/a" in
+  Alcotest.(check int) "size" 2 (twig_size t)
+
+let test_twig_parse_return_ignored () =
+  let t = Parser.twig_of_string "for t0 in //m, t1 in t0/a return t1" in
+  Alcotest.(check int) "size" 2 (twig_size t)
+
+let test_twig_errors () =
+  let fails s =
+    match Parser.twig_of_string s with
+    | exception Parser.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unbound var" true (fails "for t0 in //m, t1 in tX/a");
+  Alcotest.(check bool) "rebound var" true (fails "for t0 in //m, t0 in t0/a");
+  Alcotest.(check bool) "second absolute" true (fails "for t0 in //m, t1 in //n");
+  Alcotest.(check bool) "relative first" true (fails "for t0 in t1/a")
+
+let test_twig_labels () =
+  let t = Parser.twig_of_string "for t0 in //m[x/y], t1 in t0/a, t2 in t0/m" in
+  Alcotest.(check (list string)) "labels, deduped, in order" [ "m"; "x"; "y"; "a" ]
+    (twig_labels t)
+
+let test_twig_predicates_flags () =
+  let t1 = Parser.twig_of_string "for t0 in //m, t1 in t0/a" in
+  Alcotest.(check bool) "no preds" false (twig_has_value_pred t1 || twig_has_branches t1);
+  let t2 = Parser.twig_of_string "for t0 in //m[a], t1 in t0/b" in
+  Alcotest.(check bool) "branches" true (twig_has_branches t2);
+  let t3 = Parser.twig_of_string "for t0 in //m, t1 in t0/y[. > 3]" in
+  Alcotest.(check bool) "value pred" true (twig_has_value_pred t3)
+
+let test_twig_fold () =
+  let t = Parser.twig_of_string "for t0 in //m, t1 in t0/a, t2 in t1/b" in
+  let n = twig_fold t ~init:0 ~f:(fun acc _ -> acc + 1) in
+  Alcotest.(check int) "fold visits all" 3 n
+
+(* ---------------- round trips ---------------- *)
+
+let test_roundtrip_printer_parser () =
+  List.iter
+    (fun s ->
+      let p = Parser.path_of_string s in
+      let p2 = Parser.path_of_string (Printer.path_to_string p) in
+      Alcotest.check path ("roundtrip " ^ s) p p2)
+    [
+      "/a/b/c";
+      "//a/b";
+      "/a//b";
+      "/a[. in 1 .. 2]/b";
+      "/a[b/c][d]/e";
+      "/p[y[. > 2000]]/k";
+      "//site/regions//item[mailbox/mail]/name";
+    ]
+
+let test_twig_roundtrip () =
+  List.iter
+    (fun s ->
+      let t = Parser.twig_of_string s in
+      let t2 = Parser.twig_of_string (Printer.twig_to_string t) in
+      Alcotest.check twig_t ("roundtrip " ^ s) t t2)
+    [
+      "for t0 in //movie, t1 in t0/actor, t2 in t0/producer";
+      "for t0 in /a/b[c], t1 in t0/d[. in 0 .. 1], t2 in t1/e, t3 in t0/f";
+      "for t0 in //a, t1 in t0//b/c";
+    ]
+
+(* qcheck: generated twigs round-trip *)
+let gen_label = QCheck2.Gen.oneofl [ "a"; "bb"; "c0"; "movie"; "year" ]
+
+let gen_step =
+  QCheck2.Gen.(
+    map3
+      (fun axis label vp -> { axis; label; vpred = vp; branches = [] })
+      (oneofl [ Child; Descendant ])
+      gen_label
+      (oneof
+         [
+           return None;
+           map
+             (fun (a, b) ->
+               Some (Range (float_of_int (min a b), float_of_int (max a b))))
+             (pair small_int small_int);
+         ]))
+
+let gen_path =
+  QCheck2.Gen.(
+    map2 (fun first rest -> first :: rest) gen_step (list_size (0 -- 2) gen_step))
+
+let rec gen_twig depth =
+  QCheck2.Gen.(
+    if depth = 0 then map (fun p -> { path = p; subs = [] }) gen_path
+    else
+      map2
+        (fun p subs -> { path = p; subs })
+        gen_path
+        (list_size (0 -- 2) (gen_twig (depth - 1))))
+
+let prop_twig_roundtrip =
+  QCheck2.Test.make ~name:"twig print/parse roundtrip" ~count:200 (gen_twig 2)
+    (fun t ->
+      let t2 = Xtwig_path.Path_parser.twig_of_string (Printer.twig_to_string t) in
+      equal_twig t t2)
+
+let prop_path_roundtrip =
+  QCheck2.Test.make ~name:"path print/parse roundtrip" ~count:200 gen_path
+    (fun p ->
+      let p2 = Xtwig_path.Path_parser.path_of_string (Printer.path_to_string p) in
+      p = p2)
+
+let prop_size_positive =
+  QCheck2.Test.make ~name:"twig_size >= 1 and = |fold|" ~count:100 (gen_twig 3)
+    (fun t ->
+      twig_size t = twig_fold t ~init:0 ~f:(fun a _ -> a + 1) && twig_size t >= 1)
+
+let () =
+  Alcotest.run "pathlang"
+    [
+      ( "parse-paths",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "descendant" `Quick test_parse_descendant;
+          Alcotest.test_case "relative default child" `Quick
+            test_parse_relative_default_child;
+          Alcotest.test_case "value predicates" `Quick test_parse_value_preds;
+          Alcotest.test_case "branches" `Quick test_parse_branches;
+          Alcotest.test_case "nested branch with pred" `Quick
+            test_parse_nested_branch_with_pred;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "twigs",
+        [
+          Alcotest.test_case "parse" `Quick test_twig_parse;
+          Alcotest.test_case "parse without for" `Quick test_twig_parse_no_for;
+          Alcotest.test_case "return ignored" `Quick test_twig_parse_return_ignored;
+          Alcotest.test_case "errors" `Quick test_twig_errors;
+          Alcotest.test_case "labels" `Quick test_twig_labels;
+          Alcotest.test_case "predicate flags" `Quick test_twig_predicates_flags;
+          Alcotest.test_case "fold" `Quick test_twig_fold;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "paths" `Quick test_roundtrip_printer_parser;
+          Alcotest.test_case "twigs" `Quick test_twig_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_twig_roundtrip; prop_path_roundtrip; prop_size_positive ] );
+    ]

@@ -1,0 +1,329 @@
+module G = Xtwig_synopsis.Graph_synopsis
+module Sketch = Xtwig_sketch.Sketch
+module Est = Xtwig_sketch.Estimator
+module Ref = Xtwig_sketch.Refinement
+module Prng = Xtwig_util.Prng
+module Fx = Xtwig_fixtures.Fixtures
+
+let checkf = Alcotest.(check (float 1e-6))
+let parse_t = Xtwig_path.Path_parser.twig_of_string
+
+let bib = Fx.bibliography ()
+let coarse () = Sketch.default_of_doc bib
+
+let node sk label =
+  match G.nodes_with_label (Sketch.synopsis sk) label with
+  | n :: _ -> n
+  | [] -> Alcotest.failf "no %s node" label
+
+(* ---------------- structural refinements ---------------- *)
+
+let test_b_stabilize () =
+  let sk = coarse () in
+  let syn = Sketch.synopsis sk in
+  let t = node sk "title" in
+  let incoming = G.in_edges syn t in
+  let e = List.find (fun (e : G.edge) -> not e.b_stable) incoming in
+  let sk' = Ref.apply sk (Ref.B_stabilize { src = e.src; dst = e.dst }) in
+  let syn' = Sketch.synopsis sk' in
+  Alcotest.(check int) "node added" (G.node_count syn + 1) (G.node_count syn');
+  List.iter
+    (fun tn ->
+      List.iter
+        (fun (e : G.edge) -> Alcotest.(check bool) "b-stable now" true e.b_stable)
+        (G.in_edges syn' tn))
+    (G.nodes_with_label syn' "title")
+
+let test_f_stabilize_improves_estimate () =
+  (* author[book]: coarse gives 1.0 by uniformity; after f-stabilizing
+     author->book the split is exact *)
+  let sk = coarse () in
+  let a = node sk "author" and b = node sk "book" in
+  let sk' = Ref.apply sk (Ref.F_stabilize { src = a; dst = b }) in
+  let q = parse_t "for t0 in //author[book]" in
+  checkf "exact after split" 1.0 (Est.estimate sk' q);
+  (* and the authors node is now split 1 + 2 *)
+  let sizes =
+    List.sort compare
+      (List.map
+         (G.extent_size (Sketch.synopsis sk'))
+         (G.nodes_with_label (Sketch.synopsis sk') "author"))
+  in
+  Alcotest.(check (list int)) "split sizes" [ 1; 2 ] sizes
+
+let test_structural_noop () =
+  let sk = coarse () in
+  let a = node sk "author" and p = node sk "paper" in
+  (* author->paper already B-stable: applying b-stabilize is a no-op *)
+  let sk' = Ref.apply sk (Ref.B_stabilize { src = a; dst = p }) in
+  Alcotest.(check bool) "physically unchanged" true (sk' == sk)
+
+let test_histogram_carryover () =
+  (* after a split elsewhere, existing histograms are remapped, not
+     lost: paper keeps its 3 forward hists *)
+  let sk = coarse () in
+  let a = node sk "author" and b = node sk "book" in
+  let sk' = Ref.apply sk (Ref.F_stabilize { src = a; dst = b }) in
+  let p' = node sk' "paper" in
+  Alcotest.(check bool) "paper hists survive" true
+    (List.length (Sketch.hists sk' p') >= 3)
+
+(* ---------------- edge refinements ---------------- *)
+
+let test_edge_refine_grows () =
+  let sk = coarse () in
+  let p = node sk "paper" in
+  let k = node sk "keyword" in
+  (* refine the histogram whose distribution actually has support > 1
+     (keyword counts vary across papers); constant distributions cannot
+     use extra buckets *)
+  let hist =
+    let rec scan i = function
+      | [] -> Alcotest.fail "keyword hist missing"
+      | (spec : Sketch.hist_spec) :: rest ->
+          if List.exists (fun (d : Sketch.dim) -> d.dst = k) spec.dims then i
+          else scan (i + 1) rest
+    in
+    scan 0 (Sketch.config sk).especs.(p)
+  in
+  let sk' = Ref.apply sk (Ref.Edge_refine { node = p; hist; extra_buckets = 4 }) in
+  Alcotest.(check bool) "larger" true (Sketch.size_bytes sk' > Sketch.size_bytes sk);
+  let specs = (Sketch.config sk').especs.(p) in
+  Alcotest.(check int) "budget bumped" 5 (List.nth specs hist).Sketch.budget
+
+let test_edge_refine_cap () =
+  let sk = coarse () in
+  let p = node sk "paper" in
+  let sk' =
+    Ref.apply sk (Ref.Edge_refine { node = p; hist = 0; extra_buckets = 1000 })
+  in
+  Alcotest.(check int) "capped at 64" 64
+    (List.nth (Sketch.config sk').especs.(p) 0).Sketch.budget
+
+let test_edge_expand_merges () =
+  let sk = coarse () in
+  let p = node sk "paper" and k = node sk "keyword" and y = node sk "year" in
+  (* find the hist holding paper->keyword and expand it with paper->year *)
+  let hist_idx =
+    let rec scan i = function
+      | [] -> Alcotest.fail "keyword hist missing"
+      | (spec : Sketch.hist_spec) :: rest ->
+          if List.exists (fun (d : Sketch.dim) -> d.dst = k) spec.dims then i
+          else scan (i + 1) rest
+    in
+    scan 0 (Sketch.config sk).especs.(p)
+  in
+  let dim = { Sketch.src = p; dst = y; kind = Sketch.Forward } in
+  let sk' = Ref.apply sk (Ref.Edge_expand { node = p; dim; into = Some hist_idx }) in
+  (* year must have moved out of its own hist into the joint one *)
+  match Sketch.covering_hist sk' p dim with
+  | Some (dims, _, _) ->
+      Alcotest.(check int) "joint hist has 2 dims" 2 (Array.length dims);
+      (* no other hist still covers year *)
+      let owners =
+        List.filter
+          (fun (dims, _) -> Array.exists (fun (d : Sketch.dim) -> d = dim) dims)
+          (Sketch.hists sk' p)
+      in
+      Alcotest.(check int) "unique owner" 1 (List.length owners)
+  | None -> Alcotest.fail "expanded dim not covered"
+
+let test_edge_expand_fixes_figure4 () =
+  (* the paper's motivating fix: covering (a->b, a->c) jointly makes the
+     fig-4 estimate exact *)
+  let doc = Fx.figure_4_doc_a () in
+  let sk = Sketch.default_of_doc ~ebudget:8 doc in
+  let syn = Sketch.synopsis sk in
+  let a = List.hd (G.nodes_with_label syn "a") in
+  let b = List.hd (G.nodes_with_label syn "b") in
+  let c = List.hd (G.nodes_with_label syn "c") in
+  let q = Fx.figure_4_query () in
+  let before = Est.estimate sk q in
+  Alcotest.(check bool) "coarse is wrong" true (Float.abs (before -. 2000.0) > 1.0);
+  (* merge the two 1-d hists *)
+  let idx_of dst =
+    let rec scan i = function
+      | [] -> Alcotest.fail "hist missing"
+      | (spec : Sketch.hist_spec) :: rest ->
+          if List.exists (fun (d : Sketch.dim) -> d.dst = dst) spec.dims then i
+          else scan (i + 1) rest
+    in
+    scan 0 (Sketch.config sk).especs.(a)
+  in
+  let dim_c = { Sketch.src = a; dst = c; kind = Sketch.Forward } in
+  let sk' = Ref.apply sk (Ref.Edge_expand { node = a; dim = dim_c; into = Some (idx_of b) }) in
+  checkf "joint histogram is exact" 2000.0 (Est.estimate sk' q)
+
+let test_value_refine () =
+  let sk = coarse () in
+  let y = node sk "year" in
+  let sk' = Ref.apply sk (Ref.Value_refine { node = y; extra_buckets = 8 }) in
+  Alcotest.(check bool) "value hist grew" true
+    (match (Sketch.vhist sk' y, Sketch.vhist sk y) with
+    | Some h', Some h -> Xtwig_hist.Hist1d.bucket_count h' >= Xtwig_hist.Hist1d.bucket_count h
+    | _ -> false)
+
+let test_value_split_extension () =
+  (* split the movie fragment's type node by value, f-stabilize the
+     movie edges, and the genre-correlated join becomes exact *)
+  let doc = Fx.movie_fragment () in
+  let sk = Sketch.default_of_doc doc in
+  let syn = Sketch.synopsis sk in
+  let ty = List.hd (G.nodes_with_label syn "type") in
+  let q =
+    parse_t
+      "for t0 in //movie[type[. = \"Documentary\"]], t1 in t0/actor, t2 in \
+       t0/producer"
+  in
+  let truth = float_of_int (Xtwig_eval.Eval_twig.selectivity doc q) in
+  let before = Est.estimate sk q in
+  let sk = Ref.apply sk (Ref.Value_split { node = ty; ways = 3 }) in
+  let rec stabilize sk fuel =
+    if fuel = 0 then sk
+    else
+      let syn = Sketch.synopsis sk in
+      let unstable =
+        List.concat_map
+          (fun m ->
+            List.filter_map
+              (fun (e : G.edge) ->
+                if (not e.f_stable) && G.tag_name syn e.dst = "type" then
+                  Some (e.src, e.dst)
+                else None)
+              (G.out_edges syn m))
+          (G.nodes_with_label syn "movie")
+      in
+      match unstable with
+      | [] -> sk
+      | (src, dst) :: _ ->
+          stabilize (Ref.apply sk (Ref.F_stabilize { src; dst })) (fuel - 1)
+  in
+  let sk = stabilize sk 12 in
+  let after = Est.estimate sk q in
+  Alcotest.(check bool)
+    (Printf.sprintf "closer to truth %.1f (%.2f -> %.2f)" truth before after)
+    true
+    (Float.abs (after -. truth) < Float.abs (before -. truth));
+  Alcotest.(check (float 0.5)) "near exact" truth after
+
+let test_value_split_no_categorical_noop () =
+  let sk = coarse () in
+  let y = node sk "year" in
+  (* year holds numeric values only: value-split is a no-op *)
+  let sk' = Ref.apply sk (Ref.Value_split { node = y; ways = 4 }) in
+  Alcotest.(check bool) "unchanged" true (sk' == sk)
+
+(* ---------------- candidate generation ---------------- *)
+
+let test_gen_candidates_bounded () =
+  let sk = coarse () in
+  let prng = Prng.create 3 in
+  let pool = Ref.gen_candidates ~count:6 sk prng in
+  Alcotest.(check bool) "non-empty" true (pool <> []);
+  Alcotest.(check bool) "bounded" true (List.length pool <= 6);
+  (* no duplicates *)
+  Alcotest.(check int) "unique" (List.length pool)
+    (List.length (List.sort_uniq compare pool))
+
+let test_gen_candidates_structural_validity () =
+  let sk = coarse () in
+  let syn = Sketch.synopsis sk in
+  let prng = Prng.create 17 in
+  let pool = Ref.gen_candidates ~count:12 sk prng in
+  List.iter
+    (fun op ->
+      match op with
+      | Ref.B_stabilize { src; dst } -> (
+          match G.edge syn ~src ~dst with
+          | Some e -> Alcotest.(check bool) "targets unstable edge" false e.b_stable
+          | None -> Alcotest.fail "b-stabilize on a non-edge")
+      | Ref.F_stabilize { src; dst } -> (
+          match G.edge syn ~src ~dst with
+          | Some e -> Alcotest.(check bool) "targets unstable edge" false e.f_stable
+          | None -> Alcotest.fail "f-stabilize on a non-edge")
+      | Ref.Edge_refine { node; hist; _ } ->
+          Alcotest.(check bool) "hist exists" true
+            (hist < List.length (Sketch.config sk).especs.(node))
+      | Ref.Edge_expand _ | Ref.Value_refine _ | Ref.Value_split _ -> ())
+    pool
+
+let test_apply_all_candidates_safe () =
+  (* every generated candidate applies without raising and never
+     shrinks the synopsis *)
+  let sk = coarse () in
+  let prng = Prng.create 23 in
+  let pool = Ref.gen_candidates ~count:16 sk prng in
+  List.iter
+    (fun op ->
+      let sk' = Ref.apply sk op in
+      Alcotest.(check bool)
+        (Ref.describe sk op ^ " keeps estimates finite")
+        true
+        (Float.is_finite (Est.estimate sk' (parse_t "for t0 in //paper, t1 in t0/keyword"))))
+    pool
+
+let test_describe_and_touched () =
+  let sk = coarse () in
+  let a = node sk "author" and b = node sk "book" in
+  let op = Ref.F_stabilize { src = a; dst = b } in
+  Alcotest.(check bool) "describe mentions op" true
+    (String.length (Ref.describe sk op) > 0);
+  let labels = Ref.touched_labels sk op in
+  Alcotest.(check bool) "touches author" true (List.mem "author" labels);
+  Alcotest.(check bool) "touches book" true (List.mem "book" labels)
+
+(* property: applying any candidate preserves estimator sanity on a
+   randomly generated document *)
+let prop_apply_preserves_partition =
+  QCheck2.Test.make ~name:"apply keeps extents a partition" ~count:20
+    QCheck2.Gen.(0 -- 1000)
+    (fun seed ->
+      let doc = Xtwig_datagen.Imdb.generate ~seed ~scale:0.004 () in
+      let sk = Sketch.default_of_doc doc in
+      let prng = Prng.create seed in
+      let pool = Xtwig_sketch.Refinement.gen_candidates ~count:8 sk prng in
+      List.for_all
+        (fun op ->
+          let sk' = Xtwig_sketch.Refinement.apply sk op in
+          let syn = Sketch.synopsis sk' in
+          let total = ref 0 in
+          for n = 0 to G.node_count syn - 1 do
+            total := !total + G.extent_size syn n
+          done;
+          !total = Xtwig_xml.Doc.size doc)
+        pool)
+
+let () =
+  Alcotest.run "refinement"
+    [
+      ( "structural",
+        [
+          Alcotest.test_case "b-stabilize" `Quick test_b_stabilize;
+          Alcotest.test_case "f-stabilize improves estimate" `Quick
+            test_f_stabilize_improves_estimate;
+          Alcotest.test_case "no-op on stable edge" `Quick test_structural_noop;
+          Alcotest.test_case "histogram carryover" `Quick test_histogram_carryover;
+        ] );
+      ( "edge-and-value",
+        [
+          Alcotest.test_case "edge-refine grows" `Quick test_edge_refine_grows;
+          Alcotest.test_case "edge-refine cap" `Quick test_edge_refine_cap;
+          Alcotest.test_case "edge-expand merges scopes" `Quick test_edge_expand_merges;
+          Alcotest.test_case "edge-expand fixes Figure 4" `Quick
+            test_edge_expand_fixes_figure4;
+          Alcotest.test_case "value-refine" `Quick test_value_refine;
+          Alcotest.test_case "value-split extension" `Quick test_value_split_extension;
+          Alcotest.test_case "value-split numeric no-op" `Quick
+            test_value_split_no_categorical_noop;
+        ] );
+      ( "candidates",
+        [
+          Alcotest.test_case "bounded pool" `Quick test_gen_candidates_bounded;
+          Alcotest.test_case "structural validity" `Quick
+            test_gen_candidates_structural_validity;
+          Alcotest.test_case "apply is safe" `Quick test_apply_all_candidates_safe;
+          Alcotest.test_case "describe / touched labels" `Quick test_describe_and_touched;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_apply_preserves_partition ] );
+    ]

@@ -1,0 +1,108 @@
+module G = Xtwig_synopsis.Graph_synopsis
+module Sketch = Xtwig_sketch.Sketch
+module Sketch_io = Xtwig_sketch.Sketch_io
+module Est = Xtwig_sketch.Estimator
+module Ref = Xtwig_sketch.Refinement
+module Fx = Xtwig_fixtures.Fixtures
+
+let parse_t = Xtwig_path.Path_parser.twig_of_string
+
+let refined_sketch doc =
+  let sk = Sketch.default_of_doc doc in
+  let syn = Sketch.synopsis sk in
+  (* make the configuration non-trivial: a split and a budget bump *)
+  let sk =
+    match G.nodes_with_label syn "title" with
+    | t :: _ ->
+        let e = List.hd (G.in_edges syn t) in
+        Ref.apply sk (Ref.B_stabilize { src = e.src; dst = e.dst })
+    | [] -> sk
+  in
+  let syn = Sketch.synopsis sk in
+  match G.nodes_with_label syn "paper" with
+  | p :: _ when (Sketch.config sk).especs.(p) <> [] ->
+      Ref.apply sk (Ref.Edge_refine { node = p; hist = 0; extra_buckets = 4 })
+  | _ -> sk
+
+let queries =
+  [
+    "for t0 in //author, t1 in t0/paper, t2 in t1/keyword";
+    "for t0 in //paper[year[. > 2000]], t1 in t0/title";
+    "for t0 in //author[book], t1 in t0/name";
+  ]
+
+let test_roundtrip_estimates () =
+  let doc = Fx.bibliography () in
+  let sk = refined_sketch doc in
+  let sk' = Sketch_io.of_string doc (Sketch_io.to_string sk) in
+  Alcotest.(check int) "same size" (Sketch.size_bytes sk) (Sketch.size_bytes sk');
+  List.iter
+    (fun s ->
+      let q = parse_t s in
+      Alcotest.(check (float 1e-9)) s (Est.estimate sk q) (Est.estimate sk' q))
+    queries
+
+let test_roundtrip_file () =
+  let doc = Fx.bibliography () in
+  let sk = refined_sketch doc in
+  let path = Filename.temp_file "xtwig_sketch" ".sketch" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sketch_io.save sk path;
+      let sk' = Sketch_io.load doc path in
+      let q = parse_t (List.hd queries) in
+      Alcotest.(check (float 1e-9)) "file roundtrip" (Est.estimate sk q)
+        (Est.estimate sk' q))
+
+let test_document_mismatch () =
+  let doc = Fx.bibliography () in
+  let other = Fx.movie_fragment () in
+  let text = Sketch_io.to_string (Sketch.default_of_doc doc) in
+  Alcotest.(check bool) "mismatch refused" true
+    (match Sketch_io.of_string other text with
+    | exception Sketch_io.Format_error _ -> true
+    | _ -> false)
+
+let test_garbage_refused () =
+  let doc = Fx.bibliography () in
+  List.iter
+    (fun text ->
+      Alcotest.(check bool) ("refuses " ^ String.escaped text) true
+        (match Sketch_io.of_string doc text with
+        | exception Sketch_io.Format_error _ -> true
+        | _ -> false))
+    [
+      "";
+      "not a sketch\nelements 0\ntags x\nnodes 0\npartition \nend";
+      "xtwig-sketch v1\nelements 99\ntags x\nnodes 1\npartition 0*99\nend";
+    ]
+
+let test_roundtrip_after_xbuild () =
+  let doc = Xtwig_datagen.Imdb.generate ~scale:0.02 () in
+  let truth q = float_of_int (Xtwig_eval.Eval_twig.selectivity doc q) in
+  let workload prng ~focus =
+    Xtwig_workload.Wgen.generate ~focus
+      { Xtwig_workload.Wgen.paper_p with n_queries = 6 }
+      prng doc
+  in
+  let sk =
+    Xtwig_sketch.Xbuild.build ~seed:3 ~max_steps:25 ~budget:3000 ~workload ~truth doc
+  in
+  let sk' = Sketch_io.of_string doc (Sketch_io.to_string sk) in
+  let q = parse_t "for t0 in //movie, t1 in t0/actor, t2 in t0/producer" in
+  Alcotest.(check (float 1e-9)) "xbuild result roundtrips" (Est.estimate sk q)
+    (Est.estimate sk' q)
+
+let () =
+  Alcotest.run "sketch-io"
+    [
+      ( "persistence",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_roundtrip_estimates;
+          Alcotest.test_case "file roundtrip" `Quick test_roundtrip_file;
+          Alcotest.test_case "document mismatch" `Quick test_document_mismatch;
+          Alcotest.test_case "garbage refused" `Quick test_garbage_refused;
+          Alcotest.test_case "xbuild roundtrip" `Slow test_roundtrip_after_xbuild;
+        ] );
+    ]

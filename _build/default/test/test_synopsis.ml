@@ -1,0 +1,301 @@
+module G = Xtwig_synopsis.Graph_synopsis
+module Tsn = Xtwig_synopsis.Tsn
+module Doc = Xtwig_xml.Doc
+module Fx = Xtwig_fixtures.Fixtures
+
+let bib = Fx.bibliography ()
+
+let node_named syn label =
+  match G.nodes_with_label syn label with
+  | [ n ] -> n
+  | l -> Alcotest.failf "expected one %s node, got %d" label (List.length l)
+
+(* ---------------- label split ---------------- *)
+
+let test_label_split_counts () =
+  let syn = G.label_split bib in
+  Alcotest.(check int) "one node per tag" (Doc.tag_count bib) (G.node_count syn);
+  Alcotest.(check int) "author extent" 3 (G.extent_size syn (node_named syn "author"));
+  Alcotest.(check int) "paper extent" 4 (G.extent_size syn (node_named syn "paper"));
+  Alcotest.(check int) "keyword extent" 6 (G.extent_size syn (node_named syn "keyword"))
+
+let test_extent_partition () =
+  let syn = G.label_split bib in
+  let total = ref 0 in
+  for n = 0 to G.node_count syn - 1 do
+    total := !total + G.extent_size syn n;
+    Array.iter
+      (fun e ->
+        Alcotest.(check int) "node_of matches extent" n (G.node_of_elem syn e);
+        Alcotest.(check string) "uniform tag" (G.tag_name syn n) (Doc.tag_name bib e))
+      (G.extent syn n)
+  done;
+  Alcotest.(check int) "extents partition the document" (Doc.size bib) !total
+
+let test_root_node () =
+  let syn = G.label_split bib in
+  Alcotest.(check string) "root node tag" "bibliography"
+    (G.tag_name syn (G.root_node syn))
+
+(* ---------------- edges and stability ---------------- *)
+
+let test_edges () =
+  let syn = G.label_split bib in
+  let a = node_named syn "author" and p = node_named syn "paper" in
+  (match G.edge syn ~src:a ~dst:p with
+  | Some e ->
+      Alcotest.(check int) "4 paper edges" 4 e.count;
+      Alcotest.(check bool) "A->P backward stable (every paper under author)" true
+        e.b_stable;
+      Alcotest.(check bool) "A->P forward stable (every author has a paper)" true
+        e.f_stable
+  | None -> Alcotest.fail "author->paper edge missing");
+  Alcotest.(check (option bool)) "no keyword->author edge" None
+    (Option.map (fun _ -> true) (G.edge syn ~src:(node_named syn "keyword") ~dst:a))
+
+let test_fstability_book () =
+  let syn = G.label_split bib in
+  let a = node_named syn "author" and b = node_named syn "book" in
+  match G.edge syn ~src:a ~dst:b with
+  | Some e ->
+      Alcotest.(check bool) "A->B not F-stable (only a1 has a book)" false e.f_stable;
+      Alcotest.(check bool) "A->B backward stable" true e.b_stable;
+      Alcotest.(check int) "one book" 1 e.count
+  | None -> Alcotest.fail "author->book edge missing"
+
+let test_bstability_title () =
+  (* titles live under both paper and book: neither incoming edge is
+     B-stable *)
+  let syn = G.label_split bib in
+  let t = node_named syn "title" in
+  let incoming = G.in_edges syn t in
+  Alcotest.(check int) "two incoming edges" 2 (List.length incoming);
+  List.iter
+    (fun (e : G.edge) ->
+      Alcotest.(check bool) "title not B-stable" false e.b_stable)
+    incoming
+
+let test_src_with_child () =
+  let syn = G.label_split bib in
+  let a = node_named syn "author" and p = node_named syn "paper" in
+  match G.edge syn ~src:a ~dst:p with
+  | Some e -> Alcotest.(check int) "3 authors have papers" 3 e.src_with_child
+  | None -> Alcotest.fail "edge missing"
+
+let test_perfect_synopsis () =
+  let syn = G.perfect bib in
+  Alcotest.(check int) "one node per element" (Doc.size bib) (G.node_count syn);
+  (* every edge of a perfect synopsis of a tree is trivially stable *)
+  List.iter
+    (fun (e : G.edge) ->
+      Alcotest.(check bool) "b-stable" true e.b_stable;
+      Alcotest.(check bool) "f-stable" true e.f_stable;
+      Alcotest.(check int) "count 1" 1 e.count)
+    (G.edges syn)
+
+(* ---------------- splits ---------------- *)
+
+let test_split_by_parent () =
+  let syn = G.label_split bib in
+  let t = node_named syn "title" in
+  let syn' = G.split syn ~node:t ~group_of:(G.b_stabilize_groups syn ~dst:t) in
+  (* title splits into paper-titles and book-titles *)
+  Alcotest.(check int) "one extra node" (G.node_count syn + 1) (G.node_count syn');
+  let titles = G.nodes_with_label syn' "title" in
+  Alcotest.(check int) "two title nodes" 2 (List.length titles);
+  List.iter
+    (fun tn ->
+      List.iter
+        (fun (e : G.edge) ->
+          Alcotest.(check bool) "incoming edges now B-stable" true e.b_stable)
+        (G.in_edges syn' tn))
+    titles
+
+let test_split_noop () =
+  let syn = G.label_split bib in
+  let p = node_named syn "paper" in
+  (* papers all share the author parent: b-stabilize grouping is a no-op *)
+  let syn' = G.split syn ~node:p ~group_of:(G.b_stabilize_groups syn ~dst:p) in
+  Alcotest.(check bool) "physically unchanged" true (syn' == syn)
+
+let test_split_f_stabilize () =
+  let syn = G.label_split bib in
+  let a = node_named syn "author" and b = node_named syn "book" in
+  let syn' = G.split syn ~node:a ~group_of:(G.f_stabilize_groups syn ~dst:b) in
+  let authors = G.nodes_with_label syn' "author" in
+  Alcotest.(check int) "authors split in two" 2 (List.length authors);
+  let with_book =
+    List.filter
+      (fun n ->
+        match G.nodes_with_label syn' "book" with
+        | [ bn ] -> G.edge syn' ~src:n ~dst:bn <> None
+        | _ -> false)
+      authors
+  in
+  (match with_book with
+  | [ n ] -> (
+      Alcotest.(check int) "1 author with book" 1 (G.extent_size syn' n);
+      let bn = List.hd (G.nodes_with_label syn' "book") in
+      match G.edge syn' ~src:n ~dst:bn with
+      | Some e -> Alcotest.(check bool) "edge now F-stable" true e.f_stable
+      | None -> Alcotest.fail "edge vanished")
+  | _ -> Alcotest.fail "expected exactly one author node with book edge");
+  (* document partition is preserved *)
+  let total = ref 0 in
+  for n = 0 to G.node_count syn' - 1 do
+    total := !total + G.extent_size syn' n
+  done;
+  Alcotest.(check int) "still a partition" (Doc.size bib) !total
+
+let test_of_partition_validation () =
+  Alcotest.(check bool) "mixed tags rejected" true
+    (match G.of_partition bib (Array.make (Doc.size bib) 0) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "wrong length rejected" true
+    (match G.of_partition bib [| 0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------------- TSN ---------------- *)
+
+let test_b_stable_ancestors () =
+  let syn = G.label_split bib in
+  let k = node_named syn "keyword" in
+  let chain = Tsn.b_stable_ancestors syn k in
+  let names = List.map (G.tag_name syn) chain in
+  Alcotest.(check (list string)) "keyword chain"
+    [ "keyword"; "paper"; "author"; "bibliography" ]
+    names
+
+let test_b_stable_ancestors_break () =
+  let syn = G.label_split bib in
+  let t = node_named syn "title" in
+  let names = List.map (G.tag_name syn) (Tsn.b_stable_ancestors syn t) in
+  (* title has no B-stable incoming edge: the chain stops at itself *)
+  Alcotest.(check (list string)) "title chain" [ "title" ] names
+
+let test_scope_edges () =
+  let syn = G.label_split bib in
+  let p = node_named syn "paper" in
+  let scope = Tsn.scope_edges syn p in
+  let name (u, v) = (G.tag_name syn u, G.tag_name syn v) in
+  let names = List.map name scope in
+  (* F-stable out-edges of paper: title, year, keyword; of author: name,
+     paper; of bibliography: author. Book is not F-stable. *)
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "scope has %s->%s" (fst expected) (snd expected))
+        true (List.mem expected names))
+    [
+      ("paper", "title"); ("paper", "year"); ("paper", "keyword");
+      ("author", "name"); ("author", "paper"); ("bibliography", "author");
+    ];
+  Alcotest.(check bool) "book not in scope" false (List.mem ("author", "book") names)
+
+let test_eligible () =
+  let syn = G.label_split bib in
+  let p = node_named syn "paper" in
+  let a = node_named syn "author" in
+  let k = node_named syn "keyword" in
+  let b = node_named syn "book" in
+  Alcotest.(check bool) "own F-stable edge" true (Tsn.eligible syn p ~src:p ~dst:k);
+  Alcotest.(check bool) "ancestor edge" true (Tsn.eligible syn p ~src:a ~dst:p);
+  Alcotest.(check bool) "unstable edge refused" false (Tsn.eligible syn p ~src:a ~dst:b)
+
+let test_tsn_nodes_dedup () =
+  let syn = G.label_split bib in
+  let p = node_named syn "paper" in
+  let nodes = Tsn.nodes syn p in
+  Alcotest.(check int) "no duplicates" (List.length nodes)
+    (List.length (List.sort_uniq compare nodes))
+
+(* ---------------- structure bytes ---------------- *)
+
+let test_structure_bytes () =
+  let syn = G.label_split bib in
+  Alcotest.(check int) "8/node + 9/edge"
+    ((8 * G.node_count syn) + (9 * G.edge_count syn))
+    (G.structure_bytes syn)
+
+(* property: on random documents, stability flags match their definition *)
+let prop_stability_definition =
+  QCheck2.Test.make ~name:"stability flags match definitions" ~count:60
+    QCheck2.Gen.(0 -- 10_000)
+    (fun seed ->
+      let doc = Xtwig_datagen.Imdb.generate ~seed ~scale:0.002 () in
+      let syn = G.label_split doc in
+      List.for_all
+        (fun (e : G.edge) ->
+          let b_def =
+            Array.for_all
+              (fun el ->
+                match Doc.parent doc el with
+                | Some p -> G.node_of_elem syn p = e.src
+                | None -> false)
+              (G.extent syn e.dst)
+          in
+          let f_def =
+            Array.for_all
+              (fun el ->
+                Array.exists
+                  (fun k -> G.node_of_elem syn k = e.dst)
+                  (Doc.children doc el))
+              (G.extent syn e.src)
+          in
+          e.b_stable = b_def && e.f_stable = f_def)
+        (G.edges syn))
+
+let prop_split_preserves_partition =
+  QCheck2.Test.make ~name:"split preserves element partition" ~count:40
+    QCheck2.Gen.(pair (0 -- 1000) (0 -- 5))
+    (fun (seed, node_pick) ->
+      let doc = Xtwig_datagen.Sprot.generate ~seed ~scale:0.01 () in
+      let syn = G.label_split doc in
+      let n = node_pick mod G.node_count syn in
+      let syn' = G.split syn ~node:n ~group_of:(fun e -> e mod 2) in
+      let total = ref 0 in
+      for v = 0 to G.node_count syn' - 1 do
+        total := !total + G.extent_size syn' v
+      done;
+      !total = Doc.size doc)
+
+let () =
+  Alcotest.run "synopsis"
+    [
+      ( "label-split",
+        [
+          Alcotest.test_case "node counts" `Quick test_label_split_counts;
+          Alcotest.test_case "extents partition" `Quick test_extent_partition;
+          Alcotest.test_case "root node" `Quick test_root_node;
+        ] );
+      ( "stability",
+        [
+          Alcotest.test_case "edges" `Quick test_edges;
+          Alcotest.test_case "F-stability" `Quick test_fstability_book;
+          Alcotest.test_case "B-stability" `Quick test_bstability_title;
+          Alcotest.test_case "src_with_child" `Quick test_src_with_child;
+          Alcotest.test_case "perfect synopsis" `Quick test_perfect_synopsis;
+        ] );
+      ( "split",
+        [
+          Alcotest.test_case "b-stabilize split" `Quick test_split_by_parent;
+          Alcotest.test_case "no-op split" `Quick test_split_noop;
+          Alcotest.test_case "f-stabilize split" `Quick test_split_f_stabilize;
+          Alcotest.test_case "partition validation" `Quick test_of_partition_validation;
+        ] );
+      ( "tsn",
+        [
+          Alcotest.test_case "b-stable ancestors" `Quick test_b_stable_ancestors;
+          Alcotest.test_case "broken chain" `Quick test_b_stable_ancestors_break;
+          Alcotest.test_case "scope edges" `Quick test_scope_edges;
+          Alcotest.test_case "eligibility" `Quick test_eligible;
+          Alcotest.test_case "nodes dedup" `Quick test_tsn_nodes_dedup;
+        ] );
+      ( "size",
+        [ Alcotest.test_case "structure bytes" `Quick test_structure_bytes ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_stability_definition; prop_split_preserves_partition ] );
+    ]

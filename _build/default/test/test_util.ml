@@ -1,0 +1,201 @@
+module Prng = Xtwig_util.Prng
+module Zipf = Xtwig_util.Zipf
+module Stats = Xtwig_util.Stats
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_prng_determinism () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_prng_int_bounds () =
+  let g = Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_prng_int_range () =
+  let g = Prng.create 7 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    let x = Prng.int_range g 3 7 in
+    Alcotest.(check bool) "in [3,7]" true (x >= 3 && x <= 7);
+    seen.(x - 3) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_prng_float () =
+  let g = Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Prng.float g 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_prng_uniformity () =
+  let g = Prng.create 99 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Prng.int g 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "roughly uniform" true (frac > 0.08 && frac < 0.12))
+    buckets
+
+let test_prng_split_independent () =
+  let g = Prng.create 5 in
+  let h = Prng.split g in
+  let x = Prng.bits64 g and y = Prng.bits64 h in
+  Alcotest.(check bool) "split streams differ" true (x <> y)
+
+let test_chance_extremes () =
+  let g = Prng.create 3 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Prng.chance g 0.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always" true (Prng.chance g 1.0)
+  done
+
+let test_sample_weighted () =
+  let g = Prng.create 17 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 30_000 do
+    let i = Prng.sample_weighted g [| 1.0; 2.0; 7.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let f i = float_of_int counts.(i) /. 30_000.0 in
+  Alcotest.(check bool) "w0 ~ 0.1" true (Float.abs (f 0 -. 0.1) < 0.02);
+  Alcotest.(check bool) "w1 ~ 0.2" true (Float.abs (f 1 -. 0.2) < 0.02);
+  Alcotest.(check bool) "w2 ~ 0.7" true (Float.abs (f 2 -. 0.7) < 0.02)
+
+let test_shuffle_permutation () =
+  let g = Prng.create 4 in
+  let a = Array.init 20 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_geometric_mean () =
+  let g = Prng.create 21 in
+  let n = 50_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Prng.geometric g 0.5
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  (* mean of geometric(0.5) failures-before-success is 1 *)
+  Alcotest.(check bool) "mean near 1" true (Float.abs (mean -. 1.0) < 0.05)
+
+let test_zipf_support () =
+  let z = Zipf.create ~n:10 ~theta:1.0 in
+  let g = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let r = Zipf.sample z g in
+    Alcotest.(check bool) "rank in [1,10]" true (r >= 1 && r <= 10)
+  done
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:10 ~theta:1.2 in
+  let g = Prng.create 9 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 20_000 do
+    let r = Zipf.sample z g in
+    counts.(r - 1) <- counts.(r - 1) + 1
+  done;
+  Alcotest.(check bool) "rank 1 most frequent" true (counts.(0) > counts.(1));
+  Alcotest.(check bool) "monotone-ish tail" true (counts.(0) > 3 * counts.(9))
+
+let test_zipf_uniform_degenerate () =
+  let z = Zipf.create ~n:4 ~theta:0.0 in
+  check_float "uniform mean" 2.5 (Zipf.mean z)
+
+let test_zipf_mean_matches_samples () =
+  let z = Zipf.create ~n:20 ~theta:0.8 in
+  let g = Prng.create 31 in
+  let n = 50_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Zipf.sample z g
+  done;
+  let emp = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool) "empirical mean matches analytic" true
+    (Float.abs (emp -. Zipf.mean z) < 0.1)
+
+let test_stats_mean () =
+  check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  check_float "empty mean" 0.0 (Stats.mean [||]);
+  check_float "mean list" 2.5 (Stats.mean_list [ 2.0; 3.0 ])
+
+let test_stats_percentile () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p10" 10.0 (Stats.percentile xs 10.0);
+  check_float "p50" 50.0 (Stats.percentile xs 50.0);
+  check_float "p100" 100.0 (Stats.percentile xs 100.0);
+  check_float "median of singleton" 42.0 (Stats.median [| 42.0 |])
+
+let test_stats_percentile_unsorted () =
+  check_float "unsorted input" 2.0 (Stats.percentile [| 9.0; 2.0; 5.0; 1.0 |] 40.0)
+
+let test_stats_percentile_empty () =
+  Alcotest.check_raises "empty raises" (Invalid_argument "Stats.percentile: empty array")
+    (fun () -> ignore (Stats.percentile [||] 50.0))
+
+let test_stats_stddev () =
+  check_float "constant stddev" 0.0 (Stats.stddev [| 5.0; 5.0; 5.0 |]);
+  check_float "stddev" 2.0 (Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |])
+
+let test_stats_minmax () =
+  check_float "min" (-3.0) (Stats.minimum [| 1.0; -3.0; 2.0 |]);
+  check_float "max" 2.0 (Stats.maximum [| 1.0; -3.0; 2.0 |])
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int_range inclusive" `Quick test_prng_int_range;
+          Alcotest.test_case "float bounds" `Quick test_prng_float;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+          Alcotest.test_case "weighted sampling" `Quick test_sample_weighted;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "support" `Quick test_zipf_support;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "theta=0 degenerates to uniform" `Quick
+            test_zipf_uniform_degenerate;
+          Alcotest.test_case "analytic mean" `Quick test_zipf_mean_matches_samples;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile unsorted" `Quick test_stats_percentile_unsorted;
+          Alcotest.test_case "percentile empty" `Quick test_stats_percentile_empty;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "min/max" `Quick test_stats_minmax;
+        ] );
+    ]

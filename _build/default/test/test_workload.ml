@@ -1,0 +1,168 @@
+module Wgen = Xtwig_workload.Wgen
+module EM = Xtwig_workload.Error_metric
+module Prng = Xtwig_util.Prng
+module Doc = Xtwig_xml.Doc
+open Xtwig_path.Path_types
+
+let doc = Xtwig_datagen.Imdb.generate ~scale:0.05 ()
+
+let gen ?focus spec seed = Wgen.generate ?focus spec (Prng.create seed) doc
+
+(* ---------------- positivity and shape ---------------- *)
+
+let test_positive_by_construction () =
+  let qs = gen { Wgen.paper_p with n_queries = 40 } 1 in
+  Alcotest.(check int) "40 queries" 40 (List.length qs);
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Xtwig_path.Path_printer.twig_to_string q ^ " positive")
+        true
+        (Xtwig_eval.Eval_twig.selectivity doc q > 0))
+    qs
+
+let test_node_count_range () =
+  let spec = { Wgen.paper_p with n_queries = 60 } in
+  List.iter
+    (fun q ->
+      let n = twig_size q in
+      Alcotest.(check bool) "4-8 twig nodes" true
+        (n >= spec.Wgen.min_nodes && n <= spec.Wgen.max_nodes))
+    (gen spec 2)
+
+let test_p_workload_no_value_preds () =
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "no value predicate" false (twig_has_value_pred q))
+    (gen { Wgen.paper_p with n_queries = 40 } 3)
+
+let test_p_workload_has_branches () =
+  let qs = gen { Wgen.paper_p with n_queries = 40 } 4 in
+  let branchy = List.length (List.filter twig_has_branches qs) in
+  Alcotest.(check bool) "a good share of queries branch" true (branchy >= 10)
+
+let test_pv_workload_value_preds () =
+  let qs = gen { Wgen.paper_pv with n_queries = 60 } 5 in
+  let with_preds = List.length (List.filter twig_has_value_pred qs) in
+  (* around half, as in the paper *)
+  Alcotest.(check bool) "roughly half carry value predicates" true
+    (with_preds > 15 && with_preds < 50);
+  (* and they remain positive *)
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "positive with predicate" true
+        (Xtwig_eval.Eval_twig.selectivity doc q > 0))
+    qs
+
+let test_simple_paths_workload () =
+  let qs = gen { Wgen.simple_paths with n_queries = 40 } 6 in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "no branches" false (twig_has_branches q);
+      Alcotest.(check bool) "no value preds" false (twig_has_value_pred q))
+    qs
+
+let test_determinism () =
+  let a = gen { Wgen.paper_p with n_queries = 10 } 7 in
+  let b = gen { Wgen.paper_p with n_queries = 10 } 7 in
+  Alcotest.(check (list string)) "same queries"
+    (List.map Xtwig_path.Path_printer.twig_to_string a)
+    (List.map Xtwig_path.Path_printer.twig_to_string b)
+
+let test_focus_bias () =
+  let spec = { Wgen.paper_p with n_queries = 30 } in
+  let qs = gen ~focus:[ "review" ] spec 8 in
+  let mentioning =
+    List.length (List.filter (fun q -> List.mem "review" (twig_labels q)) qs)
+  in
+  Alcotest.(check bool) "most queries touch the focus label" true
+    (mentioning * 2 > List.length qs)
+
+let test_negative_workload () =
+  let qs = Wgen.generate_negative { Wgen.paper_p with n_queries = 20 } (Prng.create 9) doc in
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Xtwig_path.Path_printer.twig_to_string q)
+        0
+        (Xtwig_eval.Eval_twig.selectivity doc q))
+    qs
+
+let test_characteristics () =
+  let qs = gen { Wgen.paper_p with n_queries = 30 } 10 in
+  let avg_card, avg_fanout = Wgen.characteristics doc qs in
+  Alcotest.(check bool) "positive avg cardinality" true (avg_card > 0.0);
+  (* internal fanout sits in the paper's 1.5-2 territory *)
+  Alcotest.(check bool) "fanout plausible" true (avg_fanout >= 1.0 && avg_fanout <= 4.0)
+
+(* ---------------- error metric ---------------- *)
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_metric_perfect () =
+  let truths = [| 10.0; 100.0; 50.0 |] in
+  checkf "zero error" 0.0 (EM.average_error ~truths ~estimates:truths)
+
+let test_metric_sanity_bound () =
+  (* c=0 (negative query) doesn't divide by zero: uses the bound *)
+  let truths = [| 0.0; 100.0; 100.0; 100.0; 100.0; 100.0; 100.0; 100.0; 100.0; 100.0 |] in
+  let estimates = [| 50.0; 100.0; 100.0; 100.0; 100.0; 100.0; 100.0; 100.0; 100.0; 100.0 |] in
+  let m = EM.evaluate ~truths ~estimates in
+  checkf "sanity = p10 of positives" 100.0 m.EM.sanity;
+  checkf "error on the negative query" 0.5 m.EM.per_query.(0)
+
+let test_metric_low_count_damping () =
+  (* a tiny true count with a modest absolute error is not blown up:
+     with 20 queries the 10th percentile sits above the 1.0 outlier *)
+  let truths = Array.init 20 (fun i -> if i = 0 then 1.0 else float_of_int (i * 100)) in
+  let estimates = Array.copy truths in
+  estimates.(0) <- 10.0;
+  let m = EM.evaluate ~truths ~estimates in
+  Alcotest.(check (float 1e-9)) "sanity is the second-smallest" 100.0 m.EM.sanity;
+  Alcotest.(check bool) "damped by sanity bound" true (m.EM.per_query.(0) <= 0.1)
+
+let test_metric_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Error_metric.evaluate: length mismatch") (fun () ->
+      ignore (EM.evaluate ~truths:[| 1.0 |] ~estimates:[||]))
+
+let prop_metric_nonnegative =
+  QCheck2.Test.make ~name:"errors are non-negative" ~count:200
+    QCheck2.Gen.(
+      pair
+        (array_size (1 -- 20) (map float_of_int (0 -- 1000)))
+        (array_size (1 -- 20) (map float_of_int (0 -- 1000))))
+    (fun (a, b) ->
+      let n = Stdlib.min (Array.length a) (Array.length b) in
+      let truths = Array.sub a 0 n and estimates = Array.sub b 0 n in
+      let m = EM.evaluate ~truths ~estimates in
+      m.EM.average >= 0.0 && Array.for_all (fun e -> e >= 0.0) m.EM.per_query)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "positive by construction" `Quick
+            test_positive_by_construction;
+          Alcotest.test_case "node count range" `Quick test_node_count_range;
+          Alcotest.test_case "P: no value predicates" `Quick
+            test_p_workload_no_value_preds;
+          Alcotest.test_case "P: branches present" `Quick test_p_workload_has_branches;
+          Alcotest.test_case "P+V: value predicates" `Quick test_pv_workload_value_preds;
+          Alcotest.test_case "simple paths" `Quick test_simple_paths_workload;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "focus bias" `Quick test_focus_bias;
+          Alcotest.test_case "negative workload" `Quick test_negative_workload;
+          Alcotest.test_case "characteristics (Table 2)" `Quick test_characteristics;
+        ] );
+      ( "error-metric",
+        [
+          Alcotest.test_case "perfect estimates" `Quick test_metric_perfect;
+          Alcotest.test_case "sanity bound" `Quick test_metric_sanity_bound;
+          Alcotest.test_case "low-count damping" `Quick test_metric_low_count_damping;
+          Alcotest.test_case "length mismatch" `Quick test_metric_mismatch;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_metric_nonnegative ] );
+    ]
