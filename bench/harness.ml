@@ -46,6 +46,8 @@ let log fmt = Printf.ksprintf (fun s -> Printf.eprintf "[bench] %s\n%!" s) fmt
 (* ------------------------------------------------------------------ *)
 (* Truth oracles                                                       *)
 
+let t_truth = Xtwig_util.Counters.timer "bench.truth_ns"
+
 let truth_oracle doc =
   let cache : (string, float) Hashtbl.t = Hashtbl.create 4096 in
   fun q ->
@@ -53,9 +55,19 @@ let truth_oracle doc =
     match Hashtbl.find_opt cache key with
     | Some v -> v
     | None ->
-        let v = float_of_int (Xtwig_eval.Eval_twig.selectivity doc q) in
+        let v =
+          Xtwig_util.Counters.time t_truth @@ fun () ->
+          float_of_int (Xtwig_eval.Eval_twig.selectivity doc q)
+        in
         Hashtbl.add cache key v;
         v
+
+(* dump every registered counter/timer to stderr (XTWIG_COUNTERS=1) *)
+let report_counters () =
+  if Sys.getenv_opt "XTWIG_COUNTERS" <> None then
+    List.iter
+      (fun (n, v) -> Printf.eprintf "[counters] %-32s %d\n%!" n v)
+      (Xtwig_util.Counters.all ())
 
 let truths_of truth queries = Array.of_list (List.map truth queries)
 

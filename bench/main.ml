@@ -3,8 +3,11 @@
    micro-benchmarks. See EXPERIMENTS.md for the paper-vs-measured
    record produced from this output.
 
-   Usage: main.exe [table1|table2|fig9a|fig9b|fig9c|singlepath|ablation|micro|all]
-   (default: all). *)
+   Usage: main.exe
+   [table1|table2|fig9a|fig9b|fig9c|singlepath|ablation|micro|xbuild|all]
+   (default: all). [xbuild] times one full greedy construction and
+   writes its wall time, steps/sec and reuse/cache counters to
+   BENCH_xbuild.json. *)
 
 open Harness
 module Path_printer = Xtwig_path.Path_printer
@@ -332,6 +335,65 @@ let ablation () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* XBUILD inner-loop benchmark: wall time, steps/sec and the reuse /
+   cache counters of one full greedy construction, recorded to
+   BENCH_xbuild.json so the perf trajectory is tracked across PRs.    *)
+
+module Counters = Xtwig_util.Counters
+
+let xbuild_bench () =
+  print_header "XBUILD inner-loop benchmark (IMDB)";
+  let doc = Lazy.force (dataset "imdb").doc in
+  let truth = truth_oracle doc in
+  let scoring = { Wgen.paper_p with Wgen.n_queries = 14 } in
+  let workload prng ~focus = Wgen.generate ~focus scoring prng doc in
+  let coarse_bytes = Sketch.size_bytes (Sketch.default_of_doc doc) in
+  let budget = coarse_bytes * 16 in
+  let max_steps = 300 and seed = 7 and candidates = 8 in
+  (* resolve the dataset and force the generators out of the timing *)
+  Counters.reset_all ();
+  let steps = ref 0 and last_err = ref Float.nan in
+  let t0 = now () in
+  let final =
+    Xbuild.build ~seed ~candidates ~max_steps ~workload ~truth ~budget
+      ~on_step:(fun _ info ->
+        incr steps;
+        last_err := info.Xtwig_sketch.Xbuild.workload_error)
+      doc
+  in
+  let wall = now () -. t0 in
+  let steps_per_s = float_of_int !steps /. Stdlib.max 1e-9 wall in
+  let counters = Counters.all () in
+  print_row "%-28s %12.3f" "wall time (s)" wall;
+  print_row "%-28s %12d" "steps" !steps;
+  print_row "%-28s %12.2f" "steps/s" steps_per_s;
+  print_row "%-28s %12d" "final size (bytes)" (Sketch.size_bytes final);
+  List.iter (fun (n, v) -> print_row "%-28s %12d" n v) counters;
+  let oc = open_out "BENCH_xbuild.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"xbuild\",\n";
+  Printf.fprintf oc "  \"dataset\": \"IMDB\",\n";
+  Printf.fprintf oc "  \"scale\": %g,\n" scale;
+  Printf.fprintf oc "  \"seed\": %d,\n" seed;
+  Printf.fprintf oc "  \"candidates\": %d,\n" candidates;
+  Printf.fprintf oc "  \"max_steps\": %d,\n" max_steps;
+  Printf.fprintf oc "  \"budget_bytes\": %d,\n" budget;
+  Printf.fprintf oc "  \"wall_s\": %.3f,\n" wall;
+  Printf.fprintf oc "  \"steps\": %d,\n" !steps;
+  Printf.fprintf oc "  \"steps_per_s\": %.3f,\n" steps_per_s;
+  Printf.fprintf oc "  \"final_size_bytes\": %d,\n" (Sketch.size_bytes final);
+  Printf.fprintf oc "  \"final_workload_error\": %.6f,\n" !last_err;
+  Printf.fprintf oc "  \"counters\": {\n";
+  List.iteri
+    (fun i (n, v) ->
+      Printf.fprintf oc "    \"%s\": %d%s\n" n v
+        (if i = List.length counters - 1 then "" else ","))
+    counters;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  log "wrote BENCH_xbuild.json"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 
 let micro () =
@@ -359,6 +421,27 @@ let micro () =
       (* Figure 9(c): CST estimation *)
       Test.make ~name:"fig9c-cst-estimate"
         (Staged.stage (fun () -> ignore (Cst.estimate cst q)));
+      (* One XBUILD scoring step: apply + score a full candidate pool *)
+      (let step_sk = Sketch.default_of_doc small in
+       let step_truth = truth_oracle small in
+       let step_queries =
+         Wgen.generate { Wgen.paper_p with Wgen.n_queries = 14 }
+           (Prng.create 23) small
+       in
+       List.iter (fun sq -> ignore (step_truth sq)) step_queries;
+       let step_pool =
+         Xtwig_sketch.Refinement.gen_candidates ~count:8 step_sk
+           (Prng.create 29)
+       in
+       Test.make ~name:"xbuild-step-score-candidates"
+         (Staged.stage (fun () ->
+              List.iter
+                (fun op ->
+                  let refined = Xtwig_sketch.Refinement.apply step_sk op in
+                  ignore
+                    (Xbuild.workload_error refined ~truth:step_truth
+                       step_queries))
+                step_pool)));
     ]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
@@ -406,11 +489,13 @@ let () =
   | "negative" -> negative ()
   | "ablation" -> ablation ()
   | "micro" -> micro ()
+  | "xbuild" -> xbuild_bench ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
         "unknown benchmark %S (expected \
-         table1|table2|fig9a|fig9b|fig9c|singlepath|ablation|micro|all)\n"
+         table1|table2|fig9a|fig9b|fig9c|singlepath|ablation|micro|xbuild|all)\n"
         other;
       exit 1);
+  report_counters ();
   log "total wall time %.0fs" (now () -. t0)

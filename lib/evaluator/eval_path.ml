@@ -25,41 +25,64 @@ let value_pred_holds pred (v : Value.t) =
           | Text a, Text b -> test (String.compare a b)
           | _ -> false))
 
-(* Nodes reached from [from] by one application of the axis. *)
-let axis_candidates doc from axis =
-  match (from, axis) with
-  | None, Child -> [ Doc.root doc ]
-  | None, Descendant ->
-      let acc = ref [] in
-      Doc.iter doc (fun n -> acc := n :: !acc);
-      List.rev !acc
-  | Some n, Child -> Array.to_list (Doc.children doc n)
-  | Some n, Descendant ->
-      let acc = ref [] in
-      let rec go n =
-        Array.iter
-          (fun k ->
-            acc := k :: !acc;
-            go k)
-          (Doc.children doc n)
-      in
-      go n;
-      List.rev !acc
+(* Labels are matched on interned tag codes, and candidates for
+   root-anchored descendant steps come from the document's tag index,
+   so a ['//tag'] step costs O(|tag|) instead of a full-document scan
+   with a string comparison per node. Both enumerations preserve
+   document order, so result sets are unchanged. *)
 
-let rec step_matches doc s n =
-  String.equal (Doc.tag_name doc n) s.label
-  && (match s.vpred with
-     | None -> true
-     | Some p -> value_pred_holds p (Doc.value doc n))
+(* value- and branching-predicate checks for a node whose label is
+   already known to match *)
+let rec residual_matches doc s n =
+  (match s.vpred with
+  | None -> true
+  | Some p -> value_pred_holds p (Doc.value doc n))
   && List.for_all (fun b -> exists doc ~from:n b) s.branches
+
+and step_matches doc s n =
+  (match Doc.tag_of_string doc s.label with
+  | Some code -> Doc.tag doc n = code
+  | None -> false)
+  && residual_matches doc s n
+
+(* matches of one step, in document order *)
+and step_results doc from s =
+  match Doc.tag_of_string doc s.label with
+  | None -> []
+  | Some code -> (
+      match (from, s.axis) with
+      | None, Child ->
+          let r = Doc.root doc in
+          if Doc.tag doc r = code && residual_matches doc s r then [ r ]
+          else []
+      | None, Descendant ->
+          List.filter
+            (residual_matches doc s)
+            (Array.to_list (Doc.nodes_with_tag doc code))
+      | Some n, Child ->
+          Array.fold_right
+            (fun k acc ->
+              if Doc.tag doc k = code && residual_matches doc s k then k :: acc
+              else acc)
+            (Doc.children doc n) []
+      | Some n, Descendant ->
+          let acc = ref [] in
+          let rec go n =
+            Array.iter
+              (fun k ->
+                if Doc.tag doc k = code && residual_matches doc s k then
+                  acc := k :: !acc;
+                go k)
+              (Doc.children doc n)
+          in
+          go n;
+          List.rev !acc)
 
 and eval doc ~from p =
   match p with
   | [] -> ( match from with None -> [] | Some n -> [ n ])
   | s :: rest ->
-      let here =
-        List.filter (step_matches doc s) (axis_candidates doc from s.axis)
-      in
+      let here = step_results doc from s in
       if rest = [] then here
       else
         (* child-axis steps from distinct nodes yield distinct nodes; a
@@ -77,6 +100,39 @@ and eval doc ~from p =
               (eval doc ~from:(Some n) rest))
           here
 
-and exists doc ~from p = eval doc ~from:(Some from) p <> []
+(* existence only: stop at the first full match instead of
+   materializing the result set *)
+and exists doc ~from p =
+  match p with [] -> true | s :: rest -> exists_step doc (Some from) s rest
+
+and exists_step doc from s rest =
+  match Doc.tag_of_string doc s.label with
+  | None -> false
+  | Some code -> (
+      let check n =
+        Doc.tag doc n = code
+        && residual_matches doc s n
+        &&
+        match rest with
+        | [] -> true
+        | s' :: rest' -> exists_step doc (Some n) s' rest'
+      in
+      match (from, s.axis) with
+      | None, Child -> check (Doc.root doc)
+      | None, Descendant -> Array.exists check (Doc.nodes_with_tag doc code)
+      | Some n, Child -> Array.exists check (Doc.children doc n)
+      | Some n, Descendant ->
+          let exception Found in
+          let rec go n =
+            Array.iter
+              (fun k ->
+                if check k then raise Found;
+                go k)
+              (Doc.children doc n)
+          in
+          (try
+             go n;
+             false
+           with Found -> true))
 
 let count doc ~from p = List.length (eval doc ~from p)

@@ -36,13 +36,16 @@ let sat_mul a b =
 
 let selectivity doc t =
   let it = index_twig t in
-  let memo : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
-  (* tuples rooted at element [e] bound to twig node [tn] *)
+  let width = Array.length it.paths in
+  let memo : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  (* tuples rooted at element [e] bound to twig node [tn]; memo keys
+     are [e * width + tn] — unboxed ints hash and compare faster than
+     the equivalent pairs *)
   let rec tuples_at e tn =
     match it.subs.(tn) with
     | [] -> 1
     | subs -> (
-        let key = (tn, e) in
+        let key = (e * width) + tn in
         match Hashtbl.find_opt memo key with
         | Some v -> v
         | None ->

@@ -20,29 +20,63 @@ type t = {
   edge_tbl : (int * int, edge) Hashtbl.t;
   by_tag : (int, int list) Hashtbl.t; (* tag -> node ids *)
   root_node : int;
+  (* structural index: per element, its children bucketed by synopsis
+     node, in CSR form — [cc_node.(i), cc_count.(i)] for
+     [i in cc_off.(e) .. cc_off.(e+1) - 1], sorted by node id. Rebuilt
+     by [derive], so every [split] maintains it. *)
+  cc_off : int array;
+  cc_node : int array;
+  cc_count : int array;
 }
 
 let derive doc node_of =
   let n_elems = Doc.size doc in
   if Array.length node_of <> n_elems then
     invalid_arg "Graph_synopsis.of_partition: wrong array length";
-  (* dense renumbering in order of first appearance *)
-  let remap = Hashtbl.create 64 in
+  (* dense renumbering in order of first appearance; group ids from
+     every in-repo producer ([label_split], [perfect], [split]) are
+     small non-negative ints, so an array-backed remap applies — the
+     hashtable is only a fallback for exotic caller-supplied ids *)
   let n_nodes = ref 0 in
   let dense = Array.make n_elems 0 in
+  let lo = ref max_int and hi = ref min_int in
   for e = 0 to n_elems - 1 do
     let g = node_of.(e) in
-    let id =
-      match Hashtbl.find_opt remap g with
-      | Some id -> id
-      | None ->
+    if g < !lo then lo := g;
+    if g > !hi then hi := g
+  done;
+  if !lo >= 0 && !hi <= (2 * n_elems) + 64 then begin
+    let remap = Array.make (!hi + 1) (-1) in
+    for e = 0 to n_elems - 1 do
+      let g = node_of.(e) in
+      let id =
+        if remap.(g) >= 0 then remap.(g)
+        else begin
           let id = !n_nodes in
           incr n_nodes;
-          Hashtbl.add remap g id;
+          remap.(g) <- id;
           id
-    in
-    dense.(e) <- id
-  done;
+        end
+      in
+      dense.(e) <- id
+    done
+  end
+  else begin
+    let remap = Hashtbl.create 64 in
+    for e = 0 to n_elems - 1 do
+      let g = node_of.(e) in
+      let id =
+        match Hashtbl.find_opt remap g with
+        | Some id -> id
+        | None ->
+            let id = !n_nodes in
+            incr n_nodes;
+            Hashtbl.add remap g id;
+            id
+      in
+      dense.(e) <- id
+    done
+  end;
   let n_nodes = !n_nodes in
   let node_tag = Array.make n_nodes (-1) in
   let sizes = Array.make n_nodes 0 in
@@ -61,51 +95,94 @@ let derive doc node_of =
     extents.(v).(fill.(v)) <- e;
     fill.(v) <- fill.(v) + 1
   done;
-  (* edge aggregation *)
-  let counts : (int * int, int ref) Hashtbl.t = Hashtbl.create 256 in
-  let parents_seen : (int * int, int ref) Hashtbl.t = Hashtbl.create 256 in
-  (* src_with_child: count elements of src with >=1 child in dst *)
-  let bump tbl key =
-    match Hashtbl.find_opt tbl key with
-    | Some r -> incr r
-    | None -> Hashtbl.add tbl key (ref 1)
+  (* One pass over elements builds both the CSR child-count-by-node
+     index (a sorted run-length encoding of child node ids per
+     element) and the edge aggregates: count(u,v) is the sum of v-runs
+     over u's elements, src_with_child(u,v) the number of u-elements
+     carrying a v-run. Edges are tallied under the int key
+     [u * n_nodes + v] — this loop runs once per split *candidate* in
+     XBUILD, so it avoids tuple boxing and per-element allocations. *)
+  let cc_off = Array.make (n_elems + 1) 0 in
+  let cap = ref (n_elems + (n_elems / 2) + 16) in
+  let cc_node = ref (Array.make !cap 0) in
+  let cc_count = ref (Array.make !cap 0) in
+  let cc_len = ref 0 in
+  let push v c =
+    if !cc_len = !cap then begin
+      let ncap = 2 * !cap in
+      let nn = Array.make ncap 0 and nc = Array.make ncap 0 in
+      Array.blit !cc_node 0 nn 0 !cc_len;
+      Array.blit !cc_count 0 nc 0 !cc_len;
+      cc_node := nn;
+      cc_count := nc;
+      cap := ncap
+    end;
+    !cc_node.(!cc_len) <- v;
+    !cc_count.(!cc_len) <- c;
+    incr cc_len
   in
-  let seen_child = Hashtbl.create 256 in
-  for e = 0 to n_elems - 1 do
-    match Doc.parent doc e with
-    | None -> ()
-    | Some p ->
-        let u = dense.(p) and v = dense.(e) in
-        bump counts (u, v);
-        (* parent-level distinct (p, v) pairs for src_with_child *)
-        if not (Hashtbl.mem seen_child (p, v)) then begin
-          Hashtbl.add seen_child (p, v) ();
-          bump parents_seen (u, v)
-        end
+  (* scratch multiplicity per node for the current element *)
+  let scratch = Array.make n_nodes 0 in
+  let touched = Array.make n_nodes 0 in
+  let ecounts : (int, int ref * int ref) Hashtbl.t = Hashtbl.create 256 in
+  for el = 0 to n_elems - 1 do
+    let kids = Doc.children doc el in
+    let nk = Array.length kids in
+    let nt = ref 0 in
+    for i = 0 to nk - 1 do
+      let id = dense.(kids.(i)) in
+      if scratch.(id) = 0 then begin
+        touched.(!nt) <- id;
+        Stdlib.incr nt
+      end;
+      scratch.(id) <- scratch.(id) + 1
+    done;
+    let tn = !nt in
+    (* insertion sort: elements have few distinct child nodes *)
+    for i = 1 to tn - 1 do
+      let x = touched.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && touched.(!j) > x do
+        touched.(!j + 1) <- touched.(!j);
+        decr j
+      done;
+      touched.(!j + 1) <- x
+    done;
+    let u = dense.(el) in
+    for i = 0 to tn - 1 do
+      let v = touched.(i) in
+      let c = scratch.(v) in
+      scratch.(v) <- 0;
+      push v c;
+      let key = (u * n_nodes) + v in
+      match Hashtbl.find_opt ecounts key with
+      | Some (cnt, swc) ->
+          cnt := !cnt + c;
+          swc := !swc + 1
+      | None -> Hashtbl.add ecounts key (ref c, ref 1)
+    done;
+    cc_off.(el + 1) <- cc_off.(el) + tn
   done;
-  (* elements of dst whose parent lies in src, per (src,dst): equals
-     counts since each element has one parent; b-stable iff
-     counts(u,v) = |v| AND only edge into v from u?? No: each element
-     of v contributes exactly one incoming document edge, so
-     counts(u,v) = number of v-elements whose parent is in u.
-     b_stable(u,v) <=> counts(u,v) = |v| (minus root handling). *)
+  let cc_node = Array.sub !cc_node 0 (Stdlib.max 1 !cc_len) in
+  let cc_count = Array.sub !cc_count 0 (Stdlib.max 1 !cc_len) in
+  (* count(u,v) = number of v-elements whose parent is in u (each
+     element has exactly one parent); b_stable(u,v) <=> count = |v|,
+     f_stable(u,v) <=> src_with_child = |u| *)
   let edge_tbl = Hashtbl.create 256 in
   let out = Array.make n_nodes [] in
   let inc = Array.make n_nodes [] in
   Hashtbl.iter
-    (fun (u, v) cnt ->
-      let src_with_child =
-        match Hashtbl.find_opt parents_seen (u, v) with
-        | Some r -> !r
-        | None -> 0
-      in
+    (fun key (cnt, swc) ->
+      let u = key / n_nodes and v = key mod n_nodes in
       let b_stable = !cnt = sizes.(v) in
-      let f_stable = src_with_child = sizes.(u) in
-      let e = { src = u; dst = v; count = !cnt; src_with_child; b_stable; f_stable } in
+      let f_stable = !swc = sizes.(u) in
+      let e =
+        { src = u; dst = v; count = !cnt; src_with_child = !swc; b_stable; f_stable }
+      in
       Hashtbl.add edge_tbl (u, v) e;
       out.(u) <- e :: out.(u);
       inc.(v) <- e :: inc.(v))
-    counts;
+    ecounts;
   for v = 0 to n_nodes - 1 do
     out.(v) <- List.sort (fun a b -> compare a.dst b.dst) out.(v);
     inc.(v) <- List.sort (fun a b -> compare a.src b.src) inc.(v)
@@ -127,6 +204,9 @@ let derive doc node_of =
     edge_tbl;
     by_tag;
     root_node = dense.(Doc.root doc);
+    cc_off;
+    cc_node;
+    cc_count;
   }
 
 let of_partition doc node_of = derive doc node_of
@@ -152,6 +232,25 @@ let nodes_with_label t label =
   match Doc.tag_of_string t.doc label with
   | None -> []
   | Some tag -> nodes_with_tag t tag
+
+let child_count t e z =
+  let lo = ref t.cc_off.(e) and hi = ref t.cc_off.(e + 1) in
+  let found = ref 0 in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = t.cc_node.(mid) in
+    if v = z then begin
+      found := t.cc_count.(mid);
+      lo := !hi
+    end
+    else if v < z then lo := mid + 1
+    else hi := mid
+  done;
+  !found
+
+let child_nodes_of_elem t e =
+  let lo = t.cc_off.(e) and hi = t.cc_off.(e + 1) in
+  List.init (hi - lo) (fun i -> (t.cc_node.(lo + i), t.cc_count.(lo + i)))
 
 let edge t ~src ~dst = Hashtbl.find_opt t.edge_tbl (src, dst)
 let out_edges t v = t.out.(v)

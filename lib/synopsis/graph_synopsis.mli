@@ -69,6 +69,17 @@ val nodes_with_tag : t -> Xtwig_xml.Doc.tag -> int list
 val nodes_with_label : t -> string -> int list
 (** Nodes whose tag has the given name ([] for unknown labels). *)
 
+val child_count : t -> int -> int -> int
+(** [child_count t e z]: number of children of document element [e]
+    lying in synopsis node [z] — the forward-count primitive of edge
+    distributions, answered in [O(log deg)] from a per-document
+    structural index (element children bucketed by synopsis node)
+    that every {!split} maintains. *)
+
+val child_nodes_of_elem : t -> int -> (int * int) list
+(** [(node, count)] pairs for the children of one element, sorted by
+    node id. *)
+
 val edge : t -> src:int -> dst:int -> edge option
 val out_edges : t -> int -> edge list
 (** Edges leaving a node, ordered by destination id. *)

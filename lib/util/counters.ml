@@ -1,0 +1,58 @@
+type t = { cname : string; cell : int Atomic.t }
+
+(* The registry is only mutated by [counter], which callers invoke at
+   module-initialization time (before domains spawn); increments on
+   registered counters are atomic and domain-safe. *)
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+let registry_lock = Mutex.create ()
+
+let counter name =
+  Mutex.lock registry_lock;
+  let c =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { cname = name; cell = Atomic.make 0 } in
+        Hashtbl.add registry name c;
+        c
+  in
+  Mutex.unlock registry_lock;
+  c
+
+let incr ?(by = 1) t = ignore (Atomic.fetch_and_add t.cell by)
+let value t = Atomic.get t.cell
+let name t = t.cname
+
+(* ------------------------------------------------------------------ *)
+
+let timer = counter
+
+let now_ns = Monotonic_clock.now
+
+let time t f =
+  let t0 = now_ns () in
+  Fun.protect
+    ~finally:(fun () -> incr ~by:(Int64.to_int (Int64.sub (now_ns ()) t0)) t)
+    f
+
+(* ------------------------------------------------------------------ *)
+
+let reset_all () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry;
+  Mutex.unlock registry_lock
+
+let all () =
+  Mutex.lock registry_lock;
+  let l = Hashtbl.fold (fun n c acc -> (n, value c) :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.sort compare l
+
+let get name =
+  Mutex.lock registry_lock;
+  let v = match Hashtbl.find_opt registry name with
+    | Some c -> value c
+    | None -> 0
+  in
+  Mutex.unlock registry_lock;
+  v

@@ -1,0 +1,51 @@
+(** Lightweight global performance counters and monotonic timers.
+
+    Counters are registered once (typically at module initialization)
+    and incremented from anywhere — including worker domains: cells are
+    {!Atomic.t}, so concurrent increments from XBUILD's parallel
+    candidate scoring are safe. The benchmark harness resets them
+    before a run and reports the totals afterwards, which is how the
+    perf trajectory of the build inner loop is tracked across PRs
+    (see DESIGN.md "Performance").
+
+    Timers are counters accumulating monotonic nanoseconds. *)
+
+type t
+(** A named counter. *)
+
+val counter : string -> t
+(** [counter name] returns the counter registered under [name],
+    creating it on first use. Names are global; two calls with the
+    same name share one cell. *)
+
+val incr : ?by:int -> t -> unit
+(** Atomic increment (default [by] = 1). *)
+
+val value : t -> int
+
+val name : t -> string
+
+(** {1 Timers} *)
+
+val timer : string -> t
+(** A counter meant to accumulate elapsed monotonic nanoseconds.
+    Conventionally named with an [.ns] suffix. *)
+
+val now_ns : unit -> int64
+(** Monotonic clock ([CLOCK_MONOTONIC]), nanoseconds from an arbitrary
+    origin. *)
+
+val time : t -> (unit -> 'a) -> 'a
+(** [time t f] runs [f] and adds its elapsed monotonic nanoseconds to
+    [t], also on exception. *)
+
+(** {1 Registry} *)
+
+val reset_all : unit -> unit
+(** Zero every registered counter (values only; registration is kept). *)
+
+val all : unit -> (string * int) list
+(** Every registered counter with its current value, sorted by name. *)
+
+val get : string -> int
+(** Current value of the named counter; 0 when never registered. *)

@@ -9,6 +9,7 @@ type ebranch = {
 }
 
 type enode = {
+  eid : int;
   snode : int;
   vpred : value_pred option;
   branches : ebranch list list;
@@ -63,8 +64,19 @@ let take_capped cap l =
   end
   else l
 
+let t_embed = Xtwig_util.Counters.timer "embed.ns"
+
 let embeddings ?(max_alternatives = 64) syn twig =
+  Xtwig_util.Counters.time t_embed @@ fun () ->
   truncated := false;
+  (* embedding-node ids: dense, unique within one [embeddings] result
+     (across all returned roots) — estimator memo tables key on them *)
+  let next_eid = ref 0 in
+  let fresh_eid () =
+    let i = !next_eid in
+    Stdlib.incr next_eid;
+    i
+  in
   let max_len = Doc.max_depth (G.doc syn) + 1 in
   (* chains embedding a whole path: lists of items, first step first *)
   let rec path_chains from steps : item list list =
@@ -130,22 +142,83 @@ let embeddings ?(max_alternatives = 64) syn twig =
             | [] -> assert false
             | [ it ] ->
                 {
+                  eid = fresh_eid ();
                   snode = it.inode;
                   vpred = it.ivpred;
                   branches = it.ibranches;
                   kids = kid_alts;
                 }
             | it :: rest ->
+                let inner = wrap rest in
                 {
+                  eid = fresh_eid ();
                   snode = it.inode;
                   vpred = it.ivpred;
                   branches = it.ibranches;
-                  kids = [ [ wrap rest ] ];
+                  kids = [ [ inner ] ];
                 }
           in
           Some (wrap items)
   in
   embed_twig None twig
+
+(* ------------------------------------------------------------------ *)
+(* Embedding cache                                                     *)
+
+module Counters = Xtwig_util.Counters
+
+let c_hits = Counters.counter "embed.cache_hits"
+let c_misses = Counters.counter "embed.cache_misses"
+
+type cache = {
+  csyn : G.t;
+  tbl : (string, enode list * bool) Hashtbl.t;
+  mutable frozen : bool;
+}
+
+let create_cache syn = { csyn = syn; tbl = Hashtbl.create 64; frozen = false }
+let cache_synopsis c = c.csyn
+let freeze c = c.frozen <- true
+let thaw c = c.frozen <- false
+
+let embeddings_cached cache ?(max_alternatives = 64) syn twig =
+  if syn != cache.csyn then begin
+    (* a different synopsis: the cache does not apply *)
+    Counters.incr c_misses;
+    embeddings ~max_alternatives syn twig
+  end
+  else
+    let key =
+      Printf.sprintf "%d#%s" max_alternatives
+        (Xtwig_path.Path_printer.twig_to_string twig)
+    in
+    match Hashtbl.find_opt cache.tbl key with
+    | Some (roots, trunc) ->
+        Counters.incr c_hits;
+        truncated := trunc;
+        roots
+    | None ->
+        Counters.incr c_misses;
+        let roots = embeddings ~max_alternatives syn twig in
+        (* worker domains read a frozen cache concurrently; only the
+           main domain may insert, and only while the cache is thawed *)
+        if (not cache.frozen) && Domain.is_main_domain () then
+          Hashtbl.replace cache.tbl key (roots, !truncated);
+        roots
+
+let visited_nodes roots =
+  let seen = Hashtbl.create 32 in
+  let rec walk_b (b : ebranch) =
+    Hashtbl.replace seen b.bnode ();
+    List.iter (List.iter walk_b) b.bsubs
+  in
+  let rec walk (e : enode) =
+    Hashtbl.replace seen e.snode ();
+    List.iter (List.iter walk_b) e.branches;
+    List.iter (List.iter walk) e.kids
+  in
+  List.iter walk roots;
+  List.sort_uniq compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
 
 let rec size e =
   1 + List.fold_left (fun a alts -> List.fold_left (fun a k -> a + size k) a alts) 0 e.kids

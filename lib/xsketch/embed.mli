@@ -28,6 +28,10 @@ type ebranch = {
 }
 
 type enode = {
+  eid : int;
+      (** dense id, unique within one {!embeddings} result — the
+          estimator keys its per-traversal memo tables on it instead
+          of hashing enode structure *)
   snode : int;  (** synopsis node *)
   vpred : Xtwig_path.Path_types.value_pred option;
   branches : ebranch list list;
@@ -55,6 +59,48 @@ val embeddings :
 
 val last_truncated : unit -> bool
 (** Whether the most recent {!embeddings} call hit a cap. *)
+
+(** {1 Embedding cache}
+
+    Embeddings depend only on the synopsis {e graph} and the query —
+    not on histograms — so every non-structural refinement candidate
+    scored by XBUILD shares one enumeration. A cache is keyed to one
+    synopsis by physical identity; queries against any other synopsis
+    bypass it. Hits and misses are counted under [embed.cache_hits] /
+    [embed.cache_misses] in {!Xtwig_util.Counters}. *)
+
+type cache
+
+val create_cache : Xtwig_synopsis.Graph_synopsis.t -> cache
+
+val cache_synopsis : cache -> Xtwig_synopsis.Graph_synopsis.t
+(** The synopsis the cache is keyed to. *)
+
+val freeze : cache -> unit
+(** Stop accepting insertions. XBUILD freezes the cache (after warming
+    it with the step's queries) before fanning candidate scoring out
+    to worker domains, which then share it read-only. *)
+
+val thaw : cache -> unit
+(** Re-enable insertions (main domain only). *)
+
+val embeddings_cached :
+  cache ->
+  ?max_alternatives:int ->
+  Xtwig_synopsis.Graph_synopsis.t ->
+  Xtwig_path.Path_types.twig ->
+  enode list
+(** As {!embeddings}, consulting the cache when the given synopsis is
+    the cache's. Also restores the {!last_truncated} flag of the
+    cached enumeration. Insertions happen only on the main domain
+    while the cache is thawed. *)
+
+val visited_nodes : enode list -> int list
+(** Sorted distinct synopsis nodes referenced anywhere in the given
+    embeddings — chain nodes, alternatives and branching-predicate
+    nodes. An estimate reads sketch data only at these nodes, which is
+    what lets XBUILD reuse a base estimate for refinement candidates
+    that change none of them. *)
 
 val size : enode -> int
 (** Number of embedding nodes, counting each alternative (branch

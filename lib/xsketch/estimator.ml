@@ -2,22 +2,24 @@ module G = Xtwig_synopsis.Graph_synopsis
 module Edge_hist = Xtwig_hist.Edge_hist
 open Embed
 
-(* Edges referenced by any histogram dimension in the subtree of an
-   embedding node: if an upstream bucket enumeration fixes one of
-   these, the subtree's value depends on it and must be recomputed per
-   bucket. *)
-let rec subtree_needs sketch (e : enode) : (int * int) list =
-  let own =
-    List.concat_map
-      (fun ((dims : Sketch.dim array), _) ->
-        Array.to_list (Array.map (fun (d : Sketch.dim) -> (d.src, d.dst)) dims))
-      (Sketch.hists sketch e.snode)
-  in
-  List.sort_uniq compare
-    (own
-    @ List.concat_map
-        (fun alts -> List.concat_map (fun k -> subtree_needs sketch k) alts)
-        e.kids)
+(* Synopsis edges are keyed as [src * node_count + dst] throughout the
+   traversal: the environment and the per-subtree "needs" sets live on
+   hot paths (consulted per bucket combination), so they use plain
+   integer keys instead of tuples and structural hashing. *)
+
+let rec env_find (key : int) (env : (int * (float * float)) list) =
+  match env with
+  | [] -> None
+  | (k, v) :: rest -> if k = key then Some v else env_find key rest
+
+let rec env_mem (key : int) (env : (int * (float * float)) list) =
+  match env with
+  | [] -> false
+  | (k, _) :: rest -> k = key || env_mem key rest
+
+let rec mem_int (x : int) = function
+  | [] -> false
+  | (k : int) :: rest -> k = x || mem_int x rest
 
 let vfrac sketch snode = function
   | None -> 1.0
@@ -45,10 +47,10 @@ let rec branch_frac sketch u (alts : ebranch list) =
    taken from the environment when an enumerated histogram fixed it —
    this is what correlates branching predicates with structural-join
    counts once edge-expand covers the branch edge. *)
-let branch_frac_env sketch u env (alts : ebranch list) =
+let branch_frac_env sketch nn u env (alts : ebranch list) =
   let one (b : ebranch) =
     let expected =
-      match List.assoc_opt (u, b.bnode) env with
+      match env_find ((u * nn) + b.bnode) env with
       (* conditioned on the enumerated bucket: correlates the branch
          with the structural-join counts *)
       | Some (_, p1) -> p1
@@ -64,34 +66,55 @@ let branch_frac_env sketch u env (alts : ebranch list) =
   in
   Stdlib.min 1.0 (List.fold_left (fun acc b -> acc +. one b) 0.0 alts)
 
-let all_branch_fracs_env sketch u env (preds : ebranch list list) =
-  List.fold_left (fun acc alts -> acc *. branch_frac_env sketch u env alts) 1.0 preds
+let all_branch_fracs_env sketch nn u env (preds : ebranch list list) =
+  List.fold_left
+    (fun acc alts -> acc *. branch_frac_env sketch nn u env alts)
+    1.0 preds
 
 (* ------------------------------------------------------------------ *)
 
-(* Environment of expanded edge counts: edge -> (representative count,
-   within-bucket P(count >= 1)), threaded top-down so that
+(* Environment of expanded edge counts: edge key -> (representative
+   count, within-bucket P(count >= 1)), threaded top-down so that
    backward-count dimensions and branch existence can condition on the
    counts chosen upstream (the correlation sets D_i). *)
-type env = ((int * int) * (float * float)) list
 
 let estimate_embedding sketch (root : enode) =
   let syn = Sketch.synopsis sketch in
-  (* per-enode subtree needs, computed once per traversal *)
-  let memo_needs = Hashtbl.create 64 in
-  let rec fill (e : enode) =
-    Hashtbl.replace memo_needs (Obj.repr e) (subtree_needs sketch e);
-    List.iter (fun alts -> List.iter fill alts) e.kids
+  let nn = G.node_count syn in
+  let ekey u v = (u * nn) + v in
+  (* Edges referenced by any histogram dimension in the subtree of an
+     embedding node: if an upstream bucket enumeration fixes one of
+     these, the subtree's value depends on it and must be recomputed
+     per bucket. Memoized per enode id for the traversal. *)
+  let memo_needs : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let rec needs_of (e : enode) : int list =
+    match Hashtbl.find_opt memo_needs e.eid with
+    | Some l -> l
+    | None ->
+        let own =
+          List.concat_map
+            (fun ((dims : Sketch.dim array), _) ->
+              Array.to_list
+                (Array.map (fun (d : Sketch.dim) -> ekey d.src d.dst) dims))
+            (Sketch.hists sketch e.snode)
+        in
+        let l =
+          List.sort_uniq compare
+            (own
+            @ List.concat_map
+                (fun alts -> List.concat_map needs_of alts)
+                e.kids)
+        in
+        Hashtbl.add memo_needs e.eid l;
+        l
   in
-  fill root;
-  let needs_of (e : enode) = Hashtbl.find memo_needs (Obj.repr e) in
   (* expected number of tuple extensions below [e], per element bound
      to [e] *)
-  let rec expand (e : enode) (env : env) : float =
+  let rec expand (e : enode) (env : (int * (float * float)) list) : float =
     let n = e.snode in
     let hs = Sketch.hists sketch n in
     let hist_edges ((dims : Sketch.dim array), _) =
-      Array.to_list (Array.map (fun (d : Sketch.dim) -> (d.src, d.dst)) dims)
+      Array.to_list (Array.map (fun (d : Sketch.dim) -> ekey d.src d.dst) dims)
     in
     (* is the edge to an alternative covered by histogram [i]? *)
     let covering_idx (a : enode) =
@@ -108,7 +131,7 @@ let estimate_embedding sketch (root : enode) =
        must be enumerated too *)
     let branch_first_edges =
       List.concat_map
-        (fun alts -> List.map (fun (b : ebranch) -> (n, b.bnode)) alts)
+        (fun alts -> List.map (fun (b : ebranch) -> ekey n b.bnode) alts)
         e.branches
     in
     (* histograms needing bucket enumeration: they cover some
@@ -122,9 +145,9 @@ let estimate_embedding sketch (root : enode) =
              List.exists (fun a -> covering_idx a = Some i) all_alts
              ||
              let es = hist_edges h in
-             List.exists (fun ed -> List.mem ed es) branch_first_edges
+             List.exists (fun ed -> mem_int ed es) branch_first_edges
              || List.exists
-                  (fun a -> List.exists (fun ed -> List.mem ed es) (needs_of a))
+                  (fun a -> List.exists (fun ed -> mem_int ed es) (needs_of a))
                   all_alts)
            hs)
     in
@@ -140,7 +163,7 @@ let estimate_embedding sketch (root : enode) =
     (* one alternative's full contribution: count factor x value *)
     let alt_contrib (a : enode) env' ~fixed =
       let count =
-        match List.assoc_opt (n, a.snode) env' with
+        match env_find (ekey n a.snode) env' with
         | Some (c, _) -> c
         | None -> Sketch.avg_fanout sketch ~src:n ~dst:a.snode
       in
@@ -149,8 +172,8 @@ let estimate_embedding sketch (root : enode) =
     in
     (* does this alternative's contribution change per bucket? *)
     let alt_dep (a : enode) =
-      List.mem (n, a.snode) enum_edges
-      || List.exists (fun ed -> List.mem ed enum_edges) (needs_of a)
+      mem_int (ekey n a.snode) enum_edges
+      || List.exists (fun ed -> mem_int ed enum_edges) (needs_of a)
     in
     (* kid contributions that do not depend on the bucket combo *)
     let kid_dep = List.map (fun alts -> List.exists alt_dep alts) e.kids in
@@ -175,7 +198,7 @@ let estimate_embedding sketch (root : enode) =
           List.iteri
             (fun j a ->
               let subtree_dep =
-                List.exists (fun ed -> List.mem ed enum_edges) (needs_of a)
+                List.exists (fun ed -> mem_int ed enum_edges) (needs_of a)
               in
               if not subtree_dep then
                 Hashtbl.replace fixed_values (i, j) (alt_value a env))
@@ -183,7 +206,7 @@ let estimate_embedding sketch (root : enode) =
       e.kids;
     (* does the node's own branch factor vary with the bucket combo? *)
     let branch_dep =
-      List.exists (fun ed -> List.mem ed enum_edges) branch_first_edges
+      List.exists (fun ed -> mem_int ed enum_edges) branch_first_edges
     in
     (* sum over the bucket combos of the enumerated histograms *)
     let rec combos hlist env' acc_w =
@@ -191,7 +214,7 @@ let estimate_embedding sketch (root : enode) =
       | [] ->
           let factor = ref 1.0 in
           if branch_dep then
-            factor := all_branch_fracs_env sketch n env' e.branches;
+            factor := all_branch_fracs_env sketch nn n env' e.branches;
           List.iteri
             (fun i alts ->
               if List.nth kid_dep i then begin
@@ -210,7 +233,7 @@ let estimate_embedding sketch (root : enode) =
           let ctx = ref [] in
           Array.iteri
             (fun di (d : Sketch.dim) ->
-              match List.assoc_opt (d.src, d.dst) env' with
+              match env_find (ekey d.src d.dst) env' with
               | Some (v, _) -> ctx := (di, v) :: !ctx
               | None -> ())
             dims;
@@ -222,8 +245,8 @@ let estimate_embedding sketch (root : enode) =
                 let env'' = ref env' in
                 Array.iteri
                   (fun di (d : Sketch.dim) ->
-                    let key = (d.src, d.dst) in
-                    if not (List.mem_assoc key !env'') then
+                    let key = ekey d.src d.dst in
+                    if not (env_mem key !env'') then
                       env'' :=
                         ( key,
                           ( (bucket : Edge_hist.bucket).mean.(di),
@@ -239,7 +262,7 @@ let estimate_embedding sketch (root : enode) =
       match enum_hists with [] -> 1.0 | hl -> combos hl env 1.0
     in
     let indep_branch_factor =
-      if branch_dep then 1.0 else all_branch_fracs_env sketch n env e.branches
+      if branch_dep then 1.0 else all_branch_fracs_env sketch nn n env e.branches
     in
     indep_branch_factor *. indep_factor *. dep_factor
   in
@@ -248,9 +271,16 @@ let estimate_embedding sketch (root : enode) =
   *. vfrac sketch n0 root.vpred
   *. expand root []
 
-let estimate ?max_alternatives sketch twig =
+let t_estimate = Xtwig_util.Counters.timer "estimator.ns"
+
+let estimate ?max_alternatives ?cache sketch twig =
+  Xtwig_util.Counters.time t_estimate @@ fun () ->
   let syn = Sketch.synopsis sketch in
-  let embs = Embed.embeddings ?max_alternatives syn twig in
+  let embs =
+    match cache with
+    | Some c -> Embed.embeddings_cached c ?max_alternatives syn twig
+    | None -> Embed.embeddings ?max_alternatives syn twig
+  in
   List.fold_left (fun acc e -> acc +. estimate_embedding sketch e) 0.0 embs
 
 let estimate_path sketch p =

@@ -39,8 +39,16 @@ val estimate_embedding : Sketch.t -> Embed.enode -> float
     assignments without materializing it. *)
 
 val estimate :
-  ?max_alternatives:int -> Sketch.t -> Xtwig_path.Path_types.twig -> float
-(** Sum over all embeddings of the query. *)
+  ?max_alternatives:int ->
+  ?cache:Embed.cache ->
+  Sketch.t ->
+  Xtwig_path.Path_types.twig ->
+  float
+(** Sum over all embeddings of the query. When [cache] is given and
+    keyed to this sketch's synopsis, the embedding enumeration is
+    shared across calls (and across the sketches of one XBUILD scoring
+    step, which differ only in histograms); estimates are identical
+    with or without it. *)
 
 val estimate_path : Sketch.t -> Xtwig_path.Path_types.path -> float
 (** Single-path-expression cardinality (a chain twig). *)

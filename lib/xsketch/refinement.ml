@@ -87,10 +87,12 @@ let apply sketch op =
   match op with
   | B_stabilize { src = _; dst } ->
       let syn' = G.split syn ~node:dst ~group_of:(G.b_stabilize_groups syn ~dst) in
-      if syn' == syn then sketch else Sketch.build syn' (remap_config syn cfg syn')
+      if syn' == syn then sketch
+      else Sketch.build ~prev:sketch syn' (remap_config syn cfg syn')
   | F_stabilize { src; dst } ->
       let syn' = G.split syn ~node:src ~group_of:(G.f_stabilize_groups syn ~dst) in
-      if syn' == syn then sketch else Sketch.build syn' (remap_config syn cfg syn')
+      if syn' == syn then sketch
+      else Sketch.build ~prev:sketch syn' (remap_config syn cfg syn')
   | Edge_refine { node; hist; extra_buckets } ->
       let especs = Array.copy cfg.especs in
       especs.(node) <-
@@ -169,7 +171,7 @@ let apply sketch op =
         in
         let syn' = G.split syn ~node ~group_of in
         if syn' == syn then sketch
-        else Sketch.build syn' (remap_config syn cfg syn')
+        else Sketch.build ~prev:sketch syn' (remap_config syn cfg syn')
       end
 
 (* ------------------------------------------------------------------ *)

@@ -18,19 +18,34 @@ type t = {
   syn : G.t;
   config : config;
   ehists : (dim array * Edge_hist.t) list array;
+  ebudgets : int list array;
+      (* bucket budget of each built histogram, aligned with [ehists];
+         needed to decide reuse across rebuilds *)
   vhists : Hist1d.t option array;
   vcats : Xtwig_hist.Mcv.t option array;
+  changed_vs_prev : int list option;
+      (* when built with [~prev]: the prev-numbering nodes whose data
+         is not provably identical in this sketch (see [build]) *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+
+module Counters = Xtwig_util.Counters
+
+let c_builds = Counters.counter "sketch.builds"
+let c_dists = Counters.counter "sketch.dists_computed"
+let c_ehists_built = Counters.counter "sketch.ehists_built"
+let c_ehists_reused = Counters.counter "sketch.ehists_reused"
+let c_vals_built = Counters.counter "sketch.value_summaries_built"
+let c_vals_reused = Counters.counter "sketch.value_summaries_reused"
 
 (* ------------------------------------------------------------------ *)
 (* Distribution computation                                            *)
 
-(* Count of [e]'s children lying in synopsis node [z]. *)
-let forward_count syn e z =
-  let doc = G.doc syn in
-  Array.fold_left
-    (fun acc k -> if G.node_of_elem syn k = z then acc + 1 else acc)
-    0 (Doc.children doc e)
+(* Count of [e]'s children lying in synopsis node [z] — answered by
+   the synopsis' structural index. *)
+let forward_count syn e z = G.child_count syn e z
 
 (* The (unique, B-stable-chain) ancestor of [e] in node [a], if any. *)
 let ancestor_in syn e a =
@@ -51,6 +66,7 @@ let count_for_dim syn n e d =
       | None -> 0)
 
 let distribution_of syn n dims =
+  Counters.incr c_dists;
   let k = Array.length dims in
   let vectors =
     Array.to_list
@@ -74,70 +90,210 @@ let valid_dims syn n dims =
       | Backward -> d.src <> n)
     dims
 
+(* Incremental construction. [node_map] maps each node of the synopsis
+   being built to the node of [prev] with the {e identical} extent, if
+   one exists:
+
+   - when [prev] is built over the same (physically equal) synopsis,
+     the map is the identity;
+   - when [prev] is built over {e another synopsis of the same
+     document} (the situation after a structural split), a new node
+     maps to the previous node holding its first element, provided
+     their extents coincide elementwise. Splits refine the partition,
+     so the only nodes without an image are the split products.
+
+   A built histogram can be reused whenever its owning node and every
+   dimension endpoint have identical extents in both synopses: edge
+   distributions depend only on those extents (children membership for
+   forward counts, the B-stable ancestor chain for backward counts)
+   and on the immutable document. Value summaries depend only on the
+   owning node's extent and the budget. *)
+let node_map_of prev syn =
+  let n_nodes = G.node_count syn in
+  match prev with
+  | None -> (fun _ -> -1)
+  | Some p when p.syn == syn -> (fun n -> n)
+  | Some p when G.doc p.syn == G.doc syn ->
+      let psyn = p.syn in
+      let map =
+        Array.init n_nodes (fun n ->
+            let ext = G.extent syn n in
+            let o = G.node_of_elem psyn ext.(0) in
+            let pext = G.extent psyn o in
+            if Array.length pext <> Array.length ext then -1
+            else begin
+              let same = ref true in
+              let i = ref 0 in
+              let len = Array.length ext in
+              while !same && !i < len do
+                if ext.(!i) <> pext.(!i) then same := false;
+                Stdlib.incr i
+              done;
+              if !same then o else -1
+            end)
+      in
+      fun n -> map.(n)
+  | Some _ -> (fun _ -> -1)
+
+let t_build_ns = Counters.timer "sketch.build_ns"
+
 let build ?prev syn config =
+  Counters.time t_build_ns @@ fun () ->
+  Counters.incr c_builds;
   let n_nodes = G.node_count syn in
   if Array.length config.especs <> n_nodes || Array.length config.vbudgets <> n_nodes
   then invalid_arg "Sketch.build: config arity mismatch";
-  let reusable =
+  let node_map = node_map_of prev syn in
+  (* previous histogram with exactly these dimensions (in [prev]'s node
+     ids) and this budget, at previous node [o] *)
+  let prev_hist o (old_dims : dim array) budget =
     match prev with
-    | Some p when p.syn == syn -> Some p
-    | Some _ | None -> None
+    | None -> None
+    | Some p ->
+        let rec scan hs bs =
+          match (hs, bs) with
+          | (dims', h) :: hs', b' :: bs' ->
+              if b' = budget && dims' = old_dims then Some h else scan hs' bs'
+          | _, _ -> None
+        in
+        scan p.ehists.(o) p.ebudgets.(o)
   in
-  let ehists =
-    Array.init n_nodes (fun n ->
-        match reusable with
-        | Some p when p.config.especs.(n) = config.especs.(n) -> p.ehists.(n)
-        | _ ->
-            List.filter_map
-              (fun spec ->
-                match valid_dims syn n spec.dims with
-                | [] -> None
-                | dims ->
-                    let dims = Array.of_list dims in
-                    let dist = distribution_of syn n dims in
-                    Some (dims, Edge_hist.build ~budget:spec.budget dist))
-              config.especs.(n))
+  let reuse_hist n dims budget =
+    let o = node_map n in
+    if o < 0 then None
+    else
+      let old_dims =
+        let ok = ref true in
+        let mapped =
+          Array.map
+            (fun d ->
+              let s = node_map d.src and t = node_map d.dst in
+              if s < 0 || t < 0 then begin
+                ok := false;
+                d
+              end
+              else { d with src = s; dst = t })
+            dims
+        in
+        if !ok then Some mapped else None
+      in
+      match old_dims with
+      | None -> None
+      | Some old_dims -> prev_hist o old_dims budget
   in
+  let ehists = Array.make n_nodes [] in
+  let ebudgets = Array.make n_nodes [] in
+  for n = 0 to n_nodes - 1 do
+    (* node-level fast path: same synopsis and unchanged spec list
+       share the previous node's histogram list wholesale *)
+    match prev with
+    | Some p when p.syn == syn && p.config.especs.(n) = config.especs.(n) ->
+        Counters.incr ~by:(List.length p.ehists.(n)) c_ehists_reused;
+        ehists.(n) <- p.ehists.(n);
+        ebudgets.(n) <- p.ebudgets.(n)
+    | _ ->
+    let built =
+      List.filter_map
+        (fun spec ->
+          match valid_dims syn n spec.dims with
+          | [] -> None
+          | dims ->
+              let dims = Array.of_list dims in
+              let h =
+                match reuse_hist n dims spec.budget with
+                | Some h ->
+                    Counters.incr c_ehists_reused;
+                    h
+                | None ->
+                    Counters.incr c_ehists_built;
+                    Edge_hist.build ~budget:spec.budget
+                      (distribution_of syn n dims)
+              in
+              Some (dims, h, spec.budget))
+        config.especs.(n)
+    in
+    ehists.(n) <- List.map (fun (d, h, _) -> (d, h)) built;
+    ebudgets.(n) <- List.map (fun (_, _, b) -> b) built
+  done;
   let doc = G.doc syn in
-  let vhists =
-    Array.init n_nodes (fun n ->
-        match reusable with
-        | Some p when p.config.vbudgets.(n) = config.vbudgets.(n) -> p.vhists.(n)
-        | _ ->
-            if config.vbudgets.(n) <= 0 then None
-            else
-              let data =
-                Array.to_list (G.extent syn n)
-                |> List.filter_map (fun e -> Value.as_float (Doc.value doc e))
-              in
-              (match data with
-              | [] -> None
-              | _ ->
-                  Some
-                    (Hist1d.build ~budget:config.vbudgets.(n) (Array.of_list data))))
+  let vhists = Array.make n_nodes None in
+  let vcats = Array.make n_nodes None in
+  for n = 0 to n_nodes - 1 do
+    let vb = config.vbudgets.(n) in
+    let reused =
+      let o = node_map n in
+      match prev with
+      | Some p when o >= 0 && p.config.vbudgets.(o) = vb ->
+          vhists.(n) <- p.vhists.(o);
+          vcats.(n) <- p.vcats.(o);
+          true
+      | _ -> false
+    in
+    if reused then Counters.incr c_vals_reused
+    else if vb > 0 then begin
+      Counters.incr c_vals_built;
+      (* one extent pass collecting both the numeric values and the
+         text values that are not merely numbers in disguise *)
+      let nums = ref [] and texts = ref [] in
+      Array.iter
+        (fun e ->
+          let v = Doc.value doc e in
+          match Value.as_float v with
+          | Some x -> nums := x :: !nums
+          | None -> (
+              match v with
+              | Value.Text s -> texts := s :: !texts
+              | Value.Null | Value.Int _ | Value.Float _ -> ()))
+        (G.extent syn n);
+      (match !nums with
+      | [] -> ()
+      | l -> vhists.(n) <- Some (Hist1d.build ~budget:vb (Array.of_list (List.rev l))));
+      match !texts with
+      | [] -> ()
+      | l -> vcats.(n) <- Some (Xtwig_hist.Mcv.build ~budget:vb (List.rev l))
+    end
+  done;
+  (* Changed-node summary for the estimation-skip optimisation in
+     XBUILD: an old node is {e unchanged} when some new node carries
+     the elementwise-identical extent and physically the same summary
+     objects, hist for hist (same list position) and value summary.
+     Estimates of queries whose embeddings only touch unchanged nodes
+     are then provably identical to the previous sketch's. *)
+  let changed_vs_prev =
+    match prev with
+    | None -> None
+    | Some p ->
+        let pn = Array.length p.ehists in
+        let ok = Array.make pn false in
+        for n = 0 to n_nodes - 1 do
+          let o = node_map n in
+          if o >= 0 then begin
+            let same_hists =
+              List.compare_lengths ehists.(n) p.ehists.(o) = 0
+              && List.for_all2
+                   (fun (_, h) (_, h') -> h == h')
+                   ehists.(n) p.ehists.(o)
+            in
+            let same_opt a b =
+              match (a, b) with
+              | None, None -> true
+              | Some x, Some y -> x == y
+              | _ -> false
+            in
+            if
+              same_hists
+              && same_opt vhists.(n) p.vhists.(o)
+              && same_opt vcats.(n) p.vcats.(o)
+            then ok.(o) <- true
+          end
+        done;
+        let changed = ref [] in
+        for o = pn - 1 downto 0 do
+          if not ok.(o) then changed := o :: !changed
+        done;
+        Some !changed
   in
-  let vcats =
-    Array.init n_nodes (fun n ->
-        match reusable with
-        | Some p when p.config.vbudgets.(n) = config.vbudgets.(n) -> p.vcats.(n)
-        | _ ->
-            if config.vbudgets.(n) <= 0 then None
-            else
-              (* text values that are not merely numbers in disguise *)
-              let data =
-                Array.to_list (G.extent syn n)
-                |> List.filter_map (fun e ->
-                       match Doc.value doc e with
-                       | Value.Text s when Value.as_float (Value.Text s) = None ->
-                           Some s
-                       | Value.Text _ | Value.Null | Value.Int _ | Value.Float _ ->
-                           None)
-              in
-              (match data with
-              | [] -> None
-              | _ -> Some (Xtwig_hist.Mcv.build ~budget:config.vbudgets.(n) data)))
-  in
-  { syn; config; ehists; vhists; vcats }
+  { syn; config; ehists; ebudgets; vhists; vcats; changed_vs_prev }
 
 let coarsest ?(ebudget = 1) ?(vbudget = 2) syn =
   let n_nodes = G.node_count syn in
@@ -166,6 +322,7 @@ let default_of_doc ?ebudget ?vbudget doc =
 let synopsis t = t.syn
 let doc t = G.doc t.syn
 let config t = t.config
+let changed_nodes t = t.changed_vs_prev
 let hists t n = t.ehists.(n)
 let vhist t n = t.vhists.(n)
 let vcat t n = t.vcats.(n)

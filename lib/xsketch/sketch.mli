@@ -46,11 +46,23 @@ val build : ?prev:t -> Xtwig_synopsis.Graph_synopsis.t -> config -> t
     (per {!Xtwig_synopsis.Tsn}) are dropped silently — this is what
     keeps configurations valid across structural refinements.
 
-    When [prev] is given and shares the {e same} (physically equal)
-    synopsis, nodes whose configuration is unchanged reuse [prev]'s
-    built histograms — this makes the non-structural refinements of
-    XBUILD candidate scoring O(touched node) instead of
-    O(document). *)
+    When [prev] is given, built histograms and value summaries are
+    reused at per-histogram granularity whenever they are provably
+    identical:
+
+    - [prev] over the {e same} (physically equal) synopsis: a
+      histogram is reused when its valid dimensions and bucket budget
+      are unchanged — non-structural refinements rebuild only the one
+      histogram they touch;
+    - [prev] over {e another synopsis of the same document} (after a
+      structural split): each node is matched to the previous node
+      with the elementwise-identical extent, and a histogram is reused
+      when the owning node and every dimension endpoint have such a
+      match (edge distributions depend only on those extents). Only
+      the split images and their scope neighbours rebuild.
+
+    Reuse is observable through the [sketch.*] counters of
+    {!Xtwig_util.Counters}. *)
 
 val coarsest :
   ?ebudget:int -> ?vbudget:int -> Xtwig_synopsis.Graph_synopsis.t -> t
@@ -67,6 +79,18 @@ val default_of_doc : ?ebudget:int -> ?vbudget:int -> Xtwig_xml.Doc.t -> t
 val synopsis : t -> Xtwig_synopsis.Graph_synopsis.t
 val doc : t -> Xtwig_xml.Doc.t
 val config : t -> config
+
+val changed_nodes : t -> int list option
+(** For a sketch built with [~prev]: the nodes of [prev] (in [prev]'s
+    numbering, sorted) whose summary data is not provably carried over
+    unchanged — split images, scope neighbours whose histograms were
+    rebuilt, and any node whose reuse failed. An estimate over [prev]
+    whose embeddings avoid all of these equals the estimate over this
+    sketch (provided the embedding enumeration was not truncated), so
+    XBUILD reuses the base estimate instead of recomputing. [None]
+    when the sketch was built from scratch. *)
+
+
 val hists : t -> int -> (dim array * Xtwig_hist.Edge_hist.t) list
 (** The built histograms of one node, paired with their dimension
     scopes. *)

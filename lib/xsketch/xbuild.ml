@@ -1,5 +1,14 @@
 module Prng = Xtwig_util.Prng
 module Stats = Xtwig_util.Stats
+module Counters = Xtwig_util.Counters
+
+let c_steps = Counters.counter "xbuild.steps"
+let c_candidates = Counters.counter "xbuild.candidates_scored"
+let c_est_skipped = Counters.counter "xbuild.estimates_skipped"
+let c_est_computed = Counters.counter "xbuild.estimates_computed"
+let t_build = Counters.timer "xbuild.ns"
+let t_apply = Counters.timer "xbuild.apply_ns"
+let t_gen = Counters.timer "xbuild.gen_ns"
 
 type step_info = {
   step : int;
@@ -9,38 +18,70 @@ type step_info = {
   workload_error : float;
 }
 
+(* The paper's sanity bound: the 10th percentile of the positive true
+   counts. Computed once per truth vector — every candidate of one
+   scoring step shares it. *)
+let sanity_floor truths =
+  let m = ref 0 in
+  Array.iter (fun c -> if c > 0.0 then Stdlib.incr m) truths;
+  if !m = 0 then 1.0
+  else begin
+    let positive = Array.make !m 0.0 in
+    let i = ref 0 in
+    Array.iter
+      (fun c ->
+        if c > 0.0 then begin
+          positive.(!i) <- c;
+          Stdlib.incr i
+        end)
+      truths;
+    Stats.percentile positive 10.0
+  end
+
+(* Average absolute relative error against precomputed truths. *)
+let error_against ~truths ~sanity ?cache sketch queries =
+  let i = ref (-1) in
+  let errs =
+    List.map
+      (fun q ->
+        Stdlib.incr i;
+        let est = Estimator.estimate ?cache sketch q in
+        let c = truths.(!i) in
+        Float.abs (est -. c) /. Stdlib.max sanity c)
+      queries
+  in
+  Stats.mean_list errs
+
 let workload_error sketch ~truth queries =
   match queries with
   | [] -> 0.0
   | _ ->
       let truths = Array.of_list (List.map truth queries) in
-      let positive = Array.of_list (List.filter (fun c -> c > 0.0) (Array.to_list truths)) in
-      let sanity =
-        if Array.length positive = 0 then 1.0 else Stats.percentile positive 10.0
-      in
-      let errs =
-        List.mapi
-          (fun i q ->
-            let est = Estimator.estimate sketch q in
-            let c = truths.(i) in
-            Float.abs (est -. c) /. Stdlib.max sanity c)
-          queries
-      in
-      Stats.mean_list errs
+      let sanity = sanity_floor truths in
+      error_against ~truths ~sanity sketch queries
 
 let build ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1)
     ?(vbudget0 = 2) ?on_step ~workload ~truth ~budget doc =
+  Counters.time t_build @@ fun () ->
   let prng = Prng.create seed in
   let sketch = ref (Sketch.default_of_doc ~ebudget:ebudget0 ~vbudget:vbudget0 doc) in
   (* a fixed anchor workload keeps candidate scores comparable across
      steps; per-step queries focused on the touched regions are added
      on top (the paper's region-local sampling) *)
   let anchor = workload prng ~focus:[] in
+  (* embedding cache, recreated whenever a structural step replaces
+     the synopsis; within one step every non-split candidate shares
+     the enumeration warmed by the base-error pass *)
+  let ecache = ref (Embed.create_cache (Sketch.synopsis !sketch)) in
   let step = ref 0 in
   let continue = ref true in
   while !continue && Sketch.size_bytes !sketch < budget && !step < max_steps do
     incr step;
-    let pool = Refinement.gen_candidates ~count:candidates !sketch prng in
+    Counters.incr c_steps;
+    let pool =
+      Counters.time t_gen @@ fun () ->
+      Refinement.gen_candidates ~count:candidates !sketch prng
+    in
     if pool = [] then continue := false
     else begin
       let focus =
@@ -48,16 +89,74 @@ let build ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1)
           (List.concat_map (Refinement.touched_labels !sketch) pool)
       in
       let queries = anchor @ workload prng ~focus in
-      (* force the truth cache on the current thread before fanning out *)
-      List.iter (fun q -> ignore (truth q)) queries;
-      let base_error = workload_error !sketch ~truth queries in
+      (* truths are resolved once on this thread: worker domains only
+         read the resulting array *)
+      let truths = Array.of_list (List.map truth queries) in
+      let sanity = sanity_floor truths in
+      let cache =
+        if Embed.cache_synopsis !ecache == Sketch.synopsis !sketch then !ecache
+        else begin
+          ecache := Embed.create_cache (Sketch.synopsis !sketch);
+          !ecache
+        end
+      in
+      let qarr = Array.of_list queries in
+      let nq = Array.length qarr in
+      let base_terms = Array.make nq 0.0 in
+      let visited = Array.make nq [] in
+      let trunc = Array.make nq false in
+      let syn0 = Sketch.synopsis !sketch in
+      Embed.thaw cache;
+      (* the base-error pass warms [cache] with this step's queries
+         (main domain) and records, per query, the synopsis nodes its
+         embeddings touch: a candidate that changes none of them has a
+         provably identical estimate, which is reused below *)
+      for i = 0 to nq - 1 do
+        let embs = Embed.embeddings_cached cache syn0 qarr.(i) in
+        trunc.(i) <- Embed.last_truncated ();
+        visited.(i) <- Embed.visited_nodes embs;
+        let est = Estimator.estimate ~cache !sketch qarr.(i) in
+        let c = truths.(i) in
+        base_terms.(i) <- Float.abs (est -. c) /. Stdlib.max sanity c
+      done;
+      Embed.freeze cache;
+      let base_error = Stats.mean base_terms in
       let base_size = Sketch.size_bytes !sketch in
       let score op =
-        let refined = Refinement.apply !sketch op in
+        Counters.incr c_candidates;
+        let refined = Counters.time t_apply @@ fun () -> Refinement.apply !sketch op in
         let size = Sketch.size_bytes refined in
         if size <= base_size then None
         else
-          let err = workload_error refined ~truth queries in
+          let same_syn = Sketch.synopsis refined == syn0 in
+          let changed = Sketch.changed_nodes refined in
+          let err =
+            let terms = Array.make nq 0.0 in
+            for i = 0 to nq - 1 do
+              let skip =
+                (same_syn || not trunc.(i))
+                &&
+                match changed with
+                | Some ch ->
+                    not (List.exists (fun v -> List.mem v ch) visited.(i))
+                | None -> false
+              in
+              if skip then begin
+                Counters.incr c_est_skipped;
+                terms.(i) <- base_terms.(i)
+              end
+              else begin
+                Counters.incr c_est_computed;
+                let est =
+                  if same_syn then Estimator.estimate ~cache refined qarr.(i)
+                  else Estimator.estimate refined qarr.(i)
+                in
+                let c = truths.(i) in
+                terms.(i) <- Float.abs (est -. c) /. Stdlib.max sanity c
+              end
+            done;
+            Stats.mean terms
+          in
           let gain = (base_error -. err) /. float_of_int (size - base_size) in
           Some (gain, op, refined, size, err)
       in

@@ -1,0 +1,163 @@
+(* Incremental construction tests: [Sketch.build ~prev] (used by every
+   refinement op) must produce a sketch indistinguishable from a
+   from-scratch build of the same configuration — same size, same
+   estimates — for all six refinement-op kinds, while actually reusing
+   previous histograms (checked through the counters). Also covers the
+   embedding cache: cached estimation is bit-identical to uncached. *)
+
+module G = Xtwig_synopsis.Graph_synopsis
+module Sketch = Xtwig_sketch.Sketch
+module Refinement = Xtwig_sketch.Refinement
+module Embed = Xtwig_sketch.Embed
+module Est = Xtwig_sketch.Estimator
+module Wgen = Xtwig_workload.Wgen
+module Prng = Xtwig_util.Prng
+module Counters = Xtwig_util.Counters
+
+let doc = lazy (Xtwig_datagen.Imdb.generate ~scale:0.03 ())
+let base = lazy (Sketch.coarsest ~ebudget:2 ~vbudget:4 (G.label_split (Lazy.force doc)))
+
+let queries =
+  lazy
+    (Wgen.generate
+       { Wgen.paper_p with Wgen.n_queries = 25 }
+       (Prng.create 11) (Lazy.force doc))
+
+(* One op of each kind that actually changes the base sketch. *)
+let op_of_kind base kind =
+  let syn = Sketch.synopsis base in
+  let cfg = Sketch.config base in
+  let nodes = List.init (G.node_count syn) Fun.id in
+  let candidates =
+    match kind with
+    | `B_stabilize ->
+        List.filter_map
+          (fun (e : G.edge) ->
+            if e.b_stable then None
+            else Some (Refinement.B_stabilize { src = e.src; dst = e.dst }))
+          (G.edges syn)
+    | `F_stabilize ->
+        List.filter_map
+          (fun (e : G.edge) ->
+            if e.f_stable then None
+            else Some (Refinement.F_stabilize { src = e.src; dst = e.dst }))
+          (G.edges syn)
+    | `Edge_refine ->
+        List.filter_map
+          (fun n ->
+            if cfg.Sketch.especs.(n) = [] then None
+            else Some (Refinement.Edge_refine { node = n; hist = 0; extra_buckets = 4 }))
+          nodes
+    | `Edge_expand ->
+        List.concat_map
+          (fun n ->
+            List.map
+              (fun (s, d) ->
+                let kind = if s = n then Sketch.Forward else Sketch.Backward in
+                Refinement.Edge_expand
+                  { node = n; dim = { Sketch.src = s; dst = d; kind }; into = None })
+              (Sketch.dim_edges_of_node base n))
+          nodes
+    | `Value_refine ->
+        List.filter_map
+          (fun n ->
+            if Sketch.vhist base n = None then None
+            else Some (Refinement.Value_refine { node = n; extra_buckets = 4 }))
+          nodes
+    | `Value_split ->
+        List.map (fun n -> Refinement.Value_split { node = n; ways = 2 }) nodes
+  in
+  let changes op =
+    let applied = Refinement.apply base op in
+    if applied != base then Some (op, applied) else None
+  in
+  match List.find_map changes candidates with
+  | Some r -> r
+  | None -> Alcotest.failf "no effective op of the requested kind"
+
+let kinds =
+  [
+    ("B_stabilize", `B_stabilize);
+    ("F_stabilize", `F_stabilize);
+    ("Edge_refine", `Edge_refine);
+    ("Edge_expand", `Edge_expand);
+    ("Value_refine", `Value_refine);
+    ("Value_split", `Value_split);
+  ]
+
+(* 1. For every op kind: incremental result == from-scratch rebuild of
+   the same (synopsis, config) — identical size and estimates. *)
+let test_incremental_equals_scratch () =
+  let base = Lazy.force base in
+  let queries = Lazy.force queries in
+  List.iter
+    (fun (name, kind) ->
+      let _op, applied = op_of_kind base kind in
+      let scratch =
+        Sketch.build (Sketch.synopsis applied) (Sketch.config applied)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: size" name)
+        (Sketch.size_bytes scratch) (Sketch.size_bytes applied);
+      List.iteri
+        (fun i q ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "%s: estimate q%d" name i)
+            (Est.estimate scratch q) (Est.estimate applied q))
+        queries)
+    kinds
+
+(* 2. The incremental path really reuses: a non-structural refinement
+   reuses histograms of the same synopsis, and a structural split
+   reuses histograms across the split. *)
+let test_counters_show_reuse () =
+  let base = Lazy.force base in
+  Counters.reset_all ();
+  let _op, applied = op_of_kind base `Edge_refine in
+  assert (applied != base);
+  Alcotest.(check bool)
+    "Edge_refine reuses same-synopsis histograms" true
+    (Counters.get "sketch.ehists_reused" > 0);
+  Counters.reset_all ();
+  let _op, applied = op_of_kind base `F_stabilize in
+  assert (applied != base);
+  Alcotest.(check bool)
+    "F_stabilize reuses histograms across the split" true
+    (Counters.get "sketch.ehists_reused" > 0)
+
+(* 3. Cached estimation is identical to uncached and actually hits. *)
+let test_embed_cache_identical () =
+  let base = Lazy.force base in
+  let queries = Lazy.force queries in
+  let cache = Embed.create_cache (Sketch.synopsis base) in
+  Counters.reset_all ();
+  List.iter
+    (fun q ->
+      let plain = Est.estimate base q in
+      let c1 = Est.estimate ~cache base q in
+      let c2 = Est.estimate ~cache base q in
+      Alcotest.(check (float 0.0)) "cold cache estimate" plain c1;
+      Alcotest.(check (float 0.0)) "warm cache estimate" plain c2)
+    queries;
+  Alcotest.(check bool)
+    "cache hits recorded" true
+    (Counters.get "embed.cache_hits" > 0);
+  (* a frozen cache serves hits but swallows new insertions *)
+  Embed.freeze cache;
+  let fresh = Est.estimate ~cache base (List.hd queries) in
+  Alcotest.(check (float 0.0))
+    "frozen cache still correct" (Est.estimate base (List.hd queries)) fresh
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "incremental-build",
+        [
+          Alcotest.test_case "incremental == scratch (all six op kinds)" `Slow
+            test_incremental_equals_scratch;
+          Alcotest.test_case "counters show reuse" `Quick
+            test_counters_show_reuse;
+          Alcotest.test_case "embed cache identical + hits" `Quick
+            test_embed_cache_identical;
+        ] );
+    ]
