@@ -4,8 +4,14 @@
      xtwig generate --dataset imdb --scale 0.1 -o imdb.xml
      xtwig inspect imdb.xml
      xtwig estimate imdb.xml "for t0 in //movie, t1 in t0/actor" --budget 8192
+     xtwig estimate imdb.xml "..." --jobs 4 --sketch imdb.sketch
      xtwig workload imdb.xml --queries 20 --kind pv
-     xtwig compare imdb.xml --budget 8192 --queries 100 *)
+     xtwig compare imdb.xml --budget 8192 --queries 100
+     xtwig bench-batch imdb.xml --queries 200 --jobs 4
+
+   Every command funnels failures through Xtwig_util.Xerror and maps
+   the error class to a stable exit code: 0 = ok, 2 = usage, 3 = parse
+   (document or query), 4 = io/sketch-format, 1 = engine/runtime. *)
 
 open Cmdliner
 module Doc = Xtwig_xml.Doc
@@ -13,14 +19,23 @@ module Sketch = Xtwig_sketch.Sketch
 module Est = Xtwig_sketch.Estimator
 module Wgen = Xtwig_workload.Wgen
 module Prng = Xtwig_util.Prng
+module Pool = Xtwig_util.Pool
+module Xerror = Xtwig_util.Xerror
+module Engine = Xtwig_engine.Engine
 
-let load path =
-  try Ok (Xtwig_xml.Xml_parser.parse_string (In_channel.with_open_bin path In_channel.input_all))
-  with
-  | Xtwig_xml.Xml_parser.Parse_error msg -> Error (`Msg ("parse error: " ^ msg))
-  | Sys_error msg -> Error (`Msg msg)
+let ( let* ) = Result.bind
 
-let build_sketch ?(quiet = false) doc ~budget ~seed =
+let load path = Xtwig_xml.Xml_parser.parse_file_res path
+
+(* Every command body returns (unit, Xerror.t) result; this turns it
+   into the documented exit code. *)
+let code_of = function
+  | Ok () -> 0
+  | Error e ->
+      Printf.eprintf "xtwig: %s\n" (Xerror.to_string e);
+      Xerror.exit_code e
+
+let build_sketch ?(quiet = false) ?pool doc ~budget ~seed =
   let truth_tbl = Hashtbl.create 256 in
   let truth q =
     let k = Xtwig_path.Path_printer.twig_to_string q in
@@ -34,12 +49,33 @@ let build_sketch ?(quiet = false) doc ~budget ~seed =
   let workload prng ~focus =
     Wgen.generate ~focus { Wgen.paper_p with n_queries = 10 } prng doc
   in
-  Xtwig_sketch.Xbuild.build ~seed ~budget ~workload ~truth
+  Xtwig_sketch.Xbuild.build ?pool ~seed ~budget ~workload ~truth
     ~on_step:(fun _ info ->
       if not quiet then
         Printf.eprintf "step %3d: %-46s -> %d bytes\n%!" info.Xtwig_sketch.Xbuild.step
           info.Xtwig_sketch.Xbuild.description info.Xtwig_sketch.Xbuild.size)
     doc
+
+(* ---------------- shared args ---------------- *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"XML document.")
+
+let budget_arg =
+  Arg.(value & opt int 8192 & info [ "budget" ] ~docv:"BYTES" ~doc:"Synopsis budget.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for candidate scoring and batch estimation \
+           (1 = sequential; results are identical either way).")
 
 (* ---------------- generate ---------------- *)
 
@@ -61,59 +97,53 @@ let generate_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output XML file.")
   in
   let run dataset scale seed output =
-    let doc =
-      match dataset with
-      | `Xmark -> Xtwig_datagen.Xmark.generate ~seed ~scale ()
-      | `Imdb -> Xtwig_datagen.Imdb.generate ~seed ~scale ()
-      | `Sprot -> Xtwig_datagen.Sprot.generate ~seed ~scale ()
-    in
-    Xtwig_xml.Xml_writer.to_file output doc;
-    Printf.printf "wrote %s: %d elements\n" output (Doc.size doc);
-    Ok ()
+    code_of
+      (let doc =
+         match dataset with
+         | `Xmark -> Xtwig_datagen.Xmark.generate ~seed ~scale ()
+         | `Imdb -> Xtwig_datagen.Imdb.generate ~seed ~scale ()
+         | `Sprot -> Xtwig_datagen.Sprot.generate ~seed ~scale ()
+       in
+       match Xtwig_xml.Xml_writer.to_file output doc with
+       | () ->
+           Printf.printf "wrote %s: %d elements\n" output (Doc.size doc);
+           Ok ()
+       | exception Sys_error msg -> Error (Xerror.Io msg))
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic XML dataset.")
-    Term.(term_result (const run $ dataset $ scale $ seed $ output))
+    Term.(const run $ dataset $ scale $ seed $ output)
 
 (* ---------------- inspect ---------------- *)
 
-let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XML document.")
-
 let inspect_cmd =
   let run file =
-    match load file with
-    | Error e -> Error e
-    | Ok doc ->
-        let syn = Xtwig_synopsis.Graph_synopsis.label_split doc in
-        let coarse = Sketch.coarsest syn in
-        Format.printf "%a@." Doc.pp_summary doc;
-        Format.printf "text size: %.2f MB@."
-          (float_of_int (Xtwig_xml.Xml_writer.text_size doc) /. 1_048_576.0);
-        Format.printf "label-split synopsis: %d nodes, %d edges, coarsest sketch %d bytes@."
-          (Xtwig_synopsis.Graph_synopsis.node_count syn)
-          (Xtwig_synopsis.Graph_synopsis.edge_count syn)
-          (Sketch.size_bytes coarse);
-        Format.printf "@.%-20s %10s %8s@." "tag" "count" "depth";
-        for t = 0 to Doc.tag_count doc - 1 do
-          let nodes = Doc.nodes_with_tag doc t in
-          if Array.length nodes > 0 then
-            Format.printf "%-20s %10d %8d@." (Doc.tag_to_string doc t)
-              (Array.length nodes)
-              (Doc.depth doc nodes.(0))
-        done;
-        Ok ()
+    code_of
+      (let* doc = load file in
+       let syn = Xtwig_synopsis.Graph_synopsis.label_split doc in
+       let coarse = Sketch.coarsest syn in
+       Format.printf "%a@." Doc.pp_summary doc;
+       Format.printf "text size: %.2f MB@."
+         (float_of_int (Xtwig_xml.Xml_writer.text_size doc) /. 1_048_576.0);
+       Format.printf "label-split synopsis: %d nodes, %d edges, coarsest sketch %d bytes@."
+         (Xtwig_synopsis.Graph_synopsis.node_count syn)
+         (Xtwig_synopsis.Graph_synopsis.edge_count syn)
+         (Sketch.size_bytes coarse);
+       Format.printf "@.%-20s %10s %8s@." "tag" "count" "depth";
+       for t = 0 to Doc.tag_count doc - 1 do
+         let nodes = Doc.nodes_with_tag doc t in
+         if Array.length nodes > 0 then
+           Format.printf "%-20s %10d %8d@." (Doc.tag_to_string doc t)
+             (Array.length nodes)
+             (Doc.depth doc nodes.(0))
+       done;
+       Ok ())
   in
   Cmd.v
     (Cmd.info "inspect" ~doc:"Show document and synopsis statistics.")
-    Term.(term_result (const run $ file_arg))
+    Term.(const run $ file_arg)
 
 (* ---------------- build ---------------- *)
-
-let budget_arg =
-  Arg.(value & opt int 8192 & info [ "budget" ] ~docv:"BYTES" ~doc:"Synopsis budget.")
-
-let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
 
 let build_cmd =
   let output =
@@ -122,22 +152,33 @@ let build_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .sketch file.")
   in
-  let run file budget seed output =
-    match load file with
-    | Error e -> Error e
-    | Ok doc ->
-        let sketch = build_sketch ~quiet:true doc ~budget ~seed in
-        Xtwig_sketch.Sketch_io.save sketch output;
-        Printf.printf "wrote %s: %d bytes of synopsis for %d elements\n" output
-          (Sketch.size_bytes sketch) (Doc.size doc);
-        Ok ()
+  let run file budget seed jobs output =
+    code_of
+      (let* doc = load file in
+       let build pool = build_sketch ~quiet:true ?pool doc ~budget ~seed in
+       let sketch =
+         if jobs > 1 then Pool.with_pool ~domains:jobs (fun p -> build (Some p))
+         else build None
+       in
+       let* () = Xtwig_sketch.Sketch_io.write_res ~budget ~seed sketch output in
+       Printf.printf "wrote %s: %d bytes of synopsis for %d elements\n" output
+         (Sketch.size_bytes sketch) (Doc.size doc);
+       Ok ())
   in
   Cmd.v
     (Cmd.info "build"
        ~doc:"Run XBUILD on a document and persist the synopsis configuration.")
-    Term.(term_result (const run $ file_arg $ budget_arg $ seed_arg $ output))
+    Term.(const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg $ output)
 
 (* ---------------- estimate ---------------- *)
+
+let timeout_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-query deadline; on expiry the answer degrades to the coarse \
+           label-split estimate.")
 
 let estimate_cmd =
   let query =
@@ -153,39 +194,43 @@ let estimate_cmd =
   let sketch_file =
     Arg.(
       value
-      & opt (some file) None
+      & opt (some string) None
       & info [ "sketch" ] ~docv:"FILE"
           ~doc:"Reuse a synopsis saved by $(b,xtwig build) instead of rebuilding.")
   in
-  let run file query budget seed exact sketch_file =
-    match load file with
-    | Error e -> Error e
-    | Ok doc -> (
-        match Xtwig_path.Path_parser.twig_of_string query with
-        | exception Xtwig_path.Path_parser.Parse_error msg ->
-            Error (`Msg ("query: " ^ msg))
-        | q -> (
-            match
-              match sketch_file with
-              | Some path -> Xtwig_sketch.Sketch_io.load doc path
-              | None -> build_sketch ~quiet:true doc ~budget ~seed
-            with
-            | exception Xtwig_sketch.Sketch_io.Format_error msg ->
-                Error (`Msg ("sketch: " ^ msg))
-            | sketch ->
-                Format.printf "synopsis: %d bytes@." (Sketch.size_bytes sketch);
-                Format.printf "estimate: %.2f@." (Est.estimate sketch q);
-                if exact then
-                  Format.printf "exact:    %d@."
-                    (Xtwig_eval.Eval_twig.selectivity doc q);
-                Ok ()))
+  let run file query budget seed exact sketch_file jobs timeout =
+    code_of
+      (let* doc = load file in
+       let* q = Xtwig_path.Path_parser.parse_twig_res query in
+       let* sk =
+         match sketch_file with
+         | Some path ->
+             Result.map snd (Xtwig_sketch.Sketch_io.read_res doc path)
+         | None ->
+             let build pool = build_sketch ~quiet:true ?pool doc ~budget ~seed in
+             Ok
+               (if jobs > 1 then
+                  Pool.with_pool ~domains:jobs (fun p -> build (Some p))
+                else build None)
+       in
+       let* engine = Engine.of_sketch ~jobs ~timeout_s:timeout sk in
+       Fun.protect
+         ~finally:(fun () -> Engine.close engine)
+         (fun () ->
+           let* a = Engine.estimate engine q in
+           Format.printf "synopsis: %d bytes@." (Sketch.size_bytes sk);
+           Format.printf "estimate: %.2f%s@." a.Engine.estimate
+             (if a.Engine.fallback then "  (timeout: coarse fallback)" else "");
+           if exact then
+             Format.printf "exact:    %d@." (Xtwig_eval.Eval_twig.selectivity doc q);
+           Ok ()))
   in
   Cmd.v
     (Cmd.info "estimate"
        ~doc:"Estimate a twig query's selectivity over a (built or loaded) synopsis.")
     Term.(
-      term_result
-        (const run $ file_arg $ query $ budget_arg $ seed_arg $ exact $ sketch_file))
+      const run $ file_arg $ query $ budget_arg $ seed_arg $ exact $ sketch_file
+      $ jobs_arg $ timeout_arg)
 
 (* ---------------- workload ---------------- *)
 
@@ -200,28 +245,27 @@ let workload_cmd =
       & info [ "kind" ] ~docv:"KIND" ~doc:"Workload kind: p, pv or simple.")
   in
   let run file n kind seed =
-    match load file with
-    | Error e -> Error e
-    | Ok doc ->
-        let spec =
-          match kind with
-          | `P -> Wgen.paper_p
-          | `Pv -> Wgen.paper_pv
-          | `Simple -> Wgen.simple_paths
-        in
-        let qs = Wgen.generate { spec with Wgen.n_queries = n } (Prng.create seed) doc in
-        List.iter
-          (fun q ->
-            Format.printf "%8d  %s@."
-              (Xtwig_eval.Eval_twig.selectivity doc q)
-              (Xtwig_path.Path_printer.twig_to_string q))
-          qs;
-        Ok ()
+    code_of
+      (let* doc = load file in
+       let spec =
+         match kind with
+         | `P -> Wgen.paper_p
+         | `Pv -> Wgen.paper_pv
+         | `Simple -> Wgen.simple_paths
+       in
+       let qs = Wgen.generate { spec with Wgen.n_queries = n } (Prng.create seed) doc in
+       List.iter
+         (fun q ->
+           Format.printf "%8d  %s@."
+             (Xtwig_eval.Eval_twig.selectivity doc q)
+             (Xtwig_path.Path_printer.twig_to_string q))
+         qs;
+       Ok ())
   in
   Cmd.v
     (Cmd.info "workload"
        ~doc:"Generate a positive twig workload with true selectivities.")
-    Term.(term_result (const run $ file_arg $ n $ kind $ seed_arg))
+    Term.(const run $ file_arg $ n $ kind $ seed_arg)
 
 (* ---------------- compare ---------------- *)
 
@@ -229,47 +273,92 @@ let compare_cmd =
   let n =
     Arg.(value & opt int 100 & info [ "queries"; "n" ] ~docv:"N" ~doc:"Query count.")
   in
-  let run file budget n seed =
-    match load file with
-    | Error e -> Error e
-    | Ok doc ->
-        let qs =
-          Wgen.generate { Wgen.paper_p with Wgen.n_queries = n } (Prng.create 99) doc
-        in
-        let truths =
-          Array.of_list
-            (List.map (fun q -> float_of_int (Xtwig_eval.Eval_twig.selectivity doc q)) qs)
-        in
-        let err name estimates =
-          Format.printf "%-24s %.3f@." name
-            (Xtwig_workload.Error_metric.average_error ~truths
-               ~estimates:(Array.of_list estimates))
-        in
-        Format.printf "average absolute relative error on %d twig queries:@." n;
-        let coarse = Sketch.default_of_doc doc in
-        err "coarse xsketch" (List.map (fun q -> Est.estimate coarse q) qs);
-        let sketch = build_sketch ~quiet:true doc ~budget ~seed in
-        err
-          (Printf.sprintf "xsketch (%d B)" (Sketch.size_bytes sketch))
-          (List.map (fun q -> Est.estimate sketch q) qs);
-        let cst = Xtwig_cst.Cst.build ~budget_bytes:budget doc in
-        err
-          (Printf.sprintf "cst (%d B)" (Xtwig_cst.Cst.size_bytes cst))
-          (List.map (fun q -> Xtwig_cst.Cst.estimate cst q) qs);
-        Ok ()
+  let run file budget n seed jobs =
+    code_of
+      (let* doc = load file in
+       let qs =
+         Wgen.generate { Wgen.paper_p with Wgen.n_queries = n } (Prng.create 99) doc
+       in
+       let truths =
+         Array.of_list
+           (List.map (fun q -> float_of_int (Xtwig_eval.Eval_twig.selectivity doc q)) qs)
+       in
+       let err name estimates =
+         Format.printf "%-24s %.3f@." name
+           (Xtwig_workload.Error_metric.average_error ~truths
+              ~estimates:(Array.of_list estimates))
+       in
+       Format.printf "average absolute relative error on %d twig queries:@." n;
+       let coarse = Sketch.default_of_doc doc in
+       err "coarse xsketch" (List.map (fun q -> Est.estimate coarse q) qs);
+       let build pool = build_sketch ~quiet:true ?pool doc ~budget ~seed in
+       let sketch =
+         if jobs > 1 then Pool.with_pool ~domains:jobs (fun p -> build (Some p))
+         else build None
+       in
+       err
+         (Printf.sprintf "xsketch (%d B)" (Sketch.size_bytes sketch))
+         (List.map (fun q -> Est.estimate sketch q) qs);
+       let cst = Xtwig_cst.Cst.build ~budget_bytes:budget doc in
+       err
+         (Printf.sprintf "cst (%d B)" (Xtwig_cst.Cst.size_bytes cst))
+         (List.map (fun q -> Xtwig_cst.Cst.estimate cst q) qs);
+       Ok ())
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Compare coarse/built XSKETCH and CST errors on a random workload.")
-    Term.(term_result (const run $ file_arg $ budget_arg $ n $ seed_arg))
+    Term.(const run $ file_arg $ budget_arg $ n $ seed_arg $ jobs_arg)
+
+(* ---------------- bench-batch ---------------- *)
+
+let bench_batch_cmd =
+  let n =
+    Arg.(value & opt int 200 & info [ "queries"; "n" ] ~docv:"N" ~doc:"Query count.")
+  in
+  let run file budget n seed jobs timeout =
+    code_of
+      (let* doc = load file in
+       let* () =
+         if n < 1 then Error (Xerror.Usage "--queries must be >= 1") else Ok ()
+       in
+       let* result =
+         Engine.with_engine ~seed ~jobs ~timeout_s:timeout ~budget doc
+           (fun engine ->
+             let qs =
+               Wgen.generate
+                 { Wgen.paper_p with Wgen.n_queries = n }
+                 (Prng.create 99) doc
+             in
+             let t0 = Unix.gettimeofday () in
+             let answers = Engine.estimate_batch engine qs in
+             let wall = Unix.gettimeofday () -. t0 in
+             Result.map (fun a -> (a, wall, Engine.stats engine)) answers)
+       in
+       let* answers, wall, st = result in
+       let n_answers = List.length answers in
+       Format.printf "engine: %d jobs, synopsis %d bytes (built in %.2fs)@."
+         st.Engine.jobs st.Engine.sketch_bytes st.Engine.build_s;
+       Format.printf "batch:  %d queries in %.3fs (%.0f queries/s), %d timeout(s)@."
+         n_answers wall
+         (float_of_int n_answers /. Float.max 1e-9 wall)
+         st.Engine.timeouts;
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "bench-batch"
+       ~doc:
+         "Build a synopsis, then serve a random twig workload through the \
+          concurrent estimation engine and report throughput.")
+    Term.(const run $ file_arg $ budget_arg $ n $ seed_arg $ jobs_arg $ timeout_arg)
 
 let () =
   let doc = "Twig XSKETCH selectivity estimation for XML twig queries" in
   let info = Cmd.info "xtwig" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval
+    (Cmd.eval' ~term_err:2
        (Cmd.group info
           [
             generate_cmd; inspect_cmd; build_cmd; estimate_cmd; workload_cmd;
-            compare_cmd;
+            compare_cmd; bench_batch_cmd;
           ]))

@@ -1,0 +1,206 @@
+module Doc = Xtwig_xml.Doc
+module Sketch = Xtwig_sketch.Sketch
+module Embed = Xtwig_sketch.Embed
+module Est = Xtwig_sketch.Estimator
+module Xbuild = Xtwig_sketch.Xbuild
+module Wgen = Xtwig_workload.Wgen
+module Pool = Xtwig_util.Pool
+module Xerror = Xtwig_util.Xerror
+module Counters = Xtwig_util.Counters
+
+let c_queries = Counters.counter "engine.queries"
+let c_timeouts = Counters.counter "engine.timeouts"
+
+type answer = {
+  query : Xtwig_path.Path_types.twig;
+  estimate : float;
+  fallback : bool;
+  elapsed_s : float;
+}
+
+type stats = {
+  jobs : int;
+  sketch_bytes : int;
+  queries_served : int;
+  batches : int;
+  timeouts : int;
+  build_s : float;
+  estimate_s : float;
+}
+
+type t = {
+  sk : Sketch.t;
+  coarse : Sketch.t;  (* label-split fallback, shares the document *)
+  cache : Embed.cache;  (* session-lived, keyed to sk's synopsis *)
+  pool : Pool.t option;
+  n_jobs : int;
+  default_timeout : float;
+  on_embedding : (Xtwig_path.Path_types.twig -> unit) option;
+  build_s : float;
+  (* owner-domain bookkeeping: batches are submitted and aggregated by
+     the owning domain only, so plain mutable fields suffice *)
+  mutable closed : bool;
+  mutable queries_served : int;
+  mutable batches : int;
+  mutable timeouts : int;
+  mutable estimate_s : float;
+}
+
+let now = Unix.gettimeofday
+
+let make_pool jobs =
+  if jobs > 1 then Some (Pool.create ~domains:jobs ()) else None
+
+let of_sketch ?(jobs = 1) ?(timeout_s = 5.0) ?on_embedding sk =
+  if jobs < 1 then Error (Xerror.Engine "jobs must be >= 1")
+  else
+    Ok
+      {
+        sk;
+        coarse = Sketch.default_of_doc (Sketch.doc sk);
+        cache = Embed.create_cache (Sketch.synopsis sk);
+        pool = make_pool jobs;
+        n_jobs = jobs;
+        default_timeout = timeout_s;
+        on_embedding;
+        build_s = 0.0;
+        closed = false;
+        queries_served = 0;
+        batches = 0;
+        timeouts = 0;
+        estimate_s = 0.0;
+      }
+
+let create ?(seed = 42) ?(jobs = 1) ?candidates ?max_steps ?(timeout_s = 5.0)
+    ?on_embedding ~budget doc =
+  if budget <= 0 then Error (Xerror.Engine "budget must be positive")
+  else if jobs < 1 then Error (Xerror.Engine "jobs must be >= 1")
+  else begin
+    let pool = make_pool jobs in
+    let truth_tbl = Hashtbl.create 256 in
+    let truth q =
+      let k = Xtwig_path.Path_printer.twig_to_string q in
+      match Hashtbl.find_opt truth_tbl k with
+      | Some v -> v
+      | None ->
+          let v = float_of_int (Xtwig_eval.Eval_twig.selectivity doc q) in
+          Hashtbl.add truth_tbl k v;
+          v
+    in
+    let workload prng ~focus =
+      Wgen.generate ~focus { Wgen.paper_p with n_queries = 10 } prng doc
+    in
+    let t0 = now () in
+    let sk =
+      Xbuild.build ?pool ~seed ?candidates ?max_steps ~budget ~workload ~truth
+        doc
+    in
+    let build_s = now () -. t0 in
+    Ok
+      {
+        sk;
+        coarse = Sketch.default_of_doc doc;
+        cache = Embed.create_cache (Sketch.synopsis sk);
+        pool;
+        n_jobs = jobs;
+        default_timeout = timeout_s;
+        on_embedding;
+        build_s;
+        closed = false;
+        queries_served = 0;
+        batches = 0;
+        timeouts = 0;
+        estimate_s = 0.0;
+      }
+  end
+
+(* Evaluate one query against its pre-enumerated embeddings, checking
+   the deadline between embedding contributions (runs on a worker when
+   the session has a pool). The sum visits embeddings in enumeration
+   order — identical to Estimator.estimate's fold, so jobs > 1 changes
+   scheduling, never values. *)
+let eval_one t ~deadline q embs =
+  let t0 = now () in
+  let rec go acc = function
+    | [] -> (acc, false)
+    | e :: rest ->
+        if now () > deadline then ((* degrade *) Est.estimate t.coarse q, true)
+        else begin
+          (match t.on_embedding with None -> () | Some f -> f q);
+          go (acc +. Est.estimate_embedding t.sk e) rest
+        end
+  in
+  let estimate, fallback =
+    if now () > deadline then (Est.estimate t.coarse q, true)
+    else go 0.0 embs
+  in
+  { query = q; estimate; fallback; elapsed_s = now () -. t0 }
+
+let estimate_batch ?timeout_s t queries =
+  if t.closed then Error (Xerror.Engine "session is closed")
+  else begin
+    let timeout = Option.value timeout_s ~default:t.default_timeout in
+    let t0 = now () in
+    (* enumeration on the owner domain against the session cache;
+       frozen before any fan-out (the cache ownership rule) *)
+    Embed.thaw t.cache;
+    let embedded =
+      List.map
+        (fun q ->
+          (q, Embed.embeddings_cached t.cache (Sketch.synopsis t.sk) q))
+        queries
+    in
+    Embed.freeze t.cache;
+    let earr = Array.of_list embedded in
+    let run i (q, embs) =
+      ignore i;
+      let deadline = now () +. timeout in
+      eval_one t ~deadline q embs
+    in
+    let answers =
+      match t.pool with
+      | None -> Array.mapi run earr
+      | Some p -> Pool.map_array p ~f:run earr
+    in
+    let answers = Array.to_list answers in
+    t.batches <- t.batches + 1;
+    t.queries_served <- t.queries_served + List.length answers;
+    let timeouts =
+      List.fold_left (fun n a -> if a.fallback then n + 1 else n) 0 answers
+    in
+    t.timeouts <- t.timeouts + timeouts;
+    Counters.incr ~by:(List.length answers) c_queries;
+    Counters.incr ~by:timeouts c_timeouts;
+    t.estimate_s <- t.estimate_s +. (now () -. t0);
+    Ok answers
+  end
+
+let estimate ?timeout_s t q =
+  match estimate_batch ?timeout_s t [ q ] with
+  | Ok [ a ] -> Ok a
+  | Ok _ -> assert false
+  | Error e -> Error e
+
+let sketch t = t.sk
+
+let stats t =
+  {
+    jobs = t.n_jobs;
+    sketch_bytes = Sketch.size_bytes t.sk;
+    queries_served = t.queries_served;
+    batches = t.batches;
+    timeouts = t.timeouts;
+    build_s = t.build_s;
+    estimate_s = t.estimate_s;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.pool with None -> () | Some p -> Pool.shutdown p
+  end
+
+let with_engine ?seed ?jobs ?candidates ?max_steps ?timeout_s ~budget doc f =
+  match create ?seed ?jobs ?candidates ?max_steps ?timeout_s ~budget doc with
+  | Error e -> Error e
+  | Ok t -> Ok (Fun.protect ~finally:(fun () -> close t) (fun () -> f t))

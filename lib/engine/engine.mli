@@ -1,0 +1,114 @@
+(** A long-lived, concurrent estimation session over one built
+    synopsis.
+
+    The paper treats estimation as a one-shot computation; a serving
+    system treats it as a session: build (or load) a synopsis once,
+    then answer batches of twig queries against it for the lifetime of
+    the process. [Engine.t] packages exactly that — the built sketch,
+    a coarse fallback sketch, a long-lived embedding cache, and an
+    optional {!Xtwig_util.Pool} of worker domains that evaluates the
+    queries of a batch concurrently.
+
+    {2 Concurrency model}
+
+    One domain owns the session (creates it, submits batches, reads
+    stats, closes it). Within a batch, embedding enumeration runs on
+    the owner against the session cache (warm, then freeze), and
+    per-embedding estimation fans out to the pool; results return in
+    query order, so a batch's answers are identical whatever [jobs]
+    is.
+
+    {2 Timeouts and graceful degradation}
+
+    Estimation cost is query-dependent (embedding counts multiply
+    along branching paths), and a serving layer must bound tail
+    latency. Each query gets a deadline; the evaluation checks it
+    between embedding contributions (cooperative — a single
+    embedding's traversal is never interrupted) and on expiry the
+    engine degrades to the {e coarse label-split estimate}: cheap,
+    always available, and the starting point of XBUILD — the
+    same-shaped answer at the accuracy floor rather than no answer.
+    Fallbacks are flagged per answer and counted in {!stats}. *)
+
+type t
+
+type answer = {
+  query : Xtwig_path.Path_types.twig;
+  estimate : float;
+  fallback : bool;
+      (** the per-query deadline expired and [estimate] is the coarse
+          label-split estimate *)
+  elapsed_s : float;  (** evaluation wall time of this query *)
+}
+
+type stats = {
+  jobs : int;  (** worker domains serving this session (1 = inline) *)
+  sketch_bytes : int;
+  queries_served : int;
+  batches : int;
+  timeouts : int;  (** answers that took the fallback path *)
+  build_s : float;  (** XBUILD wall time; 0 for {!of_sketch} sessions *)
+  estimate_s : float;  (** cumulative batch evaluation wall time *)
+}
+
+val create :
+  ?seed:int ->
+  ?jobs:int ->
+  ?candidates:int ->
+  ?max_steps:int ->
+  ?timeout_s:float ->
+  ?on_embedding:(Xtwig_path.Path_types.twig -> unit) ->
+  budget:int ->
+  Xtwig_xml.Doc.t ->
+  (t, Xtwig_util.Xerror.t) result
+(** [create ~budget doc] runs XBUILD (candidate scoring on the pool
+    when [jobs > 1]) and opens a session over the result. [jobs]
+    (default 1) is the worker-domain count; [timeout_s] (default 5.0)
+    the per-query deadline; [seed]/[candidates]/[max_steps] are
+    XBUILD's. Errors: [Xerror.Engine] on non-positive [budget] or
+    [jobs].
+
+    [on_embedding] is a fault-injection/observability hook invoked on
+    the evaluating domain before each embedding's contribution — the
+    timeout tests hang a chosen query with it; a tracing caller can
+    count embedding visits. *)
+
+val of_sketch :
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?on_embedding:(Xtwig_path.Path_types.twig -> unit) ->
+  Xtwig_sketch.Sketch.t ->
+  (t, Xtwig_util.Xerror.t) result
+(** Open a session over an already-built (or loaded) sketch. *)
+
+val estimate_batch :
+  ?timeout_s:float -> t -> Xtwig_path.Path_types.twig list ->
+  (answer list, Xtwig_util.Xerror.t) result
+(** Evaluate a batch concurrently; answers come back in query order
+    and are bit-identical to [jobs = 1] evaluation (absent timeouts).
+    [timeout_s] overrides the session default for this batch. Errors:
+    [Xerror.Engine] on a closed session. *)
+
+val estimate :
+  ?timeout_s:float -> t -> Xtwig_path.Path_types.twig ->
+  (answer, Xtwig_util.Xerror.t) result
+(** One-query batch. *)
+
+val sketch : t -> Xtwig_sketch.Sketch.t
+val stats : t -> stats
+
+val close : t -> unit
+(** Shut the pool down and mark the session closed (idempotent);
+    subsequent batches return [Xerror.Engine]. *)
+
+val with_engine :
+  ?seed:int ->
+  ?jobs:int ->
+  ?candidates:int ->
+  ?max_steps:int ->
+  ?timeout_s:float ->
+  budget:int ->
+  Xtwig_xml.Doc.t ->
+  (t -> 'a) ->
+  ('a, Xtwig_util.Xerror.t) result
+(** [create] + callback + guaranteed [close]. *)

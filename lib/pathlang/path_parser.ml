@@ -232,3 +232,16 @@ let twig_of_string s =
       if built <> List.length bs then
         fail st "some bindings are unreachable from the root";
       t
+
+(* ------------------------------------------------------------------ *)
+(* Result-typed entry points: the supported public surface. *)
+
+let parse_path_res s =
+  match path_of_string s with
+  | p -> Ok p
+  | exception Parse_error msg -> Error (Xtwig_util.Xerror.Parse (Path, msg))
+
+let parse_twig_res s =
+  match twig_of_string s with
+  | t -> Ok t
+  | exception Parse_error msg -> Error (Xtwig_util.Xerror.Parse (Twig, msg))

@@ -22,9 +22,18 @@
 
 exception Parse_error of string
 
+val parse_path_res : string -> (Path_types.path, Xtwig_util.Xerror.t) result
+(** Errors are [Xerror.Parse (Path, _)]. This is the supported entry
+    point. *)
+
+val parse_twig_res : string -> (Path_types.twig, Xtwig_util.Xerror.t) result
+(** Errors are [Xerror.Parse (Twig, _)], including re-bound or unbound
+    variables. This is the supported entry point. *)
+
 val path_of_string : string -> Path_types.path
-(** Raises {!Parse_error} on malformed input. *)
+(** @deprecated Use {!parse_path_res}; this raises {!Parse_error} with
+    the same message. *)
 
 val twig_of_string : string -> Path_types.twig
-(** Raises {!Parse_error} on malformed input, including re-bound or
-    unbound variables. *)
+(** @deprecated Use {!parse_twig_res}; this raises {!Parse_error} with
+    the same message. *)

@@ -1,0 +1,138 @@
+type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fmutex : Mutex.t;
+  fcond : Condition.t;
+  mutable fstate : 'a state;
+}
+
+type t = {
+  mutex : Mutex.t;
+  wakeup : Condition.t;  (* a job was queued, or shutdown began *)
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+  pool_seed : int;
+}
+
+(* Worker-local identity: (worker index, PRNG stream). Set once when
+   the worker starts; [None] on every domain a pool does not own. *)
+let worker_key : (int * Prng.t) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let worker_index () =
+  match Domain.DLS.get worker_key with Some (i, _) -> Some i | None -> None
+
+let prng () =
+  match Domain.DLS.get worker_key with
+  | Some (_, g) -> g
+  | None -> invalid_arg "Pool.prng: not inside a pool worker"
+
+(* SplitMix64 finalizer over (seed, index): decorrelates the worker
+   streams even for adjacent seeds. *)
+let worker_seed seed index =
+  let z = Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.to_int (Int64.logxor z (Int64.shift_right_logical z 31))
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stopping do
+    Condition.wait pool.wakeup pool.mutex
+  done;
+  (* graceful shutdown: drain the queue before exiting *)
+  match Queue.take_opt pool.queue with
+  | Some job ->
+      Mutex.unlock pool.mutex;
+      job ();
+      worker_loop pool
+  | None ->
+      Mutex.unlock pool.mutex
+
+let create ?(seed = 0) ~domains () =
+  if domains < 1 then invalid_arg "Pool.create: domains < 1";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      wakeup = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [||];
+      pool_seed = seed;
+    }
+  in
+  pool.workers <-
+    Array.init domains (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set worker_key
+              (Some (i, Prng.create (worker_seed seed i)));
+            worker_loop pool));
+  pool
+
+let size pool = Array.length pool.workers
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let was_stopping = pool.stopping in
+  pool.stopping <- true;
+  Condition.broadcast pool.wakeup;
+  Mutex.unlock pool.mutex;
+  if not was_stopping then Array.iter Domain.join pool.workers
+
+let with_pool ?seed ~domains f =
+  let pool = create ?seed ~domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let fulfill fut st =
+  Mutex.lock fut.fmutex;
+  fut.fstate <- st;
+  Condition.broadcast fut.fcond;
+  Mutex.unlock fut.fmutex
+
+let submit pool f =
+  let fut = { fmutex = Mutex.create (); fcond = Condition.create (); fstate = Pending } in
+  let job () =
+    match f () with
+    | v -> fulfill fut (Done v)
+    | exception e -> fulfill fut (Failed (e, Printexc.get_raw_backtrace ()))
+  in
+  Mutex.lock pool.mutex;
+  if pool.stopping then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add job pool.queue;
+  Condition.signal pool.wakeup;
+  Mutex.unlock pool.mutex;
+  fut
+
+let is_pending fut = match fut.fstate with Pending -> true | _ -> false
+
+let await fut =
+  Mutex.lock fut.fmutex;
+  while is_pending fut do
+    Condition.wait fut.fcond fut.fmutex
+  done;
+  let st = fut.fstate in
+  Mutex.unlock fut.fmutex;
+  match st with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let poll fut =
+  Mutex.lock fut.fmutex;
+  let st = fut.fstate in
+  Mutex.unlock fut.fmutex;
+  match st with
+  | Pending -> None
+  | Done v -> Some v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let map_array pool ~f xs =
+  let futs = Array.mapi (fun i x -> submit pool (fun () -> f i x)) xs in
+  Array.map await futs
+
+let map_reduce pool ~map ~merge ~init xs =
+  Array.fold_left merge init (map_array pool ~f:map xs)

@@ -1,0 +1,89 @@
+(** A fixed-size pool of worker domains.
+
+    OCaml 5 domains are heavyweight (each owns a minor heap and takes
+    part in every GC barrier), so spawning them per scoring step — as
+    the first parallel XBUILD did — wastes more time in domain startup
+    than candidate scoring saves. A [Pool.t] spawns its workers once
+    and feeds them closures through a mutex/condition job queue;
+    XBUILD, the estimation engine and the benchmark harness all share
+    this one primitive.
+
+    {2 Ownership and determinism rules}
+
+    - Jobs must not mutate state shared with other jobs; they may read
+      anything frozen before {!submit} (sketches, documents, a frozen
+      {!Xtwig_sketch.Embed.cache}).
+    - Scheduling is nondeterministic; {e results} are made
+      deterministic by indexed reduction: {!map_array} returns results
+      in input order no matter which worker ran what, and
+      {!map_reduce} merges them left-to-right on the calling domain.
+      Any tie-breaking must therefore use the input index, never
+      arrival order.
+    - A job that raises does not kill its worker: the exception (with
+      its backtrace) is stored in the job's future and re-raised by
+      {!await} on the calling domain — panics propagate, workers
+      survive.
+    - Jobs must not {!await} futures of the same pool (the pool does
+      no work-stealing; a full pool would deadlock). *)
+
+type t
+
+val create : ?seed:int -> domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains] workers ([Invalid_argument]
+    when [domains < 1]). [seed] (default 0) salts the per-worker PRNG
+    streams — see {!prng}. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: workers drain every already-submitted job, then
+    exit and are joined. Idempotent. Submitting after [shutdown]
+    raises [Invalid_argument]. *)
+
+val with_pool : ?seed:int -> domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] over a fresh pool and shuts it
+    down afterwards, whether [f] returns or raises. *)
+
+(** {1 Futures} *)
+
+type 'a future
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue one job. *)
+
+val await : 'a future -> 'a
+(** Block until the job finished; re-raises the job's exception (with
+    the worker's backtrace) if it failed. *)
+
+val poll : 'a future -> 'a option
+(** Non-blocking {!await}: [None] while the job is still queued or
+    running; re-raises like {!await} if it failed. *)
+
+(** {1 Deterministic indexed fan-out} *)
+
+val map_array : t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_array pool ~f xs] computes [f i xs.(i)] on the workers and
+    returns the results {e in input order}. The first failing job's
+    exception is re-raised (after every job was scheduled). *)
+
+val map_reduce :
+  t -> map:(int -> 'a -> 'b) -> merge:('acc -> 'b -> 'acc) -> init:'acc ->
+  'a array -> 'acc
+(** Indexed reduction: [map] runs on the workers, [merge] folds the
+    results in index order on the calling domain — the reduction is
+    deterministic regardless of scheduling. *)
+
+(** {1 Worker-local state} *)
+
+val worker_index : unit -> int option
+(** Inside a pool job: [Some i] with [i] the worker's index in
+    [0, size-1]. [None] on any domain not owned by a pool. *)
+
+val prng : unit -> Prng.t
+(** The calling worker's private PRNG stream, seeded deterministically
+    from the pool's [seed] and the worker index — statistically
+    independent streams without any cross-domain synchronisation.
+    Draws interleave with the worker's job schedule, so randomized
+    jobs are reproducible only per-worker, not per-job.
+    [Invalid_argument] outside a pool worker. *)

@@ -17,12 +17,14 @@ let stddev xs =
 
 let percentile xs p =
   let n = Array.length xs in
-  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if n = 0 then Float.nan
+  else begin
   let sorted = Array.copy xs in
   Array.sort compare sorted;
   let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
   let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
   sorted.(idx)
+  end
 
 let median xs = percentile xs 50.0
 

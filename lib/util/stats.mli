@@ -12,11 +12,14 @@ val stddev : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0,100]: nearest-rank percentile of
-    the (copied, sorted) data. Raises [Invalid_argument] on empty
-    input. *)
+    the (copied, sorted) data. Returns [nan] on empty input — a
+    percentile of nothing is not a number, and raising here used to
+    abort whole workload-error aggregations over one empty bucket.
+    Callers that need a sentinel (e.g. the sanity bound) must check
+    for the empty case themselves. *)
 
 val median : float array -> float
-(** 50th percentile. *)
+(** 50th percentile; [nan] on empty input. *)
 
 val minimum : float array -> float
 val maximum : float array -> float

@@ -1,0 +1,25 @@
+type parse_kind = Xml | Path | Twig
+
+type t =
+  | Usage of string
+  | Parse of parse_kind * string
+  | Io of string
+  | Sketch_format of string
+  | Engine of string
+
+let kind_name = function Xml -> "xml" | Path -> "path" | Twig -> "twig"
+
+let to_string = function
+  | Usage msg -> "usage error: " ^ msg
+  | Parse (k, msg) -> Printf.sprintf "parse error (%s): %s" (kind_name k) msg
+  | Io msg -> "io error: " ^ msg
+  | Sketch_format msg -> "sketch format error: " ^ msg
+  | Engine msg -> "engine error: " ^ msg
+
+let exit_code = function
+  | Usage _ -> 2
+  | Parse _ -> 3
+  | Io _ | Sketch_format _ -> 4
+  | Engine _ -> 1
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

@@ -1,0 +1,30 @@
+(** Errors as values: the one variant type spanning every failure the
+    public entry points can report.
+
+    The [_res] functions of {!Xtwig_xml.Xml_parser},
+    {!Xtwig_path.Path_parser}, {!Xtwig_sketch.Sketch_io} and the whole
+    of [Xtwig_engine.Engine] return [('a, Xerror.t) result] instead of
+    raising; the CLI maps each class to a stable exit code so scripts
+    can dispatch on failures without parsing messages. *)
+
+type parse_kind = Xml | Path | Twig
+
+type t =
+  | Usage of string  (** malformed invocation / bad argument values *)
+  | Parse of parse_kind * string
+      (** malformed XML document or path/twig query text *)
+  | Io of string  (** file-system failures ([Sys_error] payloads) *)
+  | Sketch_format of string
+      (** malformed, mismatched or unknown-version sketch files *)
+  | Engine of string  (** estimation-engine failures (bad session
+                          parameters, closed sessions) *)
+
+val to_string : t -> string
+(** One line, prefixed with the error class
+    (["parse error (xml): ..."], ["sketch format error: ..."]). *)
+
+val exit_code : t -> int
+(** The CLI contract: 2 = usage, 3 = parse, 4 = io/format, 1 = engine
+    (generic runtime failure). *)
+
+val pp : Format.formatter -> t -> unit

@@ -8,6 +8,9 @@ type t = {
 
 let sanity_bound truths =
   let positive = Array.of_list (List.filter (fun c -> c > 0.0) (Array.to_list truths)) in
+  (* [Stats.percentile] returns nan on empty input; an all-negative (or
+     empty) bucket must yield the neutral bound 1.0, not poison every
+     downstream error with nan *)
   if Array.length positive = 0 then 1.0 else Stats.percentile positive 10.0
 
 let evaluate ~truths ~estimates =

@@ -15,9 +15,11 @@ type t = {
 
 val sanity_bound : float array -> float
 (** 10th percentile of the strictly-positive true counts; 1.0 when
-    there are none. *)
+    there are none (an empty or all-negative bucket — e.g. a focused
+    scoring workload whose every query turned out unsatisfiable). *)
 
 val evaluate : truths:float array -> estimates:float array -> t
-(** Requires equal lengths. *)
+(** Requires equal lengths. Empty input yields
+    [{ sanity = 1.0; average = 0.0; per_query = [||] }]. *)
 
 val average_error : truths:float array -> estimates:float array -> float

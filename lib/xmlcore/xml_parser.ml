@@ -232,3 +232,19 @@ let parse_file path =
       let n = in_channel_length ic in
       let s = really_input_string ic n in
       parse_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Result-typed entry points: the supported public surface. The
+   raising functions above remain for historical callers; all failures
+   funnel through these two into Xerror values. *)
+
+let parse_string_res src =
+  match parse_string src with
+  | doc -> Ok doc
+  | exception Parse_error msg -> Error (Xtwig_util.Xerror.Parse (Xml, msg))
+
+let parse_file_res path =
+  match parse_file path with
+  | doc -> Ok doc
+  | exception Parse_error msg -> Error (Xtwig_util.Xerror.Parse (Xml, msg))
+  | exception Sys_error msg -> Error (Xtwig_util.Xerror.Io msg)

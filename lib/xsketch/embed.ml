@@ -16,8 +16,14 @@ type enode = {
   kids : enode list list;
 }
 
-let truncated = ref false
-let last_truncated () = !truncated
+(* Domain-local: every domain (XBUILD's main loop, pool workers, the
+   estimation engine) tracks truncation of its own enumerations; a
+   shared ref here was a data race once scoring fanned out. *)
+let truncated_key : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+let set_truncated b = Domain.DLS.get truncated_key := b
+let last_truncated () = !(Domain.DLS.get truncated_key)
 
 (* A chain item: one embedded single-step twig node. *)
 type item = {
@@ -59,7 +65,7 @@ let step_chains syn max_len from axis label =
 
 let take_capped cap l =
   if List.length l > cap then begin
-    truncated := true;
+    set_truncated true;
     List.filteri (fun i _ -> i < cap) l
   end
   else l
@@ -68,7 +74,7 @@ let t_embed = Xtwig_util.Counters.timer "embed.ns"
 
 let embeddings ?(max_alternatives = 64) syn twig =
   Xtwig_util.Counters.time t_embed @@ fun () ->
-  truncated := false;
+  set_truncated false;
   (* embedding-node ids: dense, unique within one [embeddings] result
      (across all returned roots) — estimator memo tables key on them *)
   let next_eid = ref 0 in
@@ -173,10 +179,13 @@ let c_misses = Counters.counter "embed.cache_misses"
 type cache = {
   csyn : G.t;
   tbl : (string, enode list * bool) Hashtbl.t;
+  lock : Mutex.t;
   mutable frozen : bool;
 }
 
-let create_cache syn = { csyn = syn; tbl = Hashtbl.create 64; frozen = false }
+let create_cache syn =
+  { csyn = syn; tbl = Hashtbl.create 64; lock = Mutex.create (); frozen = false }
+
 let cache_synopsis c = c.csyn
 let freeze c = c.frozen <- true
 let thaw c = c.frozen <- false
@@ -192,18 +201,24 @@ let embeddings_cached cache ?(max_alternatives = 64) syn twig =
       Printf.sprintf "%d#%s" max_alternatives
         (Xtwig_path.Path_printer.twig_to_string twig)
     in
+    (* lock-free lookups are sound under the ownership rule (the cache
+       is warmed by one domain, then frozen before any fan-out); the
+       insertion lock only defends against a caller that violates it,
+       turning a memory race into (at worst) a duplicated enumeration *)
     match Hashtbl.find_opt cache.tbl key with
     | Some (roots, trunc) ->
         Counters.incr c_hits;
-        truncated := trunc;
+        set_truncated trunc;
         roots
     | None ->
         Counters.incr c_misses;
         let roots = embeddings ~max_alternatives syn twig in
-        (* worker domains read a frozen cache concurrently; only the
-           main domain may insert, and only while the cache is thawed *)
-        if (not cache.frozen) && Domain.is_main_domain () then
-          Hashtbl.replace cache.tbl key (roots, !truncated);
+        if not cache.frozen then begin
+          Mutex.lock cache.lock;
+          if not cache.frozen then
+            Hashtbl.replace cache.tbl key (roots, last_truncated ());
+          Mutex.unlock cache.lock
+        end;
         roots
 
 let visited_nodes roots =

@@ -58,7 +58,9 @@ val embeddings :
     (selectivity 0). *)
 
 val last_truncated : unit -> bool
-(** Whether the most recent {!embeddings} call hit a cap. *)
+(** Whether the calling domain's most recent {!embeddings} call hit a
+    cap. The flag is domain-local, so concurrent enumerations on pool
+    workers do not clobber each other's truncation status. *)
 
 (** {1 Embedding cache}
 
@@ -77,12 +79,15 @@ val cache_synopsis : cache -> Xtwig_synopsis.Graph_synopsis.t
 (** The synopsis the cache is keyed to. *)
 
 val freeze : cache -> unit
-(** Stop accepting insertions. XBUILD freezes the cache (after warming
-    it with the step's queries) before fanning candidate scoring out
-    to worker domains, which then share it read-only. *)
+(** Stop accepting insertions. The ownership rule for domain-parallel
+    callers (XBUILD's scoring fan-out, the estimation engine's batch
+    evaluation): exactly one domain warms the cache, freezes it, and
+    only then shares it — worker domains read it lock-free and never
+    insert. *)
 
 val thaw : cache -> unit
-(** Re-enable insertions (main domain only). *)
+(** Re-enable insertions. Only the owning domain may thaw, and only
+    while no other domain holds the cache. *)
 
 val embeddings_cached :
   cache ->
@@ -92,8 +97,9 @@ val embeddings_cached :
   enode list
 (** As {!embeddings}, consulting the cache when the given synopsis is
     the cache's. Also restores the {!last_truncated} flag of the
-    cached enumeration. Insertions happen only on the main domain
-    while the cache is thawed. *)
+    cached enumeration. Insertions happen only while the cache is
+    thawed (and are lock-protected as a second line of defence);
+    lookups are lock-free under the {!freeze} ownership rule. *)
 
 val visited_nodes : enode list -> int list
 (** Sorted distinct synopsis nodes referenced anywhere in the given

@@ -1,11 +1,21 @@
 module G = Xtwig_synopsis.Graph_synopsis
 module Doc = Xtwig_xml.Doc
+module Xerror = Xtwig_util.Xerror
 
 exception Format_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
 
-let magic = "xtwig-sketch v1"
+let magic_v1 = "xtwig-sketch v1"
+let magic_v2 = "xtwig-sketch/v2"
+
+let tag_digest doc =
+  let buf = Buffer.create 256 in
+  for t = 0 to Doc.tag_count doc - 1 do
+    Buffer.add_string buf (Doc.tag_to_string doc t);
+    Buffer.add_char buf '\000'
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)
@@ -49,12 +59,15 @@ let emit_config buf (cfg : Sketch.config) =
   Array.iter (fun b -> Buffer.add_string buf (Printf.sprintf " %d" b)) cfg.vbudgets;
   Buffer.add_char buf '\n'
 
-let to_string sketch =
+let to_string ?(budget = -1) ?(seed = -1) sketch =
   let syn = Sketch.synopsis sketch in
   let doc = G.doc syn in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf magic;
+  Buffer.add_string buf magic_v2;
   Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "meta budget %d seed %d digest %s\n" budget seed
+       (tag_digest doc));
   Buffer.add_string buf (Printf.sprintf "elements %d\n" (Doc.size doc));
   Buffer.add_string buf "tags";
   for t = 0 to Doc.tag_count doc - 1 do
@@ -67,11 +80,21 @@ let to_string sketch =
   Buffer.add_string buf "end\n";
   Buffer.contents buf
 
+let write_res ?budget ?seed sketch path =
+  match
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_string ?budget ?seed sketch))
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error (Xerror.Io msg)
+
 let save sketch path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string sketch))
+  match write_res sketch path with
+  | Ok () -> ()
+  | Error (Xerror.Io msg) -> raise (Sys_error msg)
+  | Error e -> raise (Format_error (Xerror.to_string e))
 
 (* ------------------------------------------------------------------ *)
 (* Reading                                                             *)
@@ -96,16 +119,27 @@ let parse_dim s : Sketch.dim =
         | Some src, Some dst -> { Sketch.src; dst; kind }
         | _ -> fail "bad dimension %S" s)
 
-let of_string doc text =
-  let lines = String.split_on_char '\n' text in
-  let lines = List.filter (fun l -> String.trim l <> "") lines in
+type meta = { version : int; budget : int option; seed : int option }
+
+let parse_meta line =
+  match String.split_on_char ' ' line with
+  | [ "meta"; "budget"; b; "seed"; s; "digest"; d ] -> (
+      match (int_of_string_opt b, int_of_string_opt s) with
+      | Some b, Some s ->
+          let opt v = if v < 0 then None else Some v in
+          ({ version = 2; budget = opt b; seed = opt s }, d)
+      | _ -> fail "bad meta line %S" line)
+  | _ -> fail "bad meta line %S" line
+
+(* The body shared by v1 and v2: elements/tags/nodes/partition header
+   then ehist/vbudgets configuration lines up to the end marker. *)
+let parse_body doc lines =
   let expect_prefix line p =
     if not (String.length line >= String.length p && String.sub line 0 (String.length p) = p)
     then fail "expected %S, got %S" p line
   in
   match lines with
-  | m :: elems :: tags :: nodes :: partition :: rest ->
-      if m <> magic then fail "not an xtwig sketch file (magic %S)" m;
+  | elems :: tags :: nodes :: partition :: rest ->
       expect_prefix elems "elements ";
       let n_elems =
         match int_of_string_opt (String.sub elems 9 (String.length elems - 9)) with
@@ -189,8 +223,51 @@ let of_string doc text =
       Sketch.build syn { Sketch.especs; vbudgets }
   | _ -> fail "truncated sketch file"
 
+let of_string_res doc text =
+  match
+    let lines = String.split_on_char '\n' text in
+    let lines = List.filter (fun l -> String.trim l <> "") lines in
+    match lines with
+    | [] -> fail "empty sketch file"
+    | m :: rest when m = magic_v2 -> (
+        match rest with
+        | meta_line :: body ->
+            let meta, digest = parse_meta meta_line in
+            ignore meta.version;
+            if digest <> tag_digest doc then
+              fail
+                "document mismatch: tag-table digest %s does not match the \
+                 document's %s"
+                digest (tag_digest doc);
+            (meta, parse_body doc body)
+        | [] -> fail "truncated sketch file (missing meta line)")
+    | m :: rest when m = magic_v1 ->
+        (* the pre-versioning format: no meta line, no digest — the
+           body's full tag list still guards document identity *)
+        ({ version = 1; budget = None; seed = None }, parse_body doc rest)
+    | m :: _ ->
+        fail "unknown sketch format %S (supported: %S, %S)" m magic_v2 magic_v1
+  with
+  | res -> Ok res
+  | exception Format_error msg -> Error (Xerror.Sketch_format msg)
+
+let read_res doc path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> In_channel.input_all ic)
+  with
+  | exception Sys_error msg -> Error (Xerror.Io msg)
+  | text -> of_string_res doc text
+
+let of_string doc text =
+  match of_string_res doc text with
+  | Ok (_, sketch) -> sketch
+  | Error e -> raise (Format_error (Xerror.to_string e))
+
 let load doc path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> of_string doc (In_channel.input_all ic))
+  match read_res doc path with
+  | Ok (_, sketch) -> sketch
+  | Error (Xerror.Io msg) -> raise (Sys_error msg)
+  | Error e -> raise (Format_error (Xerror.to_string e))

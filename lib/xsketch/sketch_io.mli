@@ -8,20 +8,58 @@
     and the configuration — in a small, versioned, line-oriented text
     format, and rebuilds the sketch against the same document on load.
 
-    The format embeds the document's element count and tag list as a
-    consistency check: loading against a different document is
-    refused. *)
+    {2 Format versions}
+
+    The current format is [xtwig-sketch/v2]: a magic line, a [meta]
+    line carrying the build's space budget, seed and an MD5 digest of
+    the document's tag table, then the v1 body. The digest rejects a
+    mismatched document before any decoding; budget and seed make
+    sketch files self-describing for provenance ([-1] = unknown).
+    Files written by the pre-versioning format ([xtwig-sketch v1]) are
+    still read — their body embeds the full tag list, which guards
+    document identity the slow way. Any other first line is rejected
+    with a typed error instead of garbage decoding. *)
 
 exception Format_error of string
 
+type meta = { version : int; budget : int option; seed : int option }
+(** Provenance of a loaded sketch file. v1 files carry no budget or
+    seed. *)
+
+(** {1 Result-typed surface (supported)} *)
+
+val write_res :
+  ?budget:int -> ?seed:int -> Sketch.t -> string ->
+  (unit, Xtwig_util.Xerror.t) result
+(** [write_res ?budget ?seed sketch path] writes a v2 file recording
+    the build's budget and seed when given. Errors are [Xerror.Io]. *)
+
+val read_res :
+  Xtwig_xml.Doc.t -> string -> (meta * Sketch.t, Xtwig_util.Xerror.t) result
+(** [read_res doc path] rebuilds the sketch against [doc]. Errors are
+    [Xerror.Io] (file system) or [Xerror.Sketch_format] (unknown
+    version, malformed content, document mismatch). *)
+
+val of_string_res :
+  Xtwig_xml.Doc.t -> string -> (meta * Sketch.t, Xtwig_util.Xerror.t) result
+
+val to_string : ?budget:int -> ?seed:int -> Sketch.t -> string
+(** The exact bytes {!write_res} writes — also the canonical identity
+    of a built sketch (the parallel-build differential tests compare
+    synopses by these bytes). *)
+
+val tag_digest : Xtwig_xml.Doc.t -> string
+(** MD5 hex digest of the document's tag table, as embedded in v2
+    headers. *)
+
+(** {1 Exception-raising wrappers} *)
+
 val save : Sketch.t -> string -> unit
-(** [save sketch path] writes the sketch's partition and
-    configuration. *)
+(** @deprecated Use {!write_res}. Raises [Sys_error]. *)
 
 val load : Xtwig_xml.Doc.t -> string -> Sketch.t
-(** [load doc path] rebuilds the sketch against [doc]. Raises
-    {!Format_error} on malformed input or a document mismatch, and
-    [Sys_error] on I/O failure. *)
+(** @deprecated Use {!read_res}. Raises {!Format_error} on malformed
+    input or a document mismatch, and [Sys_error] on I/O failure. *)
 
-val to_string : Sketch.t -> string
 val of_string : Xtwig_xml.Doc.t -> string -> Sketch.t
+(** @deprecated Use {!of_string_res}. Raises {!Format_error}. *)

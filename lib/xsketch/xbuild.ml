@@ -60,7 +60,7 @@ let workload_error sketch ~truth queries =
       let sanity = sanity_floor truths in
       error_against ~truths ~sanity sketch queries
 
-let build ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1)
+let build ?pool ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1)
     ?(vbudget0 = 2) ?on_step ~workload ~truth ~budget doc =
   Counters.time t_build @@ fun () ->
   let prng = Prng.create seed in
@@ -78,15 +78,15 @@ let build ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1)
   while !continue && Sketch.size_bytes !sketch < budget && !step < max_steps do
     incr step;
     Counters.incr c_steps;
-    let pool =
+    let cands =
       Counters.time t_gen @@ fun () ->
       Refinement.gen_candidates ~count:candidates !sketch prng
     in
-    if pool = [] then continue := false
+    if cands = [] then continue := false
     else begin
       let focus =
         List.sort_uniq compare
-          (List.concat_map (Refinement.touched_labels !sketch) pool)
+          (List.concat_map (Refinement.touched_labels !sketch) cands)
       in
       let queries = anchor @ workload prng ~focus in
       (* truths are resolved once on this thread: worker domains only
@@ -160,52 +160,38 @@ let build ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1)
           let gain = (base_error -. err) /. float_of_int (size - base_size) in
           Some (gain, op, refined, size, err)
       in
-      (* candidates are independent; score them on parallel domains *)
+      (* Candidates are independent: score them on the domain pool when
+         one is given. Each candidate keeps its index in the sampled
+         order, and the reduction below picks the best (gain, index)
+         pair in index order — strictly-greater gain wins, ties keep
+         the earliest candidate — which is exactly the sequential
+         fold's choice. The selected refinement, and therefore the
+         whole build, is bit-identical however many domains score. *)
+      let carr = Array.of_list cands in
       let scored =
-        let n_dom =
-          Stdlib.min (List.length pool)
-            (Stdlib.max 1 (Domain.recommended_domain_count () - 1))
-        in
-        if n_dom <= 1 then List.filter_map score pool
-        else begin
-          let arr = Array.of_list pool in
-          let slices =
-            List.init n_dom (fun d ->
-                Array.to_list
-                  (Array.of_seq
-                     (Seq.filter_map
-                        (fun i -> if i mod n_dom = d then Some arr.(i) else None)
-                        (Seq.init (Array.length arr) Fun.id))))
-          in
-          let domains =
-            List.map
-              (fun slice -> Domain.spawn (fun () -> List.filter_map score slice))
-              slices
-          in
-          List.concat_map Domain.join domains
-        end
+        match pool with
+        | None -> Array.map score carr
+        | Some p -> Xtwig_util.Pool.map_array p ~f:(fun _i op -> score op) carr
       in
-      match scored with
-      | [] -> continue := false
-      | _ ->
-          let best =
-            List.fold_left
-              (fun acc ((g, _, _, _, _) as cand) ->
-                match acc with
-                | Some (g0, _, _, _, _) when g0 >= g -> acc
-                | _ -> Some cand)
-              None scored
-          in
-          (match best with
-          | None -> continue := false
-          | Some (_, op, refined, size, err) ->
-              let description = Refinement.describe !sketch op in
-              sketch := refined;
-              (match on_step with
-              | None -> ()
-              | Some f ->
-                  f refined
-                    { step = !step; op; description; size; workload_error = err }))
+      let best = ref None in
+      Array.iter
+        (fun r ->
+          match (r, !best) with
+          | None, _ -> ()
+          | Some _, None -> best := r
+          | Some (g, _, _, _, _), Some (g0, _, _, _, _) ->
+              if g > g0 then best := r)
+        scored;
+      (match !best with
+      | None -> continue := false
+      | Some (_, op, refined, size, err) ->
+          let description = Refinement.describe !sketch op in
+          sketch := refined;
+          (match on_step with
+          | None -> ()
+          | Some f ->
+              f refined
+                { step = !step; op; description; size; workload_error = err }))
     end
   done;
   !sketch

@@ -28,6 +28,7 @@ type step_info = {
 }
 
 val build :
+  ?pool:Xtwig_util.Pool.t ->
   ?seed:int ->
   ?candidates:int ->
   ?max_steps:int ->
@@ -40,11 +41,20 @@ val build :
   budget:int ->
   Xtwig_xml.Doc.t ->
   Sketch.t
-(** [candidates] is the per-step pool size (default 8); [max_steps]
-    bounds the loop (default 400); [ebudget0]/[vbudget0] configure the
-    coarsest synopsis. [on_step] observes every applied refinement —
-    the benchmark harness uses it to snapshot error-vs-size curves in
-    a single build. *)
+(** [candidates] is the per-step candidate-pool size (default 8);
+    [max_steps] bounds the loop (default 400); [ebudget0]/[vbudget0]
+    configure the coarsest synopsis. [on_step] observes every applied
+    refinement — the benchmark harness uses it to snapshot
+    error-vs-size curves in a single build.
+
+    [pool] fans candidate scoring out across the given worker domains.
+    Candidate generation, workload sampling and truth resolution stay
+    on the calling domain (they consume the PRNG and the caller's
+    [truth] closure, which need not be thread-safe); workers receive a
+    frozen embedding cache and immutable sketches. The applied
+    refinement is chosen by deterministic (gain, candidate-index)
+    reduction, so the resulting synopsis is {e bit-identical} to the
+    sequential build — parallelism changes wall-clock time only. *)
 
 val workload_error :
   Sketch.t -> truth:(Xtwig_path.Path_types.twig -> float) ->
