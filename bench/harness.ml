@@ -62,12 +62,39 @@ let truth_oracle doc =
         Hashtbl.add cache key v;
         v
 
-(* dump every registered counter/timer to stderr (XTWIG_COUNTERS=1) *)
-let report_counters () =
+module Metrics = Xtwig_obs.Metrics
+
+(* counters of a metrics snapshot (typically a [Metrics.diff] delta)
+   as flat (name, value) rows — labeled counters render their labels
+   into the name, e.g. xbuild.ops_applied{op.kind=f-stabilize} *)
+let counters_of snap =
+  List.filter_map
+    (fun (e : Metrics.entry) ->
+      match e.Metrics.value with
+      | Metrics.Counter n ->
+          let labels =
+            match e.Metrics.labels with
+            | [] -> ""
+            | ls ->
+                "{"
+                ^ String.concat ","
+                    (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) ls)
+                ^ "}"
+          in
+          Some (e.Metrics.name ^ labels, n)
+      | _ -> None)
+    snap
+
+(* dump the run's metrics delta to stderr (XTWIG_COUNTERS=1) *)
+let report_metrics ~since =
   if Sys.getenv_opt "XTWIG_COUNTERS" <> None then
-    List.iter
-      (fun (n, v) -> Printf.eprintf "[counters] %-32s %d\n%!" n v)
-      (Xtwig_util.Counters.all ())
+    prerr_string (Metrics.render (Metrics.diff since (Metrics.snapshot ())))
+
+(* every bench mode leaves a machine-readable metrics snapshot next to
+   its BENCH json *)
+let write_metrics_json ~since path =
+  Metrics.dump_json path (Metrics.diff since (Metrics.snapshot ()));
+  log "wrote %s" path
 
 let truths_of truth queries = Array.of_list (List.map truth queries)
 

@@ -5,18 +5,25 @@
 
    Usage: main.exe
    [table1|table2|fig9a|fig9b|fig9c|singlepath|ablation|micro|xbuild|
-    xbuild-par|estimate-batch|parallel|all]
+    xbuild-par|estimate-batch|parallel|all] [--trace FILE]
    (default: all). [xbuild] times one full greedy construction and
    writes its wall time, steps/sec and reuse/cache counters to
    BENCH_xbuild.json. [parallel] (= xbuild-par + estimate-batch) times
    pooled candidate scoring against sequential — checking the two
    synopses are byte-identical — and Engine batch throughput, and
    writes BENCH_parallel.json; XTWIG_JOBS sets the domain count
-   (default 4). *)
+   (default 4).
+
+   Every mode additionally writes the run's metrics delta to
+   BENCH_metrics.json, and [--trace FILE] records a Chrome
+   trace-event JSON of the run (open in Perfetto / chrome://tracing;
+   see DESIGN.md "Observability"). *)
 
 open Harness
 module Path_printer = Xtwig_path.Path_printer
 module Spath = Xtwig_sketch.Spath
+module Trace = Xtwig_obs.Trace
+module Accuracy = Xtwig_obs.Accuracy
 
 let eval_queries_n =
   match Sys.getenv_opt "XTWIG_EVAL_QUERIES" with
@@ -344,8 +351,6 @@ let ablation () =
    cache counters of one full greedy construction, recorded to
    BENCH_xbuild.json so the perf trajectory is tracked across PRs.    *)
 
-module Counters = Xtwig_util.Counters
-
 let xbuild_bench () =
   print_header "XBUILD inner-loop benchmark (IMDB)";
   let doc = Lazy.force (dataset "imdb").doc in
@@ -356,7 +361,7 @@ let xbuild_bench () =
   let budget = coarse_bytes * 16 in
   let max_steps = 300 and seed = 7 and candidates = 8 in
   (* resolve the dataset and force the generators out of the timing *)
-  Counters.reset_all ();
+  let m0 = Metrics.snapshot () in
   let steps = ref 0 and last_err = ref Float.nan in
   let t0 = now () in
   let final =
@@ -368,12 +373,28 @@ let xbuild_bench () =
   in
   let wall = now () -. t0 in
   let steps_per_s = float_of_int !steps /. Stdlib.max 1e-9 wall in
-  let counters = Counters.all () in
+  let counters = counters_of (Metrics.diff m0 (Metrics.snapshot ())) in
   print_row "%-28s %12.3f" "wall time (s)" wall;
   print_row "%-28s %12d" "steps" !steps;
   print_row "%-28s %12.2f" "steps/s" steps_per_s;
   print_row "%-28s %12d" "final size (bytes)" (Sketch.size_bytes final);
-  List.iter (fun (n, v) -> print_row "%-28s %12d" n v) counters;
+  List.iter (fun (n, v) -> print_row "%-40s %12d" n v) counters;
+  (* accuracy telemetry on a held-out workload: absolute and relative
+     error stream into the Accuracy histograms, reported as p50/p90/p99
+     (the build's own scoring error above is a mean over 14 queries;
+     percentiles need the wider evaluation set) *)
+  let eval_qs =
+    Wgen.generate { Wgen.paper_p with Wgen.n_queries = 200 } (Prng.create 101)
+      doc
+  in
+  let truths = truths_of truth eval_qs in
+  let sanity = EM.sanity_bound truths in
+  let acc = Accuracy.create ~sanity ~name:"bench.xbuild" () in
+  List.iteri
+    (fun i q -> Accuracy.observe acc ~truth:truths.(i) ~estimate:(Est.estimate final q))
+    eval_qs;
+  print_row "%s" (Accuracy.report acc);
+  let p q = Accuracy.percentile acc q in
   let oc = open_out "BENCH_xbuild.json" in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"bench\": \"xbuild\",\n";
@@ -388,6 +409,10 @@ let xbuild_bench () =
   Printf.fprintf oc "  \"steps_per_s\": %.3f,\n" steps_per_s;
   Printf.fprintf oc "  \"final_size_bytes\": %d,\n" (Sketch.size_bytes final);
   Printf.fprintf oc "  \"final_workload_error\": %.6f,\n" !last_err;
+  Printf.fprintf oc "  \"eval_queries\": %d,\n" (List.length eval_qs);
+  Printf.fprintf oc "  \"rel_error_p50\": %.6f,\n" (p 50.0);
+  Printf.fprintf oc "  \"rel_error_p90\": %.6f,\n" (p 90.0);
+  Printf.fprintf oc "  \"rel_error_p99\": %.6f,\n" (p 99.0);
   Printf.fprintf oc "  \"counters\": {\n";
   List.iteri
     (fun i (n, v) ->
@@ -629,7 +654,26 @@ let all () =
 
 let () =
   let t0 = now () in
-  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* [mode] [--trace FILE] in either order; mode defaults to "all" *)
+  let cmd, trace_file =
+    let mode = ref None and trace = ref None in
+    let i = ref 1 in
+    let n = Array.length Sys.argv in
+    while !i < n do
+      (match Sys.argv.(!i) with
+      | "--trace" when !i + 1 < n ->
+          incr i;
+          trace := Some Sys.argv.(!i)
+      | "--trace" ->
+          prerr_endline "--trace requires a FILE argument";
+          exit 1
+      | m -> mode := Some m);
+      incr i
+    done;
+    (Option.value ~default:"all" !mode, !trace)
+  in
+  if trace_file <> None then Trace.enable ();
+  let m0 = Metrics.snapshot () in
   (match cmd with
   | "table1" -> table1 ()
   | "table2" -> table2 ()
@@ -659,5 +703,13 @@ let () =
          xbuild-par|estimate-batch|parallel|all)\n"
         other;
       exit 1);
-  report_counters ();
+  (match trace_file with
+  | Some path ->
+      Trace.dump path;
+      let dropped = Trace.dropped () in
+      if dropped > 0 then log "trace buffer full: dropped %d events" dropped;
+      log "wrote %s" path
+  | None -> ());
+  write_metrics_json ~since:m0 "BENCH_metrics.json";
+  report_metrics ~since:m0;
   log "total wall time %.0fs" (now () -. t0)

@@ -22,8 +22,29 @@ module Prng = Xtwig_util.Prng
 module Pool = Xtwig_util.Pool
 module Xerror = Xtwig_util.Xerror
 module Engine = Xtwig_engine.Engine
+module Metrics = Xtwig_obs.Metrics
+module Trace = Xtwig_obs.Trace
+module Accuracy = Xtwig_obs.Accuracy
 
 let ( let* ) = Result.bind
+
+(* Shared observability plumbing: [--trace FILE] records spans for the
+   whole command and dumps Chrome trace-event JSON; [--metrics] prints
+   a Prometheus-style snapshot of the command's activity to stderr.
+   Both run in the [finally] path so failures still produce output. *)
+let with_obs ~trace ~metrics body =
+  (match trace with Some _ -> Trace.enable () | None -> ());
+  let before = Metrics.snapshot () in
+  Fun.protect
+    ~finally:(fun () ->
+      (match trace with
+      | Some path ->
+          Trace.dump path;
+          Printf.eprintf "xtwig: wrote trace (%s)\n%!" path
+      | None -> ());
+      if metrics then
+        prerr_string (Metrics.render (Metrics.diff before (Metrics.snapshot ()))))
+    body
 
 let load path = Xtwig_xml.Xml_parser.parse_file_res path
 
@@ -76,6 +97,24 @@ let jobs_arg =
         ~doc:
           "Worker domains for candidate scoring and batch estimation \
            (1 = sequential; results are identical either way).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record trace spans for the whole command and write a Chrome \
+           trace-event JSON dump to $(docv) (open in chrome://tracing or \
+           ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print a Prometheus-style snapshot of the command's metrics \
+           (counters, gauges, histograms) to stderr on exit.")
 
 (* ---------------- generate ---------------- *)
 
@@ -152,9 +191,10 @@ let build_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .sketch file.")
   in
-  let run file budget seed jobs output =
+  let run file budget seed jobs output trace metrics =
     code_of
-      (let* doc = load file in
+      (with_obs ~trace ~metrics @@ fun () ->
+       let* doc = load file in
        let build pool = build_sketch ~quiet:true ?pool doc ~budget ~seed in
        let sketch =
          if jobs > 1 then Pool.with_pool ~domains:jobs (fun p -> build (Some p))
@@ -168,7 +208,9 @@ let build_cmd =
   Cmd.v
     (Cmd.info "build"
        ~doc:"Run XBUILD on a document and persist the synopsis configuration.")
-    Term.(const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg $ output)
+    Term.(
+      const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg $ output
+      $ trace_arg $ metrics_arg)
 
 (* ---------------- estimate ---------------- *)
 
@@ -198,9 +240,19 @@ let estimate_cmd =
       & info [ "sketch" ] ~docv:"FILE"
           ~doc:"Reuse a synopsis saved by $(b,xtwig build) instead of rebuilding.")
   in
-  let run file query budget seed exact sketch_file jobs timeout =
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:
+            "Also print the query's evaluation wall time, timeout-fallback \
+             flag and trace id.")
+  in
+  let run file query budget seed exact sketch_file jobs timeout verbose trace
+      metrics =
     code_of
-      (let* doc = load file in
+      (with_obs ~trace ~metrics @@ fun () ->
+       let* doc = load file in
        let* q = Xtwig_path.Path_parser.parse_twig_res query in
        let* sk =
          match sketch_file with
@@ -221,6 +273,11 @@ let estimate_cmd =
            Format.printf "synopsis: %d bytes@." (Sketch.size_bytes sk);
            Format.printf "estimate: %.2f%s@." a.Engine.estimate
              (if a.Engine.fallback then "  (timeout: coarse fallback)" else "");
+           if verbose then begin
+             Format.printf "elapsed:  %.6f s@." a.Engine.elapsed_s;
+             Format.printf "fallback: %b@." a.Engine.fallback;
+             Format.printf "trace id: %d@." a.Engine.trace_id
+           end;
            if exact then
              Format.printf "exact:    %d@." (Xtwig_eval.Eval_twig.selectivity doc q);
            Ok ()))
@@ -230,7 +287,7 @@ let estimate_cmd =
        ~doc:"Estimate a twig query's selectivity over a (built or loaded) synopsis.")
     Term.(
       const run $ file_arg $ query $ budget_arg $ seed_arg $ exact $ sketch_file
-      $ jobs_arg $ timeout_arg)
+      $ jobs_arg $ timeout_arg $ verbose $ trace_arg $ metrics_arg)
 
 (* ---------------- workload ---------------- *)
 
@@ -316,9 +373,10 @@ let bench_batch_cmd =
   let n =
     Arg.(value & opt int 200 & info [ "queries"; "n" ] ~docv:"N" ~doc:"Query count.")
   in
-  let run file budget n seed jobs timeout =
+  let run file budget n seed jobs timeout trace metrics =
     code_of
-      (let* doc = load file in
+      (with_obs ~trace ~metrics @@ fun () ->
+       let* doc = load file in
        let* () =
          if n < 1 then Error (Xerror.Usage "--queries must be >= 1") else Ok ()
        in
@@ -350,7 +408,95 @@ let bench_batch_cmd =
        ~doc:
          "Build a synopsis, then serve a random twig workload through the \
           concurrent estimation engine and report throughput.")
-    Term.(const run $ file_arg $ budget_arg $ n $ seed_arg $ jobs_arg $ timeout_arg)
+    Term.(
+      const run $ file_arg $ budget_arg $ n $ seed_arg $ jobs_arg $ timeout_arg
+      $ trace_arg $ metrics_arg)
+
+(* ---------------- stats ---------------- *)
+
+let stats_cmd =
+  let n =
+    Arg.(value & opt int 100 & info [ "queries"; "n" ] ~docv:"N" ~doc:"Query count.")
+  in
+  let sketch_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sketch" ] ~docv:"FILE"
+          ~doc:"Reuse a synopsis saved by $(b,xtwig build) instead of rebuilding.")
+  in
+  let run file budget seed jobs timeout n sketch_file trace metrics =
+    code_of
+      (with_obs ~trace ~metrics @@ fun () ->
+       let* doc = load file in
+       let* () =
+         if n < 1 then Error (Xerror.Usage "--queries must be >= 1") else Ok ()
+       in
+       let* sk =
+         match sketch_file with
+         | Some path -> Result.map snd (Xtwig_sketch.Sketch_io.read_res doc path)
+         | None ->
+             let build pool = build_sketch ~quiet:true ?pool doc ~budget ~seed in
+             Ok
+               (if jobs > 1 then
+                  Pool.with_pool ~domains:jobs (fun p -> build (Some p))
+                else build None)
+       in
+       let* engine = Engine.of_sketch ~jobs ~timeout_s:timeout sk in
+       Fun.protect
+         ~finally:(fun () -> Engine.close engine)
+         (fun () ->
+           let qs =
+             Wgen.generate
+               { Wgen.paper_p with Wgen.n_queries = n }
+               (Prng.create seed) doc
+           in
+           let truths =
+             Array.of_list
+               (List.map
+                  (fun q ->
+                    float_of_int (Xtwig_eval.Eval_twig.selectivity doc q))
+                  qs)
+           in
+           let sanity = Xtwig_workload.Error_metric.sanity_bound truths in
+           let acc = Accuracy.create ~sanity ~name:"xtwig.stats" () in
+           let before = Metrics.snapshot () in
+           let* answers = Engine.estimate_batch engine qs in
+           List.iteri
+             (fun i (a : Engine.answer) ->
+               Accuracy.observe acc ~truth:truths.(i) ~estimate:a.Engine.estimate)
+             answers;
+           let st = Engine.stats engine in
+           Format.printf "synopsis: %d bytes, %d jobs@." st.Engine.sketch_bytes
+             st.Engine.jobs;
+           Format.printf "queries:  %d (%d timeout fallback(s), sanity bound %g)@."
+             st.Engine.queries_served st.Engine.timeouts sanity;
+           (* per-query latency percentiles, read back from the batch's
+              engine.query.seconds histogram delta *)
+           (match
+              Metrics.find
+                (Metrics.diff before (Metrics.snapshot ()))
+                "engine.query.seconds"
+            with
+           | Some (Metrics.Histogram h) when h.Metrics.count > 0 ->
+               Format.printf
+                 "latency:  p50=%.2g s  p90=%.2g s  p99=%.2g s@."
+                 (Metrics.percentile_of h 50.0)
+                 (Metrics.percentile_of h 90.0)
+                 (Metrics.percentile_of h 99.0)
+           | _ -> ());
+           Format.printf "%s@." (Accuracy.report acc);
+           Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Serve a random twig workload with known true counts and report \
+          accuracy percentiles (p50/p90/p99 relative error), per-query \
+          latency percentiles and engine counters.")
+    Term.(
+      const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg $ timeout_arg $ n
+      $ sketch_file $ trace_arg $ metrics_arg)
 
 let () =
   let doc = "Twig XSKETCH selectivity estimation for XML twig queries" in
@@ -360,5 +506,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; inspect_cmd; build_cmd; estimate_cmd; workload_cmd;
-            compare_cmd; bench_batch_cmd;
+            compare_cmd; bench_batch_cmd; stats_cmd;
           ]))

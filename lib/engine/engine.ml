@@ -7,15 +7,31 @@ module Wgen = Xtwig_workload.Wgen
 module Pool = Xtwig_util.Pool
 module Xerror = Xtwig_util.Xerror
 module Counters = Xtwig_util.Counters
+module Metrics = Xtwig_obs.Metrics
+module Trace = Xtwig_obs.Trace
 
 let c_queries = Counters.counter "engine.queries"
 let c_timeouts = Counters.counter "engine.timeouts"
+let c_batches = Counters.counter "engine.batches"
+
+let c_fallback =
+  Metrics.counter ~labels:[ ("reason", "timeout") ] "engine.fallback"
+
+let h_query =
+  Metrics.histogram
+    ~bounds:(Metrics.exponential ~start:1e-6 ~factor:2.0 ~n:26)
+    "engine.query.seconds"
+
+(* batch-scoped trace ids: unique across every session of the process,
+   so the spans and answers of concurrent batches can be correlated *)
+let next_trace_id = Atomic.make 1
 
 type answer = {
   query : Xtwig_path.Path_types.twig;
   estimate : float;
   fallback : bool;
   elapsed_s : float;
+  trace_id : int;
 }
 
 type stats = {
@@ -119,7 +135,10 @@ let create ?(seed = 42) ?(jobs = 1) ?candidates ?max_steps ?(timeout_s = 5.0)
    the session has a pool). The sum visits embeddings in enumeration
    order — identical to Estimator.estimate's fold, so jobs > 1 changes
    scheduling, never values. *)
-let eval_one t ~deadline q embs =
+let eval_one t ~trace_id ~deadline q embs =
+  Trace.with_span ~name:"engine.query"
+    ~args:[ ("trace_id", string_of_int trace_id) ]
+  @@ fun () ->
   let t0 = now () in
   let rec go acc = function
     | [] -> (acc, false)
@@ -134,28 +153,41 @@ let eval_one t ~deadline q embs =
     if now () > deadline then (Est.estimate t.coarse q, true)
     else go 0.0 embs
   in
-  { query = q; estimate; fallback; elapsed_s = now () -. t0 }
+  if fallback then
+    Trace.instant ~args:[ ("trace_id", string_of_int trace_id) ] "engine.fallback";
+  let elapsed_s = now () -. t0 in
+  Metrics.observe h_query elapsed_s;
+  { query = q; estimate; fallback; elapsed_s; trace_id }
 
 let estimate_batch ?timeout_s t queries =
   if t.closed then Error (Xerror.Engine "session is closed")
   else begin
     let timeout = Option.value timeout_s ~default:t.default_timeout in
+    let trace_id = Atomic.fetch_and_add next_trace_id 1 in
+    Trace.with_span ~name:"engine.estimate_batch"
+      ~args:
+        [
+          ("trace_id", string_of_int trace_id);
+          ("queries", string_of_int (List.length queries));
+        ]
+    @@ fun () ->
     let t0 = now () in
     (* enumeration on the owner domain against the session cache;
        frozen before any fan-out (the cache ownership rule) *)
     Embed.thaw t.cache;
     let embedded =
-      List.map
-        (fun q ->
-          (q, Embed.embeddings_cached t.cache (Sketch.synopsis t.sk) q))
-        queries
+      Trace.with_span ~name:"engine.embed_batch" (fun () ->
+          List.map
+            (fun q ->
+              (q, Embed.embeddings_cached t.cache (Sketch.synopsis t.sk) q))
+            queries)
     in
     Embed.freeze t.cache;
     let earr = Array.of_list embedded in
     let run i (q, embs) =
       ignore i;
       let deadline = now () +. timeout in
-      eval_one t ~deadline q embs
+      eval_one t ~trace_id ~deadline q embs
     in
     let answers =
       match t.pool with
@@ -169,8 +201,10 @@ let estimate_batch ?timeout_s t queries =
       List.fold_left (fun n a -> if a.fallback then n + 1 else n) 0 answers
     in
     t.timeouts <- t.timeouts + timeouts;
+    Counters.incr c_batches;
     Counters.incr ~by:(List.length answers) c_queries;
     Counters.incr ~by:timeouts c_timeouts;
+    Metrics.incr ~by:timeouts c_fallback;
     t.estimate_s <- t.estimate_s +. (now () -. t0);
     Ok answers
   end

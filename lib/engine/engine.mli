@@ -39,6 +39,11 @@ type answer = {
       (** the per-query deadline expired and [estimate] is the coarse
           label-split estimate *)
   elapsed_s : float;  (** evaluation wall time of this query *)
+  trace_id : int;
+      (** the batch's trace id — unique per {!estimate_batch} call
+          across every session of the process, and attached to the
+          batch's [engine.query] trace spans so an answer can be
+          correlated with its spans in a {!Xtwig_obs.Trace} dump *)
 }
 
 type stats = {

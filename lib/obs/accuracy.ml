@@ -1,0 +1,56 @@
+(* Streaming estimator-accuracy telemetry: per-query absolute and
+   relative error flow into Metrics histograms, so the error profile
+   of a workload is available as a distribution (p50/p90/p99), not
+   just a mean — the paper reports error percentiles for exactly this
+   reason. *)
+
+type t = {
+  sanity : float;
+  rel : Metrics.histogram;
+  abs_ : Metrics.histogram;
+}
+
+(* relative error spans ~1e-4 (excellent) to ~1e4 (hopeless) *)
+let rel_bounds = Metrics.exponential ~start:1e-4 ~factor:2.0 ~n:28
+
+(* absolute error in result-count units *)
+let abs_bounds = Metrics.exponential ~start:1.0 ~factor:2.0 ~n:32
+
+let create ?(sanity = 1.0) ?(name = "accuracy") () =
+  {
+    sanity;
+    rel = Metrics.histogram ~bounds:rel_bounds (name ^ ".rel_error");
+    abs_ = Metrics.histogram ~bounds:abs_bounds (name ^ ".abs_error");
+  }
+
+(* the paper's sanity-bounded absolute relative error (Section 6):
+   |est - true| / max(sanity, true) *)
+let rel_error t ~truth ~estimate =
+  Float.abs (estimate -. truth) /. Stdlib.max t.sanity truth
+
+let observe t ~truth ~estimate =
+  Metrics.observe t.rel (rel_error t ~truth ~estimate);
+  Metrics.observe t.abs_ (Float.abs (estimate -. truth))
+
+let rel_view t = Metrics.histogram_view t.rel
+let abs_view t = Metrics.histogram_view t.abs_
+
+let count t = (rel_view t).Metrics.count
+
+let percentile t p = Metrics.percentile_of (rel_view t) p
+
+let mean_rel t =
+  let v = rel_view t in
+  if v.Metrics.count = 0 then Float.nan
+  else v.Metrics.sum /. float_of_int v.Metrics.count
+
+let report t =
+  let v = rel_view t in
+  if v.Metrics.count = 0 then "accuracy: no observations"
+  else
+    Printf.sprintf
+      "accuracy over %d queries: rel error mean=%.3f p50=%.3f p90=%.3f p99=%.3f"
+      v.Metrics.count (mean_rel t)
+      (Metrics.percentile_of v 50.0)
+      (Metrics.percentile_of v 90.0)
+      (Metrics.percentile_of v 99.0)

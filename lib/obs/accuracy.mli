@@ -1,0 +1,36 @@
+(** Streaming estimator-accuracy telemetry.
+
+    Given a workload with true counts, per-query absolute and relative
+    errors stream into {!Metrics} histograms (registered as
+    [<name>.rel_error] / [<name>.abs_error], so they appear in every
+    metrics snapshot and exposition), and error {e percentiles} are
+    read back histogram-backed — the paper's Section 6 methodology of
+    reporting the error distribution, not just its mean. *)
+
+type t
+
+val create : ?sanity:float -> ?name:string -> unit -> t
+(** [sanity] (default 1.0) is the workload's sanity bound: relative
+    error is [|est - true| / max sanity true], exactly
+    {!Xtwig_workload.Error_metric}'s definition. [name] (default
+    ["accuracy"]) prefixes the metric names; two [create]s with one
+    name share cells. *)
+
+val observe : t -> truth:float -> estimate:float -> unit
+
+val count : t -> int
+
+val rel_error : t -> truth:float -> estimate:float -> float
+(** The sanity-bounded relative error of one pair, without recording. *)
+
+val percentile : t -> float -> float
+(** Histogram-backed relative-error percentile (p in [0..100]);
+    [nan] before the first observation. *)
+
+val mean_rel : t -> float
+
+val rel_view : t -> Metrics.hview
+val abs_view : t -> Metrics.hview
+
+val report : t -> string
+(** One line: count, mean, p50/p90/p99 relative error. *)

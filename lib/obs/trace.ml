@@ -1,0 +1,317 @@
+(* Span tracing into per-domain buffers, exported as Chrome
+   trace_event JSON ("B"/"E" duration events, one tid per domain).
+
+   The hot-path contract: with tracing disabled (the default),
+   [with_span] is one atomic load and a closure call. Enabled, each
+   span appends two events to the buffer of the *current* domain —
+   only the owning domain ever writes its buffer, so recording is
+   lock-free; the global registry of buffers is only locked on a
+   domain's first event and at dump/reset time. *)
+
+type phase = B | E | I
+
+type event = {
+  ev_name : string;
+  ev_phase : phase;
+  ev_ts : int64; (* monotonic ns *)
+  ev_args : (string * string) list;
+}
+
+type buf = {
+  tid : int; (* domain id *)
+  mutable events : event array;
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let enabled_flag = Atomic.make false
+let soft_cap = Atomic.make 1_000_000
+
+let bufs : buf list ref = ref []
+let bufs_lock = Mutex.create ()
+
+let dummy_event = { ev_name = ""; ev_phase = I; ev_ts = 0L; ev_args = [] }
+
+let key : buf option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let my_buf () =
+  match Domain.DLS.get key with
+  | Some b -> b
+  | None ->
+      let b =
+        {
+          tid = (Domain.self () :> int);
+          events = Array.make 1024 dummy_event;
+          len = 0;
+          dropped = 0;
+        }
+      in
+      Mutex.lock bufs_lock;
+      bufs := b :: !bufs;
+      Mutex.unlock bufs_lock;
+      Domain.DLS.set key (Some b);
+      b
+
+let enabled () = Atomic.get enabled_flag
+let enable ?cap () =
+  (match cap with Some c -> Atomic.set soft_cap c | None -> ());
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let reset () =
+  Mutex.lock bufs_lock;
+  List.iter
+    (fun b ->
+      b.len <- 0;
+      b.dropped <- 0)
+    !bufs;
+  Mutex.unlock bufs_lock
+
+let dropped () =
+  Mutex.lock bufs_lock;
+  let n = List.fold_left (fun acc b -> acc + b.dropped) 0 !bufs in
+  Mutex.unlock bufs_lock;
+  n
+
+(* append unconditionally, growing as needed (used for E events, whose
+   matching B is already recorded: pairing survives the cap) *)
+let push b ev =
+  if b.len >= Array.length b.events then begin
+    let grown = Array.make (2 * Array.length b.events) dummy_event in
+    Array.blit b.events 0 grown 0 b.len;
+    b.events <- grown
+  end;
+  b.events.(b.len) <- ev;
+  b.len <- b.len + 1
+
+(* append only under the soft cap; [false] = dropped. Dropping whole
+   spans (never just their E half) keeps every recorded B paired. *)
+let push_capped b ev =
+  if b.len >= Atomic.get soft_cap then begin
+    b.dropped <- b.dropped + 1;
+    false
+  end
+  else begin
+    push b ev;
+    true
+  end
+
+let now = Monotonic_clock.now
+
+let with_span ?(args = []) ~name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let b = my_buf () in
+    let recorded =
+      push_capped b { ev_name = name; ev_phase = B; ev_ts = now (); ev_args = args }
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        if recorded then
+          push b { ev_name = name; ev_phase = E; ev_ts = now (); ev_args = [] })
+      f
+  end
+
+let instant ?(args = []) name =
+  if Atomic.get enabled_flag then
+    ignore
+      (push_capped (my_buf ())
+         { ev_name = name; ev_phase = I; ev_ts = now (); ev_args = args })
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export (JSON Array Format, one event per line)   *)
+
+let escape = Metrics.json_escape
+
+let phase_text = function B -> "B" | E -> "E" | I -> "i"
+
+let event_line buf tid ev =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
+       (escape ev.ev_name) (phase_text ev.ev_phase)
+       (Int64.to_float ev.ev_ts /. 1e3)
+       tid);
+  if ev.ev_phase = I then Buffer.add_string buf ",\"s\":\"t\"";
+  (match ev.ev_args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string buf ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+        args;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+let to_json_string () =
+  Mutex.lock bufs_lock;
+  let snap = List.map (fun b -> (b.tid, Array.sub b.events 0 b.len)) !bufs in
+  Mutex.unlock bufs_lock;
+  let snap = List.sort compare (List.map (fun (tid, evs) -> (tid, evs)) snap) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  let first = ref true in
+  List.iter
+    (fun (tid, _) ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain %d\"}}"
+           tid tid))
+    snap;
+  List.iter
+    (fun (tid, evs) ->
+      Array.iter
+        (fun ev ->
+          if not !first then Buffer.add_string buf ",\n";
+          first := false;
+          event_line buf tid ev)
+        evs)
+    snap;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let dump path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json_string ()))
+
+(* ------------------------------------------------------------------ *)
+(* Validation: every "B" has a matching, properly nested "E"           *)
+
+(* minimal field extraction from the one-event-per-line format emitted
+   above (no JSON dependency; quoted values never contain unescaped
+   quotes) *)
+let string_field line key =
+  let pat = Printf.sprintf "\"%s\":\"" key in
+  match
+    let plen = String.length pat in
+    let n = String.length line in
+    let rec find i =
+      if i + plen > n then None
+      else if String.sub line i plen = pat then Some (i + plen)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some start ->
+      let buf = Buffer.create 16 in
+      let n = String.length line in
+      let rec go i =
+        if i >= n then None
+        else
+          match line.[i] with
+          | '"' -> Some (Buffer.contents buf)
+          | '\\' when i + 1 < n ->
+              Buffer.add_char buf line.[i + 1];
+              go (i + 2)
+          | c ->
+              Buffer.add_char buf c;
+              go (i + 1)
+      in
+      go start
+
+let num_field line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat in
+  let n = String.length line in
+  let rec find i =
+    if i + plen > n then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while
+        !stop < n
+        && (match line.[!stop] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        Stdlib.incr stop
+      done;
+      float_of_string_opt (String.sub line start (!stop - start))
+
+let validate_string text =
+  let stacks : (int, (string * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks tid s;
+        s
+  in
+  let spans = ref 0 in
+  let err = ref None in
+  let fail line fmt =
+    Printf.ksprintf
+      (fun msg -> if !err = None then err := Some (Printf.sprintf "%s: %s" msg line))
+      fmt
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      if !err = None then
+        match string_field line "ph" with
+        | None | Some "M" | Some "i" -> ()
+        | Some ph -> (
+            let name = Option.value ~default:"?" (string_field line "name") in
+            let tid =
+              int_of_float (Option.value ~default:(-1.0) (num_field line "tid"))
+            in
+            let ts = Option.value ~default:Float.nan (num_field line "ts") in
+            if tid < 0 then fail line "event without tid"
+            else if Float.is_nan ts then fail line "event without ts"
+            else
+              let s = stack tid in
+              match ph with
+              | "B" -> s := (name, ts) :: !s
+              | "E" -> (
+                  match !s with
+                  | [] -> fail line "unmatched E (empty stack on tid %d)" tid
+                  | (bn, bts) :: rest ->
+                      if bn <> name then
+                        fail line "E %S does not close innermost B %S" name bn
+                      else if ts < bts then
+                        fail line "span %S ends before it begins" name
+                      else begin
+                        Stdlib.incr spans;
+                        s := rest
+                      end)
+              | other -> fail line "unknown phase %S" other))
+    lines;
+  (match !err with
+  | None ->
+      Hashtbl.iter
+        (fun tid s ->
+          match !s with
+          | [] -> ()
+          | (name, _) :: _ ->
+              if !err = None then
+                err :=
+                  Some
+                    (Printf.sprintf "unclosed span %S on tid %d" name tid))
+        stacks
+  | Some _ -> ());
+  match !err with
+  | Some e -> Error e
+  | None ->
+      if !spans = 0 then Error "trace contains no spans" else Ok !spans
+
+let validate_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  validate_string text

@@ -1,26 +1,15 @@
-type t = { cname : string; cell : int Atomic.t }
+(* Thin compatibility adapter over Xtwig_obs.Metrics: the flat counter
+   table the perf work of PR 1/2 was built on is now one view of the
+   generalized metrics registry, so counters registered here appear in
+   Metrics snapshots/expositions and vice versa. *)
 
-(* The registry is only mutated by [counter], which callers invoke at
-   module-initialization time (before domains spawn); increments on
-   registered counters are atomic and domain-safe. *)
-let registry : (string, t) Hashtbl.t = Hashtbl.create 32
-let registry_lock = Mutex.create ()
+module Metrics = Xtwig_obs.Metrics
 
-let counter name =
-  Mutex.lock registry_lock;
-  let c =
-    match Hashtbl.find_opt registry name with
-    | Some c -> c
-    | None ->
-        let c = { cname = name; cell = Atomic.make 0 } in
-        Hashtbl.add registry name c;
-        c
-  in
-  Mutex.unlock registry_lock;
-  c
+type t = { cname : string; cell : Metrics.counter }
 
-let incr ?(by = 1) t = ignore (Atomic.fetch_and_add t.cell by)
-let value t = Atomic.get t.cell
+let counter name = { cname = name; cell = Metrics.counter name }
+let incr ?by t = Metrics.incr ?by t.cell
+let value t = Metrics.counter_value t.cell
 let name t = t.cname
 
 (* ------------------------------------------------------------------ *)
@@ -37,22 +26,26 @@ let time t f =
 
 (* ------------------------------------------------------------------ *)
 
-let reset_all () =
-  Mutex.lock registry_lock;
-  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry;
-  Mutex.unlock registry_lock
+let reset_all () = Metrics.reset_all ()
+let reset = reset_all
 
-let all () =
-  Mutex.lock registry_lock;
-  let l = Hashtbl.fold (fun n c acc -> (n, value c) :: acc) registry [] in
-  Mutex.unlock registry_lock;
-  List.sort compare l
+let label_suffix = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
+      ^ "}"
+
+let snapshot () =
+  List.filter_map
+    (fun (e : Metrics.entry) ->
+      match e.Metrics.value with
+      | Metrics.Counter n -> Some (e.Metrics.name ^ label_suffix e.Metrics.labels, n)
+      | _ -> None)
+    (Metrics.snapshot ())
+
+let all = snapshot
 
 let get name =
-  Mutex.lock registry_lock;
-  let v = match Hashtbl.find_opt registry name with
-    | Some c -> value c
-    | None -> 0
-  in
-  Mutex.unlock registry_lock;
-  v
+  match List.assoc_opt name (snapshot ()) with Some v -> v | None -> 0

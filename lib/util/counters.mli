@@ -3,10 +3,16 @@
     Counters are registered once (typically at module initialization)
     and incremented from anywhere — including worker domains: cells are
     {!Atomic.t}, so concurrent increments from XBUILD's parallel
-    candidate scoring are safe. The benchmark harness resets them
-    before a run and reports the totals afterwards, which is how the
-    perf trajectory of the build inner loop is tracked across PRs
+    candidate scoring are safe. The benchmark harness snapshots them
+    around a run and reports the delta, which is how the perf
+    trajectory of the build inner loop is tracked across PRs
     (see DESIGN.md "Performance").
+
+    This module is a compatibility view over the generalized
+    {!Xtwig_obs.Metrics} registry: a counter registered here is the
+    unlabeled [Metrics] counter of the same name, and {!snapshot} /
+    {!reset} iterate the shared registry. New code that needs gauges,
+    histograms or labels should use [Metrics] directly.
 
     Timers are counters accumulating monotonic nanoseconds. *)
 
@@ -41,11 +47,22 @@ val time : t -> (unit -> 'a) -> 'a
 
 (** {1 Registry} *)
 
+val reset : unit -> unit
+(** Zero every registered cell of the shared metrics registry —
+    including gauges and histograms (values only; registration is
+    kept). *)
+
 val reset_all : unit -> unit
-(** Zero every registered counter (values only; registration is kept). *)
+(** Alias of {!reset} (the original name). *)
+
+val snapshot : unit -> (string * int) list
+(** Every registered counter cell with its current value, sorted by
+    name; labeled [Metrics] counters appear as [name{k=v,...}].
+    Prefer {!Xtwig_obs.Metrics.snapshot}/[diff] for before/after
+    deltas — it also carries gauges and histograms. *)
 
 val all : unit -> (string * int) list
-(** Every registered counter with its current value, sorted by name. *)
+(** Alias of {!snapshot} (the original name). *)
 
 val get : string -> int
 (** Current value of the named counter; 0 when never registered. *)

@@ -73,6 +73,7 @@ let take_capped cap l =
 let t_embed = Xtwig_util.Counters.timer "embed.ns"
 
 let embeddings ?(max_alternatives = 64) syn twig =
+  Xtwig_obs.Trace.with_span ~name:"embed.enumerate" @@ fun () ->
   Xtwig_util.Counters.time t_embed @@ fun () ->
   set_truncated false;
   (* embedding-node ids: dense, unique within one [embeddings] result

@@ -274,6 +274,7 @@ let estimate_embedding sketch (root : enode) =
 let t_estimate = Xtwig_util.Counters.timer "estimator.ns"
 
 let estimate ?max_alternatives ?cache sketch twig =
+  Xtwig_obs.Trace.with_span ~name:"estimator.estimate" @@ fun () ->
   Xtwig_util.Counters.time t_estimate @@ fun () ->
   let syn = Sketch.synopsis sketch in
   let embs =

@@ -189,6 +189,20 @@ let touched_labels sketch op =
   in
   List.sort_uniq compare labels
 
+let kind_name = function
+  | B_stabilize _ -> "b-stabilize"
+  | F_stabilize _ -> "f-stabilize"
+  | Edge_refine _ -> "edge-refine"
+  | Edge_expand _ -> "edge-expand"
+  | Value_refine _ -> "value-refine"
+  | Value_split _ -> "value-split"
+
+let all_kinds =
+  [
+    "b-stabilize"; "f-stabilize"; "edge-refine"; "edge-expand"; "value-refine";
+    "value-split";
+  ]
+
 let describe sketch op =
   let syn = Sketch.synopsis sketch in
   let name n = Printf.sprintf "%s#%d" (G.tag_name syn n) n in

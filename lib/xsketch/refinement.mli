@@ -59,3 +59,11 @@ val gen_candidates : ?count:int -> Sketch.t -> Xtwig_util.Prng.t -> op list
     correlated with the histogram's current dimensions. *)
 
 val describe : Sketch.t -> op -> string
+
+val kind_name : op -> string
+(** The op's kind as a stable label ("b-stabilize", "f-stabilize",
+    "edge-refine", "edge-expand", "value-refine", "value-split") —
+    used as the [op.kind] metric label and trace-span argument. *)
+
+val all_kinds : string list
+(** Every {!kind_name}, in declaration order. *)

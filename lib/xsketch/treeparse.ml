@@ -7,6 +7,7 @@ type sets = {
 }
 
 let parse sketch root =
+  Xtwig_obs.Trace.with_span ~name:"treeparse.parse" @@ fun () ->
   let covered = ref [] in
   let out = ref [] in
   let rec go (e : enode) =

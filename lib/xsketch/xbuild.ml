@@ -1,6 +1,8 @@
 module Prng = Xtwig_util.Prng
 module Stats = Xtwig_util.Stats
 module Counters = Xtwig_util.Counters
+module Metrics = Xtwig_obs.Metrics
+module Trace = Xtwig_obs.Trace
 
 let c_steps = Counters.counter "xbuild.steps"
 let c_candidates = Counters.counter "xbuild.candidates_scored"
@@ -9,6 +11,24 @@ let c_est_computed = Counters.counter "xbuild.estimates_computed"
 let t_build = Counters.timer "xbuild.ns"
 let t_apply = Counters.timer "xbuild.apply_ns"
 let t_gen = Counters.timer "xbuild.gen_ns"
+
+(* per-round latency distribution: a round = candidate generation +
+   base pass + scoring + the chosen apply *)
+let h_round =
+  Metrics.histogram
+    ~bounds:(Metrics.exponential ~start:1e-4 ~factor:2.0 ~n:24)
+    "xbuild.round.seconds"
+
+(* applied refinements by kind, e.g. xbuild.ops_applied{op.kind=...} *)
+let c_ops_applied =
+  List.map
+    (fun k -> (k, Metrics.counter ~labels:[ ("op.kind", k) ] "xbuild.ops_applied"))
+    Refinement.all_kinds
+
+let count_applied op =
+  match List.assoc_opt (Refinement.kind_name op) c_ops_applied with
+  | Some c -> Metrics.incr c
+  | None -> ()
 
 type step_info = {
   step : int;
@@ -78,7 +98,11 @@ let build ?pool ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1
   while !continue && Sketch.size_bytes !sketch < budget && !step < max_steps do
     incr step;
     Counters.incr c_steps;
+    Metrics.time h_round @@ fun () ->
+    Trace.with_span ~name:"xbuild.round" ~args:[ ("step", string_of_int !step) ]
+    @@ fun () ->
     let cands =
+      Trace.with_span ~name:"xbuild.gen_candidates" @@ fun () ->
       Counters.time t_gen @@ fun () ->
       Refinement.gen_candidates ~count:candidates !sketch prng
     in
@@ -111,18 +135,22 @@ let build ?pool ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1
          (main domain) and records, per query, the synopsis nodes its
          embeddings touch: a candidate that changes none of them has a
          provably identical estimate, which is reused below *)
-      for i = 0 to nq - 1 do
-        let embs = Embed.embeddings_cached cache syn0 qarr.(i) in
-        trunc.(i) <- Embed.last_truncated ();
-        visited.(i) <- Embed.visited_nodes embs;
-        let est = Estimator.estimate ~cache !sketch qarr.(i) in
-        let c = truths.(i) in
-        base_terms.(i) <- Float.abs (est -. c) /. Stdlib.max sanity c
-      done;
+      Trace.with_span ~name:"xbuild.base_pass" (fun () ->
+          for i = 0 to nq - 1 do
+            let embs = Embed.embeddings_cached cache syn0 qarr.(i) in
+            trunc.(i) <- Embed.last_truncated ();
+            visited.(i) <- Embed.visited_nodes embs;
+            let est = Estimator.estimate ~cache !sketch qarr.(i) in
+            let c = truths.(i) in
+            base_terms.(i) <- Float.abs (est -. c) /. Stdlib.max sanity c
+          done);
       Embed.freeze cache;
       let base_error = Stats.mean base_terms in
       let base_size = Sketch.size_bytes !sketch in
       let score op =
+        Trace.with_span ~name:"xbuild.score"
+          ~args:[ ("op.kind", Refinement.kind_name op) ]
+        @@ fun () ->
         Counters.incr c_candidates;
         let refined = Counters.time t_apply @@ fun () -> Refinement.apply !sketch op in
         let size = Sketch.size_bytes refined in
@@ -186,6 +214,7 @@ let build ?pool ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1
       | None -> continue := false
       | Some (_, op, refined, size, err) ->
           let description = Refinement.describe !sketch op in
+          count_applied op;
           sketch := refined;
           (match on_step with
           | None -> ()

@@ -1,0 +1,53 @@
+(* Validate Chrome trace-event dumps (and, with a .json metrics file,
+   that the metrics dump is non-empty JSON): the CI smoke step runs
+   this over the artifacts of a traced bench run.
+
+   Usage: check_trace.exe FILE... — trace files are checked for B/E
+   pairing and nesting via Trace.validate_file; exits non-zero on the
+   first malformed file. *)
+
+let check_metrics path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let s = String.trim s in
+  if String.length s < 2 || s.[0] <> '{' || s.[String.length s - 1] <> '}' then
+    Error "not a JSON object"
+  else if String.length s <= 2 then Error "empty metrics dump"
+  else Ok ()
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: check_trace.exe TRACE.json [METRICS.json ...]";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      let result =
+        (* a trace dump starts with {"traceEvents"; anything else is
+           treated as a metrics dump *)
+        let ic = open_in path in
+        let head = try input_line ic with End_of_file -> "" in
+        close_in ic;
+        let is_trace =
+          String.length head >= 14 && String.sub head 0 14 = "{\"traceEvents\""
+        in
+        if is_trace then
+          match Xtwig_obs.Trace.validate_file path with
+          | Ok spans -> Ok (Printf.sprintf "%d well-formed spans" spans)
+          | Error e -> Error e
+        else
+          match check_metrics path with
+          | Ok () -> Ok "metrics JSON object"
+          | Error e -> Error e
+      in
+      match result with
+      | Ok msg -> Printf.printf "%s: OK (%s)\n" path msg
+      | Error e ->
+          Printf.eprintf "%s: INVALID: %s\n" path e;
+          failed := true)
+    files;
+  if !failed then exit 1

@@ -1,0 +1,165 @@
+(* Engine observability: a query whose deadline expires must degrade
+   to the coarse label-split estimate, flag the answer, bump the
+   engine.timeouts metric, and carry a trace id that correlates the
+   answer with its spans in a trace dump. *)
+
+module Metrics = Xtwig_obs.Metrics
+module Trace = Xtwig_obs.Trace
+module Prng = Xtwig_util.Prng
+module Xerror = Xtwig_util.Xerror
+module Sketch = Xtwig_sketch.Sketch
+module Est = Xtwig_sketch.Estimator
+module Xbuild = Xtwig_sketch.Xbuild
+module Wgen = Xtwig_workload.Wgen
+module Engine = Xtwig_engine.Engine
+
+let imdb = lazy (Xtwig_datagen.Imdb.generate ~seed:7 ~scale:0.02 ())
+
+let get = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Xerror.to_string e)
+
+let truth_oracle doc =
+  let cache = Hashtbl.create 256 in
+  fun q ->
+    let k = Xtwig_path.Path_printer.twig_to_string q in
+    match Hashtbl.find_opt cache k with
+    | Some v -> v
+    | None ->
+        let v = float_of_int (Xtwig_eval.Eval_twig.selectivity doc q) in
+        Hashtbl.add cache k v;
+        v
+
+let build_small doc =
+  let truth = truth_oracle doc in
+  let workload prng ~focus =
+    Wgen.generate ~focus { Wgen.paper_p with Wgen.n_queries = 8 } prng doc
+  in
+  let budget = Sketch.size_bytes (Sketch.default_of_doc doc) * 2 in
+  Xbuild.build ~seed:3 ~candidates:6 ~max_steps:30 ~workload ~truth ~budget doc
+
+(* a deep-branching twig: embedding counts multiply along the branches,
+   so its evaluation has many deadline checkpoints *)
+let deep_twig () =
+  get
+    (Xtwig_path.Path_parser.parse_twig_res
+       "for t0 in //movie, t1 in t0/actor, t2 in t0/producer, t3 in \
+        t0/keyword")
+
+let test_timeout_bumps_metric () =
+  let doc = Lazy.force imdb in
+  let sk = build_small doc in
+  let q = deep_twig () in
+  let before = Metrics.snapshot () in
+  let eng = get (Engine.of_sketch ~timeout_s:1e-9 sk) in
+  Fun.protect
+    ~finally:(fun () -> Engine.close eng)
+    (fun () ->
+      let a = get (Engine.estimate eng q) in
+      Alcotest.(check bool) "fallback flagged" true a.Engine.fallback;
+      let coarse = Sketch.default_of_doc doc in
+      Alcotest.(check (float 1e-9))
+        "estimate is the coarse label-split estimate"
+        (Est.estimate coarse q) a.Engine.estimate;
+      Alcotest.(check bool) "trace id assigned" true (a.Engine.trace_id > 0);
+      Alcotest.(check bool) "elapsed recorded" true (a.Engine.elapsed_s >= 0.0);
+      let d = Metrics.diff before (Metrics.snapshot ()) in
+      Alcotest.(check int) "engine.timeouts bumped" 1
+        (Metrics.counter_of d "engine.timeouts");
+      Alcotest.(check int) "engine.queries bumped" 1
+        (Metrics.counter_of d "engine.queries");
+      (* the labeled fallback counter carries the reason *)
+      let fb =
+        List.find_opt
+          (fun (e : Metrics.entry) ->
+            e.Metrics.name = "engine.fallback"
+            && e.Metrics.labels = [ ("reason", "timeout") ])
+          d
+      in
+      match fb with
+      | Some { Metrics.value = Metrics.Counter 1; _ } -> ()
+      | _ -> Alcotest.fail "engine.fallback{reason=timeout} not bumped by 1")
+
+let test_no_timeout_no_bump () =
+  let doc = Lazy.force imdb in
+  let sk = build_small doc in
+  let q = deep_twig () in
+  let before = Metrics.snapshot () in
+  let eng = get (Engine.of_sketch ~timeout_s:60.0 sk) in
+  Fun.protect
+    ~finally:(fun () -> Engine.close eng)
+    (fun () ->
+      let a = get (Engine.estimate eng q) in
+      Alcotest.(check bool) "no fallback" false a.Engine.fallback;
+      Alcotest.(check (float 1e-9))
+        "full-sketch estimate" (Est.estimate sk q) a.Engine.estimate;
+      let d = Metrics.diff before (Metrics.snapshot ()) in
+      Alcotest.(check int) "no timeout counted" 0
+        (Metrics.counter_of d "engine.timeouts");
+      (* the query landed in the latency histogram *)
+      match Metrics.find d "engine.query.seconds" with
+      | Some (Metrics.Histogram v) ->
+          Alcotest.(check int) "one latency observation" 1 v.Metrics.count
+      | _ -> Alcotest.fail "engine.query.seconds missing from diff")
+
+let test_batch_trace_ids_and_spans () =
+  let doc = Lazy.force imdb in
+  let sk = build_small doc in
+  let qs =
+    Wgen.generate { Wgen.paper_p with Wgen.n_queries = 5 } (Prng.create 99) doc
+  in
+  Trace.enable ();
+  Trace.reset ();
+  Fun.protect ~finally:Trace.disable @@ fun () ->
+  let eng = get (Engine.of_sketch ~jobs:2 sk) in
+  let answers =
+    Fun.protect
+      ~finally:(fun () -> Engine.close eng)
+      (fun () -> get (Engine.estimate_batch eng qs))
+  in
+  (* one batch = one trace id, shared by every answer *)
+  let ids =
+    List.sort_uniq compare (List.map (fun a -> a.Engine.trace_id) answers)
+  in
+  Alcotest.(check int) "one trace id per batch" 1 (List.length ids);
+  Alcotest.(check bool) "id is positive" true (List.hd ids > 0);
+  (* a second batch gets a fresh id *)
+  let eng2 = get (Engine.of_sketch sk) in
+  let answers2 =
+    Fun.protect
+      ~finally:(fun () -> Engine.close eng2)
+      (fun () -> get (Engine.estimate_batch eng2 qs))
+  in
+  Alcotest.(check bool) "ids advance across batches" true
+    ((List.hd answers2).Engine.trace_id > List.hd ids);
+  (* the trace is well-formed and contains the per-query spans *)
+  let js = Trace.to_json_string () in
+  (match Trace.validate_string js with
+  | Ok n ->
+      Alcotest.(check bool)
+        "at least one span per query across both batches" true
+        (n >= 2 * List.length qs)
+  | Error e -> Alcotest.fail e);
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "engine.query spans present" true
+    (contains "engine.query" js);
+  Alcotest.(check bool) "batch span present" true
+    (contains "engine.estimate_batch" js)
+
+let () =
+  Alcotest.run "engine_obs"
+    [
+      ( "engine observability",
+        [
+          Alcotest.test_case "timeout degrades and bumps engine.timeouts"
+            `Quick test_timeout_bumps_metric;
+          Alcotest.test_case "no timeout, latency histogram observed" `Quick
+            test_no_timeout_no_bump;
+          Alcotest.test_case "batch trace ids and spans" `Quick
+            test_batch_trace_ids_and_spans;
+        ] );
+    ]
