@@ -41,6 +41,24 @@ let kb bytes = float_of_int bytes /. 1024.0
 
 let now () = Unix.gettimeofday ()
 
+(* Provenance for the BENCH_*.json artifacts: perf numbers are only
+   comparable across runs when the artifact names the code revision,
+   the host parallelism and the dataset scale that produced them. *)
+let git_commit =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+       let line = try String.trim (input_line ic) with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown"
+     with _ -> "unknown")
+
+let fprint_provenance oc =
+  Printf.fprintf oc "  \"git_commit\": %S,\n" (Lazy.force git_commit);
+  Printf.fprintf oc "  \"recommended_domain_count\": %d,\n"
+    (Domain.recommended_domain_count ())
+
 let log fmt = Printf.ksprintf (fun s -> Printf.eprintf "[bench] %s\n%!" s) fmt
 
 (* ------------------------------------------------------------------ *)
@@ -91,9 +109,18 @@ let report_metrics ~since =
     prerr_string (Metrics.render (Metrics.diff since (Metrics.snapshot ())))
 
 (* every bench mode leaves a machine-readable metrics snapshot next to
-   its BENCH json *)
+   its BENCH json, with the provenance fields spliced into the same
+   object (the dump must stay a single JSON object — check_trace) *)
 let write_metrics_json ~since path =
-  Metrics.dump_json path (Metrics.diff since (Metrics.snapshot ()));
+  let body = Metrics.to_json (Metrics.diff since (Metrics.snapshot ())) in
+  (* to_json output starts with "{\n"; re-open it with provenance *)
+  let tail = String.sub body 2 (String.length body - 2) in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  fprint_provenance oc;
+  Printf.fprintf oc "  \"scale\": %g,\n" scale;
+  output_string oc tail;
+  close_out oc;
   log "wrote %s" path
 
 let truths_of truth queries = Array.of_list (List.map truth queries)

@@ -398,6 +398,7 @@ let xbuild_bench () =
   let oc = open_out "BENCH_xbuild.json" in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"bench\": \"xbuild\",\n";
+  fprint_provenance oc;
   Printf.fprintf oc "  \"dataset\": \"IMDB\",\n";
   Printf.fprintf oc "  \"scale\": %g,\n" scale;
   Printf.fprintf oc "  \"seed\": %d,\n" seed;
@@ -475,11 +476,10 @@ let write_parallel_json () =
   let oc = open_out "BENCH_parallel.json" in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"bench\": \"parallel\",\n";
+  fprint_provenance oc;
   Printf.fprintf oc "  \"dataset\": \"IMDB\",\n";
   Printf.fprintf oc "  \"scale\": %g,\n" scale;
   Printf.fprintf oc "  \"jobs\": %d,\n" bench_jobs;
-  Printf.fprintf oc "  \"recommended_domain_count\": %d,\n"
-    (Domain.recommended_domain_count ());
   Printf.fprintf oc "  \"xbuild\": {\n";
   Printf.fprintf oc "    \"wall_seq_s\": %.3f,\n" r.xb_wall_seq;
   Printf.fprintf oc "    \"wall_par_s\": %.3f,\n" r.xb_wall_par;

@@ -2,6 +2,7 @@ module Doc = Xtwig_xml.Doc
 module Sketch = Xtwig_sketch.Sketch
 module Embed = Xtwig_sketch.Embed
 module Est = Xtwig_sketch.Estimator
+module Plan = Xtwig_sketch.Plan
 module Xbuild = Xtwig_sketch.Xbuild
 module Wgen = Xtwig_workload.Wgen
 module Pool = Xtwig_util.Pool
@@ -48,6 +49,7 @@ type t = {
   sk : Sketch.t;
   coarse : Sketch.t;  (* label-split fallback, shares the document *)
   cache : Embed.cache;  (* session-lived, keyed to sk's synopsis *)
+  pcache : Plan.cache;  (* compiled plans, same lifecycle as [cache] *)
   pool : Pool.t option;
   n_jobs : int;
   default_timeout : float;
@@ -75,6 +77,7 @@ let of_sketch ?(jobs = 1) ?(timeout_s = 5.0) ?on_embedding sk =
         sk;
         coarse = Sketch.default_of_doc (Sketch.doc sk);
         cache = Embed.create_cache (Sketch.synopsis sk);
+        pcache = Plan.create_cache (Sketch.synopsis sk);
         pool = make_pool jobs;
         n_jobs = jobs;
         default_timeout = timeout_s;
@@ -117,6 +120,7 @@ let create ?(seed = 42) ?(jobs = 1) ?candidates ?max_steps ?(timeout_s = 5.0)
         sk;
         coarse = Sketch.default_of_doc doc;
         cache = Embed.create_cache (Sketch.synopsis sk);
+        pcache = Plan.create_cache (Sketch.synopsis sk);
         pool;
         n_jobs = jobs;
         default_timeout = timeout_s;
@@ -130,28 +134,28 @@ let create ?(seed = 42) ?(jobs = 1) ?candidates ?max_steps ?(timeout_s = 5.0)
       }
   end
 
-(* Evaluate one query against its pre-enumerated embeddings, checking
-   the deadline between embedding contributions (runs on a worker when
-   the session has a pool). The sum visits embeddings in enumeration
-   order — identical to Estimator.estimate's fold, so jobs > 1 changes
-   scheduling, never values. *)
-let eval_one t ~trace_id ~deadline q embs =
+(* Evaluate one query through its pre-compiled plans (one per
+   embedding), checking the deadline between embedding contributions
+   (runs on a worker when the session has a pool). The sum visits
+   plans in enumeration order — identical to Estimator.estimate's
+   fold, so jobs > 1 changes scheduling, never values. *)
+let eval_one t ~trace_id ~deadline q plans =
   Trace.with_span ~name:"engine.query"
     ~args:[ ("trace_id", string_of_int trace_id) ]
   @@ fun () ->
   let t0 = now () in
-  let rec go acc = function
-    | [] -> (acc, false)
-    | e :: rest ->
-        if now () > deadline then ((* degrade *) Est.estimate t.coarse q, true)
-        else begin
-          (match t.on_embedding with None -> () | Some f -> f q);
-          go (acc +. Est.estimate_embedding t.sk e) rest
-        end
+  let n = Array.length plans in
+  let rec go acc i =
+    if i = n then (acc, false)
+    else if now () > deadline then ((* degrade *) Est.estimate t.coarse q, true)
+    else begin
+      (match t.on_embedding with None -> () | Some f -> f q);
+      go (acc +. Plan.run plans.(i)) (i + 1)
+    end
   in
   let estimate, fallback =
     if now () > deadline then (Est.estimate t.coarse q, true)
-    else go 0.0 embs
+    else go 0.0 0
   in
   if fallback then
     Trace.instant ~args:[ ("trace_id", string_of_int trace_id) ] "engine.fallback";
@@ -172,22 +176,31 @@ let estimate_batch ?timeout_s t queries =
         ]
     @@ fun () ->
     let t0 = now () in
-    (* enumeration on the owner domain against the session cache;
-       frozen before any fan-out (the cache ownership rule) *)
+    (* enumeration and plan compilation on the owner domain against
+       the session caches; frozen before any fan-out (the cache
+       ownership rule) *)
     Embed.thaw t.cache;
+    Plan.thaw t.pcache;
     let embedded =
       Trace.with_span ~name:"engine.embed_batch" (fun () ->
           List.map
             (fun q ->
-              (q, Embed.embeddings_cached t.cache (Sketch.synopsis t.sk) q))
+              let embs =
+                Embed.embeddings_cached t.cache (Sketch.synopsis t.sk) q
+              in
+              let plans =
+                Plan.plans_cached t.pcache ~key:(Embed.cache_key q) t.sk embs
+              in
+              (q, plans))
             queries)
     in
     Embed.freeze t.cache;
+    Plan.freeze t.pcache;
     let earr = Array.of_list embedded in
-    let run i (q, embs) =
+    let run i (q, plans) =
       ignore i;
       let deadline = now () +. timeout in
-      eval_one t ~trace_id ~deadline q embs
+      eval_one t ~trace_id ~deadline q plans
     in
     let answers =
       match t.pool with

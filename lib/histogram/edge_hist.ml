@@ -6,7 +6,34 @@ type bucket = {
   hi : int array;
 }
 
-type t = { dims : int; buckets : bucket list; exact : bool }
+(* Interned flat bucket table: the bucket list of one histogram laid
+   out as dense arrays (bucket-major for the per-dimension columns),
+   with the context bounds pre-widened by the ±0.5 compatibility slack
+   and P(count >= 1) precomputed per (bucket, dim). Tables are
+   hash-consed on their content, so structurally identical histograms
+   — common across XBUILD's incremental rebuilds — share one table and
+   one identity key ([tid]), which makes "same histogram?" an integer
+   comparison for compiled-plan validation. *)
+type table = {
+  tid : int;
+  tdims : int;
+  tn : int;  (* bucket count *)
+  tfrac : float array;  (* tn *)
+  tmean : float array;  (* tn * tdims, bucket-major *)
+  tp1 : float array;  (* tn * tdims: p_ge1 per (bucket, dim) *)
+  tlo : float array;  (* tn * tdims: float lo - 0.5 *)
+  thi : float array;  (* tn * tdims: float hi + 0.5 *)
+}
+
+type t = {
+  dims : int;
+  buckets : bucket list;
+  exact : bool;
+  (* lazily-computed interned table; the benign race (two domains
+     computing it concurrently) resolves to the same canonical table,
+     so a torn publish can at worst duplicate the computation *)
+  mutable tbl : table option;
+}
 
 (* A cell groups points during construction. *)
 type cell = { pts : (int array * int) list; weight : int }
@@ -82,7 +109,7 @@ let build ?(budget = 32) dist =
   let dims = Sparse_dist.dims dist in
   let total = Sparse_dist.total dist in
   let points = Sparse_dist.points dist in
-  if total = 0 then { dims; buckets = []; exact = true }
+  if total = 0 then { dims; buckets = []; exact = true; tbl = None }
   else begin
     let cells = ref [ cell_of_points points ] in
     let n_cells = ref 1 in
@@ -111,7 +138,7 @@ let build ?(budget = 32) dist =
     done;
     let buckets = List.map (bucket_of_cell dims total) !cells in
     let exact = List.for_all (fun c -> List.length c.pts = 1) !cells in
-    { dims; buckets; exact }
+    { dims; buckets; exact; tbl = None }
   end
 
 let exact dist = build ~budget:max_int dist
@@ -166,6 +193,78 @@ let p_ge1 b d =
   if b.lo.(d) >= 1 then 1.0
   else if b.hi.(d) = 0 then 0.0
   else Stdlib.min 1.0 b.mean.(d)
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consed flat tables                                             *)
+
+(* The intern key is the full table content (sans id). [count] is not
+   part of it: estimation reads only frac/mean/lo/hi, so histograms
+   differing only in absolute counts are interchangeable here. *)
+let intern_tbl :
+    ( int * float array * float array * float array * float array * float array,
+      table )
+    Hashtbl.t =
+  Hashtbl.create 256
+
+let intern_lock = Mutex.create ()
+let next_tid = ref 0 (* guarded by intern_lock *)
+
+let table t =
+  match t.tbl with
+  | Some tb -> tb
+  | None ->
+      let n = List.length t.buckets in
+      let k = t.dims in
+      let tfrac = Array.make n 0.0 in
+      let nk = n * k in
+      let tmean = Array.make nk 0.0 in
+      let tp1 = Array.make nk 0.0 in
+      let tlo = Array.make nk 0.0 in
+      let thi = Array.make nk 0.0 in
+      List.iteri
+        (fun b bucket ->
+          tfrac.(b) <- bucket.frac;
+          for d = 0 to k - 1 do
+            let o = (b * k) + d in
+            tmean.(o) <- bucket.mean.(d);
+            tp1.(o) <- p_ge1 bucket d;
+            tlo.(o) <- float_of_int bucket.lo.(d) -. 0.5;
+            thi.(o) <- float_of_int bucket.hi.(d) +. 0.5
+          done)
+        t.buckets;
+      let key = (k, tfrac, tmean, tp1, tlo, thi) in
+      Mutex.lock intern_lock;
+      let tb =
+        match Hashtbl.find_opt intern_tbl key with
+        | Some tb -> tb
+        | None ->
+            let tb =
+              {
+                tid = !next_tid;
+                tdims = k;
+                tn = n;
+                tfrac;
+                tmean;
+                tp1;
+                tlo;
+                thi;
+              }
+            in
+            incr next_tid;
+            Hashtbl.add intern_tbl key tb;
+            tb
+      in
+      Mutex.unlock intern_lock;
+      t.tbl <- Some tb;
+      tb
+
+let table_id t = (table t).tid
+
+let interned_tables () =
+  Mutex.lock intern_lock;
+  let n = Hashtbl.length intern_tbl in
+  Mutex.unlock intern_lock;
+  n
 
 let marginal_frac t ~ctx =
   List.fold_left

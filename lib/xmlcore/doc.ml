@@ -11,6 +11,7 @@ type t = {
   tag_codes : (string, tag) Hashtbl.t;
   by_tag : node array array;
   depths : int array;
+  max_depth : int; (* cached: consulted per embedding enumeration *)
 }
 
 module Builder = struct
@@ -126,6 +127,7 @@ module Builder = struct
       tag_codes = b.codes;
       by_tag;
       depths;
+      max_depth = Array.fold_left Stdlib.max 0 depths;
     }
 end
 
@@ -157,7 +159,7 @@ let fold t ~init ~f =
 let children_with_tag t n c =
   Array.fold_left (fun acc k -> if t.tags.(k) = c then acc + 1 else acc) 0 t.child_arr.(n)
 
-let max_depth t = Array.fold_left Stdlib.max 0 t.depths
+let max_depth t = t.max_depth
 
 let leaf_count t =
   fold t ~init:0 ~f:(fun acc n ->

@@ -64,15 +64,76 @@ let step_chains syn max_len from axis label =
       List.rev !out
 
 let take_capped cap l =
-  if List.length l > cap then begin
+  (* bounded scans: enumeration lists can be long and this runs per
+     path expansion, so neither the length check nor the truncation
+     walks past [cap] elements *)
+  let rec longer_than n = function
+    | [] -> false
+    | _ :: tl -> n = 0 || longer_than (n - 1) tl
+  in
+  if longer_than cap l then begin
     set_truncated true;
-    List.filteri (fun i _ -> i < cap) l
+    let rec take n = function
+      | [] -> []
+      | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+    in
+    take cap l
   end
   else l
 
 let t_embed = Xtwig_util.Counters.timer "embed.ns"
 
-let embeddings ?(max_alternatives = 64) syn twig =
+(* Memo table for [step_chains] results, keyed by (from, axis, label)
+   with [from]/[axis] packed into one int. Chains depend only on the
+   synopsis graph, so a memo attached to an embedding cache is valid
+   for every query against that synopsis — XBUILD's scoring queries
+   share most of their steps (the same //tag roots), which makes the
+   descendant-axis DFS the dominant repeated work. *)
+type chains_memo = (int * string, int list list) Hashtbl.t
+
+let chains_key from axis =
+  (((match from with None -> 0 | Some u -> u + 1) * 2)
+  + match axis with Xtwig_path.Path_types.Child -> 0 | Descendant -> 1)
+
+(* Per-call memoization structure: one level per path-step suffix,
+   compiled from the twig before enumeration. [l_chains] caches the
+   full expansion of this suffix per context node and [l_branch] the
+   embedded branching predicates per target, so synopsis chains that
+   converge on the same node share their downstream expansion instead
+   of redoing it (the dominant cost on descendant axes). Items carry
+   no embedding ids, so returning a shared list is observationally
+   identical to recomputation; the truncation flag only ever latches
+   true within one call, so skipping a repeat [take_capped] cannot
+   change it. *)
+type levels = Lnil | Lcons of level
+
+and level = {
+  l_step : step;
+  l_preds : levels list; (* compiled branching-predicate paths *)
+  l_next : levels;
+  l_chains : (int, item list list) Hashtbl.t; (* context node -> chains *)
+  l_branch : (int, ebranch list list option) Hashtbl.t; (* target -> preds *)
+}
+
+let rec compile_steps (p : path) : levels =
+  match p with
+  | [] -> Lnil
+  | s :: rest ->
+      Lcons
+        {
+          l_step = s;
+          l_preds = List.map compile_steps s.branches;
+          l_next = compile_steps rest;
+          l_chains = Hashtbl.create 8;
+          l_branch = Hashtbl.create 8;
+        }
+
+type ctwig = { ct_levels : levels; ct_subs : ctwig list }
+
+let rec compile_twig (t : twig) : ctwig =
+  { ct_levels = compile_steps t.path; ct_subs = List.map compile_twig t.subs }
+
+let embeddings ?chains ?(max_alternatives = 64) syn twig =
   Xtwig_obs.Trace.with_span ~name:"embed.enumerate" @@ fun () ->
   Xtwig_util.Counters.time t_embed @@ fun () ->
   set_truncated false;
@@ -85,38 +146,70 @@ let embeddings ?(max_alternatives = 64) syn twig =
     i
   in
   let max_len = Doc.max_depth (G.doc syn) + 1 in
-  (* chains embedding a whole path: lists of items, first step first *)
-  let rec path_chains from steps : item list list =
-    match steps with
-    | [] -> [ [] ]
-    | s :: rest ->
-        let raw = step_chains syn max_len from s.axis s.label in
-        List.concat_map
-          (fun rev_chain ->
-            match rev_chain with
-            | [] -> []
-            | target :: intermediates_rev -> (
-                match branch_preds target s.branches with
-                | None -> [] (* unsatisfiable branching predicate *)
-                | Some ibranches ->
-                    let head =
-                      List.rev_map bare_item intermediates_rev
-                      @ [ { inode = target; ivpred = s.vpred; ibranches } ]
-                    in
-                    List.map
-                      (fun tail -> head @ tail)
-                      (path_chains (Some target) rest)))
-          raw
-        |> take_capped max_alternatives
+  let chains_for =
+    match chains with
+    | None -> fun from axis label -> step_chains syn max_len from axis label
+    | Some memo ->
+        fun from axis label ->
+          let key = (chains_key from axis, label) in
+          (match Hashtbl.find_opt memo key with
+          | Some r -> r
+          | None ->
+              let r = step_chains syn max_len from axis label in
+              Hashtbl.add memo key r;
+              r)
+  in
+  (* chains embedding a whole path: lists of items, first step first;
+     memoized per (level, context node) in the compiled levels *)
+  let rec path_chains from lv : item list list =
+    match lv with
+    | Lnil -> [ [] ]
+    | Lcons l -> (
+        let key = match from with None -> -1 | Some u -> u in
+        match Hashtbl.find_opt l.l_chains key with
+        | Some r -> r
+        | None ->
+            let s = l.l_step in
+            let raw = chains_for from s.axis s.label in
+            let r =
+              List.concat_map
+                (fun rev_chain ->
+                  match rev_chain with
+                  | [] -> []
+                  | target :: intermediates_rev -> (
+                      match branch_preds l target with
+                      | None -> [] (* unsatisfiable branching predicate *)
+                      | Some ibranches ->
+                          let head =
+                            List.rev_map bare_item intermediates_rev
+                            @ [ { inode = target; ivpred = s.vpred; ibranches } ]
+                          in
+                          List.map
+                            (fun tail -> head @ tail)
+                            (path_chains (Some target) l.l_next)))
+                raw
+              |> take_capped max_alternatives
+            in
+            Hashtbl.add l.l_chains key r;
+            r)
   (* one branching predicate at node [u]: all alternative embedded
      chains, or None when there are none *)
-  and branch_preds u preds : ebranch list list option =
-    let embedded =
-      List.map
-        (fun bp -> List.filter_map chain_to_ebranch (path_chains (Some u) bp))
-        preds
-    in
-    if List.exists (fun alts -> alts = []) embedded then None else Some embedded
+  and branch_preds l u : ebranch list list option =
+    match Hashtbl.find_opt l.l_branch u with
+    | Some r -> r
+    | None ->
+        let embedded =
+          List.map
+            (fun lp ->
+              List.filter_map chain_to_ebranch (path_chains (Some u) lp))
+            l.l_preds
+        in
+        let r =
+          if List.exists (fun alts -> alts = []) embedded then None
+          else Some embedded
+        in
+        Hashtbl.add l.l_branch u r;
+        r
   and chain_to_ebranch items : ebranch option =
     match items with
     | [] -> None
@@ -134,8 +227,10 @@ let embeddings ?(max_alternatives = 64) syn twig =
   in
   (* all alternative embeddings of one twig node evaluated from a
      context synopsis node *)
-  let rec embed_twig from (t : twig) : enode list =
-    List.filter_map (fun items -> embed_chain items t.subs) (path_chains from t.path)
+  let rec embed_twig from (ct : ctwig) : enode list =
+    List.filter_map
+      (fun items -> embed_chain items ct.ct_subs)
+      (path_chains from ct.ct_levels)
   (* one chain plus the twig children attached at its end; None when
      some child cannot be embedded *)
   and embed_chain items subs : enode option =
@@ -167,7 +262,7 @@ let embeddings ?(max_alternatives = 64) syn twig =
           in
           Some (wrap items)
   in
-  embed_twig None twig
+  embed_twig None (compile_twig twig)
 
 (* ------------------------------------------------------------------ *)
 (* Embedding cache                                                     *)
@@ -180,16 +275,27 @@ let c_misses = Counters.counter "embed.cache_misses"
 type cache = {
   csyn : G.t;
   tbl : (string, enode list * bool) Hashtbl.t;
+  chains : chains_memo;
   lock : Mutex.t;
   mutable frozen : bool;
 }
 
 let create_cache syn =
-  { csyn = syn; tbl = Hashtbl.create 64; lock = Mutex.create (); frozen = false }
+  {
+    csyn = syn;
+    tbl = Hashtbl.create 64;
+    chains = Hashtbl.create 64;
+    lock = Mutex.create ();
+    frozen = false;
+  }
 
 let cache_synopsis c = c.csyn
 let freeze c = c.frozen <- true
 let thaw c = c.frozen <- false
+
+let cache_key ?(max_alternatives = 64) twig =
+  Printf.sprintf "%d#%s" max_alternatives
+    (Xtwig_path.Path_printer.twig_to_string twig)
 
 let embeddings_cached cache ?(max_alternatives = 64) syn twig =
   if syn != cache.csyn then begin
@@ -198,10 +304,7 @@ let embeddings_cached cache ?(max_alternatives = 64) syn twig =
     embeddings ~max_alternatives syn twig
   end
   else
-    let key =
-      Printf.sprintf "%d#%s" max_alternatives
-        (Xtwig_path.Path_printer.twig_to_string twig)
-    in
+    let key = cache_key ~max_alternatives twig in
     (* lock-free lookups are sound under the ownership rule (the cache
        is warmed by one domain, then frozen before any fan-out); the
        insertion lock only defends against a caller that violates it,
@@ -213,7 +316,11 @@ let embeddings_cached cache ?(max_alternatives = 64) syn twig =
         roots
     | None ->
         Counters.incr c_misses;
-        let roots = embeddings ~max_alternatives syn twig in
+        (* the chains memo is shared mutable state: used only while the
+           cache is thawed (single-owner phase); frozen-cache misses on
+           worker domains enumerate without it *)
+        let chains = if cache.frozen then None else Some cache.chains in
+        let roots = embeddings ?chains ~max_alternatives syn twig in
         if not cache.frozen then begin
           Mutex.lock cache.lock;
           if not cache.frozen then

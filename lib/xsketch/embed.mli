@@ -42,7 +42,14 @@ type enode = {
           chains — at least one, or the node would not exist *)
 }
 
+type chains_memo
+(** Memo of per-step synopsis chain expansions, valid for one synopsis
+    graph. Owned by an embedding {!cache} (queries against one
+    synopsis share most of their step expansions); not constructible
+    directly. *)
+
 val embeddings :
+  ?chains:chains_memo ->
   ?max_alternatives:int ->
   Xtwig_synopsis.Graph_synopsis.t ->
   Xtwig_path.Path_types.twig ->
@@ -88,6 +95,11 @@ val freeze : cache -> unit
 val thaw : cache -> unit
 (** Re-enable insertions. Only the owning domain may thaw, and only
     while no other domain holds the cache. *)
+
+val cache_key : ?max_alternatives:int -> Xtwig_path.Path_types.twig -> string
+(** The string key a query enumerates under (also used by the
+    compiled-plan cache, so a query's embeddings and plans share one
+    identity). *)
 
 val embeddings_cached :
   cache ->

@@ -175,35 +175,45 @@ let estimate_embedding sketch (root : enode) =
       mem_int (ekey n a.snode) enum_edges
       || List.exists (fun ed -> mem_int ed enum_edges) (needs_of a)
     in
-    (* kid contributions that do not depend on the bucket combo *)
-    let kid_dep = List.map (fun alts -> List.exists alt_dep alts) e.kids in
-    let indep_factor =
-      List.fold_left2
-        (fun acc alts dep ->
-          if dep then acc
-          else
-            acc
+    (* kid dependence flags as a flat array: the per-combination leaf
+       below indexes them per kid, so no linear List.nth rescans *)
+    let kid_arr = Array.of_list e.kids in
+    let nk = Array.length kid_arr in
+    let kid_dep = Array.map (fun alts -> List.exists alt_dep alts) kid_arr in
+    let indep_factor = ref 1.0 in
+    Array.iteri
+      (fun i alts ->
+        if not kid_dep.(i) then
+          indep_factor :=
+            !indep_factor
             *. List.fold_left
                  (fun s a -> s +. alt_contrib a env ~fixed:None)
                  0.0 alts)
-        1.0 e.kids kid_dep
-    in
+      kid_arr;
+    let indep_factor = !indep_factor in
     (* pre-compute bucket-independent alternative values inside
        dependent kids (the count factor may vary while the subtree
-       value does not) *)
-    let fixed_values = Hashtbl.create 8 in
-    List.iteri
+       value does not); dense [i * width + j] indexing, same trick as
+       the integer edge keys above *)
+    let width =
+      Array.fold_left (fun w alts -> Stdlib.max w (List.length alts)) 0 kid_arr
+    in
+    let fixed_values = Array.make (Stdlib.max 1 (nk * width)) 0.0 in
+    let fixed_set = Array.make (Stdlib.max 1 (nk * width)) false in
+    Array.iteri
       (fun i alts ->
-        if List.nth kid_dep i then
+        if kid_dep.(i) then
           List.iteri
             (fun j a ->
               let subtree_dep =
                 List.exists (fun ed -> mem_int ed enum_edges) (needs_of a)
               in
-              if not subtree_dep then
-                Hashtbl.replace fixed_values (i, j) (alt_value a env))
+              if not subtree_dep then begin
+                fixed_values.((i * width) + j) <- alt_value a env;
+                fixed_set.((i * width) + j) <- true
+              end)
             alts)
-      e.kids;
+      kid_arr;
     (* does the node's own branch factor vary with the bucket combo? *)
     let branch_dep =
       List.exists (fun ed -> mem_int ed enum_edges) branch_first_edges
@@ -215,18 +225,22 @@ let estimate_embedding sketch (root : enode) =
           let factor = ref 1.0 in
           if branch_dep then
             factor := all_branch_fracs_env sketch nn n env' e.branches;
-          List.iteri
+          Array.iteri
             (fun i alts ->
-              if List.nth kid_dep i then begin
+              if kid_dep.(i) then begin
                 let s = ref 0.0 in
                 List.iteri
                   (fun j a ->
-                    let fixed = Hashtbl.find_opt fixed_values (i, j) in
+                    let fixed =
+                      if fixed_set.((i * width) + j) then
+                        Some fixed_values.((i * width) + j)
+                      else None
+                    in
                     s := !s +. alt_contrib a env' ~fixed)
                   alts;
                 factor := !factor *. !s
               end)
-            e.kids;
+            kid_arr;
           acc_w *. !factor
       | ((dims : Sketch.dim array), h) :: rest ->
           (* correlation set D: dimensions fixed upstream *)
@@ -272,17 +286,37 @@ let estimate_embedding sketch (root : enode) =
   *. expand root []
 
 let t_estimate = Xtwig_util.Counters.timer "estimator.ns"
+let t_reference = Xtwig_util.Counters.timer "estimator.reference_ns"
 
-let estimate ?max_alternatives ?cache sketch twig =
+let embeddings_of ?max_alternatives ?cache syn twig =
+  match cache with
+  | Some c -> Embed.embeddings_cached c ?max_alternatives syn twig
+  | None -> Embed.embeddings ?max_alternatives syn twig
+
+(* The recursive evaluator above, kept as the differential baseline
+   for the compiled plans (timed separately so estimator.ns tracks
+   only the production path). *)
+let estimate_reference ?max_alternatives ?cache sketch twig =
+  Xtwig_obs.Trace.with_span ~name:"estimator.estimate_reference" @@ fun () ->
+  Xtwig_util.Counters.time t_reference @@ fun () ->
+  let embs = embeddings_of ?max_alternatives ?cache (Sketch.synopsis sketch) twig in
+  List.fold_left (fun acc e -> acc +. estimate_embedding sketch e) 0.0 embs
+
+(* Production path: compile each embedding into a flat plan and run
+   it. When [plans] is given and keyed to this sketch's synopsis, the
+   compiled plans are cached per query alongside the embedding cache
+   and revalidated against [sketch] on every reuse. *)
+let estimate ?max_alternatives ?cache ?plans sketch twig =
   Xtwig_obs.Trace.with_span ~name:"estimator.estimate" @@ fun () ->
   Xtwig_util.Counters.time t_estimate @@ fun () ->
   let syn = Sketch.synopsis sketch in
-  let embs =
-    match cache with
-    | Some c -> Embed.embeddings_cached c ?max_alternatives syn twig
-    | None -> Embed.embeddings ?max_alternatives syn twig
-  in
-  List.fold_left (fun acc e -> acc +. estimate_embedding sketch e) 0.0 embs
+  let embs = embeddings_of ?max_alternatives ?cache syn twig in
+  match plans with
+  | Some pc when Plan.cache_synopsis pc == syn ->
+      Plan.estimate_cached pc
+        ~key:(Embed.cache_key ?max_alternatives twig)
+        sketch embs
+  | _ -> Plan.estimate_once sketch embs
 
 let estimate_path sketch p =
   estimate sketch { Xtwig_path.Path_types.path = p; subs = [] }

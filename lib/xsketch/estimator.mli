@@ -36,19 +36,37 @@ val estimate_embedding : Sketch.t -> Embed.enode -> float
 (** Estimate for one factored embedding: sums over each twig child's
     alternative assignments are distributed through the product over
     children (per bucket), which evaluates the full cross product of
-    assignments without materializing it. *)
+    assignments without materializing it. This is the {e reference}
+    recursive evaluator; the production path compiles the same
+    traversal into a flat plan ({!Plan}) whose result is byte-identical
+    by construction. *)
 
 val estimate :
+  ?max_alternatives:int ->
+  ?cache:Embed.cache ->
+  ?plans:Plan.cache ->
+  Sketch.t ->
+  Xtwig_path.Path_types.twig ->
+  float
+(** Sum over all embeddings of the query, evaluated through compiled
+    plans. When [cache] is given and keyed to this sketch's synopsis,
+    the embedding enumeration is shared across calls (and across the
+    sketches of one XBUILD scoring step, which differ only in
+    histograms). When [plans] is likewise keyed, compiled plans are
+    cached per query and revalidated against [sketch] on reuse; a
+    plans cache for a different synopsis is bypassed. Estimates are
+    identical with or without either cache, and bit-identical to
+    {!estimate_reference}. *)
+
+val estimate_reference :
   ?max_alternatives:int ->
   ?cache:Embed.cache ->
   Sketch.t ->
   Xtwig_path.Path_types.twig ->
   float
-(** Sum over all embeddings of the query. When [cache] is given and
-    keyed to this sketch's synopsis, the embedding enumeration is
-    shared across calls (and across the sketches of one XBUILD scoring
-    step, which differ only in histograms); estimates are identical
-    with or without it. *)
+(** The recursive evaluator, kept as the differential-testing baseline
+    for the compiled path (timed under [estimator.reference_ns], not
+    [estimator.ns]). *)
 
 val estimate_path : Sketch.t -> Xtwig_path.Path_types.path -> float
 (** Single-path-expression cardinality (a chain twig). *)

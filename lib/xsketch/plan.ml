@@ -1,0 +1,1048 @@
+(* Compiled estimation plans: the TREEPARSE-style recursive evaluator
+   of [Estimator] lowered into flat arrays (see DESIGN.md, "Compiled
+   estimation plans").
+
+   [compile] runs the reference traversal's *analysis* once per
+   (sketch, embedding): which histograms need bucket enumeration,
+   which kid alternatives depend on the enumerated combination, which
+   environment entries are bound at each program point. All of that is
+   static — the enumeration structure never depends on bucket values —
+   so the run-time interpreter [run] is three tight loops over int and
+   float arrays, with the environment held in preallocated scratch
+   arrays indexed by dense edge slots instead of an assoc list rebuilt
+   per bucket combination.
+
+   Byte-identity contract: [run] replays the reference evaluator's
+   float operations in the exact same order (fold orders, the
+   [w' < 1e-9] pruning, the reverse-dimension context distance, the
+   renormalization in bucket order), so [run (compile sk e) =
+   Estimator.estimate_embedding sk e] bit-for-bit. test/test_plan.ml
+   holds this differentially across datasets, workloads and refinement
+   budgets. *)
+
+module G = Xtwig_synopsis.Graph_synopsis
+module Edge_hist = Xtwig_hist.Edge_hist
+module Counters = Xtwig_util.Counters
+open Embed
+
+let t_compile = Counters.timer "plan.compile_ns"
+let t_run = Counters.timer "plan.run_ns"
+let c_compiles = Counters.counter "plan.compiles"
+let c_runs = Counters.counter "plan.runs"
+let c_hits = Counters.counter "plan.cache_hits"
+let c_misses = Counters.counter "plan.cache_misses"
+let c_invalid = Counters.counter "plan.cache_invalidations"
+let c_repatch = Counters.counter "plan.repatches"
+
+(* ------------------------------------------------------------------ *)
+(* Plan representation                                                 *)
+
+(* One enumerated histogram at a node. [ctx_*] are the dimensions
+   whose edge was already bound upstream (the correlation set D at
+   this program point), [bind_*] the ones this histogram binds. *)
+type hplan = {
+  tb : Edge_hist.table;
+  h_idx : int;  (* index in the node's histogram list, for repatching *)
+  ctx_dims : int array;  (* ascending dimension index *)
+  ctx_slots : int array;
+  bind_dims : int array;
+  bind_slots : int array;
+}
+
+(* One alternative of one twig kid. [count_slot >= 0] when the edge
+   count comes from an enumerated bucket, else [count_const] (average
+   fanout). [fixed_idx >= 0] when the alternative sits under a
+   bucket-dependent kid but its own subtree value is combo-invariant
+   and is precomputed once into the fixed scratch. *)
+type aplan = {
+  child : int;  (* plan-node index *)
+  a_vfrac : float;
+  count_slot : int;
+  count_const : float;
+  fixed_idx : int;
+}
+
+type kplan = { k_dep : bool; alts : aplan array }
+
+(* One alternative of one branching predicate. [b_slot >= 0] reads the
+   bucket-conditioned P(count >= 1) from scratch; [b_default] is the
+   synopsis existence fraction, [b_nested] the compile-time-constant
+   nested factor (value predicate times nested branch fractions). *)
+type balt = { b_slot : int; b_default : float; b_nested : float }
+
+type pnode = {
+  kids : kplan array;
+  enum : hplan array;
+  branches : balt array array;
+  branch_dep : bool;
+  branch_const : float;  (* branch factor when [not branch_dep] *)
+  pe : enode;  (* the embedding node this plan node compiles *)
+}
+
+type t = {
+  nodes : pnode array;  (* children before parents *)
+  root : int;
+  root_const : float;  (* extent size x root value fraction *)
+  n_slots : int;
+  n_fixed : int;
+  (* validation: a plan hard-codes histogram tables and value
+     fractions, so reuse requires the same synopsis and unchanged
+     summaries at every visited node *)
+  v_sketch : Sketch.t;
+  v_syn : G.t;
+  v_nodes : int array;
+  v_hists : (Sketch.dim array * Edge_hist.t) list array;
+  v_vnodes : int array;
+  v_vh : Xtwig_hist.Hist1d.t option array;
+  v_vc : Xtwig_hist.Mcv.t option array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time constants (shared logic with the reference evaluator) *)
+
+let vfrac sketch snode = function
+  | None -> 1.0
+  | Some p -> Sketch.value_frac sketch snode p
+
+let rec branch_frac sketch u (alts : ebranch list) =
+  let one (b : ebranch) =
+    let expected = Sketch.exist_frac sketch ~src:u ~dst:b.bnode in
+    let nested =
+      List.fold_left
+        (fun acc pred -> acc *. branch_frac sketch b.bnode pred)
+        (vfrac sketch b.bnode b.bvpred)
+        b.bsubs
+    in
+    Stdlib.min 1.0 (expected *. nested)
+  in
+  Stdlib.min 1.0 (List.fold_left (fun acc b -> acc +. one b) 0.0 alts)
+
+(* Sorted int-array sets: the needs-sets and enumerated-edge sets are
+   consulted per (alternative, histogram) pair during analysis, so
+   they are flat sorted arrays with binary-search membership and
+   two-pointer intersection instead of nested list scans. *)
+
+let sorted_uniq (a : int array) =
+  let n = Array.length a in
+  if n = 0 then a
+  else begin
+    Array.sort (fun (x : int) (y : int) -> compare x y) a;
+    let m = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(i - 1) then begin
+        a.(!m) <- a.(i);
+        incr m
+      end
+    done;
+    if !m = n then a else Array.sub a 0 !m
+  end
+
+let mem_sorted (x : int) (a : int array) =
+  let lo = ref 0 in
+  let hi = ref (Array.length a) in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = a.(mid) in
+    if v = x then found := true else if v < x then lo := mid + 1 else hi := mid
+  done;
+  !found
+
+let intersects (a : int array) (b : int array) =
+  let na = Array.length a in
+  let nb = Array.length b in
+  let i = ref 0 in
+  let j = ref 0 in
+  let hit = ref false in
+  while (not !hit) && !i < na && !j < nb do
+    let x = a.(!i) in
+    let y = b.(!j) in
+    if x = y then hit := true else if x < y then incr i else incr j
+  done;
+  !hit
+
+let concat_arrays (parts : int array list) =
+  let total = List.fold_left (fun s a -> s + Array.length a) 0 parts in
+  let buf = Array.make (Stdlib.max 1 total) 0 in
+  let off = ref 0 in
+  List.iter
+    (fun a ->
+      Array.blit a 0 buf !off (Array.length a);
+      off := !off + Array.length a)
+    parts;
+  if total = Array.length buf then buf else Array.sub buf 0 total
+
+(* ------------------------------------------------------------------ *)
+(* Compiler                                                            *)
+
+(* mutable staging record for one kid alternative, filled across the
+   two child-compilation phases *)
+type tmp_alt = {
+  ta : enode;
+  t_subdep : bool;
+  mutable t_child : int;
+  mutable t_fix : int;
+}
+
+(* Shared compile context: the needs-sets and per-node edge-key arrays
+   depend only on (sketch, enode), and the factored embeddings of one
+   query share subtree enodes, so one context amortizes the analysis
+   across the plans of a whole query batch. *)
+type cctx = {
+  cx_sketch : Sketch.t;
+  cx_syn : G.t;
+  cx_nn : int;
+  cx_sedges : (int, int array array) Hashtbl.t;
+  cx_needs : (int, int array) Hashtbl.t;
+}
+
+let context sketch =
+  let syn = Sketch.synopsis sketch in
+  {
+    cx_sketch = sketch;
+    cx_syn = syn;
+    cx_nn = G.node_count syn;
+    cx_sedges = Hashtbl.create 16;
+    cx_needs = Hashtbl.create 64;
+  }
+
+let compile_in cx (root : enode) : t =
+  Counters.incr c_compiles;
+  Counters.time t_compile @@ fun () ->
+  let sketch = cx.cx_sketch in
+  let syn = cx.cx_syn in
+  let nn = cx.cx_nn in
+  let ekey u v = (u * nn) + v in
+  (* per-synopsis-node edge-key arrays, one per histogram (embeddings
+     revisit synopsis nodes across alternatives, so memoized) *)
+  let snode_edges = cx.cx_sedges in
+  let hist_edge_arrays n hs =
+    match Hashtbl.find_opt snode_edges n with
+    | Some a -> a
+    | None ->
+        let a =
+          Array.of_list
+            (List.map
+               (fun ((dims : Sketch.dim array), _) ->
+                 Array.map (fun (d : Sketch.dim) -> ekey d.src d.dst) dims)
+               hs)
+        in
+        Hashtbl.add snode_edges n a;
+        a
+  in
+  let memo_needs = cx.cx_needs in
+  let rec needs_of (e : enode) : int array =
+    match Hashtbl.find_opt memo_needs e.eid with
+    | Some a -> a
+    | None ->
+        let arrs = hist_edge_arrays e.snode (Sketch.hists sketch e.snode) in
+        let total = ref 0 in
+        Array.iter (fun a -> total := !total + Array.length a) arrs;
+        let kid_needs =
+          List.map
+            (fun alts ->
+              List.map
+                (fun k ->
+                  let x = needs_of k in
+                  total := !total + Array.length x;
+                  x)
+                alts)
+            e.kids
+        in
+        let buf = Array.make (Stdlib.max 1 !total) 0 in
+        let off = ref 0 in
+        let put a =
+          Array.blit a 0 buf !off (Array.length a);
+          off := !off + Array.length a
+        in
+        Array.iter put arrs;
+        List.iter (List.iter put) kid_needs;
+        let a =
+          sorted_uniq
+            (if !total = Array.length buf then buf else Array.sub buf 0 !total)
+        in
+        Hashtbl.add memo_needs e.eid a;
+        a
+  in
+  (* A compile sees a handful of distinct slots, bound keys and visited
+     nodes, so the dynamic sets below are flat arrays with linear scans
+     — measurably cheaper than hash tables at this size, in both
+     lookups and allocation. *)
+  (* dense environment slots, one per distinct edge key bound anywhere *)
+  let slot_keys = ref (Array.make 8 0) in
+  let n_slots = ref 0 in
+  let slot_of key =
+    let a = !slot_keys in
+    let n = !n_slots in
+    let rec find i = if i = n then -1 else if a.(i) = key then i else find (i + 1) in
+    let s = find 0 in
+    if s >= 0 then s
+    else begin
+      let a =
+        if n = Array.length a then begin
+          let b = Array.make (2 * n) 0 in
+          Array.blit a 0 b 0 n;
+          slot_keys := b;
+          b
+        end
+        else a
+      in
+      a.(n) <- key;
+      n_slots := n + 1;
+      n
+    end
+  in
+  (* edge keys bound at the current program point — the static mirror
+     of the reference's environment threading. Binds nest strictly
+     (pushed in a node's phase 2, popped at its exit), so a stack. *)
+  let bstack = ref (Array.make 16 0) in
+  let n_bound = ref 0 in
+  let bound_mem key =
+    let a = !bstack in
+    let n = !n_bound in
+    let rec go i = i < n && (a.(i) = key || go (i + 1)) in
+    go 0
+  in
+  let bound_push key =
+    let a =
+      if !n_bound = Array.length !bstack then begin
+        let b = Array.make (2 * !n_bound) 0 in
+        Array.blit !bstack 0 b 0 !n_bound;
+        bstack := b;
+        b
+      end
+      else !bstack
+    in
+    a.(!n_bound) <- key;
+    incr n_bound
+  in
+  let n_fixed = ref 0 in
+  let rev_nodes = ref [] in
+  let n_nodes = ref 0 in
+  let push p =
+    rev_nodes := p :: !rev_nodes;
+    let i = !n_nodes in
+    incr n_nodes;
+    i
+  in
+  (* validation accumulators: every visited synopsis node's histogram
+     list, every consulted value summary *)
+  let vlist = ref [] in
+  let note_node n =
+    if not (List.exists (fun (m, _) -> m = n) !vlist) then
+      vlist := (n, Sketch.hists sketch n) :: !vlist
+  in
+  let vplist = ref [] in
+  let note_vpred n = function
+    | None -> ()
+    | Some _ ->
+        if not (List.exists (fun (m, _, _) -> m = n) !vplist) then
+          vplist := (n, Sketch.vhist sketch n, Sketch.vcat sketch n) :: !vplist
+  in
+  let rec note_branch (b : ebranch) =
+    note_vpred b.bnode b.bvpred;
+    List.iter (List.iter note_branch) b.bsubs
+  in
+  let compile_balt u (b : ebranch) =
+    note_branch b;
+    let nested =
+      List.fold_left
+        (fun acc pred -> acc *. branch_frac sketch b.bnode pred)
+        (vfrac sketch b.bnode b.bvpred)
+        b.bsubs
+    in
+    let key = ekey u b.bnode in
+    {
+      b_slot = (if bound_mem key then slot_of key else -1);
+      b_default = Sketch.exist_frac sketch ~src:u ~dst:b.bnode;
+      b_nested = nested;
+    }
+  in
+  let rec compile_node (e : enode) : int =
+    let n = e.snode in
+    note_node n;
+    note_vpred n e.vpred;
+    let hs = Sketch.hists sketch n in
+    let edge_arrs = hist_edge_arrays n hs in
+    let nh = Array.length edge_arrs in
+    let branch_first_edges =
+      Array.of_list
+        (List.concat_map
+           (fun alts -> List.map (fun (b : ebranch) -> ekey n b.bnode) alts)
+           e.branches)
+    in
+    (* per-alternative facts, each computed once: the first histogram
+       covering the kid edge (monomorphic field compares — the generic
+       structural equality on [Sketch.dim] records dominated compile
+       time) and the subtree needs-set *)
+    let alts_arr = Array.of_list (List.concat e.kids) in
+    let na = Array.length alts_arr in
+    let aneeds = Array.map needs_of alts_arr in
+    let cover =
+      Array.map
+        (fun (a : enode) ->
+          let dst = a.snode in
+          let covers (dims : Sketch.dim array) =
+            Array.exists
+              (fun (d' : Sketch.dim) ->
+                d'.src = n && d'.dst = dst
+                && match d'.kind with Sketch.Forward -> true | _ -> false)
+              dims
+          in
+          let rec scan i = function
+            | [] -> -1
+            | (dims, _) :: rest -> if covers dims then i else scan (i + 1) rest
+          in
+          scan 0 hs)
+        alts_arr
+    in
+    let enum_flag =
+      Array.init nh (fun i ->
+          (let rec anyc j = j < na && (cover.(j) = i || anyc (j + 1)) in
+           anyc 0)
+          ||
+          let es = edge_arrs.(i) in
+          Array.exists
+            (fun ed -> Array.exists (fun (ed' : int) -> ed' = ed) es)
+            branch_first_edges
+          ||
+          let rec anyn j =
+            j < na
+            && (Array.exists (fun ed -> mem_sorted ed aneeds.(j)) es
+               || anyn (j + 1))
+          in
+          anyn 0)
+    in
+    let enum_edges =
+      let parts = ref [] in
+      Array.iteri
+        (fun i es -> if enum_flag.(i) then parts := es :: !parts)
+        edge_arrs;
+      sorted_uniq (concat_arrays !parts)
+    in
+    let kid_tmp : (bool * tmp_alt array) array =
+      let ai = ref (-1) in
+      Array.of_list
+        (List.map
+           (fun alts ->
+             let dep = ref false in
+             let tas =
+               Array.of_list
+                 (List.map
+                    (fun (a : enode) ->
+                      incr ai;
+                      let sub = intersects aneeds.(!ai) enum_edges in
+                      if sub || mem_sorted (ekey n a.snode) enum_edges then
+                        dep := true;
+                      { ta = a; t_subdep = sub; t_child = -1; t_fix = -1 })
+                    alts)
+             in
+             (!dep, tas))
+           e.kids)
+    in
+    (* phase 1 — children evaluated under the entry environment:
+       independent kids, plus the combo-invariant alternatives of
+       dependent kids (the reference's fixed_values) *)
+    Array.iter
+      (fun (dep, alts) ->
+        Array.iter
+          (fun a ->
+            if not dep then a.t_child <- compile_node a.ta
+            else if not a.t_subdep then begin
+              a.t_child <- compile_node a.ta;
+              a.t_fix <- !n_fixed;
+              incr n_fixed
+            end)
+          alts)
+      kid_tmp;
+    (* phase 2 — the enumerated histograms, in order: dimensions bound
+       upstream (or by an earlier histogram of this node) join the
+       context; the rest bind new slots. A key repeated within one
+       histogram neither conditions nor binds twice, mirroring the
+       reference's env_mem guard. *)
+    let node_binds = ref 0 in
+    let rev_enum = ref [] in
+    let n_enum = ref 0 in
+    List.iteri
+      (fun i ((dims : Sketch.dim array), h) ->
+        if enum_flag.(i) then begin
+          let k = Array.length dims in
+          let ctx_d = Array.make k 0 and ctx_s = Array.make k 0 in
+          let bind_d = Array.make k 0 and bind_s = Array.make k 0 in
+          let bind_k = Array.make k 0 in
+          let nctx = ref 0 and nbind = ref 0 in
+          Array.iteri
+            (fun di (d : Sketch.dim) ->
+              let key = ekey d.src d.dst in
+              if bound_mem key then begin
+                ctx_d.(!nctx) <- di;
+                ctx_s.(!nctx) <- slot_of key;
+                incr nctx
+              end
+              else begin
+                let rec dup j = j < !nbind && (bind_k.(j) = key || dup (j + 1)) in
+                if not (dup 0) then begin
+                  bind_k.(!nbind) <- key;
+                  bind_d.(!nbind) <- di;
+                  bind_s.(!nbind) <- slot_of key;
+                  incr nbind
+                end
+              end)
+            dims;
+          for j = 0 to !nbind - 1 do
+            bound_push bind_k.(j)
+          done;
+          node_binds := !node_binds + !nbind;
+          incr n_enum;
+          rev_enum :=
+            {
+              tb = Edge_hist.table h;
+              h_idx = i;
+              ctx_dims = (if !nctx = k then ctx_d else Array.sub ctx_d 0 !nctx);
+              ctx_slots = (if !nctx = k then ctx_s else Array.sub ctx_s 0 !nctx);
+              bind_dims = (if !nbind = k then bind_d else Array.sub bind_d 0 !nbind);
+              bind_slots = (if !nbind = k then bind_s else Array.sub bind_s 0 !nbind);
+            }
+            :: !rev_enum
+        end)
+      hs;
+    let enum =
+      match !rev_enum with
+      | [] -> [||]
+      | hd :: _ ->
+          let arr = Array.make !n_enum hd in
+          List.iteri (fun i hp -> arr.(!n_enum - 1 - i) <- hp) !rev_enum;
+          arr
+    in
+    (* phase 3 — branching predicates. When no enumerated histogram
+       covers a branch edge the whole factor is a compile-time
+       constant (edge keys with source [n] cannot be bound upstream:
+       ancestors' dimensions never point at a descendant's children) *)
+    let branch_dep =
+      Array.exists (fun ed -> mem_sorted ed enum_edges) branch_first_edges
+    in
+    let branches =
+      Array.of_list
+        (List.map
+           (fun alts -> Array.of_list (List.map (compile_balt n) alts))
+           e.branches)
+    in
+    let branch_const =
+      if branch_dep then 1.0
+      else
+        Array.fold_left
+          (fun acc (alts : balt array) ->
+            acc
+            *. Stdlib.min 1.0
+                 (Array.fold_left
+                    (fun s b ->
+                      s +. Stdlib.min 1.0 (b.b_default *. b.b_nested))
+                    0.0 alts))
+          1.0 branches
+    in
+    (* phase 4 — children evaluated per bucket combination, under the
+       extended environment *)
+    Array.iter
+      (fun (dep, alts) ->
+        if dep then
+          Array.iter
+            (fun a -> if a.t_subdep then a.t_child <- compile_node a.ta)
+            alts)
+      kid_tmp;
+    (* assemble, then pop this node's bindings *)
+    let kids =
+      Array.map
+        (fun (dep, alts) ->
+          {
+            k_dep = dep;
+            alts =
+              Array.map
+                (fun a ->
+                  let ckey = ekey n a.ta.snode in
+                  {
+                    child = a.t_child;
+                    a_vfrac = vfrac sketch a.ta.snode a.ta.vpred;
+                    count_slot =
+                      (if bound_mem ckey then slot_of ckey else -1);
+                    count_const =
+                      Sketch.avg_fanout sketch ~src:n ~dst:a.ta.snode;
+                    fixed_idx = a.t_fix;
+                  })
+                alts;
+          })
+        kid_tmp
+    in
+    n_bound := !n_bound - !node_binds;
+    push { kids; enum; branches; branch_dep; branch_const; pe = e }
+  in
+  let root_idx = compile_node root in
+  let root_const =
+    float_of_int (G.extent_size syn root.snode)
+    *. vfrac sketch root.snode root.vpred
+  in
+  let v_nodes = Array.of_list (List.rev_map fst !vlist) in
+  let v_hists = Array.of_list (List.rev_map snd !vlist) in
+  let v_vnodes = Array.of_list (List.rev_map (fun (n, _, _) -> n) !vplist) in
+  let v_vh = Array.of_list (List.rev_map (fun (_, h, _) -> h) !vplist) in
+  let v_vc = Array.of_list (List.rev_map (fun (_, _, c) -> c) !vplist) in
+  {
+    nodes = Array.of_list (List.rev !rev_nodes);
+    root = root_idx;
+    root_const;
+    n_slots = !n_slots;
+    n_fixed = !n_fixed;
+    v_sketch = sketch;
+    v_syn = syn;
+    v_nodes;
+    v_hists;
+    v_vnodes;
+    v_vh;
+    v_vc;
+  }
+
+let compile sketch root = compile_in (context sketch) root
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+let same_phys_opt a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> x == y
+  | _ -> false
+
+(* Histogram lists are usually physically shared across incremental
+   rebuilds; content comparison via interned table ids catches the
+   rebuilt-but-identical case. *)
+let hists_equal l l' =
+  l == l'
+  || List.compare_lengths l l' = 0
+     && List.for_all2
+          (fun ((d : Sketch.dim array), h) ((d' : Sketch.dim array), h') ->
+            d = d' && (h == h' || Edge_hist.table_id h = Edge_hist.table_id h'))
+          l l'
+
+let valid t sketch =
+  sketch == t.v_sketch
+  || Sketch.synopsis sketch == t.v_syn
+     &&
+     let ok = ref true in
+     Array.iteri
+       (fun i n ->
+         if !ok && not (hists_equal t.v_hists.(i) (Sketch.hists sketch n)) then
+           ok := false)
+       t.v_nodes;
+     Array.iteri
+       (fun i n ->
+         if
+           !ok
+           && not
+                (same_phys_opt t.v_vh.(i) (Sketch.vhist sketch n)
+                && same_phys_opt t.v_vc.(i) (Sketch.vcat sketch n))
+         then ok := false)
+       t.v_vnodes;
+     !ok
+
+(* ------------------------------------------------------------------ *)
+(* Repatching                                                          *)
+
+(* An invalidated plan whose histogram *structure* is unchanged (same
+   synopsis, same dimension layout at every visited node — the
+   histogram-content and value-summary refinements XBUILD scores by
+   the thousand) compiles to the same skeleton: only the interned
+   bucket tables and the compile-time float constants move. Repatch
+   rebuilds exactly those, skipping the needs/dependency analysis.
+   The result is indistinguishable from a fresh [compile]. *)
+
+let dims_equal (d : Sketch.dim array) (d' : Sketch.dim array) =
+  d == d' || d = d'
+
+let hist_structure_equal l l' =
+  l == l'
+  || List.compare_lengths l l' = 0
+     && List.for_all2
+          (fun ((d : Sketch.dim array), _) ((d' : Sketch.dim array), _) ->
+            dims_equal d d')
+          l l'
+
+let repatch (t : t) sketch : t option =
+  if Sketch.synopsis sketch != t.v_syn then None
+  else
+    let ok = ref true in
+    Array.iteri
+      (fun i n ->
+        if !ok && not (hist_structure_equal t.v_hists.(i) (Sketch.hists sketch n))
+        then ok := false)
+      t.v_nodes;
+    if not !ok then None
+    else begin
+      Counters.incr c_repatch;
+      Counters.time t_compile @@ fun () ->
+      let nodes =
+        Array.map
+          (fun p ->
+            let e = p.pe in
+            let n = e.snode in
+            let hs = Sketch.hists sketch n in
+            let harr = Array.of_list hs in
+            let enum =
+              Array.map
+                (fun hp -> { hp with tb = Edge_hist.table (snd harr.(hp.h_idx)) })
+                p.enum
+            in
+            let kids =
+              let karr = Array.of_list e.kids in
+              Array.mapi
+                (fun i kp ->
+                  let aarr = Array.of_list karr.(i) in
+                  {
+                    kp with
+                    alts =
+                      Array.mapi
+                        (fun j a ->
+                          let (en : enode) = aarr.(j) in
+                          { a with a_vfrac = vfrac sketch en.snode en.vpred })
+                        kp.alts;
+                  })
+                p.kids
+            in
+            let branches =
+              let barr = Array.of_list e.branches in
+              Array.mapi
+                (fun i alts ->
+                  let aarr = Array.of_list barr.(i) in
+                  Array.mapi
+                    (fun j b ->
+                      let (eb : ebranch) = aarr.(j) in
+                      let nested =
+                        List.fold_left
+                          (fun acc pred ->
+                            acc *. branch_frac sketch eb.bnode pred)
+                          (vfrac sketch eb.bnode eb.bvpred)
+                          eb.bsubs
+                      in
+                      { b with b_nested = nested })
+                    alts)
+                p.branches
+            in
+            let branch_const =
+              if p.branch_dep then 1.0
+              else
+                Array.fold_left
+                  (fun acc (alts : balt array) ->
+                    acc
+                    *. Stdlib.min 1.0
+                         (Array.fold_left
+                            (fun s b ->
+                              s +. Stdlib.min 1.0 (b.b_default *. b.b_nested))
+                            0.0 alts))
+                  1.0 branches
+            in
+            { p with enum; kids; branches; branch_const })
+          t.nodes
+      in
+      let re = nodes.(t.root).pe in
+      let root_const =
+        float_of_int (G.extent_size t.v_syn re.snode)
+        *. vfrac sketch re.snode re.vpred
+      in
+      let v_hists = Array.map (fun n -> Sketch.hists sketch n) t.v_nodes in
+      let v_vh = Array.map (fun n -> Sketch.vhist sketch n) t.v_vnodes in
+      let v_vc = Array.map (fun n -> Sketch.vcat sketch n) t.v_vnodes in
+      Some
+        {
+          t with
+          nodes;
+          root_const;
+          v_sketch = sketch;
+          v_hists;
+          v_vh;
+          v_vc;
+        }
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+
+let run (t : t) : float =
+  Counters.incr c_runs;
+  let nodes = t.nodes in
+  let counts = Array.make (Stdlib.max 1 t.n_slots) 0.0 in
+  let p1s = Array.make (Stdlib.max 1 t.n_slots) 0.0 in
+  let fixed = Array.make (Stdlib.max 1 t.n_fixed) 0.0 in
+  let rec expand (idx : int) : float =
+    let p = nodes.(idx) in
+    let nk = Array.length p.kids in
+    (* independent kids: entry-environment contributions *)
+    let indep = ref 1.0 in
+    for i = 0 to nk - 1 do
+      let kid = p.kids.(i) in
+      if not kid.k_dep then begin
+        let s = ref 0.0 in
+        let alts = kid.alts in
+        for j = 0 to Array.length alts - 1 do
+          let a = alts.(j) in
+          let count =
+            if a.count_slot >= 0 then counts.(a.count_slot) else a.count_const
+          in
+          s := !s +. (count *. (a.a_vfrac *. expand a.child))
+        done;
+        indep := !indep *. !s
+      end
+    done;
+    (* combo-invariant alternative values inside dependent kids *)
+    for i = 0 to nk - 1 do
+      let kid = p.kids.(i) in
+      if kid.k_dep then begin
+        let alts = kid.alts in
+        for j = 0 to Array.length alts - 1 do
+          let a = alts.(j) in
+          if a.fixed_idx >= 0 then
+            fixed.(a.fixed_idx) <- a.a_vfrac *. expand a.child
+        done
+      end
+    done;
+    let branch_factor () =
+      let acc = ref 1.0 in
+      let nb = Array.length p.branches in
+      for bi = 0 to nb - 1 do
+        let alts = p.branches.(bi) in
+        let s = ref 0.0 in
+        for j = 0 to Array.length alts - 1 do
+          let b = alts.(j) in
+          let expected = if b.b_slot >= 0 then p1s.(b.b_slot) else b.b_default in
+          s := !s +. Stdlib.min 1.0 (expected *. b.b_nested)
+        done;
+        acc := !acc *. Stdlib.min 1.0 !s
+      done;
+      !acc
+    in
+    (* per-combination leaf: branch factor first (when it varies),
+       then the dependent kids in order — the reference's combos base
+       case *)
+    let leaf acc_w =
+      let factor = ref 1.0 in
+      if p.branch_dep then factor := branch_factor ();
+      for i = 0 to nk - 1 do
+        let kid = p.kids.(i) in
+        if kid.k_dep then begin
+          let s = ref 0.0 in
+          let alts = kid.alts in
+          for j = 0 to Array.length alts - 1 do
+            let a = alts.(j) in
+            let count =
+              if a.count_slot >= 0 then counts.(a.count_slot) else a.count_const
+            in
+            let v =
+              if a.fixed_idx >= 0 then fixed.(a.fixed_idx)
+              else a.a_vfrac *. expand a.child
+            in
+            s := !s +. (count *. v)
+          done;
+          factor := !factor *. !s
+        end
+      done;
+      acc_w *. !factor
+    in
+    let ne = Array.length p.enum in
+    let rec combos hi acc_w =
+      if hi = ne then leaf acc_w
+      else begin
+        let h = p.enum.(hi) in
+        let tb = h.tb in
+        let nb = tb.Edge_hist.tn in
+        let k = tb.Edge_hist.tdims in
+        let frac = tb.Edge_hist.tfrac in
+        let nc = Array.length h.ctx_dims in
+        let bind b =
+          let nbind = Array.length h.bind_dims in
+          for m = 0 to nbind - 1 do
+            let o = (b * k) + h.bind_dims.(m) in
+            let s = h.bind_slots.(m) in
+            counts.(s) <- tb.Edge_hist.tmean.(o);
+            p1s.(s) <- tb.Edge_hist.tp1.(o)
+          done
+        in
+        if nb = 0 then 0.0
+        else if nc = 0 then begin
+          let acc = ref 0.0 in
+          for b = 0 to nb - 1 do
+            let w' = acc_w *. frac.(b) in
+            if not (w' < 1e-9) then begin
+              bind b;
+              acc := !acc +. combos (hi + 1) w'
+            end
+          done;
+          !acc
+        end
+        else begin
+          let compat b =
+            let ok = ref true in
+            let m = ref 0 in
+            while !ok && !m < nc do
+              let o = (b * k) + h.ctx_dims.(!m) in
+              let v = counts.(h.ctx_slots.(!m)) in
+              if not (v >= tb.Edge_hist.tlo.(o) && v <= tb.Edge_hist.thi.(o))
+              then ok := false;
+              incr m
+            done;
+            !ok
+          in
+          let mass = ref 0.0 in
+          let nok = ref 0 in
+          for b = 0 to nb - 1 do
+            if compat b then begin
+              mass := !mass +. frac.(b);
+              incr nok
+            end
+          done;
+          if !nok = 0 then begin
+            (* nearest-bucket fallback, context distance accumulated
+               in the reference's reverse-dimension order *)
+            let dist b =
+              let a = ref 0.0 in
+              for m = nc - 1 downto 0 do
+                let o = (b * k) + h.ctx_dims.(m) in
+                let dx = tb.Edge_hist.tmean.(o) -. counts.(h.ctx_slots.(m)) in
+                a := !a +. (dx *. dx)
+              done;
+              !a
+            in
+            let best = ref 0 in
+            let best_d = ref (dist 0) in
+            for b = 1 to nb - 1 do
+              let d = dist b in
+              if not (!best_d <= d) then begin
+                best := b;
+                best_d := d
+              end
+            done;
+            let w' = acc_w *. 1.0 in
+            if not (w' < 1e-9) then begin
+              bind !best;
+              0.0 +. combos (hi + 1) w'
+            end
+            else 0.0
+          end
+          else begin
+            let mass = !mass in
+            let acc = ref 0.0 in
+            for b = 0 to nb - 1 do
+              if compat b then begin
+                let w' = acc_w *. (frac.(b) /. mass) in
+                if not (w' < 1e-9) then begin
+                  bind b;
+                  acc := !acc +. combos (hi + 1) w'
+                end
+              end
+            done;
+            !acc
+          end
+        end
+      end
+    in
+    let dep_factor = if ne = 0 then 1.0 else combos 0 1.0 in
+    let ibf = if p.branch_dep then 1.0 else p.branch_const in
+    ibf *. !indep *. dep_factor
+  in
+  t.root_const *. expand t.root
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                          *)
+
+type centry = { ce_roots : enode list; ce_plans : t array }
+
+type cache = {
+  psyn : G.t;
+  ctbl : (string, centry) Hashtbl.t;
+  clock : Mutex.t;
+  mutable cfrozen : bool;
+  (* sketch-scoped compile context reused across the queries compiled
+     against one sketch (the per-node edge-key arrays dominate compile
+     setup); owner-phase only — frozen callers build their own *)
+  mutable ccx : cctx option;
+}
+
+let create_cache syn =
+  {
+    psyn = syn;
+    ctbl = Hashtbl.create 64;
+    clock = Mutex.create ();
+    cfrozen = false;
+    ccx = None;
+  }
+
+let cache_synopsis c = c.psyn
+let freeze c = c.cfrozen <- true
+let thaw c = c.cfrozen <- false
+let compile_roots sketch roots =
+  let cx = context sketch in
+  Array.of_list (List.map (compile_in cx) roots)
+
+(* Get-or-compile. A hit requires the embeddings to be the cached ones
+   (physically — the embedding cache returns a shared list) and every
+   plan to still validate against [sketch]; anything else recompiles,
+   inserting only while the cache is thawed (the same single-owner
+   freeze discipline as the embedding cache). *)
+let plans_cached cache ~key sketch roots =
+  let entry = Hashtbl.find_opt cache.ctbl key in
+  match entry with
+  | Some e
+    when e.ce_roots == roots && Array.for_all (fun p -> valid p sketch) e.ce_plans
+    ->
+      Counters.incr c_hits;
+      e.ce_plans
+  | _ ->
+      (match entry with
+      | Some _ -> Counters.incr c_invalid
+      | None -> Counters.incr c_misses);
+      (* the per-query needs memo is keyed by embedding ids (unique
+         only within one enumeration), so each call gets a fresh one;
+         the per-node edge arrays depend only on the sketch and are
+         shared across calls while this cache is owner-thawed *)
+      let fresh_context () =
+        if cache.cfrozen then context sketch
+        else
+          match cache.ccx with
+          | Some cx when cx.cx_sketch == sketch ->
+              { cx with cx_needs = Hashtbl.create 64 }
+          | _ ->
+              let cx = context sketch in
+              cache.ccx <- Some cx;
+              cx
+      in
+      (* a stale entry for the same embeddings usually differs only in
+         histogram contents — repatch its plans instead of recompiling;
+         per plan, so one structurally-changed embedding doesn't force
+         the query's other embeddings through the full compiler *)
+      let plans =
+        match entry with
+        | Some e when e.ce_roots == roots ->
+            let rarr = Array.of_list roots in
+            let cx = lazy (fresh_context ()) in
+            Array.mapi
+              (fun i p ->
+                match repatch p sketch with
+                | Some p' -> p'
+                | None -> compile_in (Lazy.force cx) rarr.(i))
+              e.ce_plans
+        | _ ->
+            let cx = fresh_context () in
+            Array.of_list (List.map (compile_in cx) roots)
+      in
+      if not cache.cfrozen then begin
+        Mutex.lock cache.clock;
+        if not cache.cfrozen then
+          Hashtbl.replace cache.ctbl key { ce_roots = roots; ce_plans = plans };
+        Mutex.unlock cache.clock
+      end;
+      plans
+
+let run_all plans =
+  Counters.time t_run @@ fun () ->
+  Array.fold_left (fun acc p -> acc +. run p) 0.0 plans
+
+let estimate_cached cache ~key sketch roots =
+  run_all (plans_cached cache ~key sketch roots)
+
+let estimate_once sketch roots = run_all (compile_roots sketch roots)

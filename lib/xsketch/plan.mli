@@ -1,0 +1,71 @@
+(** Compiled estimation plans (see DESIGN.md, "Compiled estimation
+    plans").
+
+    A plan is the one-shot compilation of a factored embedding against
+    one sketch: the TREEPARSE-style analysis of the reference
+    evaluator — which histograms to enumerate, which kid alternatives
+    are bucket-dependent, which environment entries exist at each
+    program point — is resolved at compile time into flat int/float
+    arrays, and {!run} interprets them with a preallocated scratch
+    environment indexed by dense edge slots. Histogram buckets are
+    read from hash-consed flat tables ({!Xtwig_hist.Edge_hist.table}).
+
+    {b Byte-identity:} [run (compile sk e)] replays the reference
+    evaluator's floating-point operations in the exact same order, so
+    it equals [Estimator.estimate_embedding sk e] bit-for-bit (held by
+    test/test_plan.ml). *)
+
+type t
+
+val compile : Sketch.t -> Embed.enode -> t
+(** Compile one embedding against one sketch. Counted under
+    [plan.compiles] and timed under [plan.compile_ns]. *)
+
+val run : t -> float
+(** Evaluate a compiled plan (the estimate of its embedding). Counted
+    under [plan.runs]. *)
+
+val valid : t -> Sketch.t -> bool
+(** Whether the plan may be reused for [sketch]: the same sketch, or
+    the same synopsis graph with unchanged histograms (physically, or
+    by interned-table identity) and value summaries at every synopsis
+    node the plan reads. XBUILD's incremental rebuilds share summary
+    objects across candidates, so most non-structural refinements keep
+    most plans valid. *)
+
+val compile_roots : Sketch.t -> Embed.enode list -> t array
+(** Compile every embedding of one query, in enumeration order. *)
+
+val run_all : t array -> float
+(** Sum of {!run} over the plans, in order — the query estimate.
+    Timed under [plan.run_ns]. *)
+
+val estimate_once : Sketch.t -> Embed.enode list -> float
+(** Compile-and-run without caching (for one-shot sketches, e.g.
+    XBUILD's structural candidates). *)
+
+(** {1 Plan cache}
+
+    Keyed like the embedding cache — one synopsis by physical
+    identity, queries by {!Embed.cache_key} — and governed by the same
+    single-owner freeze discipline: one domain warms and thaws, worker
+    domains read lock-free after {!freeze} and never insert. A cached
+    entry is reused only when the caller's embeddings are physically
+    the cached ones and every plan still {!valid}-ates; reuse counts
+    under [plan.cache_hits], first-time compiles under
+    [plan.cache_misses], recompiles forced by refined sketches under
+    [plan.cache_invalidations]. *)
+
+type cache
+
+val create_cache : Xtwig_synopsis.Graph_synopsis.t -> cache
+val cache_synopsis : cache -> Xtwig_synopsis.Graph_synopsis.t
+val freeze : cache -> unit
+val thaw : cache -> unit
+
+val plans_cached : cache -> key:string -> Sketch.t -> Embed.enode list -> t array
+(** Get-or-compile the plans of one query ([key] is its
+    {!Embed.cache_key}; [roots] its embeddings for [sketch]). *)
+
+val estimate_cached : cache -> key:string -> Sketch.t -> Embed.enode list -> float
+(** [run_all (plans_cached ...)]. *)

@@ -93,6 +93,10 @@ let build ?pool ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1
      the synopsis; within one step every non-split candidate shares
      the enumeration warmed by the base-error pass *)
   let ecache = ref (Embed.create_cache (Sketch.synopsis !sketch)) in
+  (* compiled-plan cache, same lifecycle: recreated on structural
+     steps, revalidated entry-by-entry across the histogram-only
+     sketches of one scoring step *)
+  let pcache = ref (Plan.create_cache (Sketch.synopsis !sketch)) in
   let step = ref 0 in
   let continue = ref true in
   while !continue && Sketch.size_bytes !sketch < budget && !step < max_steps do
@@ -124,6 +128,13 @@ let build ?pool ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1
           !ecache
         end
       in
+      let plans =
+        if Plan.cache_synopsis !pcache == Sketch.synopsis !sketch then !pcache
+        else begin
+          pcache := Plan.create_cache (Sketch.synopsis !sketch);
+          !pcache
+        end
+      in
       let qarr = Array.of_list queries in
       let nq = Array.length qarr in
       let base_terms = Array.make nq 0.0 in
@@ -131,6 +142,7 @@ let build ?pool ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1
       let trunc = Array.make nq false in
       let syn0 = Sketch.synopsis !sketch in
       Embed.thaw cache;
+      Plan.thaw plans;
       (* the base-error pass warms [cache] with this step's queries
          (main domain) and records, per query, the synopsis nodes its
          embeddings touch: a candidate that changes none of them has a
@@ -140,11 +152,12 @@ let build ?pool ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1
             let embs = Embed.embeddings_cached cache syn0 qarr.(i) in
             trunc.(i) <- Embed.last_truncated ();
             visited.(i) <- Embed.visited_nodes embs;
-            let est = Estimator.estimate ~cache !sketch qarr.(i) in
+            let est = Estimator.estimate ~cache ~plans !sketch qarr.(i) in
             let c = truths.(i) in
             base_terms.(i) <- Float.abs (est -. c) /. Stdlib.max sanity c
           done);
       Embed.freeze cache;
+      Plan.freeze plans;
       let base_error = Stats.mean base_terms in
       let base_size = Sketch.size_bytes !sketch in
       let score op =
@@ -158,6 +171,19 @@ let build ?pool ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1
         else
           let same_syn = Sketch.synopsis refined == syn0 in
           let changed = Sketch.changed_nodes refined in
+          (* structural candidates can't use the shared caches (their
+             synopsis is new); a candidate-local embedding cache at
+             least shares the per-step chain expansions across this
+             candidate's queries. Worker-local, so mutation is safe. *)
+          let cand_cache =
+            lazy (Embed.create_cache (Sketch.synopsis refined))
+          in
+          (* a candidate-local plan cache never sees a repeated query,
+             but it carries the shared compile context, amortizing the
+             per-node analysis across this candidate's queries *)
+          let cand_plans =
+            lazy (Plan.create_cache (Sketch.synopsis refined))
+          in
           let err =
             let terms = Array.make nq 0.0 in
             for i = 0 to nq - 1 do
@@ -176,8 +202,11 @@ let build ?pool ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1
               else begin
                 Counters.incr c_est_computed;
                 let est =
-                  if same_syn then Estimator.estimate ~cache refined qarr.(i)
-                  else Estimator.estimate refined qarr.(i)
+                  if same_syn then
+                    Estimator.estimate ~cache ~plans refined qarr.(i)
+                  else
+                    Estimator.estimate ~cache:(Lazy.force cand_cache)
+                      ~plans:(Lazy.force cand_plans) refined qarr.(i)
                 in
                 let c = truths.(i) in
                 terms.(i) <- Float.abs (est -. c) /. Stdlib.max sanity c

@@ -1,0 +1,232 @@
+(* Compiled-plan tests: [Estimator.estimate] (compile-then-run) must
+   be bit-identical to [Estimator.estimate_reference] (the recursive
+   evaluator) — across datasets, workloads and refinement budgets —
+   and the plan cache must stay correct through reuse, histogram-only
+   invalidation (the repatch path) and structural invalidation. *)
+
+module G = Xtwig_synopsis.Graph_synopsis
+module Sketch = Xtwig_sketch.Sketch
+module Refinement = Xtwig_sketch.Refinement
+module Embed = Xtwig_sketch.Embed
+module Est = Xtwig_sketch.Estimator
+module Plan = Xtwig_sketch.Plan
+module Xbuild = Xtwig_sketch.Xbuild
+module Edge_hist = Xtwig_hist.Edge_hist
+module Wgen = Xtwig_workload.Wgen
+module Prng = Xtwig_util.Prng
+module Counters = Xtwig_util.Counters
+
+let docs =
+  lazy
+    [
+      ("imdb", Xtwig_datagen.Imdb.generate ~scale:0.03 ());
+      ("sprot", Xtwig_datagen.Sprot.generate ~scale:0.03 ());
+    ]
+
+let queries_of doc =
+  Wgen.generate { Wgen.paper_p with Wgen.n_queries = 30 } (Prng.create 17) doc
+
+(* An XBUILD run at [budget_mult] x the coarsest size: exercises plans
+   over sketches that mix refined histograms, expanded dimensions,
+   value summaries and structural splits. *)
+let refined doc ~budget_mult =
+  let truth q = float_of_int (Xtwig_eval.Eval_twig.selectivity doc q) in
+  let workload prng ~focus =
+    Wgen.generate ~focus { Wgen.paper_p with Wgen.n_queries = 8 } prng doc
+  in
+  let budget = Sketch.size_bytes (Sketch.default_of_doc doc) * budget_mult in
+  Xbuild.build ~seed:5 ~candidates:4 ~max_steps:12 ~workload ~truth ~budget doc
+
+(* 1. Compiled estimates are bit-equal to the reference evaluator on
+   every dataset, at every refinement budget, for every query. *)
+let test_compiled_equals_reference () =
+  List.iter
+    (fun (name, doc) ->
+      let queries = queries_of doc in
+      let sketches =
+        ("coarsest", Sketch.default_of_doc doc)
+        :: List.map
+             (fun m -> (Printf.sprintf "budget x%d" m, refined doc ~budget_mult:m))
+             [ 2; 4; 8 ]
+      in
+      List.iter
+        (fun (sname, sk) ->
+          List.iteri
+            (fun i q ->
+              Alcotest.(check (float 0.0))
+                (Printf.sprintf "%s/%s: q%d" name sname i)
+                (Est.estimate_reference sk q)
+                (Est.estimate sk q))
+            queries)
+        sketches)
+    (Lazy.force docs)
+
+(* 2. The plan cache serves hits without changing values. *)
+let test_plan_cache_hits () =
+  let _, doc = List.hd (Lazy.force docs) in
+  let sk = refined doc ~budget_mult:4 in
+  let queries = queries_of doc in
+  let cache = Embed.create_cache (Sketch.synopsis sk) in
+  let plans = Plan.create_cache (Sketch.synopsis sk) in
+  Counters.reset_all ();
+  List.iter
+    (fun q ->
+      let plain = Est.estimate_reference sk q in
+      let cold = Est.estimate ~cache ~plans sk q in
+      let warm = Est.estimate ~cache ~plans sk q in
+      Alcotest.(check (float 0.0)) "cold cached estimate" plain cold;
+      Alcotest.(check (float 0.0)) "warm cached estimate" plain warm)
+    queries;
+  Alcotest.(check bool)
+    "plan cache hits recorded" true
+    (Counters.get "plan.cache_hits" > 0);
+  (* a frozen cache still serves valid plans *)
+  Plan.freeze plans;
+  let q = List.hd queries in
+  Alcotest.(check (float 0.0))
+    "frozen plan cache still correct"
+    (Est.estimate_reference sk q)
+    (Est.estimate ~cache ~plans sk q)
+
+(* One histogram-only op (same synopsis, same dimension structure) and
+   one structure-changing op for the invalidation tests. The refined
+   node must carry a histogram some query's embeddings actually visit,
+   or every cached plan stays valid and nothing invalidates. *)
+(* Synopsis nodes appearing as tree nodes of some embedding — the only
+   nodes whose histograms compiled plans consult ([visited_nodes] also
+   lists branch-predicate nodes, which plans read through the synopsis,
+   not through histograms). *)
+let tree_nodes syn queries =
+  let seen = Hashtbl.create 32 in
+  let rec walk (e : Embed.enode) =
+    Hashtbl.replace seen e.Embed.snode ();
+    List.iter (List.iter walk) e.Embed.kids
+  in
+  List.iter (fun q -> List.iter walk (Embed.embeddings syn q)) queries;
+  List.sort_uniq compare (Hashtbl.fold (fun k () a -> k :: a) seen [])
+
+let hist_only_op sk queries =
+  let cfg = Sketch.config sk in
+  let syn = Sketch.synopsis sk in
+  let visited = tree_nodes syn queries in
+  (* plan validity keys on the interned bucket tables, so the op only
+     invalidates if some table at the node physically changes (a
+     refinement of an already-exact histogram re-interns to the same
+     table and leaves every plan valid) *)
+  let changes_a_table n =
+    let try_hist i =
+      let op = Refinement.Edge_refine { node = n; hist = i; extra_buckets = 4 } in
+      let applied = Refinement.apply sk op in
+      if
+        applied != sk
+        && Sketch.synopsis applied == syn
+        && List.exists2
+             (fun (_, a) (_, b) -> Edge_hist.table a != Edge_hist.table b)
+             (Sketch.hists sk n) (Sketch.hists applied n)
+      then Some applied
+      else None
+    in
+    List.find_map try_hist (List.mapi (fun i _ -> i) cfg.Sketch.especs.(n))
+  in
+  match List.find_map changes_a_table visited with
+  | Some r -> r
+  | None -> Alcotest.failf "no table-changing histogram refinement found"
+
+let structural_op sk queries =
+  let syn = Sketch.synopsis sk in
+  let nodes = tree_nodes syn queries in
+  (* "structural" from the plan's point of view: either the dimension
+     shape of a tree node's histograms changes (repatch must bail) or
+     the synopsis itself does (the cache is bypassed entirely) *)
+  let dims_changed a b =
+    List.compare_lengths a b <> 0
+    || List.exists2 (fun (da, _) (db, _) -> da <> db) a b
+  in
+  let changes n =
+    let expand =
+      List.find_map
+        (fun (s, d) ->
+          let kind = if s = n then Sketch.Forward else Sketch.Backward in
+          let op =
+            Refinement.Edge_expand
+              { node = n; dim = { Sketch.src = s; dst = d; kind }; into = None }
+          in
+          let applied = Refinement.apply sk op in
+          if
+            applied != sk
+            && Sketch.synopsis applied == syn
+            && dims_changed (Sketch.hists sk n) (Sketch.hists applied n)
+          then Some applied
+          else None)
+        (Sketch.dim_edges_of_node sk n)
+    in
+    match expand with
+    | Some _ -> expand
+    | None ->
+        let applied =
+          Refinement.apply sk (Refinement.Value_split { node = n; ways = 2 })
+        in
+        if applied != sk && Sketch.synopsis applied != syn then Some applied
+        else None
+  in
+  match List.find_map changes nodes with
+  | Some r -> r
+  | None -> Alcotest.failf "no effective structure-changing op"
+
+(* 3. Refining a histogram invalidates cached plans; the repaired
+   (repatched or recompiled) plans are bit-equal to the reference on
+   the refined sketch. *)
+let test_plan_cache_invalidation () =
+  let _, doc = List.hd (Lazy.force docs) in
+  (* start from the coarsest sketch: its histograms are lossy, so a
+     refinement genuinely changes bucket tables *)
+  let sk = Sketch.default_of_doc doc in
+  let queries = queries_of doc in
+  let cache = Embed.create_cache (Sketch.synopsis sk) in
+  let plans = Plan.create_cache (Sketch.synopsis sk) in
+  (* warm the cache against [sk] *)
+  List.iter (fun q -> ignore (Est.estimate ~cache ~plans sk q)) queries;
+  let refined_sk = hist_only_op sk queries in
+  Counters.reset_all ();
+  List.iteri
+    (fun i q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "after Edge_refine: q%d" i)
+        (Est.estimate_reference refined_sk q)
+        (Est.estimate ~cache ~plans refined_sk q))
+    queries;
+  Alcotest.(check bool)
+    "invalidations recorded" true
+    (Counters.get "plan.cache_invalidations" > 0);
+  Alcotest.(check bool)
+    "histogram-only invalidation repatches instead of recompiling" true
+    (Counters.get "plan.repatches" > 0);
+  (* a structure-changing op must fall back to the full compiler and
+     still agree with the reference *)
+  let structural = structural_op sk queries in
+  Counters.reset_all ();
+  List.iteri
+    (fun i q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "after structural op: q%d" i)
+        (Est.estimate_reference structural q)
+        (Est.estimate ~cache ~plans structural q))
+    queries;
+  Alcotest.(check bool)
+    "structural change recompiles" true
+    (Counters.get "plan.compiles" > 0)
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "compiled-plans",
+        [
+          Alcotest.test_case
+            "compiled == reference (2 datasets x 4 budgets x 30 queries)" `Slow
+            test_compiled_equals_reference;
+          Alcotest.test_case "plan cache hits, values unchanged" `Quick
+            test_plan_cache_hits;
+          Alcotest.test_case "invalidation: repatch + recompile correct" `Quick
+            test_plan_cache_invalidation;
+        ] );
+    ]
