@@ -5,14 +5,16 @@
 
    Usage: main.exe
    [table1|table2|fig9a|fig9b|fig9c|singlepath|ablation|micro|xbuild|
-    xbuild-par|estimate-batch|parallel|all] [--trace FILE]
+    xbuild-par|estimate-batch|parallel|fault-audit|all] [--trace FILE]
    (default: all). [xbuild] times one full greedy construction and
    writes its wall time, steps/sec and reuse/cache counters to
    BENCH_xbuild.json. [parallel] (= xbuild-par + estimate-batch) times
    pooled candidate scoring against sequential — checking the two
    synopses are byte-identical — and Engine batch throughput, and
    writes BENCH_parallel.json; XTWIG_JOBS sets the domain count
-   (default 4).
+   (default 4). [fault-audit] drives a 200-query batch under a 1%
+   chaos scenario (XTWIG_FAULT_SPEC overrides) and writes the
+   injected/retried/degraded counts to BENCH_fault.json.
 
    Every mode additionally writes the run's metrics delta to
    BENCH_metrics.json, and [--trace FILE] records a Chrome
@@ -570,6 +572,96 @@ let estimate_batch_bench () =
   if not identical then log "ERROR: parallel answers differ from sequential!"
 
 (* ------------------------------------------------------------------ *)
+(* Fault audit: a 1%-everything chaos scenario over a 200-query Engine
+   batch. The engine must never raise: every query yields an answer,
+   degraded at worst, and the run records how many faults fired, how
+   many queries retried and how many degraded to BENCH_fault.json.
+   XTWIG_FAULT_SPEC overrides the canned scenario.                     *)
+
+module Fault = Xtwig_fault.Fault
+
+let fault_audit () =
+  print_header "Fault audit (IMDB, 200-query batch under injection)";
+  let doc = Lazy.force (dataset "imdb").doc in
+  let sk = par_build doc in
+  let qs =
+    Wgen.generate { Wgen.paper_p with Wgen.n_queries = 200 } (Prng.create 99) doc
+  in
+  let sp =
+    let canned =
+      "seed=7;engine.query:p0.01;plan.fill:p0.01;embed.fill:p0.01;pool.task:p0.01"
+    in
+    match Fault.env_spec () with
+    | Ok (Some sp) -> sp
+    | Error e -> failwith ("XTWIG_FAULT_SPEC: " ^ e)
+    | Ok None -> (
+        match Fault.parse_spec canned with
+        | Ok sp -> sp
+        | Error e -> failwith e)
+  in
+  log "scenario: %s" (Fault.spec_to_string sp);
+  Fault.install sp;
+  let outcome =
+    Fun.protect ~finally:Fault.disable @@ fun () ->
+    match Engine.of_sketch ~jobs:bench_jobs sk with
+    | Error e -> Error (Xtwig_util.Xerror.to_string e)
+    | Ok eng -> (
+        Fun.protect
+          ~finally:(fun () -> Engine.close eng)
+          (fun () ->
+            match Engine.estimate_batch eng qs with
+            | Ok answers -> Ok (answers, Engine.stats eng, Fault.injected_count ())
+            | Error e -> Error (Xtwig_util.Xerror.to_string e)
+            | exception e ->
+                Error ("UNCAUGHT " ^ Printexc.to_string e)))
+  in
+  let queries = List.length qs in
+  let injected, retried_queries, retries_total, degraded, uncaught, err =
+    match outcome with
+    | Ok (answers, st, injected) ->
+        let retried =
+          List.length
+            (List.filter (fun (a : Engine.answer) -> a.Engine.retries > 0) answers)
+        in
+        let degraded =
+          List.length
+            (List.filter (fun (a : Engine.answer) -> a.Engine.fallback) answers)
+        in
+        (injected, retried, st.Engine.retries, degraded, false, "")
+    | Error msg ->
+        let uncaught = String.length msg >= 8 && String.sub msg 0 8 = "UNCAUGHT" in
+        (Fault.injected_count (), 0, 0, queries, uncaught, msg)
+  in
+  let served = float_of_int (queries - degraded) /. float_of_int queries *. 100.0 in
+  print_row "%-28s %12d" "queries" queries;
+  print_row "%-28s %12d" "faults injected" injected;
+  print_row "%-28s %12d" "queries retried" retried_queries;
+  print_row "%-28s %12d" "retries total" retries_total;
+  print_row "%-28s %12d" "degraded (fallback)" degraded;
+  print_row "%-28s %11.1f%%" "served at full fidelity" served;
+  if err <> "" then log "ERROR: batch failed: %s" err;
+  if uncaught then log "ERROR: engine let an exception escape!";
+  let oc = open_out "BENCH_fault.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"fault-audit\",\n";
+  fprint_provenance oc;
+  Printf.fprintf oc "  \"dataset\": \"IMDB\",\n";
+  Printf.fprintf oc "  \"scale\": %g,\n" scale;
+  Printf.fprintf oc "  \"jobs\": %d,\n" bench_jobs;
+  Printf.fprintf oc "  \"spec\": %S,\n" (Fault.spec_to_string sp);
+  Printf.fprintf oc "  \"queries\": %d,\n" queries;
+  Printf.fprintf oc "  \"injected\": %d,\n" injected;
+  Printf.fprintf oc "  \"retried_queries\": %d,\n" retried_queries;
+  Printf.fprintf oc "  \"retries_total\": %d,\n" retries_total;
+  Printf.fprintf oc "  \"degraded\": %d,\n" degraded;
+  Printf.fprintf oc "  \"served_full_fidelity_pct\": %.1f,\n" served;
+  Printf.fprintf oc "  \"uncaught_exceptions\": %b\n" uncaught;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  log "wrote BENCH_fault.json";
+  if uncaught then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 
 let micro () =
@@ -695,12 +787,13 @@ let () =
       xbuild_par_bench ();
       estimate_batch_bench ();
       write_parallel_json ()
+  | "fault-audit" -> fault_audit ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
         "unknown benchmark %S (expected \
          table1|table2|fig9a|fig9b|fig9c|singlepath|ablation|micro|xbuild|\
-         xbuild-par|estimate-batch|parallel|all)\n"
+         xbuild-par|estimate-batch|parallel|fault-audit|all)\n"
         other;
       exit 1);
   (match trace_file with

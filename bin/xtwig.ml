@@ -22,6 +22,7 @@ module Prng = Xtwig_util.Prng
 module Pool = Xtwig_util.Pool
 module Xerror = Xtwig_util.Xerror
 module Engine = Xtwig_engine.Engine
+module Fault = Xtwig_fault.Fault
 module Metrics = Xtwig_obs.Metrics
 module Trace = Xtwig_obs.Trace
 module Accuracy = Xtwig_obs.Accuracy
@@ -116,6 +117,44 @@ let metrics_arg =
           "Print a Prometheus-style snapshot of the command's metrics \
            (counters, gauges, histograms) to stderr on exit.")
 
+let fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-spec" ] ~docv:"SPEC"
+        ~doc:
+          "Install a deterministic fault-injection scenario for the whole \
+           command, e.g. 'seed=7;io.*:p0.01;engine.query:n3'. Overrides the \
+           XTWIG_FAULT_SPEC environment variable. The injected-fault count \
+           is reported on stderr at exit.")
+
+(* Resolve --fault-spec (flag wins over XTWIG_FAULT_SPEC), install it
+   around [body], and report what actually fired. Failures to parse
+   are usage errors, not injection. *)
+let with_fault spec body =
+  let* installed =
+    match spec with
+    | Some s -> (
+        match Fault.parse_spec s with
+        | Ok sp -> Ok (Some sp)
+        | Error e -> Error (Xerror.Usage ("--fault-spec: " ^ e)))
+    | None -> (
+        match Fault.env_spec () with
+        | Ok sp -> Ok sp
+        | Error e -> Error (Xerror.Usage ("XTWIG_FAULT_SPEC: " ^ e)))
+  in
+  match installed with
+  | None -> body ()
+  | Some sp ->
+      Fault.install sp;
+      Fun.protect
+        ~finally:(fun () ->
+          Printf.eprintf "xtwig: %d fault(s) injected under %S\n%!"
+            (Fault.injected_count ())
+            (Fault.spec_to_string sp);
+          Fault.disable ())
+        body
+
 (* ---------------- generate ---------------- *)
 
 let generate_cmd =
@@ -191,9 +230,10 @@ let build_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .sketch file.")
   in
-  let run file budget seed jobs output trace metrics =
+  let run file budget seed jobs output trace metrics fault =
     code_of
       (with_obs ~trace ~metrics @@ fun () ->
+       with_fault fault @@ fun () ->
        let* doc = load file in
        let build pool = build_sketch ~quiet:true ?pool doc ~budget ~seed in
        let sketch =
@@ -210,7 +250,7 @@ let build_cmd =
        ~doc:"Run XBUILD on a document and persist the synopsis configuration.")
     Term.(
       const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg $ output
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ fault_arg)
 
 (* ---------------- estimate ---------------- *)
 
@@ -249,9 +289,10 @@ let estimate_cmd =
              flag and trace id.")
   in
   let run file query budget seed exact sketch_file jobs timeout verbose trace
-      metrics =
+      metrics fault =
     code_of
       (with_obs ~trace ~metrics @@ fun () ->
+       with_fault fault @@ fun () ->
        let* doc = load file in
        let* q = Xtwig_path.Path_parser.parse_twig_res query in
        let* sk =
@@ -287,7 +328,7 @@ let estimate_cmd =
        ~doc:"Estimate a twig query's selectivity over a (built or loaded) synopsis.")
     Term.(
       const run $ file_arg $ query $ budget_arg $ seed_arg $ exact $ sketch_file
-      $ jobs_arg $ timeout_arg $ verbose $ trace_arg $ metrics_arg)
+      $ jobs_arg $ timeout_arg $ verbose $ trace_arg $ metrics_arg $ fault_arg)
 
 (* ---------------- workload ---------------- *)
 
@@ -373,9 +414,10 @@ let bench_batch_cmd =
   let n =
     Arg.(value & opt int 200 & info [ "queries"; "n" ] ~docv:"N" ~doc:"Query count.")
   in
-  let run file budget n seed jobs timeout trace metrics =
+  let run file budget n seed jobs timeout trace metrics fault =
     code_of
       (with_obs ~trace ~metrics @@ fun () ->
+       with_fault fault @@ fun () ->
        let* doc = load file in
        let* () =
          if n < 1 then Error (Xerror.Usage "--queries must be >= 1") else Ok ()
@@ -410,7 +452,7 @@ let bench_batch_cmd =
           concurrent estimation engine and report throughput.")
     Term.(
       const run $ file_arg $ budget_arg $ n $ seed_arg $ jobs_arg $ timeout_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ fault_arg)
 
 (* ---------------- stats ---------------- *)
 
@@ -425,9 +467,10 @@ let stats_cmd =
       & info [ "sketch" ] ~docv:"FILE"
           ~doc:"Reuse a synopsis saved by $(b,xtwig build) instead of rebuilding.")
   in
-  let run file budget seed jobs timeout n sketch_file trace metrics =
+  let run file budget seed jobs timeout n sketch_file trace metrics fault =
     code_of
       (with_obs ~trace ~metrics @@ fun () ->
+       with_fault fault @@ fun () ->
        let* doc = load file in
        let* () =
          if n < 1 then Error (Xerror.Usage "--queries must be >= 1") else Ok ()
@@ -496,7 +539,7 @@ let stats_cmd =
           latency percentiles and engine counters.")
     Term.(
       const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg $ timeout_arg $ n
-      $ sketch_file $ trace_arg $ metrics_arg)
+      $ sketch_file $ trace_arg $ metrics_arg $ fault_arg)
 
 let () =
   let doc = "Twig XSKETCH selectivity estimation for XML twig queries" in

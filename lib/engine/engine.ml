@@ -10,13 +10,24 @@ module Xerror = Xtwig_util.Xerror
 module Counters = Xtwig_util.Counters
 module Metrics = Xtwig_obs.Metrics
 module Trace = Xtwig_obs.Trace
+module Fault = Xtwig_fault.Fault
 
 let c_queries = Counters.counter "engine.queries"
 let c_timeouts = Counters.counter "engine.timeouts"
 let c_batches = Counters.counter "engine.batches"
+let c_retries = Metrics.counter "engine.retries"
+let g_circuit = Metrics.gauge "engine.circuit_state"
 
-let c_fallback =
-  Metrics.counter ~labels:[ ("reason", "timeout") ] "engine.fallback"
+type fallback_reason = Timeout | Fault | Circuit_open | Guard
+
+let reason_label = function
+  | Timeout -> "timeout"
+  | Fault -> "fault"
+  | Circuit_open -> "circuit_open"
+  | Guard -> "guard"
+
+let c_fallback r =
+  Metrics.counter ~labels:[ ("reason", reason_label r) ] "engine.fallback"
 
 let h_query =
   Metrics.histogram
@@ -31,6 +42,8 @@ type answer = {
   query : Xtwig_path.Path_types.twig;
   estimate : float;
   fallback : bool;
+  reason : fallback_reason option;
+  retries : int;
   elapsed_s : float;
   trace_id : int;
 }
@@ -41,9 +54,17 @@ type stats = {
   queries_served : int;
   batches : int;
   timeouts : int;
+  retries : int;
+  degraded : int;
+  breaker_trips : int;
   build_s : float;
   estimate_s : float;
 }
+
+(* Closed = normal serving; Open_until = tripping, every query
+   degrades until the cooldown expires; Half_open = one probe query is
+   in flight deciding whether to close again. *)
+type breaker = Closed | Open_until of float | Half_open
 
 type t = {
   sk : Sketch.t;
@@ -55,12 +76,25 @@ type t = {
   default_timeout : float;
   on_embedding : (Xtwig_path.Path_types.twig -> unit) option;
   build_s : float;
+  (* hardening knobs *)
+  retry_limit : int;
+  backoff_s : float;
+  breaker_threshold : int;
+  breaker_cooldown_s : float;
+  max_embeddings : int;
+  max_embed_nodes : int;
   (* owner-domain bookkeeping: batches are submitted and aggregated by
-     the owning domain only, so plain mutable fields suffice *)
+     the owning domain only, so plain mutable fields suffice (workers
+     communicate outcomes only through the answers they return) *)
   mutable closed : bool;
   mutable queries_served : int;
   mutable batches : int;
   mutable timeouts : int;
+  mutable retries_total : int;
+  mutable degraded : int;
+  mutable breaker_trips : int;
+  mutable breaker : breaker;
+  mutable consec_failures : int;
   mutable estimate_s : float;
 }
 
@@ -69,8 +103,12 @@ let now = Unix.gettimeofday
 let make_pool jobs =
   if jobs > 1 then Some (Pool.create ~domains:jobs ()) else None
 
-let of_sketch ?(jobs = 1) ?(timeout_s = 5.0) ?on_embedding sk =
+let of_sketch ?(jobs = 1) ?(timeout_s = 5.0) ?(retries = 2)
+    ?(backoff_s = 0.001) ?(breaker_threshold = 8) ?(breaker_cooldown_s = 0.25)
+    ?(max_embeddings = 100_000) ?(max_embed_nodes = 1_000_000) ?on_embedding sk
+    =
   if jobs < 1 then Error (Xerror.Engine "jobs must be >= 1")
+  else if retries < 0 then Error (Xerror.Engine "retries must be >= 0")
   else
     Ok
       {
@@ -83,17 +121,31 @@ let of_sketch ?(jobs = 1) ?(timeout_s = 5.0) ?on_embedding sk =
         default_timeout = timeout_s;
         on_embedding;
         build_s = 0.0;
+        retry_limit = retries;
+        backoff_s;
+        breaker_threshold;
+        breaker_cooldown_s;
+        max_embeddings;
+        max_embed_nodes;
         closed = false;
         queries_served = 0;
         batches = 0;
         timeouts = 0;
+        retries_total = 0;
+        degraded = 0;
+        breaker_trips = 0;
+        breaker = Closed;
+        consec_failures = 0;
         estimate_s = 0.0;
       }
 
 let create ?(seed = 42) ?(jobs = 1) ?candidates ?max_steps ?(timeout_s = 5.0)
-    ?on_embedding ~budget doc =
+    ?(retries = 2) ?(backoff_s = 0.001) ?(breaker_threshold = 8)
+    ?(breaker_cooldown_s = 0.25) ?(max_embeddings = 100_000)
+    ?(max_embed_nodes = 1_000_000) ?on_embedding ~budget doc =
   if budget <= 0 then Error (Xerror.Engine "budget must be positive")
   else if jobs < 1 then Error (Xerror.Engine "jobs must be >= 1")
+  else if retries < 0 then Error (Xerror.Engine "retries must be >= 0")
   else begin
     let pool = make_pool jobs in
     let truth_tbl = Hashtbl.create 256 in
@@ -126,100 +178,282 @@ let create ?(seed = 42) ?(jobs = 1) ?candidates ?max_steps ?(timeout_s = 5.0)
         default_timeout = timeout_s;
         on_embedding;
         build_s;
+        retry_limit = retries;
+        backoff_s;
+        breaker_threshold;
+        breaker_cooldown_s;
+        max_embeddings;
+        max_embed_nodes;
         closed = false;
         queries_served = 0;
         batches = 0;
         timeouts = 0;
+        retries_total = 0;
+        degraded = 0;
+        breaker_trips = 0;
+        breaker = Closed;
+        consec_failures = 0;
         estimate_s = 0.0;
       }
   end
+
+(* Capped exponential backoff between retry attempts: base * 2^k,
+   never more than 50 ms — the engine bounds tail latency, so waiting
+   longer than a query is worth is not an option. *)
+let backoff t k =
+  let d = Float.min (t.backoff_s *. (2.0 ** float_of_int k)) 0.05 in
+  if d > 0.0 then Unix.sleepf d
+
+(* The coarse label-split estimate is the degradation floor; if even
+   that fails (it is pure arithmetic, so only a fault-injection hook or
+   a genuine bug could make it raise) the engine still answers. *)
+let coarse_estimate t q = try Est.estimate t.coarse q with _ -> 0.0
+
+let degrade_answer t ~trace_id ~t0 ~reason ~retries q =
+  Metrics.incr (c_fallback reason);
+  Trace.instant
+    ~args:[ ("trace_id", string_of_int trace_id) ]
+    "engine.fallback";
+  let elapsed_s = now () -. t0 in
+  Metrics.observe h_query elapsed_s;
+  {
+    query = q;
+    estimate = coarse_estimate t q;
+    fallback = true;
+    reason = Some reason;
+    retries;
+    elapsed_s;
+    trace_id;
+  }
 
 (* Evaluate one query through its pre-compiled plans (one per
    embedding), checking the deadline between embedding contributions
    (runs on a worker when the session has a pool). The sum visits
    plans in enumeration order — identical to Estimator.estimate's
-   fold, so jobs > 1 changes scheduling, never values. *)
+   fold, so jobs > 1 changes scheduling, never values. A raising
+   evaluation (injected fault at [engine.query], a panicking
+   [on_embedding] hook) is retried with backoff, then degraded to the
+   coarse estimate — never propagated. *)
 let eval_one t ~trace_id ~deadline q plans =
   Trace.with_span ~name:"engine.query"
     ~args:[ ("trace_id", string_of_int trace_id) ]
   @@ fun () ->
   let t0 = now () in
-  let n = Array.length plans in
-  let rec go acc i =
-    if i = n then (acc, false)
-    else if now () > deadline then ((* degrade *) Est.estimate t.coarse q, true)
-    else begin
-      (match t.on_embedding with None -> () | Some f -> f q);
-      go (acc +. Plan.run plans.(i)) (i + 1)
-    end
+  let run_plans () =
+    Fault.point "engine.query";
+    let n = Array.length plans in
+    let rec go acc i =
+      if i = n then Some acc
+      else if now () > deadline then None
+      else begin
+        (match t.on_embedding with None -> () | Some f -> f q);
+        go (acc +. Plan.run plans.(i)) (i + 1)
+      end
+    in
+    if now () > deadline then None else go 0.0 0
   in
-  let estimate, fallback =
-    if now () > deadline then (Est.estimate t.coarse q, true)
-    else go 0.0 0
+  let rec attempt k =
+    match run_plans () with
+    | Some est -> (est, None, k)
+    | None -> (coarse_estimate t q, Some Timeout, k)
+    | exception _ when k < t.retry_limit ->
+        Metrics.incr c_retries;
+        backoff t k;
+        attempt (k + 1)
+    | exception _ -> (coarse_estimate t q, Some Fault, k)
   in
-  if fallback then
-    Trace.instant ~args:[ ("trace_id", string_of_int trace_id) ] "engine.fallback";
+  let estimate, reason, retries = attempt 0 in
+  (match reason with
+  | Some r ->
+      Metrics.incr (c_fallback r);
+      Trace.instant
+        ~args:[ ("trace_id", string_of_int trace_id) ]
+        "engine.fallback"
+  | None -> ());
   let elapsed_s = now () -. t0 in
   Metrics.observe h_query elapsed_s;
-  { query = q; estimate; fallback; elapsed_s; trace_id }
+  { query = q; estimate; fallback = reason <> None; reason; retries; elapsed_s; trace_id }
+
+(* Owner-domain circuit-breaker gate, consulted once per query during
+   the (sequential) compile phase. Cooldown expiry flips the breaker
+   to half-open and lets exactly one probe query through; [probe]
+   records which. *)
+let breaker_blocks t probe i =
+  match t.breaker with
+  | Closed -> false
+  | Half_open ->
+      if !probe = None then begin
+        probe := Some i;
+        false
+      end
+      else true
+  | Open_until until ->
+      if now () < until then true
+      else begin
+        t.breaker <- Half_open;
+        Metrics.set g_circuit 2.0;
+        probe := Some i;
+        false
+      end
+
+let trip t =
+  t.breaker <- Open_until (now () +. t.breaker_cooldown_s);
+  t.breaker_trips <- t.breaker_trips + 1;
+  t.consec_failures <- 0;
+  Metrics.set g_circuit 1.0
+
+(* Outcome accounting, in query order on the owner: fault-degraded
+   answers feed the failure streak (and fail a probe outright);
+   anything that actually ran resets it (a timeout means the fabric
+   worked — the query was just expensive). *)
+let record_outcome t ~probe i a =
+  match a.reason with
+  | Some Fault ->
+      t.consec_failures <- t.consec_failures + 1;
+      if probe = Some i || t.consec_failures >= t.breaker_threshold then trip t
+  | Some Circuit_open -> ()
+  | Some Timeout | Some Guard | None ->
+      t.consec_failures <- 0;
+      if probe = Some i then begin
+        t.breaker <- Closed;
+        Metrics.set g_circuit 0.0
+      end
+
+(* Compile phase for one query, on the owner under the query's fault
+   scope: enumerate embeddings (guarded by cardinality and node-count
+   ceilings), compile plans; injected faults at [embed.fill] /
+   [plan.fill] are retried with backoff while the deadline allows. The
+   deadline is set here, before compilation, so compile time spends
+   the same budget evaluation does. *)
+let compile_prep t ~timeout ~probe i q =
+  Fault.with_scope i @@ fun () ->
+  if breaker_blocks t probe i then Error (Circuit_open, 0)
+  else begin
+    let deadline = now () +. timeout in
+    let rec attempt k =
+      match
+        let embs = Embed.embeddings_cached t.cache (Sketch.synopsis t.sk) q in
+        if List.length embs > t.max_embeddings then `Guard
+        else begin
+          let nodes =
+            List.fold_left (fun a e -> a + Embed.size e) 0 embs
+          in
+          if nodes > t.max_embed_nodes then `Guard
+          else
+            `Plans (Plan.plans_cached t.pcache ~key:(Embed.cache_key q) t.sk embs)
+        end
+      with
+      | `Plans plans -> Ok (plans, deadline, k)
+      | `Guard -> Error (Guard, k)
+      | exception _ when k < t.retry_limit && now () <= deadline ->
+          Metrics.incr c_retries;
+          backoff t k;
+          attempt (k + 1)
+      | exception _ -> Error (Fault, k)
+    in
+    if now () > deadline then Error (Timeout, 0) else attempt 0
+  end
 
 let estimate_batch ?timeout_s t queries =
   if t.closed then Error (Xerror.Engine "session is closed")
   else begin
-    let timeout = Option.value timeout_s ~default:t.default_timeout in
-    let trace_id = Atomic.fetch_and_add next_trace_id 1 in
-    Trace.with_span ~name:"engine.estimate_batch"
-      ~args:
-        [
-          ("trace_id", string_of_int trace_id);
-          ("queries", string_of_int (List.length queries));
-        ]
-    @@ fun () ->
-    let t0 = now () in
-    (* enumeration and plan compilation on the owner domain against
-       the session caches; frozen before any fan-out (the cache
-       ownership rule) *)
-    Embed.thaw t.cache;
-    Plan.thaw t.pcache;
-    let embedded =
-      Trace.with_span ~name:"engine.embed_batch" (fun () ->
-          List.map
-            (fun q ->
-              let embs =
-                Embed.embeddings_cached t.cache (Sketch.synopsis t.sk) q
-              in
-              let plans =
-                Plan.plans_cached t.pcache ~key:(Embed.cache_key q) t.sk embs
-              in
-              (q, plans))
-            queries)
-    in
-    Embed.freeze t.cache;
-    Plan.freeze t.pcache;
-    let earr = Array.of_list embedded in
-    let run i (q, plans) =
-      ignore i;
-      let deadline = now () +. timeout in
-      eval_one t ~trace_id ~deadline q plans
-    in
-    let answers =
-      match t.pool with
-      | None -> Array.mapi run earr
-      | Some p -> Pool.map_array p ~f:run earr
-    in
-    let answers = Array.to_list answers in
-    t.batches <- t.batches + 1;
-    t.queries_served <- t.queries_served + List.length answers;
-    let timeouts =
-      List.fold_left (fun n a -> if a.fallback then n + 1 else n) 0 answers
-    in
-    t.timeouts <- t.timeouts + timeouts;
-    Counters.incr c_batches;
-    Counters.incr ~by:(List.length answers) c_queries;
-    Counters.incr ~by:timeouts c_timeouts;
-    Metrics.incr ~by:timeouts c_fallback;
-    t.estimate_s <- t.estimate_s +. (now () -. t0);
-    Ok answers
+    match
+      let timeout = Option.value timeout_s ~default:t.default_timeout in
+      let trace_id = Atomic.fetch_and_add next_trace_id 1 in
+      Trace.with_span ~name:"engine.estimate_batch"
+        ~args:
+          [
+            ("trace_id", string_of_int trace_id);
+            ("queries", string_of_int (List.length queries));
+          ]
+      @@ fun () ->
+      let t0 = now () in
+      (* enumeration and plan compilation on the owner domain against
+         the session caches; frozen before any fan-out (the cache
+         ownership rule) *)
+      Embed.thaw t.cache;
+      Plan.thaw t.pcache;
+      let probe = ref None in
+      let prepped =
+        Trace.with_span ~name:"engine.embed_batch" (fun () ->
+            List.mapi
+              (fun i q -> (q, compile_prep t ~timeout ~probe i q))
+              queries)
+      in
+      Embed.freeze t.cache;
+      Plan.freeze t.pcache;
+      let earr = Array.of_list prepped in
+      let run (q, prep) =
+        match prep with
+        | Ok (plans, deadline, retries) ->
+            let a = eval_one t ~trace_id ~deadline q plans in
+            { a with retries = a.retries + retries }
+        | Error (reason, retries) ->
+            degrade_answer t ~trace_id ~t0:(now ()) ~reason ~retries q
+      in
+      (* last line of the never-raise contract: whatever escapes a
+         query's evaluation (or its pool job) is one answer's
+         degradation, not the batch's exception *)
+      let safe_run i =
+        match run earr.(i) with
+        | a -> a
+        | exception _ ->
+            degrade_answer t ~trace_id ~t0:(now ()) ~reason:Fault ~retries:0
+              (fst earr.(i))
+      in
+      let answers =
+        match t.pool with
+        | None ->
+            Array.init (Array.length earr) (fun i ->
+                Fault.with_scope i (fun () -> safe_run i))
+        | Some p ->
+            let futs =
+              Array.mapi (fun i item -> Pool.submit ~scope:i p (fun () -> run item)) earr
+            in
+            Array.mapi
+              (fun i fut ->
+                match Pool.await_result fut with
+                | Ok a -> a
+                | Error _ ->
+                    (* the job itself failed (injected [pool.task]
+                       fault, worker panic): one retry on the owner
+                       under the same scope, then degrade *)
+                    t.retries_total <- t.retries_total + 1;
+                    Metrics.incr c_retries;
+                    Fault.with_scope i (fun () -> safe_run i))
+              futs
+      in
+      let answers = Array.to_list answers in
+      List.iteri (fun i a -> record_outcome t ~probe:!probe i a) answers;
+      let count p = List.fold_left (fun n a -> if p a then n + 1 else n) 0 answers in
+      let timeouts = count (fun a -> a.reason = Some Timeout) in
+      let degraded =
+        count (fun a ->
+            match a.reason with
+            | Some (Fault | Circuit_open | Guard) -> true
+            | _ -> false)
+      in
+      let retries =
+        List.fold_left (fun n (a : answer) -> n + a.retries) 0 answers
+      in
+      t.batches <- t.batches + 1;
+      t.queries_served <- t.queries_served + List.length answers;
+      t.timeouts <- t.timeouts + timeouts;
+      t.degraded <- t.degraded + degraded;
+      t.retries_total <- t.retries_total + retries;
+      Counters.incr c_batches;
+      Counters.incr ~by:(List.length answers) c_queries;
+      Counters.incr ~by:timeouts c_timeouts;
+      t.estimate_s <- t.estimate_s +. (now () -. t0);
+      answers
+    with
+    | answers -> Ok answers
+    | exception e ->
+        (* estimate_batch never raises: a failure that slipped every
+           per-query net is still a typed error *)
+        Error
+          (Xerror.Engine
+             (Printf.sprintf "internal failure: %s" (Printexc.to_string e)))
   end
 
 let estimate ?timeout_s t q =
@@ -230,6 +464,12 @@ let estimate ?timeout_s t q =
 
 let sketch t = t.sk
 
+let breaker_state t =
+  match t.breaker with
+  | Closed -> `Closed
+  | Open_until _ -> `Open
+  | Half_open -> `Half_open
+
 let stats t =
   {
     jobs = t.n_jobs;
@@ -237,6 +477,9 @@ let stats t =
     queries_served = t.queries_served;
     batches = t.batches;
     timeouts = t.timeouts;
+    retries = t.retries_total;
+    degraded = t.degraded;
+    breaker_trips = t.breaker_trips;
     build_s = t.build_s;
     estimate_s = t.estimate_s;
   }

@@ -1,5 +1,5 @@
-(** A long-lived, concurrent estimation session over one built
-    synopsis.
+(** A long-lived, concurrent, crash-safe estimation session over one
+    built synopsis.
 
     The paper treats estimation as a one-shot computation; a serving
     system treats it as a session: build (or load) a synopsis once,
@@ -12,32 +12,64 @@
     {2 Concurrency model}
 
     One domain owns the session (creates it, submits batches, reads
-    stats, closes it). Within a batch, embedding enumeration runs on
-    the owner against the session cache (warm, then freeze), and
-    per-embedding estimation fans out to the pool; results return in
-    query order, so a batch's answers are identical whatever [jobs]
-    is.
+    stats, closes it). Within a batch, embedding enumeration and plan
+    compilation run on the owner against the session caches (warm,
+    then freeze), and per-query evaluation fans out to the pool;
+    results return in query order, so a batch's answers are identical
+    whatever [jobs] is.
 
     {2 Timeouts and graceful degradation}
 
     Estimation cost is query-dependent (embedding counts multiply
     along branching paths), and a serving layer must bound tail
-    latency. Each query gets a deadline; the evaluation checks it
-    between embedding contributions (cooperative — a single
-    embedding's traversal is never interrupted) and on expiry the
-    engine degrades to the {e coarse label-split estimate}: cheap,
+    latency. Each query's deadline starts when its compilation starts
+    — compile time spends the same budget evaluation does — and the
+    evaluation checks it between embedding contributions (cooperative
+    — a single embedding's traversal is never interrupted). On expiry
+    the engine degrades to the {e coarse label-split estimate}: cheap,
     always available, and the starting point of XBUILD — the
     same-shaped answer at the accuracy floor rather than no answer.
-    Fallbacks are flagged per answer and counted in {!stats}. *)
+
+    {2 Hardening}
+
+    {!estimate_batch} {b never raises}: every failure becomes either a
+    degraded answer (flagged with its {!fallback_reason}) or a typed
+    [Error _]. The failure paths, in the order they engage:
+
+    - {b Retry}: an exception out of a cache fill ([embed.fill],
+      [plan.fill]), a query evaluation ([engine.query]) or a pool job
+      ([pool.task]) is retried up to [retries] times with capped
+      exponential backoff before degrading with reason [Fault].
+    - {b Circuit breaker}: [breaker_threshold] consecutive
+      fault-degraded answers trip the breaker; while open, queries
+      degrade immediately with reason [Circuit_open] (no work
+      submitted). After [breaker_cooldown_s] one probe query is let
+      through (half-open); its outcome closes or re-opens the breaker.
+    - {b Guards}: a query whose embedding enumeration exceeds
+      [max_embeddings] embeddings or [max_embed_nodes] total nodes
+      degrades with reason [Guard] instead of exhausting memory.
+
+    Degradations are counted per reason in
+    [engine.fallback{reason=...}], retries in [engine.retries], and
+    the breaker state is exported as the [engine.circuit_state] gauge
+    (0 closed, 1 open, 2 half-open) — see {!Xtwig_obs.Metrics}. *)
 
 type t
+
+type fallback_reason =
+  | Timeout  (** the per-query deadline expired (compile or eval) *)
+  | Fault  (** retries exhausted on a raising evaluation or fill *)
+  | Circuit_open  (** the breaker was open; no work was attempted *)
+  | Guard  (** embedding enumeration exceeded the cardinality guards *)
 
 type answer = {
   query : Xtwig_path.Path_types.twig;
   estimate : float;
   fallback : bool;
-      (** the per-query deadline expired and [estimate] is the coarse
-          label-split estimate *)
+      (** [estimate] is the coarse label-split estimate, not the full
+          sketch's; [reason] says why *)
+  reason : fallback_reason option;  (** [None] iff [fallback = false] *)
+  retries : int;  (** retry attempts this answer consumed *)
   elapsed_s : float;  (** evaluation wall time of this query *)
   trace_id : int;
       (** the batch's trace id — unique per {!estimate_batch} call
@@ -51,7 +83,12 @@ type stats = {
   sketch_bytes : int;
   queries_served : int;
   batches : int;
-  timeouts : int;  (** answers that took the fallback path *)
+  timeouts : int;  (** answers degraded with reason [Timeout] *)
+  retries : int;  (** total retry attempts across all batches *)
+  degraded : int;
+      (** answers degraded with reason [Fault], [Circuit_open] or
+          [Guard] *)
+  breaker_trips : int;  (** times the circuit breaker opened *)
   build_s : float;  (** XBUILD wall time; 0 for {!of_sketch} sessions *)
   estimate_s : float;  (** cumulative batch evaluation wall time *)
 }
@@ -62,6 +99,12 @@ val create :
   ?candidates:int ->
   ?max_steps:int ->
   ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_s:float ->
+  ?max_embeddings:int ->
+  ?max_embed_nodes:int ->
   ?on_embedding:(Xtwig_path.Path_types.twig -> unit) ->
   budget:int ->
   Xtwig_xml.Doc.t ->
@@ -70,8 +113,13 @@ val create :
     when [jobs > 1]) and opens a session over the result. [jobs]
     (default 1) is the worker-domain count; [timeout_s] (default 5.0)
     the per-query deadline; [seed]/[candidates]/[max_steps] are
-    XBUILD's. Errors: [Xerror.Engine] on non-positive [budget] or
-    [jobs].
+    XBUILD's. Hardening knobs (see the module preamble): [retries]
+    (default 2), [backoff_s] (base backoff, default 1 ms, doubling,
+    capped at 50 ms), [breaker_threshold] (default 8),
+    [breaker_cooldown_s] (default 0.25), [max_embeddings] (default
+    100_000), [max_embed_nodes] (default 1_000_000). Errors:
+    [Xerror.Engine] on non-positive [budget], [jobs] or negative
+    [retries].
 
     [on_embedding] is a fault-injection/observability hook invoked on
     the evaluating domain before each embedding's contribution — the
@@ -81,18 +129,33 @@ val create :
 val of_sketch :
   ?jobs:int ->
   ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_s:float ->
+  ?max_embeddings:int ->
+  ?max_embed_nodes:int ->
   ?on_embedding:(Xtwig_path.Path_types.twig -> unit) ->
   Xtwig_sketch.Sketch.t ->
   (t, Xtwig_util.Xerror.t) result
-(** Open a session over an already-built (or loaded) sketch. *)
+(** Open a session over an already-built (or loaded) sketch. Same
+    defaults as {!create}. *)
 
 val estimate_batch :
   ?timeout_s:float -> t -> Xtwig_path.Path_types.twig list ->
   (answer list, Xtwig_util.Xerror.t) result
 (** Evaluate a batch concurrently; answers come back in query order
     and are bit-identical to [jobs = 1] evaluation (absent timeouts).
-    [timeout_s] overrides the session default for this batch. Errors:
-    [Xerror.Engine] on a closed session. *)
+    [timeout_s] overrides the session default for this batch.
+
+    Never raises, under any fault scenario: failures degrade
+    individual answers (see the module preamble), and anything that
+    slips every per-query net returns [Error (Xerror.Engine _)].
+    Errors: [Xerror.Engine] on a closed session.
+
+    Each query runs under the fault scope of its batch index
+    ({!Xtwig_fault.Fault.with_scope}), so injected fault sequences are
+    byte-identical across runs and across [jobs] counts. *)
 
 val estimate :
   ?timeout_s:float -> t -> Xtwig_path.Path_types.twig ->
@@ -101,6 +164,10 @@ val estimate :
 
 val sketch : t -> Xtwig_sketch.Sketch.t
 val stats : t -> stats
+
+val breaker_state : t -> [ `Closed | `Open | `Half_open ]
+(** Owner-domain view of the circuit breaker, for tests and the CLI's
+    stats output. *)
 
 val close : t -> unit
 (** Shut the pool down and mark the session closed (idempotent);

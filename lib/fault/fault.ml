@@ -1,0 +1,265 @@
+module Metrics = Xtwig_obs.Metrics
+
+exception
+  Injected of {
+    point : string;
+    scope : int;
+    hit : int;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { point; scope; hit } ->
+        Some
+          (Printf.sprintf "Fault.Injected(point=%s, scope=%d, hit=%d)" point
+             scope hit)
+    | _ -> None)
+
+type trigger =
+  | Always
+  | Prob of float
+  | Nth of int
+  | Every of int
+  | Script of int list
+
+type rule = { pattern : string; trigger : trigger }
+type spec = { seed : int; rules : rule list }
+
+(* ------------------------------------------------------------------ *)
+(* State. The enabled flag is the only thing the disabled path reads;
+   everything else lives behind [lock] and is only touched while a
+   scenario is installed (injection is a test/chaos facility — the
+   enabled-path cost of one global mutex is irrelevant next to the
+   faults it produces, and a single lock keeps hit counting exact
+   across domains). *)
+
+let on = Atomic.make false
+
+type state = {
+  spec : spec;
+  counts : (string * int, int ref) Hashtbl.t;  (* (point, scope) -> hits *)
+  mutable fired : (string * int * int) list;  (* newest first *)
+  mutable fired_n : int;
+}
+
+let lock = Mutex.create ()
+let state : state ref = ref { spec = { seed = 0; rules = [] }; counts = Hashtbl.create 0; fired = []; fired_n = 0 }
+
+(* Domain-local scope: the index of the work unit being processed. *)
+let scope_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let scope () = Domain.DLS.get scope_key
+
+let with_scope s f =
+  let old = Domain.DLS.get scope_key in
+  Domain.DLS.set scope_key s;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set scope_key old) f
+
+(* ------------------------------------------------------------------ *)
+(* Decision function: a SplitMix64 finalizer over (seed, point, scope,
+   hit). Stateless, so the verdict for a given hit does not depend on
+   how work interleaves across domains. *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let uniform ~seed ~point ~hit ~sc =
+  let open Int64 in
+  let z = add (of_int seed) (mul (of_int (Hashtbl.hash point + 1)) 0x9E3779B97F4A7C15L) in
+  let z = add z (mul (of_int (sc + 1)) 0xD1B54A32D192ED03L) in
+  let z = add z (mul (of_int (hit + 1)) 0x8CB92BA72F3D8DD7L) in
+  (* 53 mantissa bits -> uniform in [0, 1) *)
+  to_float (shift_right_logical (mix64 z) 11) *. (1.0 /. 9007199254740992.0)
+
+let matches pattern name =
+  let n = String.length pattern in
+  if n > 0 && pattern.[n - 1] = '*' then
+    String.length name >= n - 1 && String.sub name 0 (n - 1) = String.sub pattern 0 (n - 1)
+  else String.equal pattern name
+
+let verdict ~seed ~point ~sc ~hit = function
+  | Always -> true
+  | Prob p -> uniform ~seed ~point ~hit ~sc < p
+  | Nth n -> hit = n
+  | Every n -> n > 0 && hit mod n = 0
+  | Script hits -> List.mem hit hits
+
+(* ------------------------------------------------------------------ *)
+(* The point itself *)
+
+let c_injected point = Metrics.counter ~labels:[ ("point", point) ] "fault.injected"
+
+(* Returns [Some (scope, hit)] when the installed scenario fires at
+   [name]; counts the hit either way. *)
+let check_slow name =
+  let sc = scope () in
+  Mutex.lock lock;
+  let st = !state in
+  let key = (name, sc) in
+  let c =
+    match Hashtbl.find_opt st.counts key with
+    | Some c -> c
+    | None ->
+        let c = ref 0 in
+        Hashtbl.add st.counts key c;
+        c
+  in
+  incr c;
+  let hit = !c in
+  let fire =
+    match List.find_opt (fun r -> matches r.pattern name) st.spec.rules with
+    | Some r -> verdict ~seed:st.spec.seed ~point:name ~sc ~hit r.trigger
+    | None -> false
+  in
+  if fire then begin
+    st.fired <- (name, sc, hit) :: st.fired;
+    st.fired_n <- st.fired_n + 1
+  end;
+  Mutex.unlock lock;
+  if fire then begin
+    Metrics.incr (c_injected name);
+    Some (sc, hit)
+  end
+  else None
+
+let fires name = if Atomic.get on then check_slow name <> None else false
+
+let point name =
+  if Atomic.get on then
+    match check_slow name with
+    | None -> ()
+    | Some (sc, hit) -> raise (Injected { point = name; scope = sc; hit })
+
+(* ------------------------------------------------------------------ *)
+(* Installation *)
+
+let install spec =
+  Mutex.lock lock;
+  state := { spec; counts = Hashtbl.create 64; fired = []; fired_n = 0 };
+  Mutex.unlock lock;
+  Atomic.set on true
+
+let disable () =
+  Atomic.set on false;
+  Mutex.lock lock;
+  state := { spec = { seed = 0; rules = [] }; counts = Hashtbl.create 0; fired = []; fired_n = 0 };
+  Mutex.unlock lock
+
+let reset () =
+  Mutex.lock lock;
+  let st = !state in
+  state := { spec = st.spec; counts = Hashtbl.create 64; fired = []; fired_n = 0 };
+  Mutex.unlock lock
+
+let enabled () = Atomic.get on
+
+let active () =
+  if Atomic.get on then begin
+    Mutex.lock lock;
+    let s = !state.spec in
+    Mutex.unlock lock;
+    Some s
+  end
+  else None
+
+let injected_count () =
+  Mutex.lock lock;
+  let n = !state.fired_n in
+  Mutex.unlock lock;
+  n
+
+let log () =
+  Mutex.lock lock;
+  let l = !state.fired in
+  Mutex.unlock lock;
+  List.sort compare l
+
+let log_to_string () =
+  String.concat ""
+    (List.map (fun (p, s, h) -> Printf.sprintf "%s %d %d\n" p s h) (log ()))
+
+(* ------------------------------------------------------------------ *)
+(* Spec grammar *)
+
+let trigger_to_string = function
+  | Always -> "always"
+  | Prob p -> Printf.sprintf "p%g" p
+  | Nth n -> Printf.sprintf "n%d" n
+  | Every n -> Printf.sprintf "every%d" n
+  | Script hits -> "s" ^ String.concat "," (List.map string_of_int hits)
+
+let spec_to_string spec =
+  String.concat ";"
+    (Printf.sprintf "seed=%d" spec.seed
+    :: List.map
+         (fun r -> Printf.sprintf "%s:%s" r.pattern (trigger_to_string r.trigger))
+         spec.rules)
+
+let parse_trigger item s =
+  let after prefix =
+    String.sub s (String.length prefix) (String.length s - String.length prefix)
+  in
+  let starts prefix =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  if s = "always" then Ok Always
+  else if starts "every" then
+    match int_of_string_opt (after "every") with
+    | Some n when n >= 1 -> Ok (Every n)
+    | _ -> Error (Printf.sprintf "bad 'every' trigger in %S" item)
+  else if starts "p" then
+    match float_of_string_opt (after "p") with
+    | Some p when p >= 0.0 && p <= 1.0 -> Ok (Prob p)
+    | _ -> Error (Printf.sprintf "bad probability trigger in %S (want p0..p1)" item)
+  else if starts "n" then
+    match int_of_string_opt (after "n") with
+    | Some n when n >= 1 -> Ok (Nth n)
+    | _ -> Error (Printf.sprintf "bad 'n' trigger in %S" item)
+  else if starts "s" then begin
+    let parts = String.split_on_char ',' (after "s") in
+    let hits = List.filter_map int_of_string_opt parts in
+    if List.length hits = List.length parts && hits <> [] && List.for_all (fun h -> h >= 1) hits
+    then Ok (Script (List.sort_uniq compare hits))
+    else Error (Printf.sprintf "bad script trigger in %S (want s1,4,9)" item)
+  end
+  else Error (Printf.sprintf "unknown trigger in %S" item)
+
+let parse_spec text =
+  (* items separated by ';' or whitespace *)
+  let items =
+    String.split_on_char ';'
+      (String.map (function ' ' | '\t' | '\n' -> ';' | c -> c) text)
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go seed rules = function
+    | [] -> Ok { seed; rules = List.rev rules }
+    | item :: rest -> (
+        match String.index_opt item '=' with
+        | Some i when String.sub item 0 i = "seed" -> (
+            match int_of_string_opt (String.sub item (i + 1) (String.length item - i - 1)) with
+            | Some s -> go s rules rest
+            | None -> Error (Printf.sprintf "bad seed in %S" item))
+        | _ -> (
+            match String.index_opt item ':' with
+            | None -> Error (Printf.sprintf "expected PATTERN:TRIGGER, got %S" item)
+            | Some i -> (
+                let pattern = String.sub item 0 i in
+                let tr = String.sub item (i + 1) (String.length item - i - 1) in
+                if pattern = "" then Error (Printf.sprintf "empty pattern in %S" item)
+                else
+                  match parse_trigger item tr with
+                  | Ok trigger -> go seed ({ pattern; trigger } :: rules) rest
+                  | Error e -> Error e)))
+  in
+  go 0 [] items
+
+let env_spec () =
+  match Sys.getenv_opt "XTWIG_FAULT_SPEC" with
+  | None -> Ok None
+  | Some "" -> Ok None
+  | Some text -> Result.map Option.some (parse_spec text)

@@ -1,0 +1,128 @@
+(** Deterministic fault injection: a process-wide registry of named
+    failure points.
+
+    Production code marks the places where the outside world can fail
+    — file I/O, pool task dispatch, cache fills, query evaluation —
+    with {!point}. With no scenario installed (the default), a point
+    is one atomic load and a fall-through: the same disabled-path
+    contract as {!Xtwig_obs.Trace}. With a scenario installed, each
+    arrival at a point is counted and a pure decision function of
+    [(seed, point, scope, hit)] decides whether to raise {!Injected}
+    there.
+
+    {2 Determinism}
+
+    No wall clock and no shared PRNG stream enter the decision: the
+    [hit] index is a per-[(point, scope)] counter and the verdict is a
+    SplitMix64 finalizer over the scenario seed, the point name, the
+    scope and the hit index. Callers that process independent work
+    units (the engine's per-query evaluation, a pool's per-task jobs)
+    wrap each unit in {!with_scope} with the unit's input index, which
+    makes the injected fault sequence a pure function of the scenario
+    — byte-identical across runs {e and} across worker-domain counts,
+    no matter how the scheduler interleaves the units
+    (test/test_fault.ml pins this).
+
+    {2 Scenario grammar}
+
+    A scenario is [seed=N] plus rules, separated by [';'] (or
+    whitespace — handy in shells):
+
+    {v
+    seed=7;io.*:p0.01;pool.task:n3;engine.query:s1,4,9;plan.fill:every5
+    v}
+
+    - [PATTERN:pFLOAT] — fire each hit independently with that
+      probability;
+    - [PATTERN:nINT] — fire exactly on the INTth hit (1-based);
+    - [PATTERN:everyINT] — fire every INTth hit;
+    - [PATTERN:sI1,I2,...] — fire on exactly the scripted hits;
+    - [PATTERN:always] — fire on every hit.
+
+    [PATTERN] is a point name, or a prefix followed by ['*']. The
+    first matching rule wins. The environment variable
+    [XTWIG_FAULT_SPEC] carries a scenario into tests and CI
+    ({!env_spec}); the CLI's [--fault-spec] flag and the bench
+    harness's [fault-audit] mode parse the same grammar. *)
+
+exception
+  Injected of {
+    point : string;
+    scope : int;
+    hit : int;
+  }
+(** The injected failure. Carries the point name, the caller's
+    {!with_scope} scope (0 outside any scope) and the 1-based hit
+    index at which the rule fired. *)
+
+type trigger =
+  | Always
+  | Prob of float  (** independent per-hit probability in [0,1] *)
+  | Nth of int  (** the one 1-based hit to fire on *)
+  | Every of int  (** every [n]th hit *)
+  | Script of int list  (** exactly these 1-based hits *)
+
+type rule = { pattern : string; trigger : trigger }
+(** [pattern] is a point name or a ['*']-terminated prefix. *)
+
+type spec = { seed : int; rules : rule list }
+
+val parse_spec : string -> (spec, string) result
+(** Parse the grammar above. The error is a one-line description of
+    the offending item. *)
+
+val spec_to_string : spec -> string
+(** Canonical re-rendering ([parse_spec] of it yields an equal spec). *)
+
+val env_spec : unit -> (spec option, string) result
+(** The scenario in [XTWIG_FAULT_SPEC], if the variable is set. *)
+
+(** {1 Installation} *)
+
+val install : spec -> unit
+(** Install a scenario and enable injection. Replaces any previous
+    scenario; counters and the fired log start fresh. *)
+
+val disable : unit -> unit
+(** Disable injection and drop the scenario. Idempotent. *)
+
+val reset : unit -> unit
+(** Clear hit counters and the fired log, keeping the installed
+    scenario — the next batch replays the same fault sequence. *)
+
+val enabled : unit -> bool
+val active : unit -> spec option
+
+(** {1 Failure points} *)
+
+val point : string -> unit
+(** [point name] marks a failure point. Raises {!Injected} when the
+    installed scenario fires here; returns [unit] otherwise. With no
+    scenario installed this is a single atomic load. *)
+
+val fires : string -> bool
+(** As {!point} but returning the verdict instead of raising (for
+    call sites that degrade inline rather than unwind). The hit is
+    counted and logged exactly as {!point} does. *)
+
+val with_scope : int -> (unit -> 'a) -> 'a
+(** Run the thunk with the calling domain's fault scope set to the
+    given work-unit index; restores the previous scope afterwards
+    (also on exception). Scopes are domain-local, so concurrent
+    workers carry independent scopes. *)
+
+val scope : unit -> int
+(** The calling domain's current scope (0 = unscoped). *)
+
+(** {1 Audit} *)
+
+val injected_count : unit -> int
+(** Faults fired since {!install}/{!reset}. *)
+
+val log : unit -> (string * int * int) list
+(** Every fired [(point, scope, hit)] since {!install}/{!reset},
+    sorted — a canonical form independent of worker interleaving. *)
+
+val log_to_string : unit -> string
+(** One [point scope hit] line per fired fault, sorted — the byte
+    representation the determinism tests compare. *)

@@ -1,3 +1,5 @@
+module Fault = Xtwig_fault.Fault
+
 type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
 
 type 'a future = {
@@ -65,6 +67,10 @@ let create ?(seed = 0) ~domains () =
   pool.workers <-
     Array.init domains (fun i ->
         Domain.spawn (fun () ->
+            (* backtrace capture is per-domain state, off by default on
+               spawned domains — without this, a panicking job's stored
+               backtrace is empty and the originating frame is lost *)
+            Printexc.record_backtrace true;
             Domain.DLS.set worker_key
               (Some (i, Prng.create (worker_seed seed i)));
             worker_loop pool));
@@ -90,10 +96,22 @@ let fulfill fut st =
   Condition.broadcast fut.fcond;
   Mutex.unlock fut.fmutex
 
-let submit pool f =
+let submit ?scope pool f =
   let fut = { fmutex = Mutex.create (); fcond = Condition.create (); fstate = Pending } in
+  let task () =
+    Fault.point "pool.task";
+    f ()
+  in
+  (* the fault scope wraps the whole task, pool.task point included,
+     so a scenario's verdicts depend on the work-unit index rather
+     than on which worker happened to pick the job up *)
+  let task =
+    match scope with
+    | None -> task
+    | Some s -> fun () -> Fault.with_scope s task
+  in
   let job () =
-    match f () with
+    match task () with
     | v -> fulfill fut (Done v)
     | exception e -> fulfill fut (Failed (e, Printexc.get_raw_backtrace ()))
   in
@@ -121,6 +139,18 @@ let await fut =
   | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
   | Pending -> assert false
 
+let await_result fut =
+  Mutex.lock fut.fmutex;
+  while is_pending fut do
+    Condition.wait fut.fcond fut.fmutex
+  done;
+  let st = fut.fstate in
+  Mutex.unlock fut.fmutex;
+  match st with
+  | Done v -> Ok v
+  | Failed (e, bt) -> Error (e, bt)
+  | Pending -> assert false
+
 let poll fut =
   Mutex.lock fut.fmutex;
   let st = fut.fstate in
@@ -131,7 +161,7 @@ let poll fut =
   | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
 
 let map_array pool ~f xs =
-  let futs = Array.mapi (fun i x -> submit pool (fun () -> f i x)) xs in
+  let futs = Array.mapi (fun i x -> submit ~scope:i pool (fun () -> f i x)) xs in
   Array.map await futs
 
 let map_reduce pool ~map ~merge ~init xs =

@@ -49,12 +49,22 @@ val with_pool : ?seed:int -> domains:int -> (t -> 'a) -> 'a
 
 type 'a future
 
-val submit : t -> (unit -> 'a) -> 'a future
-(** Enqueue one job. *)
+val submit : ?scope:int -> t -> (unit -> 'a) -> 'a future
+(** Enqueue one job. The job runs through the [pool.task] fault point
+    ({!Xtwig_fault.Fault.point}) before the user closure. [scope], when
+    given, wraps the whole job (fault point included) in
+    {!Xtwig_fault.Fault.with_scope} with the work-unit's input index,
+    making injected fault sequences independent of which worker runs
+    the job. *)
 
 val await : 'a future -> 'a
-(** Block until the job finished; re-raises the job's exception (with
-    the worker's backtrace) if it failed. *)
+(** Block until the job finished; re-raises the job's exception with
+    the worker's backtrace if it failed (workers record backtraces, so
+    the originating frame survives the domain hop). *)
+
+val await_result : 'a future -> ('a, exn * Printexc.raw_backtrace) result
+(** As {!await} but returning the failure as a value — for callers
+    that degrade instead of unwinding (the engine's per-query retry). *)
 
 val poll : 'a future -> 'a option
 (** Non-blocking {!await}: [None] while the job is still queued or

@@ -5,6 +5,7 @@ type t =
   | Parse of parse_kind * string
   | Io of string
   | Sketch_format of string
+  | Corrupt of string
   | Engine of string
 
 let kind_name = function Xml -> "xml" | Path -> "path" | Twig -> "twig"
@@ -14,12 +15,13 @@ let to_string = function
   | Parse (k, msg) -> Printf.sprintf "parse error (%s): %s" (kind_name k) msg
   | Io msg -> "io error: " ^ msg
   | Sketch_format msg -> "sketch format error: " ^ msg
+  | Corrupt msg -> "corrupt sketch file: " ^ msg
   | Engine msg -> "engine error: " ^ msg
 
 let exit_code = function
   | Usage _ -> 2
   | Parse _ -> 3
-  | Io _ | Sketch_format _ -> 4
+  | Io _ | Sketch_format _ | Corrupt _ -> 4
   | Engine _ -> 1
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)

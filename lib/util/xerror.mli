@@ -16,6 +16,10 @@ type t =
   | Io of string  (** file-system failures ([Sys_error] payloads) *)
   | Sketch_format of string
       (** malformed, mismatched or unknown-version sketch files *)
+  | Corrupt of string
+      (** a sketch file whose bytes are damaged — truncated (torn
+          write) or checksum-mismatched; {!Xtwig_sketch.Sketch_io}
+          quarantines the file before reporting this *)
   | Engine of string  (** estimation-engine failures (bad session
                           parameters, closed sessions) *)
 

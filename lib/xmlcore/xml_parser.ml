@@ -239,12 +239,22 @@ let parse_file path =
    funnel through these two into Xerror values. *)
 
 let parse_string_res src =
-  match parse_string src with
+  match
+    Xtwig_fault.Fault.point "xml.parse";
+    parse_string src
+  with
   | doc -> Ok doc
   | exception Parse_error msg -> Error (Xtwig_util.Xerror.Parse (Xml, msg))
+  | exception Xtwig_fault.Fault.Injected { point; _ } ->
+      Error (Xtwig_util.Xerror.Io (Printf.sprintf "injected fault at %s" point))
 
 let parse_file_res path =
-  match parse_file path with
+  match
+    Xtwig_fault.Fault.point "xml.parse";
+    parse_file path
+  with
   | doc -> Ok doc
   | exception Parse_error msg -> Error (Xtwig_util.Xerror.Parse (Xml, msg))
   | exception Sys_error msg -> Error (Xtwig_util.Xerror.Io msg)
+  | exception Xtwig_fault.Fault.Injected { point; _ } ->
+      Error (Xtwig_util.Xerror.Io (Printf.sprintf "injected fault at %s" point))

@@ -17,7 +17,8 @@ exception Parse_error of string
 
 val parse_string_res : string -> (Doc.t, Xtwig_util.Xerror.t) result
 (** Errors are [Xerror.Parse (Xml, _)] with message and position. This
-    is the supported entry point. *)
+    is the supported entry point. Runs through the [xml.parse] fault
+    point; an injected fault surfaces as [Xerror.Io]. *)
 
 val parse_file_res : string -> (Doc.t, Xtwig_util.Xerror.t) result
 (** As {!parse_string_res}; file-system failures are [Xerror.Io]. *)

@@ -42,6 +42,7 @@ let to_string doc =
   Buffer.contents buf
 
 let to_file path doc =
+  Xtwig_fault.Fault.point "xml.write";
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)

@@ -10,6 +10,9 @@ val to_buffer : Buffer.t -> Doc.t -> unit
 val to_string : Doc.t -> string
 
 val to_file : string -> Doc.t -> unit
+(** Raises [Sys_error] on I/O failure, and
+    [Xtwig_fault.Fault.Injected] from the [xml.write] fault point when
+    a chaos scenario fires there. *)
 
 val text_size : Doc.t -> int
 (** Number of bytes of {!to_string} without materializing the string

@@ -316,6 +316,9 @@ let embeddings_cached cache ?(max_alternatives = 64) syn twig =
         roots
     | None ->
         Counters.incr c_misses;
+        (* a cache fill is real work that chaos scenarios target; the
+           engine's retry path re-enters here *)
+        Xtwig_fault.Fault.point "embed.fill";
         (* the chains memo is shared mutable state: used only while the
            cache is thawed (single-owner phase); frozen-cache misses on
            worker domains enumerate without it *)

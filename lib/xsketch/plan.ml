@@ -996,6 +996,9 @@ let plans_cached cache ~key sketch roots =
       (match entry with
       | Some _ -> Counters.incr c_invalid
       | None -> Counters.incr c_misses);
+      (* compiling (or repatching) is the expensive fill that chaos
+         scenarios target; the engine retries the whole compile phase *)
+      Xtwig_fault.Fault.point "plan.fill";
       (* the per-query needs memo is keyed by embedding ids (unique
          only within one enumeration), so each call gets a fresh one;
          the per-node edge arrays depend only on the sketch and are

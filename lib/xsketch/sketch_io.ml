@@ -1,10 +1,16 @@
 module G = Xtwig_synopsis.Graph_synopsis
 module Doc = Xtwig_xml.Doc
 module Xerror = Xtwig_util.Xerror
+module Fault = Xtwig_fault.Fault
 
 exception Format_error of string
 
+(* Damaged bytes (torn write, checksum mismatch) as opposed to
+   well-formed-but-wrong content; [read_res] quarantines on this. *)
+exception Corrupt_error of string
+
 let fail fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+let fail_corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt_error s)) fmt
 
 let magic_v1 = "xtwig-sketch v1"
 let magic_v2 = "xtwig-sketch/v2"
@@ -78,17 +84,44 @@ let to_string ?(budget = -1) ?(seed = -1) sketch =
   emit_partition buf syn;
   emit_config buf (Sketch.config sketch);
   Buffer.add_string buf "end\n";
-  Buffer.contents buf
+  (* trailing integrity line: a digest over every preceding byte, so a
+     torn write (truncation anywhere, including exactly after the end
+     marker) is detectable on read *)
+  let body = Buffer.contents buf in
+  body ^ "checksum " ^ Digest.to_hex (Digest.string body) ^ "\n"
 
+(* Atomic publish: write to a sibling temp file, fsync, then rename
+   over the destination — a crash or injected fault at any step leaves
+   the destination either absent or its previous complete version. *)
 let write_res ?budget ?seed sketch path =
+  let tmp = path ^ ".tmp" in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
   match
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (to_string ?budget ?seed sketch))
+    Fault.point "sketch_io.write";
+    let oc = open_out tmp in
+    (match
+       output_string oc (to_string ?budget ?seed sketch);
+       flush oc;
+       Fault.point "sketch_io.fsync";
+       Unix.fsync (Unix.descr_of_out_channel oc)
+     with
+    | () -> close_out oc
+    | exception e ->
+        close_out_noerr oc;
+        raise e);
+    Fault.point "sketch_io.rename";
+    Unix.rename tmp path
   with
   | () -> Ok ()
-  | exception Sys_error msg -> Error (Xerror.Io msg)
+  | exception Sys_error msg ->
+      cleanup ();
+      Error (Xerror.Io msg)
+  | exception Unix.Unix_error (err, fn, _) ->
+      cleanup ();
+      Error (Xerror.Io (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+  | exception Fault.Injected { point; _ } ->
+      cleanup ();
+      Error (Xerror.Io (Printf.sprintf "injected fault at %s" point))
 
 let save sketch path =
   match write_res sketch path with
@@ -223,43 +256,122 @@ let parse_body doc lines =
       Sketch.build syn { Sketch.especs; vbudgets }
   | _ -> fail "truncated sketch file"
 
+(* Split off the trailing "checksum <hex>" line, returning the bytes
+   it covers and the claimed digest. [None] when the last line is not
+   a checksum line (truncated or pre-checksum file). *)
+let split_checksum text =
+  let len = String.length text in
+  (* the writer always terminates the checksum line; a file that does
+     not end in '\n' lost its tail to a torn write *)
+  if len = 0 || text.[len - 1] <> '\n' then None
+  else
+    let body_end = len - 1 in
+    let line_start =
+      match String.rindex_from_opt text (body_end - 1) '\n' with
+      | Some i -> i + 1
+      | None -> 0
+    in
+    let line = String.sub text line_start (body_end - line_start) in
+    if String.length line >= 9 && String.sub line 0 9 = "checksum " then
+      Some
+        ( String.sub text 0 line_start,
+          String.sub line 9 (String.length line - 9) )
+    else None
+
+(* Bytes-level verification of a v2 file: the checksum line is
+   mandatory, and covers everything before it. Returns the covered
+   body on success; raises [Corrupt_error] on a torn or tampered
+   file. Runs before any content parsing so damage is classified as
+   damage, never mistaken for a format quirk. *)
+let verify_v2_checksum text =
+  match split_checksum text with
+  | None -> fail_corrupt "missing checksum line (torn write?)"
+  | Some (body, claimed) ->
+      let actual = Digest.to_hex (Digest.string body) in
+      if not (String.equal actual claimed) then
+        fail_corrupt "checksum mismatch: file says %s, content hashes to %s"
+          claimed actual;
+      body
+
 let of_string_res doc text =
   match
-    let lines = String.split_on_char '\n' text in
-    let lines = List.filter (fun l -> String.trim l <> "") lines in
-    match lines with
-    | [] -> fail "empty sketch file"
-    | m :: rest when m = magic_v2 -> (
-        match rest with
-        | meta_line :: body ->
-            let meta, digest = parse_meta meta_line in
-            ignore meta.version;
-            if digest <> tag_digest doc then
-              fail
-                "document mismatch: tag-table digest %s does not match the \
-                 document's %s"
-                digest (tag_digest doc);
-            (meta, parse_body doc body)
-        | [] -> fail "truncated sketch file (missing meta line)")
-    | m :: rest when m = magic_v1 ->
-        (* the pre-versioning format: no meta line, no digest — the
-           body's full tag list still guards document identity *)
-        ({ version = 1; budget = None; seed = None }, parse_body doc rest)
-    | m :: _ ->
-        fail "unknown sketch format %S (supported: %S, %S)" m magic_v2 magic_v1
+    let first_line =
+      match String.index_opt text '\n' with
+      | Some i -> String.sub text 0 i
+      | None -> text
+    in
+    if text = "" then fail_corrupt "empty sketch file"
+    else if first_line = magic_v2 then begin
+      let body = verify_v2_checksum text in
+      let lines = String.split_on_char '\n' body in
+      let lines = List.filter (fun l -> String.trim l <> "") lines in
+      match lines with
+      | _magic :: meta_line :: rest ->
+          let meta, digest = parse_meta meta_line in
+          ignore meta.version;
+          if digest <> tag_digest doc then
+            fail
+              "document mismatch: tag-table digest %s does not match the \
+               document's %s"
+              digest (tag_digest doc);
+          (meta, parse_body doc rest)
+      | _ -> fail "truncated sketch file (missing meta line)"
+    end
+    else if first_line = magic_v1 then begin
+      (* the pre-versioning format: no meta line, no checksum — the
+         body's full tag list still guards document identity *)
+      let lines = String.split_on_char '\n' text in
+      let lines = List.filter (fun l -> String.trim l <> "") lines in
+      match lines with
+      | _magic :: rest ->
+          ({ version = 1; budget = None; seed = None }, parse_body doc rest)
+      | [] -> fail "empty sketch file"
+    end
+    else if
+      (* a proper prefix of a magic line with nothing after it is a
+         write torn inside the header, not a foreign format *)
+      String.index_opt text '\n' = None
+      && (String.length first_line < String.length magic_v2
+          && String.sub magic_v2 0 (String.length first_line) = first_line
+         || String.length first_line < String.length magic_v1
+            && String.sub magic_v1 0 (String.length first_line) = first_line)
+    then fail_corrupt "truncated sketch file (torn write inside the header)"
+    else
+      fail "unknown sketch format %S (supported: %S, %S)" first_line magic_v2
+        magic_v1
   with
   | res -> Ok res
   | exception Format_error msg -> Error (Xerror.Sketch_format msg)
+  | exception Corrupt_error msg -> Error (Xerror.Corrupt msg)
+
+(* Move a damaged file aside so the next write starts clean and the
+   evidence survives for inspection. Best-effort: quarantining must
+   never turn a readable error into a crash. *)
+let quarantine path =
+  let dst = path ^ ".quarantined" in
+  (try Sys.remove dst with Sys_error _ -> ());
+  try
+    Sys.rename path dst;
+    Some dst
+  with Sys_error _ -> None
 
 let read_res doc path =
   match
+    Fault.point "sketch_io.read";
     let ic = open_in path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> In_channel.input_all ic)
   with
   | exception Sys_error msg -> Error (Xerror.Io msg)
-  | text -> of_string_res doc text
+  | exception Fault.Injected { point; _ } ->
+      Error (Xerror.Io (Printf.sprintf "injected fault at %s" point))
+  | text -> (
+      match of_string_res doc text with
+      | Error (Xerror.Corrupt _) as err ->
+          ignore (quarantine path);
+          err
+      | res -> res)
 
 let of_string doc text =
   match of_string_res doc text with

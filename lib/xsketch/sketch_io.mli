@@ -18,7 +18,24 @@
     Files written by the pre-versioning format ([xtwig-sketch v1]) are
     still read — their body embeds the full tag list, which guards
     document identity the slow way. Any other first line is rejected
-    with a typed error instead of garbage decoding. *)
+    with a typed error instead of garbage decoding.
+
+    {2 Crash safety}
+
+    v2 files end with a [checksum <md5-hex>] line covering every
+    preceding byte; the line is mandatory, so truncation anywhere —
+    including exactly after the [end] marker — reads as
+    [Xerror.Corrupt], never as a silently smaller sketch. {!write_res}
+    publishes atomically (sibling temp file, fsync, rename): a crash
+    or injected fault mid-write leaves the destination either absent
+    or its previous complete version. {!read_res} quarantines a
+    corrupt file (renames it to [<path>.quarantined]) before
+    reporting, so the next write starts clean and the evidence
+    survives.
+
+    Fault points ({!Xtwig_fault.Fault.point}): [sketch_io.write],
+    [sketch_io.fsync], [sketch_io.rename] on the write path (surface
+    as [Xerror.Io], destination untouched) and [sketch_io.read]. *)
 
 exception Format_error of string
 
@@ -32,12 +49,16 @@ val write_res :
   ?budget:int -> ?seed:int -> Sketch.t -> string ->
   (unit, Xtwig_util.Xerror.t) result
 (** [write_res ?budget ?seed sketch path] writes a v2 file recording
-    the build's budget and seed when given. Errors are [Xerror.Io]. *)
+    the build's budget and seed when given. Atomic: temp file + fsync
+    + rename, so [path] never holds a partial file. Errors are
+    [Xerror.Io]. *)
 
 val read_res :
   Xtwig_xml.Doc.t -> string -> (meta * Sketch.t, Xtwig_util.Xerror.t) result
 (** [read_res doc path] rebuilds the sketch against [doc]. Errors are
-    [Xerror.Io] (file system) or [Xerror.Sketch_format] (unknown
+    [Xerror.Io] (file system), [Xerror.Corrupt] (damaged bytes —
+    truncation or checksum mismatch; the file is renamed to
+    [<path>.quarantined] first) or [Xerror.Sketch_format] (unknown
     version, malformed content, document mismatch). *)
 
 val of_string_res :

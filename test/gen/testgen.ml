@@ -1,0 +1,129 @@
+module Doc = Xtwig_xml.Doc
+module Value = Xtwig_xml.Value
+module Sketch = Xtwig_sketch.Sketch
+module Fault = Xtwig_fault.Fault
+open Xtwig_path.Path_types
+
+(* ------------------------------------------------------------------ *)
+(* Documents *)
+
+let label = QCheck2.Gen.oneofl [ "a"; "bb"; "c0"; "movie"; "year" ]
+
+let value =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun i -> Value.Int i) small_int;
+        map
+          (fun s -> Value.Text s)
+          (string_size ~gen:(char_range 'a' 'z') (1 -- 8));
+      ])
+
+let doc =
+  QCheck2.Gen.(
+    sized @@ fun budget ->
+    let budget = 1 + (budget mod 40) in
+    map
+      (fun seeds ->
+        let b = Doc.Builder.create () in
+        let root = Doc.Builder.root b "root" in
+        let nodes = ref [| root |] in
+        List.iter
+          (fun (pi, (t, v)) ->
+            let parent = !nodes.(pi mod Array.length !nodes) in
+            let n = Doc.Builder.child b parent ~value:v t in
+            nodes := Array.append !nodes [| n |])
+          seeds;
+        Doc.Builder.finish b)
+      (list_size (return budget) (pair small_int (pair label value))))
+
+let doc_equal d1 d2 =
+  let rec eq n1 n2 =
+    Doc.tag_name d1 n1 = Doc.tag_name d2 n2
+    && Value.equal (Doc.value d1 n1) (Doc.value d2 n2)
+    && Array.length (Doc.children d1 n1) = Array.length (Doc.children d2 n2)
+    && Array.for_all2 eq (Doc.children d1 n1) (Doc.children d2 n2)
+  in
+  eq (Doc.root d1) (Doc.root d2)
+
+(* ------------------------------------------------------------------ *)
+(* Paths and twigs *)
+
+let step_gen =
+  QCheck2.Gen.(
+    map3
+      (fun axis label vp -> { axis; label; vpred = vp; branches = [] })
+      (oneofl [ Child; Descendant ])
+      label
+      (oneof
+         [
+           return None;
+           map
+             (fun (a, b) ->
+               Some (Range (float_of_int (min a b), float_of_int (max a b))))
+             (pair small_int small_int);
+         ]))
+
+let path =
+  QCheck2.Gen.(
+    map2 (fun first rest -> first :: rest) step_gen
+      (list_size (0 -- 2) step_gen))
+
+let rec twig_sized depth =
+  QCheck2.Gen.(
+    if depth = 0 then map (fun p -> { path = p; subs = [] }) path
+    else
+      map2
+        (fun p subs -> { path = p; subs })
+        path
+        (list_size (0 -- 2) (twig_sized (depth - 1))))
+
+let twig ?(depth = 2) () = twig_sized depth
+
+(* ------------------------------------------------------------------ *)
+(* Sketches *)
+
+let doc_with_sketch =
+  QCheck2.Gen.map (fun d -> (d, Sketch.default_of_doc d)) doc
+
+(* ------------------------------------------------------------------ *)
+(* Fault scenarios *)
+
+let fault_points =
+  [
+    "sketch_io.write";
+    "sketch_io.fsync";
+    "sketch_io.rename";
+    "sketch_io.read";
+    "sketch_io.*";
+    "xml.parse";
+    "xml.write";
+    "pool.task";
+    "embed.fill";
+    "plan.fill";
+    "engine.query";
+  ]
+
+let fault_trigger =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Fault.Always;
+        map (fun p -> Fault.Prob (float_of_int p /. 40.0)) (0 -- 20);
+        map (fun n -> Fault.Nth n) (1 -- 20);
+        map (fun n -> Fault.Every n) (1 -- 20);
+        map
+          (fun hits -> Fault.Script (List.sort_uniq compare hits))
+          (list_size (1 -- 4) (1 -- 20));
+      ])
+
+let fault_spec ?(points = fault_points) () =
+  QCheck2.Gen.(
+    map2
+      (fun seed rules -> { Fault.seed; rules })
+      (0 -- 1000)
+      (list_size (0 -- 4)
+         (map2
+            (fun pattern trigger -> { Fault.pattern; trigger })
+            (oneofl points) fault_trigger)))

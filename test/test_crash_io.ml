@@ -1,0 +1,231 @@
+(* Crash safety of the sketch persistence layer.
+
+   The claims under test:
+   - a v2 sketch file truncated at ANY byte boundary (a torn write)
+     reads as a typed error — Xerror.Corrupt for any prefix of our own
+     file — and the damaged file is quarantined; never a crash, never
+     a silently smaller sketch;
+   - only the complete file round-trips;
+   - Sketch_io.write is atomic: an injected fault at any write-path
+     point (open/write, fsync, rename) leaves the destination either
+     absent or its previous complete version, and no temp droppings
+     that a later write would trip over;
+   - checksum tampering is caught. *)
+
+module Sketch = Xtwig_sketch.Sketch
+module Sketch_io = Xtwig_sketch.Sketch_io
+module Xerror = Xtwig_util.Xerror
+module Fault = Xtwig_fault.Fault
+module Testgen = Xtwig_testgen.Testgen
+
+let get = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Xerror.to_string e)
+
+let spec s =
+  match Fault.parse_spec s with
+  | Ok v -> v
+  | Error e -> Alcotest.fail ("bad spec: " ^ e)
+
+let tmpdir = Filename.get_temp_dir_name ()
+
+let fresh_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat tmpdir (Printf.sprintf "xtwig_crash_%d_%d.sketch" (Unix.getpid ()) !n)
+
+let write_raw path text =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+let cleanup path =
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ path; path ^ ".quarantined"; path ^ ".tmp" ]
+
+(* a small document and its sketch, shared by the deterministic tests *)
+let doc =
+  get
+    (Xtwig_xml.Xml_parser.parse_string_res
+       "<lib><a><b>1</b><c>x</c></a><a><b>2</b></a><d/></lib>")
+
+let sketch = Sketch.default_of_doc doc
+
+(* ------------------------------------------------------------------ *)
+(* Torn reads *)
+
+let read_prefix text len =
+  let path = fresh_path () in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  write_raw path (String.sub text 0 len);
+  let res = Sketch_io.read_res doc path in
+  let quarantined = Sys.file_exists (path ^ ".quarantined") in
+  let original_left = Sys.file_exists path in
+  (res, quarantined, original_left)
+
+let test_torn_write_every_boundary () =
+  let text = Sketch_io.to_string sketch in
+  let n = String.length text in
+  for len = 0 to n - 1 do
+    match read_prefix text len with
+    | Ok _, _, _ ->
+        Alcotest.fail (Printf.sprintf "prefix of %d/%d bytes read as Ok" len n)
+    | Error (Xerror.Corrupt _), quarantined, original_left ->
+        if not quarantined then
+          Alcotest.fail (Printf.sprintf "prefix %d/%d: no quarantine file" len n);
+        if original_left then
+          Alcotest.fail
+            (Printf.sprintf "prefix %d/%d: damaged file left in place" len n)
+    | Error e, _, _ ->
+        Alcotest.fail
+          (Printf.sprintf "prefix %d/%d: expected Corrupt, got %s" len n
+             (Xerror.to_string e))
+  done;
+  (* and the complete file round-trips *)
+  match read_prefix text n with
+  | Ok (_, sk2), quarantined, _ ->
+      Alcotest.(check bool) "no quarantine on a healthy file" false quarantined;
+      Alcotest.(check string) "identical re-serialization" text
+        (Sketch_io.to_string sk2)
+  | Error e, _, _ -> Alcotest.fail (Xerror.to_string e)
+
+let test_checksum_tamper () =
+  let text = Sketch_io.to_string sketch in
+  (* flip one digit inside the partition body; the checksum no longer
+     matches, so the damage is classified Corrupt before any parsing *)
+  let find_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i =
+      if i + m > n then Alcotest.fail ("no " ^ sub ^ " in sketch text")
+      else if String.sub s i m = sub then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let i = find_sub text "partition" in
+  let tampered = Bytes.of_string text in
+  Bytes.set tampered (i + 10)
+    (if Bytes.get tampered (i + 10) = '0' then '1' else '0');
+  let path = fresh_path () in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  write_raw path (Bytes.to_string tampered);
+  match Sketch_io.read_res doc path with
+  | Error (Xerror.Corrupt _) ->
+      Alcotest.(check bool) "quarantined" true (Sys.file_exists (path ^ ".quarantined"))
+  | Ok _ -> Alcotest.fail "tampered file read as Ok"
+  | Error e -> Alcotest.fail ("expected Corrupt, got " ^ Xerror.to_string e)
+
+let test_garbage_still_format_error () =
+  (* a file that is not a torn xtwig sketch is a foreign/malformed
+     format, not corruption — and is left alone *)
+  let path = fresh_path () in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  write_raw path "totally not a sketch\n";
+  match Sketch_io.read_res doc path with
+  | Error (Xerror.Sketch_format _) ->
+      Alcotest.(check bool) "not quarantined" false
+        (Sys.file_exists (path ^ ".quarantined"));
+      Alcotest.(check bool) "left in place" true (Sys.file_exists path)
+  | Ok _ -> Alcotest.fail "garbage read as Ok"
+  | Error e -> Alcotest.fail ("expected Sketch_format, got " ^ Xerror.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Atomic writes under injected faults *)
+
+let test_write_faults_leave_destination_intact () =
+  Fun.protect ~finally:Fault.disable @@ fun () ->
+  let path = fresh_path () in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  (* publish a good version first *)
+  get (Sketch_io.write_res sketch path);
+  let good = Sketch_io.to_string sketch in
+  List.iter
+    (fun point ->
+      Fault.install (spec (Printf.sprintf "%s:always" point));
+      (match Sketch_io.write_res sketch path with
+      | Error (Xerror.Io msg) ->
+          Alcotest.(check bool)
+            (point ^ " surfaces as Io") true
+            (String.length msg > 0)
+      | Ok () -> Alcotest.fail (point ^ ": write claimed success")
+      | Error e -> Alcotest.fail (point ^ ": " ^ Xerror.to_string e));
+      Fault.disable ();
+      (* the previous complete version survives, bit for bit *)
+      let _, sk2 = get (Sketch_io.read_res doc path) in
+      Alcotest.(check string)
+        (point ^ ": destination still the previous version") good
+        (Sketch_io.to_string sk2);
+      Alcotest.(check bool)
+        (point ^ ": no temp droppings") false
+        (Sys.file_exists (path ^ ".tmp")))
+    [ "sketch_io.write"; "sketch_io.fsync"; "sketch_io.rename" ]
+
+let test_read_fault_is_io () =
+  Fun.protect ~finally:Fault.disable @@ fun () ->
+  let path = fresh_path () in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  get (Sketch_io.write_res sketch path);
+  Fault.install (spec "sketch_io.read:always");
+  (match Sketch_io.read_res doc path with
+  | Error (Xerror.Io _) -> ()
+  | Ok _ -> Alcotest.fail "read claimed success under injection"
+  | Error e -> Alcotest.fail ("expected Io, got " ^ Xerror.to_string e));
+  Fault.disable ();
+  (* the fault did not quarantine a healthy file *)
+  Alcotest.(check bool) "healthy file untouched" true (Sys.file_exists path);
+  ignore (get (Sketch_io.read_res doc path))
+
+(* ------------------------------------------------------------------ *)
+(* Property: random sketches, random truncation points *)
+
+let prop_random_truncation =
+  QCheck2.Test.make ~name:"random sketch, random truncation -> Corrupt + quarantine"
+    ~count:60
+    (QCheck2.Gen.pair Testgen.doc_with_sketch (QCheck2.Gen.float_bound_inclusive 1.0))
+    (fun ((d, sk), frac) ->
+      let text = Sketch_io.to_string sk in
+      let n = String.length text in
+      let len = min (n - 1) (int_of_float (frac *. float_of_int n)) in
+      let path = fresh_path () in
+      Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+      write_raw path (String.sub text 0 len);
+      match Sketch_io.read_res d path with
+      | Ok _ -> false
+      | Error (Xerror.Corrupt _) -> Sys.file_exists (path ^ ".quarantined")
+      | Error _ -> false)
+
+let prop_write_read_roundtrip =
+  QCheck2.Test.make ~name:"atomic write/read roundtrip" ~count:60
+    Testgen.doc_with_sketch (fun (d, sk) ->
+      let path = fresh_path () in
+      Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+      match Sketch_io.write_res sk path with
+      | Error _ -> false
+      | Ok () -> (
+          match Sketch_io.read_res d path with
+          | Ok (_, sk2) -> Sketch_io.to_string sk = Sketch_io.to_string sk2
+          | Error _ -> false))
+
+let () =
+  Alcotest.run "crash_io"
+    [
+      ( "torn reads",
+        [
+          Alcotest.test_case "every byte boundary" `Quick
+            test_torn_write_every_boundary;
+          Alcotest.test_case "checksum tamper" `Quick test_checksum_tamper;
+          Alcotest.test_case "garbage stays Sketch_format" `Quick
+            test_garbage_still_format_error;
+        ] );
+      ( "atomic writes",
+        [
+          Alcotest.test_case "write faults leave destination intact" `Quick
+            test_write_faults_leave_destination_intact;
+          Alcotest.test_case "read fault is Io, not quarantine" `Quick
+            test_read_fault_is_io;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_truncation; prop_write_read_roundtrip ] );
+    ]

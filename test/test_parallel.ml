@@ -51,6 +51,24 @@ let test_pool_panic_propagation () =
       let g = Pool.submit p (fun () -> "alive") in
       Alcotest.(check string) "pool survives a panic" "alive" (Pool.await g))
 
+(* a deep enough call chain that the captured backtrace must contain
+   at least one frame — [@inline never] keeps it in the trace *)
+let[@inline never] rec deep n = if n = 0 then raise (Boom 42) else 1 + deep (n - 1)
+
+let test_pool_panic_backtrace () =
+  Pool.with_pool ~domains:1 (fun p ->
+      let f = Pool.submit p (fun () -> deep 10) in
+      match Pool.await_result f with
+      | Ok _ -> Alcotest.fail "expected Boom"
+      | Error (Boom 42, bt) ->
+          (* regression: workers used to leave backtrace recording off,
+             so the stored trace was always empty and the originating
+             frame was lost on the domain hop *)
+          Alcotest.(check bool)
+            "panic carries a non-empty worker backtrace" true
+            (Printexc.raw_backtrace_length bt > 0)
+      | Error (e, _) -> raise e)
+
 let test_pool_shutdown () =
   let p = Pool.create ~domains:2 () in
   let f = Pool.submit p (fun () -> 1) in
@@ -340,6 +358,8 @@ let () =
             test_pool_map_array_order;
           Alcotest.test_case "panic propagation" `Quick
             test_pool_panic_propagation;
+          Alcotest.test_case "panic keeps worker backtrace" `Quick
+            test_pool_panic_backtrace;
           Alcotest.test_case "shutdown discipline" `Quick test_pool_shutdown;
           Alcotest.test_case "worker-local prng" `Quick test_pool_worker_prng;
         ] );

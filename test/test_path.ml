@@ -142,36 +142,10 @@ let test_twig_roundtrip () =
       "for t0 in //a, t1 in t0//b/c";
     ]
 
-(* qcheck: generated twigs round-trip *)
-let gen_label = QCheck2.Gen.oneofl [ "a"; "bb"; "c0"; "movie"; "year" ]
-
-let gen_step =
-  QCheck2.Gen.(
-    map3
-      (fun axis label vp -> { axis; label; vpred = vp; branches = [] })
-      (oneofl [ Child; Descendant ])
-      gen_label
-      (oneof
-         [
-           return None;
-           map
-             (fun (a, b) ->
-               Some (Range (float_of_int (min a b), float_of_int (max a b))))
-             (pair small_int small_int);
-         ]))
-
-let gen_path =
-  QCheck2.Gen.(
-    map2 (fun first rest -> first :: rest) gen_step (list_size (0 -- 2) gen_step))
-
-let rec gen_twig depth =
-  QCheck2.Gen.(
-    if depth = 0 then map (fun p -> { path = p; subs = [] }) gen_path
-    else
-      map2
-        (fun p subs -> { path = p; subs })
-        gen_path
-        (list_size (0 -- 2) (gen_twig (depth - 1))))
+(* qcheck: generated twigs round-trip. Generators live in the shared
+   toolkit (test/gen). *)
+let gen_path = Xtwig_testgen.Testgen.path
+let gen_twig depth = Xtwig_testgen.Testgen.twig ~depth ()
 
 let prop_twig_roundtrip =
   QCheck2.Test.make ~name:"twig print/parse roundtrip" ~count:200 (gen_twig 2)

@@ -15,6 +15,7 @@ module Edge_hist = Xtwig_hist.Edge_hist
 module Wgen = Xtwig_workload.Wgen
 module Prng = Xtwig_util.Prng
 module Counters = Xtwig_util.Counters
+module Fault = Xtwig_fault.Fault
 
 let docs =
   lazy
@@ -216,6 +217,64 @@ let test_plan_cache_invalidation () =
     "structural change recompiles" true
     (Counters.get "plan.compiles" > 0)
 
+(* 4. Differential under injected faults: when plan/embedding cache
+   fills fail intermittently and the caller retries, every eventually
+   successful estimate — including those served by plans repatched
+   after a histogram refinement — is still bit-equal to the reference
+   evaluator, and the cache never serves a value computed from a
+   half-filled entry. *)
+let test_plan_fill_faults_retry_differential () =
+  Fun.protect ~finally:Fault.disable @@ fun () ->
+  let _, doc = List.hd (Lazy.force docs) in
+  let sk = Sketch.default_of_doc doc in
+  let queries = queries_of doc in
+  let expected = List.map (Est.estimate_reference sk) queries in
+  let cache = Embed.create_cache (Sketch.synopsis sk) in
+  let plans = Plan.create_cache (Sketch.synopsis sk) in
+  let rec with_retry k f =
+    match f () with
+    | v -> v
+    | exception Fault.Injected _ when k > 0 -> with_retry (k - 1) f
+  in
+  (match Fault.parse_spec "seed=11;plan.fill:p0.5;embed.fill:p0.3" with
+  | Error e -> Alcotest.fail ("bad spec: " ^ e)
+  | Ok sp -> Fault.install sp);
+  List.iteri
+    (fun i q ->
+      let got = with_retry 100 (fun () -> Est.estimate ~cache ~plans sk q) in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "retried fill: q%d" i)
+        (List.nth expected i) got)
+    queries;
+  Alcotest.(check bool) "the scenario actually fired" true
+    (Fault.injected_count () > 0);
+  (* warm entries survived the storm: with injection off, the cache
+     serves every query, still bit-equal *)
+  Fault.disable ();
+  List.iteri
+    (fun i q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "post-storm cache: q%d" i)
+        (List.nth expected i)
+        (Est.estimate ~cache ~plans sk q))
+    queries;
+  (* a histogram refinement now forces the repatch path; faulting its
+     fills and retrying must converge to the refined reference *)
+  let refined_sk = hist_only_op sk queries in
+  (match Fault.parse_spec "seed=12;plan.fill:p0.5" with
+  | Error e -> Alcotest.fail ("bad spec: " ^ e)
+  | Ok sp -> Fault.install sp);
+  List.iteri
+    (fun i q ->
+      let got =
+        with_retry 100 (fun () -> Est.estimate ~cache ~plans refined_sk q)
+      in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "repatch under faults: q%d" i)
+        (Est.estimate_reference refined_sk q)
+        got)
+    queries
+
 let () =
   Alcotest.run "plan"
     [
@@ -228,5 +287,7 @@ let () =
             test_plan_cache_hits;
           Alcotest.test_case "invalidation: repatch + recompile correct" `Quick
             test_plan_cache_invalidation;
+          Alcotest.test_case "fill faults + retry: differential vs reference"
+            `Quick test_plan_fill_faults_retry_differential;
         ] );
     ]

@@ -159,33 +159,10 @@ let test_text_size () =
     (String.length (Writer.to_string d))
     (Writer.text_size d)
 
-(* qcheck: random documents round-trip through write + parse *)
-let gen_doc =
-  QCheck2.Gen.(
-    let tag = oneofl [ "a"; "b"; "c"; "node"; "x1" ] in
-    let value =
-      oneof
-        [
-          return Value.Null;
-          map (fun i -> Value.Int i) small_int;
-          map (fun s -> Value.Text s) (string_size ~gen:(char_range 'a' 'z') (1 -- 8));
-        ]
-    in
-    sized @@ fun budget ->
-    let budget = 1 + (budget mod 40) in
-    map
-      (fun seeds ->
-        let b = Doc.Builder.create () in
-        let root = Doc.Builder.root b "root" in
-        let nodes = ref [| root |] in
-        List.iter
-          (fun (pi, (t, v)) ->
-            let parent = !nodes.(pi mod Array.length !nodes) in
-            let n = Doc.Builder.child b parent ~value:v t in
-            nodes := Array.append !nodes [| n |])
-          seeds;
-        Doc.Builder.finish b)
-      (list_size (return budget) (pair small_int (pair tag value))))
+(* qcheck: random documents round-trip through write + parse. The
+   generator lives in the shared toolkit (test/gen) so every suite
+   draws documents from the same distribution. *)
+let gen_doc = Xtwig_testgen.Testgen.doc
 
 let prop_roundtrip =
   QCheck2.Test.make ~name:"write/parse roundtrip" ~count:100 gen_doc (fun d ->
