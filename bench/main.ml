@@ -381,6 +381,22 @@ let xbuild_bench () =
   print_row "%-28s %12.2f" "steps/s" steps_per_s;
   print_row "%-28s %12d" "final size (bytes)" (Sketch.size_bytes final);
   List.iter (fun (n, v) -> print_row "%-40s %12d" n v) counters;
+  (* perf gate: with the repatch-first cache, compilation must cost
+     less total time than plan execution, and repatches must dominate
+     compiles — a regression on either means candidate scoring went
+     back to recompiling from scratch *)
+  let cval n = Option.value ~default:0 (List.assoc_opt n counters) in
+  let gate_time = cval "plan.compile_ns" < cval "plan.run_ns" in
+  let gate_reuse = cval "plan.repatches" >= cval "plan.compiles" in
+  print_row "%-40s %12s" "gate: plan.compile_ns < plan.run_ns"
+    (if gate_time then "PASS" else "FAIL");
+  print_row "%-40s %12s" "gate: plan.repatches >= plan.compiles"
+    (if gate_reuse then "PASS" else "FAIL");
+  if not (gate_time && gate_reuse) then
+    log "ERROR: plan-cache perf gate failed (compile_ns=%d run_ns=%d \
+         compiles=%d repatches=%d)"
+      (cval "plan.compile_ns") (cval "plan.run_ns") (cval "plan.compiles")
+      (cval "plan.repatches");
   (* accuracy telemetry on a held-out workload: absolute and relative
      error stream into the Accuracy histograms, reported as p50/p90/p99
      (the build's own scoring error above is a mean over 14 queries;
@@ -416,6 +432,8 @@ let xbuild_bench () =
   Printf.fprintf oc "  \"rel_error_p50\": %.6f,\n" (p 50.0);
   Printf.fprintf oc "  \"rel_error_p90\": %.6f,\n" (p 90.0);
   Printf.fprintf oc "  \"rel_error_p99\": %.6f,\n" (p 99.0);
+  Printf.fprintf oc "  \"gate_compile_lt_run\": %b,\n" gate_time;
+  Printf.fprintf oc "  \"gate_repatches_ge_compiles\": %b,\n" gate_reuse;
   Printf.fprintf oc "  \"counters\": {\n";
   List.iteri
     (fun i (n, v) ->
@@ -662,6 +680,121 @@ let fault_audit () =
   if uncaught then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Plan-cache scaling benchmark: run the full XBUILD construction once
+   per worker-domain count and record, for each jobs value, the wall
+   time plus the plan cache's compile / repatch / run breakdown, so the
+   efficiency curve and the repatch-vs-compile balance are tracked
+   across PRs in BENCH_scaling.json. Every run goes through a pool
+   (jobs = 1 exercises the inline bypass) and must produce a synopsis
+   byte-identical to the jobs = 1 baseline.                            *)
+
+let scaling_jobs =
+  match Sys.getenv_opt "XTWIG_SCALING_JOBS" with
+  | Some s ->
+      let js =
+        List.filter_map
+          (fun p ->
+            match int_of_string_opt (String.trim p) with
+            | Some j when j >= 1 -> Some j
+            | _ -> None)
+          (String.split_on_char ',' s)
+      in
+      if js = [] then [ 1; 2; 4; 8 ] else js
+  | None -> [ 1; 2; 4; 8 ]
+
+(* the counter subset that matters for the scaling story, in report
+   order; anything absent in a run's delta reads as 0 *)
+let scaling_keys =
+  [
+    "plan.compiles";
+    "plan.repatches";
+    "plan.cache_hits";
+    "plan.cache_misses";
+    "plan.fallback_reuses";
+    "plan.invalidation{cause=payload}";
+    "plan.invalidation{cause=structure}";
+    "plan.invalidation{cause=evict}";
+    "plan.compile_ns";
+    "plan.repatch_ns";
+    "plan.run_ns";
+  ]
+
+let scaling_bench () =
+  print_header "Plan-cache scaling benchmark (IMDB XBUILD, jobs sweep)";
+  let doc = Lazy.force (dataset "imdb").doc in
+  let cores = Domain.recommended_domain_count () in
+  log "available cores: %d, sweeping jobs = %s" cores
+    (String.concat ", " (List.map string_of_int scaling_jobs));
+  if cores < 2 then
+    log
+      "NOTE: this machine exposes a single core; jobs > 1 measures \
+       scheduling overhead, not speedup (see EXPERIMENTS.md).";
+  let run_one jobs =
+    let m0 = Metrics.snapshot () in
+    let t0 = now () in
+    let sk = Pool.with_pool ~domains:jobs (fun p -> par_build ~pool:p doc) in
+    let wall = now () -. t0 in
+    let counters = counters_of (Metrics.diff m0 (Metrics.snapshot ())) in
+    let cval n = Option.value ~default:0 (List.assoc_opt n counters) in
+    (wall, Sketch_io.to_string sk, List.map (fun k -> (k, cval k)) scaling_keys)
+  in
+  let runs = List.map (fun jobs -> (jobs, run_one jobs)) scaling_jobs in
+  let base_wall, base_bytes =
+    match runs with
+    | (_, (w, b, _)) :: _ -> (w, b)
+    | [] -> (Float.nan, "")
+  in
+  print_row "%4s %9s %8s %11s %11s %11s %9s %9s" "jobs" "wall(s)" "speedup"
+    "compile(ms)" "repatch(ms)" "run(ms)" "compiles" "repatches";
+  let all_identical = ref true in
+  List.iter
+    (fun (jobs, (wall, bytes, cs)) ->
+      let cval k = List.assoc k cs in
+      let ms k = float_of_int (cval k) /. 1e6 in
+      if not (String.equal bytes base_bytes) then all_identical := false;
+      print_row "%4d %9.3f %8.2f %11.1f %11.1f %11.1f %9d %9d" jobs wall
+        (base_wall /. Stdlib.max 1e-9 wall)
+        (ms "plan.compile_ns") (ms "plan.repatch_ns") (ms "plan.run_ns")
+        (cval "plan.compiles") (cval "plan.repatches"))
+    runs;
+  print_row "%-28s %12b" "synopses byte-identical" !all_identical;
+  if not !all_identical then
+    log "ERROR: synopsis differs across jobs values!";
+  let oc = open_out "BENCH_scaling.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"scaling\",\n";
+  fprint_provenance oc;
+  Printf.fprintf oc "  \"dataset\": \"IMDB\",\n";
+  Printf.fprintf oc "  \"scale\": %g,\n" scale;
+  Printf.fprintf oc "  \"seed\": 7,\n";
+  Printf.fprintf oc "  \"candidates\": 8,\n";
+  Printf.fprintf oc "  \"max_steps\": 300,\n";
+  Printf.fprintf oc "  \"cores\": %d,\n" cores;
+  Printf.fprintf oc "  \"synopses_identical\": %b,\n" !all_identical;
+  Printf.fprintf oc "  \"runs\": [\n";
+  List.iteri
+    (fun i (jobs, (wall, _, cs)) ->
+      let speedup = base_wall /. Stdlib.max 1e-9 wall in
+      Printf.fprintf oc "    {\n";
+      Printf.fprintf oc "      \"jobs\": %d,\n" jobs;
+      Printf.fprintf oc "      \"wall_s\": %.3f,\n" wall;
+      Printf.fprintf oc "      \"speedup\": %.3f,\n" speedup;
+      Printf.fprintf oc "      \"efficiency\": %.3f,\n"
+        (speedup /. float_of_int jobs);
+      Printf.fprintf oc "      \"counters\": {\n";
+      List.iteri
+        (fun j (k, v) ->
+          Printf.fprintf oc "        \"%s\": %d%s\n" k v
+            (if j = List.length cs - 1 then "" else ","))
+        cs;
+      Printf.fprintf oc "      }\n";
+      Printf.fprintf oc "    }%s\n" (if i = List.length runs - 1 then "" else ","))
+    runs;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  log "wrote BENCH_scaling.json"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 
 let micro () =
@@ -788,12 +921,13 @@ let () =
       estimate_batch_bench ();
       write_parallel_json ()
   | "fault-audit" -> fault_audit ()
+  | "scaling" -> scaling_bench ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
         "unknown benchmark %S (expected \
          table1|table2|fig9a|fig9b|fig9c|singlepath|ablation|micro|xbuild|\
-         xbuild-par|estimate-batch|parallel|fault-audit|all)\n"
+         xbuild-par|estimate-batch|parallel|fault-audit|scaling|all)\n"
         other;
       exit 1);
   (match trace_file with

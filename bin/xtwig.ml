@@ -443,6 +443,16 @@ let bench_batch_cmd =
          n_answers wall
          (float_of_int n_answers /. Float.max 1e-9 wall)
          st.Engine.timeouts;
+       (* plan-cache economy of the batch: structure-phase compiles
+          should be rare next to payload repatches and skeleton
+          adoptions (see DESIGN.md §12) *)
+       let cv key = Xtwig_util.Counters.(value (counter key)) in
+       Format.printf
+         "plans:  %d compiled, %d repatched, %d adopted (compile %.1fms, run %.1fms)@."
+         (cv "plan.compiles") (cv "plan.repatches")
+         (cv "plan.skeleton_adoptions")
+         (float_of_int (cv "plan.compile_ns") /. 1e6)
+         (float_of_int (cv "plan.run_ns") /. 1e6);
        Ok ())
   in
   Cmd.v

@@ -162,17 +162,27 @@ let create ?(seed = 42) ?(jobs = 1) ?candidates ?max_steps ?(timeout_s = 5.0)
       Wgen.generate ~focus { Wgen.paper_p with n_queries = 10 } prng doc
     in
     let t0 = now () in
+    let built_plans = ref None in
     let sk =
-      Xbuild.build ?pool ~seed ?candidates ?max_steps ~budget ~workload ~truth
-        doc
+      Xbuild.build ?pool ~seed ?candidates ?max_steps
+        ~plan_cache_out:built_plans ~budget ~workload ~truth doc
     in
     let build_s = now () -. t0 in
+    (* seed the session's plan cache with the build's: adopt it when
+       the final step kept the synopsis, otherwise chain it as the
+       fallback so the first batch repatches instead of compiling *)
+    let pcache =
+      match !built_plans with
+      | Some pc when Plan.cache_synopsis pc == Sketch.synopsis sk -> pc
+      | Some pc -> Plan.create_cache ~fallback:pc (Sketch.synopsis sk)
+      | None -> Plan.create_cache (Sketch.synopsis sk)
+    in
     Ok
       {
         sk;
         coarse = Sketch.default_of_doc doc;
         cache = Embed.create_cache (Sketch.synopsis sk);
-        pcache = Plan.create_cache (Sketch.synopsis sk);
+        pcache;
         pool;
         n_jobs = jobs;
         default_timeout = timeout_s;

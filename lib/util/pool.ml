@@ -15,6 +15,10 @@ type t = {
   mutable stopping : bool;
   mutable workers : unit Domain.t array;
   pool_seed : int;
+  (* 1-domain pools run jobs inline on the submitting domain under
+     this persistent worker-0 identity: no spawned domain, no future
+     hand-off, no condvar. [None] for multi-domain pools. *)
+  inline : (int * Prng.t) option;
 }
 
 (* Worker-local identity: (worker index, PRNG stream). Set once when
@@ -62,21 +66,29 @@ let create ?(seed = 0) ~domains () =
       stopping = false;
       workers = [||];
       pool_seed = seed;
+      inline =
+        (if domains = 1 then Some (0, Prng.create (worker_seed seed 0))
+         else None);
     }
   in
-  pool.workers <-
-    Array.init domains (fun i ->
-        Domain.spawn (fun () ->
-            (* backtrace capture is per-domain state, off by default on
-               spawned domains — without this, a panicking job's stored
-               backtrace is empty and the originating frame is lost *)
-            Printexc.record_backtrace true;
-            Domain.DLS.set worker_key
-              (Some (i, Prng.create (worker_seed seed i)));
-            worker_loop pool));
+  (* inline jobs fail on the submitting domain, so its backtrace
+     capture plays the role the spawned workers' does *)
+  if domains = 1 then Printexc.record_backtrace true;
+  if domains > 1 then
+    pool.workers <-
+      Array.init domains (fun i ->
+          Domain.spawn (fun () ->
+              (* backtrace capture is per-domain state, off by default on
+                 spawned domains — without this, a panicking job's stored
+                 backtrace is empty and the originating frame is lost *)
+              Printexc.record_backtrace true;
+              Domain.DLS.set worker_key
+                (Some (i, Prng.create (worker_seed seed i)));
+              worker_loop pool));
   pool
 
-let size pool = Array.length pool.workers
+let size pool =
+  match pool.inline with Some _ -> 1 | None -> Array.length pool.workers
 
 let shutdown pool =
   Mutex.lock pool.mutex;
@@ -97,7 +109,6 @@ let fulfill fut st =
   Mutex.unlock fut.fmutex
 
 let submit ?scope pool f =
-  let fut = { fmutex = Mutex.create (); fcond = Condition.create (); fstate = Pending } in
   let task () =
     Fault.point "pool.task";
     f ()
@@ -110,20 +121,41 @@ let submit ?scope pool f =
     | None -> task
     | Some s -> fun () -> Fault.with_scope s task
   in
-  let job () =
-    match task () with
-    | v -> fulfill fut (Done v)
-    | exception e -> fulfill fut (Failed (e, Printexc.get_raw_backtrace ()))
-  in
-  Mutex.lock pool.mutex;
-  if pool.stopping then begin
-    Mutex.unlock pool.mutex;
-    invalid_arg "Pool.submit: pool is shut down"
-  end;
-  Queue.add job pool.queue;
-  Condition.signal pool.wakeup;
-  Mutex.unlock pool.mutex;
-  fut
+  match pool.inline with
+  | Some id ->
+      (* run on the submitting domain under the pool's persistent
+         worker-0 identity. Jobs run in submission order, which is
+         exactly the order a single spawned worker would drain the
+         queue in — the PRNG stream and scoped fault verdicts are the
+         ones a 1-domain pool produced before the bypass existed. *)
+      if pool.stopping then invalid_arg "Pool.submit: pool is shut down";
+      let saved = Domain.DLS.get worker_key in
+      Domain.DLS.set worker_key (Some id);
+      let st =
+        match task () with
+        | v -> Done v
+        | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+      in
+      Domain.DLS.set worker_key saved;
+      { fmutex = Mutex.create (); fcond = Condition.create (); fstate = st }
+  | None ->
+      let fut =
+        { fmutex = Mutex.create (); fcond = Condition.create (); fstate = Pending }
+      in
+      let job () =
+        match task () with
+        | v -> fulfill fut (Done v)
+        | exception e -> fulfill fut (Failed (e, Printexc.get_raw_backtrace ()))
+      in
+      Mutex.lock pool.mutex;
+      if pool.stopping then begin
+        Mutex.unlock pool.mutex;
+        invalid_arg "Pool.submit: pool is shut down"
+      end;
+      Queue.add job pool.queue;
+      Condition.signal pool.wakeup;
+      Mutex.unlock pool.mutex;
+      fut
 
 let is_pending fut = match fut.fstate with Pending -> true | _ -> false
 

@@ -31,7 +31,13 @@ type t
 val create : ?seed:int -> domains:int -> unit -> t
 (** [create ~domains ()] spawns [domains] workers ([Invalid_argument]
     when [domains < 1]). [seed] (default 0) salts the per-worker PRNG
-    streams — see {!prng}. *)
+    streams — see {!prng}.
+
+    A 1-domain pool spawns no worker at all: jobs run inline on the
+    submitting domain (under the persistent worker-0 identity, PRNG
+    stream and fault scoping included), skipping the future hand-off
+    and condvar churn — observationally identical to a single spawned
+    worker, which also drains jobs in submission order. *)
 
 val size : t -> int
 (** Number of worker domains. *)
@@ -55,7 +61,8 @@ val submit : ?scope:int -> t -> (unit -> 'a) -> 'a future
     given, wraps the whole job (fault point included) in
     {!Xtwig_fault.Fault.with_scope} with the work-unit's input index,
     making injected fault sequences independent of which worker runs
-    the job. *)
+    the job. On a 1-domain pool the job runs to completion inside
+    [submit] itself and the returned future is already resolved. *)
 
 val await : 'a future -> 'a
 (** Block until the job finished; re-raises the job's exception with

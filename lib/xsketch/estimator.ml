@@ -313,7 +313,11 @@ let estimate ?max_alternatives ?cache ?plans sketch twig =
   let embs = embeddings_of ?max_alternatives ?cache syn twig in
   match plans with
   | Some pc when Plan.cache_synopsis pc == syn ->
+      (* the reference evaluator backs tiered execution: a cold
+         structure's first sighting is interpreted instead of paying
+         for a throwaway compile; bit-identical either way *)
       Plan.estimate_cached pc
+        ~interp:(fun e -> estimate_embedding sketch e)
         ~key:(Embed.cache_key ?max_alternatives twig)
         sketch embs
   | _ -> Plan.estimate_once sketch embs

@@ -1,37 +1,75 @@
-(** Compiled estimation plans (see DESIGN.md, "Compiled estimation
-    plans").
+(** Compiled estimation plans (see DESIGN.md §12, "Plan compilation &
+    caching").
 
-    A plan is the one-shot compilation of a factored embedding against
-    one sketch: the TREEPARSE-style analysis of the reference
-    evaluator — which histograms to enumerate, which kid alternatives
-    are bucket-dependent, which environment entries exist at each
-    program point — is resolved at compile time into flat int/float
-    arrays, and {!run} interprets them with a preallocated scratch
-    environment indexed by dense edge slots. Histogram buckets are
-    read from hash-consed flat tables ({!Xtwig_hist.Edge_hist.table}).
+    A plan is the compilation of a factored embedding against one
+    sketch, factored into two phases:
+
+    - a {e structure} phase — the TREEPARSE-style analysis of the
+      reference evaluator (which histograms to enumerate, which kid
+      alternatives are bucket-dependent, which environment entries
+      exist at each program point, the scratch-cell layout), a pure
+      function of the twig shape and the synopsis partition structure,
+      summarized by a renaming-invariant {!signature};
+    - a {e payload} phase — the interned bucket tables and float
+      constants read from one concrete sketch, rebuilt in isolation by
+      the repatch path when only payloads changed.
+
+    {!run} interprets the plan as a flat numeric kernel over a
+    per-domain [Bigarray] float64 arena and the plan's int32 slab,
+    allocating zero words on the OCaml heap in steady state (held by a
+    [Gc.minor_words] delta over {!run_batch} in test/test_plan.ml).
 
     {b Byte-identity:} [run (compile sk e)] replays the reference
     evaluator's floating-point operations in the exact same order, so
-    it equals [Estimator.estimate_embedding sk e] bit-for-bit (held by
-    test/test_plan.ml). *)
+    it equals [Estimator.estimate_embedding sk e] bit-for-bit —
+    whether the plan came from {!compile} or from a repatch (every
+    payload constant is a pure function of the sketch). Held by
+    test/test_plan.ml. *)
 
 type t
 
 val compile : Sketch.t -> Embed.enode -> t
-(** Compile one embedding against one sketch. Counted under
-    [plan.compiles] and timed under [plan.compile_ns]. *)
+(** Compile one embedding against one sketch (both phases). Counted
+    under [plan.compiles]; the structure phase is timed under
+    [plan.compile_ns] and the payload phase under [plan.repatch_ns]
+    (it IS a repatch, and counts as one), so [plan.compile_ns]
+    measures exactly the work a repatch skips. *)
+
+val signature : t -> int
+(** The plan's structural signature: a hash of the embedding-tree
+    shape and the dimension layouts at the visited synopsis nodes,
+    with node ids replaced by dense first-visit numbers — invariant
+    under any consistent renaming of synopsis nodes, so payload-only
+    refinements and structure-preserving re-partitions keep it
+    stable. *)
 
 val run : t -> float
 (** Evaluate a compiled plan (the estimate of its embedding). Counted
-    under [plan.runs]. *)
+    under [plan.runs]. The returned float is boxed by the caller's
+    binding (we compile without flambda); the interpreter itself does
+    not allocate. *)
+
+val run_batch : t array -> float array -> unit
+(** [run_batch ts out] stores [run ts.(i)] into [out.(i)] for every
+    plan, without boxing any intermediate result — the zero-allocation
+    entry point ([Invalid_argument] when [out] is shorter than
+    [ts]). *)
 
 val valid : t -> Sketch.t -> bool
-(** Whether the plan may be reused for [sketch]: the same sketch, or
-    the same synopsis graph with unchanged histograms (physically, or
-    by interned-table identity) and value summaries at every synopsis
-    node the plan reads. XBUILD's incremental rebuilds share summary
-    objects across candidates, so most non-structural refinements keep
-    most plans valid. *)
+(** Whether the plan may be reused for [sketch] as-is: the same
+    sketch, or the same synopsis graph with unchanged histograms
+    (physically, or by interned-table identity) and value summaries at
+    every synopsis node the plan reads. XBUILD's incremental rebuilds
+    share summary objects across candidates, so most non-structural
+    refinements keep most plans valid. *)
+
+val repatch : t -> Sketch.t -> t option
+(** Payload-phase-only recompilation: when [sketch] shares the plan's
+    synopsis and the dimension structure of every histogram the plan
+    enumerates is unchanged, rebuild the bucket tables and float
+    constants onto the existing skeleton. [None] when the structure
+    phase would have to rerun. Counted under [plan.repatches], timed
+    under [plan.repatch_ns]. *)
 
 val compile_roots : Sketch.t -> Embed.enode list -> t array
 (** Compile every embedding of one query, in enumeration order. *)
@@ -42,23 +80,53 @@ val run_all : t array -> float
 
 val estimate_once : Sketch.t -> Embed.enode list -> float
 (** Compile-and-run without caching (for one-shot sketches, e.g.
-    XBUILD's structural candidates). *)
+    XBUILD's structural candidates that keep no cache). *)
 
 (** {1 Plan cache}
 
     Keyed like the embedding cache — one synopsis by physical
     identity, queries by {!Embed.cache_key} — and governed by the same
     single-owner freeze discipline: one domain warms and thaws, worker
-    domains read lock-free after {!freeze} and never insert. A cached
-    entry is reused only when the caller's embeddings are physically
-    the cached ones and every plan still {!valid}-ates; reuse counts
-    under [plan.cache_hits], first-time compiles under
-    [plan.cache_misses], recompiles forced by refined sketches under
-    [plan.cache_invalidations]. *)
+    domains read lock-free after {!freeze} and never insert. Entries
+    are spread over [2^4] shards by key hash, each with its own
+    insertion mutex, so concurrent owner-phase fills from a pool touch
+    one shard and no global lock.
+
+    A cached entry is reused directly when the caller's embeddings are
+    physically the cached ones and every plan still {!valid}-ates
+    ([plan.cache_hits]). A stale entry is {e repaired}, cheapest
+    mechanism first: payload drift repatches plan-by-plan, structure
+    drift recompiles only the affected plans, and a re-enumeration of
+    an unchanged shape (fresh embedding objects, or the fresh synopsis
+    node ids of a structure-preserving split reached through the
+    [fallback] cache) cross-repatches under the structural renaming of
+    {!Embed.structural_remap}. Repairs of this cache's own entries
+    count under [plan.cache_invalidations], split by cause into
+    [plan.invalidation{cause=payload|structure}]; entries replaced
+    because the embeddings were re-enumerated into a different shape
+    are evictions, counted only under [plan.invalidation{cause=evict}].
+    First-time compiles count under [plan.cache_misses]; successful
+    cross-cache reuse under [plan.fallback_reuses]. *)
 
 type cache
 
-val create_cache : Xtwig_synopsis.Graph_synopsis.t -> cache
+val create_cache :
+  ?fallback:cache -> ?tiered:bool -> Xtwig_synopsis.Graph_synopsis.t -> cache
+(** [fallback] is the retiring cache this one replaces after a
+    structural refinement step: entries missing here but present there
+    are cross-repatched onto the new synopsis instead of recompiled.
+    The fallback must be quiescent (frozen, or owner-idle) for the
+    lifetime of the link; {!freeze} drops it, which also bounds
+    fallback chains at depth one.
+
+    [tiered] (default false) opts the cache into tiered execution:
+    when the caller supplies an interpreter ({!estimate_cached}'s
+    [interp]), a cold structure's first sighting within a generation
+    (one thaw/freeze phase) is answered by the reference evaluator
+    instead of the compiler; only structures that recur across
+    generations — the durable workload — compile. Untiered caches
+    keep the compile-always contract. *)
+
 val cache_synopsis : cache -> Xtwig_synopsis.Graph_synopsis.t
 val freeze : cache -> unit
 val thaw : cache -> unit
@@ -67,5 +135,16 @@ val plans_cached : cache -> key:string -> Sketch.t -> Embed.enode list -> t arra
 (** Get-or-compile the plans of one query ([key] is its
     {!Embed.cache_key}; [roots] its embeddings for [sketch]). *)
 
-val estimate_cached : cache -> key:string -> Sketch.t -> Embed.enode list -> float
-(** [run_all (plans_cached ...)]. *)
+val estimate_cached :
+  ?interp:(Embed.enode -> float) ->
+  cache ->
+  key:string ->
+  Sketch.t ->
+  Embed.enode list ->
+  float
+(** [run_all (plans_cached ...)]. [interp] enables tiered execution:
+    the first sighting of a cold structure that cannot adopt a cached
+    skeleton is evaluated by [interp] (the caller's reference
+    evaluator — bit-identical to a compiled plan by construction)
+    instead of paying for a compile; only a structure seen again under
+    the same key compiles. Counted under [plan.interp_estimates]. *)

@@ -81,7 +81,7 @@ let workload_error sketch ~truth queries =
       error_against ~truths ~sanity sketch queries
 
 let build ?pool ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1)
-    ?(vbudget0 = 2) ?on_step ~workload ~truth ~budget doc =
+    ?(vbudget0 = 2) ?on_step ?plan_cache_out ~workload ~truth ~budget doc =
   Counters.time t_build @@ fun () ->
   let prng = Prng.create seed in
   let sketch = ref (Sketch.default_of_doc ~ebudget:ebudget0 ~vbudget:vbudget0 doc) in
@@ -96,7 +96,7 @@ let build ?pool ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1
   (* compiled-plan cache, same lifecycle: recreated on structural
      steps, revalidated entry-by-entry across the histogram-only
      sketches of one scoring step *)
-  let pcache = ref (Plan.create_cache (Sketch.synopsis !sketch)) in
+  let pcache = ref (Plan.create_cache ~tiered:true (Sketch.synopsis !sketch)) in
   let step = ref 0 in
   let continue = ref true in
   while !continue && Sketch.size_bytes !sketch < budget && !step < max_steps do
@@ -131,7 +131,14 @@ let build ?pool ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1
       let plans =
         if Plan.cache_synopsis !pcache == Sketch.synopsis !sketch then !pcache
         else begin
-          pcache := Plan.create_cache (Sketch.synopsis !sketch);
+          (* a structural step replaced the synopsis: the retiring
+             cache becomes the fallback, so queries whose partition is
+             structurally unchanged cross-repatch their old plans
+             instead of recompiling. The base pass below migrates the
+             live entries; [Plan.freeze] then drops the link. *)
+          pcache :=
+            Plan.create_cache ~fallback:!pcache ~tiered:true
+              (Sketch.synopsis !sketch);
           !pcache
         end
       in
@@ -180,9 +187,16 @@ let build ?pool ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1
           in
           (* a candidate-local plan cache never sees a repeated query,
              but it carries the shared compile context, amortizing the
-             per-node analysis across this candidate's queries *)
+             per-node analysis across this candidate's queries — and
+             the step's frozen shared cache as fallback, so a
+             structural candidate that leaves a query's partition
+             shape intact repatches that query's plans instead of
+             compiling them. Worker-local, so mutation is safe; the
+             fallback is frozen and only read. *)
           let cand_plans =
-            lazy (Plan.create_cache (Sketch.synopsis refined))
+            lazy
+              (Plan.create_cache ~fallback:plans ~tiered:true
+                 (Sketch.synopsis refined))
           in
           let err =
             let terms = Array.make nq 0.0 in
@@ -252,4 +266,8 @@ let build ?pool ?(seed = 42) ?(candidates = 8) ?(max_steps = 400) ?(ebudget0 = 1
                 { step = !step; op; description; size; workload_error = err }))
     end
   done;
+  (* hand the warm (frozen, quiescent) plan cache to the caller: an
+     estimation session built on the result repatches the build's
+     plans instead of compiling its first batch cold *)
+  (match plan_cache_out with Some r -> r := Some !pcache | None -> ());
   !sketch

@@ -35,6 +35,7 @@ val build :
   ?ebudget0:int ->
   ?vbudget0:int ->
   ?on_step:(Sketch.t -> step_info -> unit) ->
+  ?plan_cache_out:Plan.cache option ref ->
   workload:
     (Xtwig_util.Prng.t -> focus:string list -> Xtwig_path.Path_types.twig list) ->
   truth:(Xtwig_path.Path_types.twig -> float) ->
@@ -54,7 +55,14 @@ val build :
     frozen embedding cache and immutable sketches. The applied
     refinement is chosen by deterministic (gain, candidate-index)
     reduction, so the resulting synopsis is {e bit-identical} to the
-    sequential build — parallelism changes wall-clock time only. *)
+    sequential build — parallelism changes wall-clock time only.
+
+    [plan_cache_out], when given, receives the build's final shared
+    {!Plan.cache} (frozen, quiescent): a session created on the
+    returned sketch can adopt it — or chain it as the [fallback] of a
+    fresh cache when the last applied step was structural — and
+    repatch the build's plans instead of compiling its first queries
+    cold. *)
 
 val workload_error :
   Sketch.t -> truth:(Xtwig_path.Path_types.twig -> float) ->

@@ -6,6 +6,7 @@
    shutdown discipline, per-query timeouts, sketch-format versioning. *)
 
 module Pool = Xtwig_util.Pool
+module Fault = Xtwig_fault.Fault
 module Prng = Xtwig_util.Prng
 module Xerror = Xtwig_util.Xerror
 module Doc = Xtwig_xml.Doc
@@ -112,6 +113,70 @@ let test_pool_worker_prng () =
       Alcotest.(check int)
         "per-worker streams differ"
         (List.length vals) (List.length distinct))
+
+(* A 1-domain pool bypasses the queue and runs jobs inline on the
+   submitting domain. The bypass must be observationally identical to
+   a spawned single worker: same results in input order, the worker-0
+   identity (index and persistent PRNG stream) inside jobs — restored
+   outside — and the same scoped fault verdicts as any other pool
+   size. *)
+let test_pool_inline_bypass_differential () =
+  let xs = Array.init 40 (fun i -> i) in
+  let expected = Array.map (fun x -> (x * x) + 1) xs in
+  let results domains =
+    Pool.with_pool ~domains (fun p ->
+        Pool.map_array p ~f:(fun _ x -> (x * x) + 1) xs)
+  in
+  Alcotest.(check (array int)) "inline results" expected (results 1);
+  Alcotest.(check (array int)) "2-domain results" expected (results 2);
+  Pool.with_pool ~seed:3 ~domains:1 (fun p ->
+      Alcotest.(check int) "1-domain pool has size 1" 1 (Pool.size p);
+      let idx =
+        Pool.map_array p
+          ~f:(fun _ () -> Option.get (Pool.worker_index ()))
+          (Array.make 4 ())
+      in
+      Array.iter
+        (fun i -> Alcotest.(check int) "jobs run as worker 0" 0 i)
+        idx;
+      Alcotest.(check bool)
+        "caller identity restored after inline jobs" true
+        (Pool.worker_index () = None);
+      (* the PRNG stream is persistent across jobs and calls, exactly
+         like a spawned worker draining jobs in submission order: two
+         2-draw fan-outs produce the same stream as one 4-draw fan-out
+         on a fresh pool with the same seed *)
+      let draw p n =
+        Pool.map_array p ~f:(fun _ () -> Prng.bits64 (Pool.prng ())) (Array.make n ())
+      in
+      let a = draw p 2 in
+      let b = draw p 2 in
+      let c = Pool.with_pool ~seed:3 ~domains:1 (fun p2 -> draw p2 4) in
+      Alcotest.(check (array int64))
+        "stream continues across fan-outs" c (Array.append a b));
+  (* scoped fault verdicts key on the work-unit index, not the pool
+     size: the inline path must reproduce the multi-domain verdict
+     pattern bit for bit *)
+  let verdicts domains =
+    (match Fault.parse_spec "seed=21;pool.task:p0.5" with
+    | Error e -> Alcotest.fail ("bad spec: " ^ e)
+    | Ok sp -> Fault.install sp);
+    Fun.protect ~finally:Fault.disable @@ fun () ->
+    Pool.with_pool ~domains (fun p ->
+        let futs = Array.init 32 (fun i -> Pool.submit ~scope:i p (fun () -> i)) in
+        Array.map
+          (fun f ->
+            match Pool.await_result f with
+            | Ok _ -> false
+            | Error (Fault.Injected _, _) -> true
+            | Error (e, _) -> raise e)
+          futs)
+  in
+  let v1 = verdicts 1 in
+  let v2 = verdicts 2 in
+  Alcotest.(check (array bool)) "fault verdicts identical" v2 v1;
+  Alcotest.(check bool) "scenario fired" true (Array.exists Fun.id v1);
+  Alcotest.(check bool) "some jobs survived" true (Array.exists not v1)
 
 (* ------------------------------------------------------------------ *)
 (* Differential: pooled XBUILD == sequential XBUILD                    *)
@@ -362,6 +427,8 @@ let () =
             test_pool_panic_backtrace;
           Alcotest.test_case "shutdown discipline" `Quick test_pool_shutdown;
           Alcotest.test_case "worker-local prng" `Quick test_pool_worker_prng;
+          Alcotest.test_case "1-domain inline bypass differential" `Quick
+            test_pool_inline_bypass_differential;
         ] );
       ("xbuild parallel == sequential", diff "imdb" imdb @ diff "xmark" xmark);
       ( "engine",

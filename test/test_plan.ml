@@ -202,6 +202,39 @@ let test_plan_cache_invalidation () =
   Alcotest.(check bool)
     "histogram-only invalidation repatches instead of recompiling" true
     (Counters.get "plan.repatches" > 0);
+  (* the payload-only op must never reach the structure phase: every
+     stale entry is cause=payload, none structure, zero compiles *)
+  Alcotest.(check bool)
+    "payload cause recorded" true
+    (Counters.get "plan.invalidation{cause=payload}" > 0);
+  Alcotest.(check int)
+    "no structure-cause invalidations" 0
+    (Counters.get "plan.invalidation{cause=structure}");
+  Alcotest.(check int)
+    "payload-only refinement compiles nothing" 0
+    (Counters.get "plan.compiles");
+  (* re-enumerating the same queries (a fresh embedding cache) replaces
+     entries without any sketch drift: an eviction, not an
+     invalidation — and the structurally-identical enumeration is
+     repatched, not recompiled *)
+  let cache2 = Embed.create_cache (Sketch.synopsis refined_sk) in
+  Counters.reset_all ();
+  List.iteri
+    (fun i q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "re-enumerated: q%d" i)
+        (Est.estimate_reference refined_sk q)
+        (Est.estimate ~cache:cache2 ~plans refined_sk q))
+    queries;
+  Alcotest.(check bool)
+    "evictions recorded" true
+    (Counters.get "plan.invalidation{cause=evict}" > 0);
+  Alcotest.(check int)
+    "evictions are not invalidations" 0
+    (Counters.get "plan.cache_invalidations");
+  Alcotest.(check int)
+    "re-enumeration repatches under the structural remap" 0
+    (Counters.get "plan.compiles");
   (* a structure-changing op must fall back to the full compiler and
      still agree with the reference *)
   let structural = structural_op sk queries in
@@ -211,13 +244,67 @@ let test_plan_cache_invalidation () =
       Alcotest.(check (float 0.0))
         (Printf.sprintf "after structural op: q%d" i)
         (Est.estimate_reference structural q)
-        (Est.estimate ~cache ~plans structural q))
+        (* [cache2] holds the enumeration the plan entries now carry,
+           so a same-synopsis structural op exercises the genuine
+           invalidation path rather than an eviction *)
+        (Est.estimate ~cache:cache2 ~plans structural q))
     queries;
   Alcotest.(check bool)
     "structural change recompiles" true
-    (Counters.get "plan.compiles" > 0)
+    (Counters.get "plan.compiles" > 0);
+  if Sketch.synopsis structural == Sketch.synopsis sk then
+    (* the plan cache was consulted (same synopsis): the recompiles
+       must have been accounted as structure-cause invalidations *)
+    Alcotest.(check bool)
+      "structure cause recorded" true
+      (Counters.get "plan.invalidation{cause=structure}" > 0)
 
-(* 4. Differential under injected faults: when plan/embedding cache
+(* 4. The interpreter is a zero-allocation kernel: once the per-domain
+   arena has grown to the largest plan, a [run_batch] over every plan
+   of every query allocates zero minor words — no closures, no float
+   boxing, no scratch arrays. ([Gc.minor_words] itself is [@@noalloc]
+   with an unboxed float return, and the samples are stored straight
+   into a preallocated float array, so the measurement does not
+   perturb the measured.) *)
+let test_run_batch_zero_alloc () =
+  let _, doc = List.hd (Lazy.force docs) in
+  let sk = refined doc ~budget_mult:4 in
+  let syn = Sketch.synopsis sk in
+  let queries = queries_of doc in
+  let per_query =
+    List.map
+      (fun q -> Plan.compile_roots sk (Embed.embeddings syn q))
+      queries
+  in
+  let plans = Array.concat per_query in
+  Alcotest.(check bool) "some plans to run" true (Array.length plans > 0);
+  let out = Array.make (Array.length plans) 0.0 in
+  let words = Array.make 2 0.0 in
+  (* warm-up: grows the arena and faults in the code paths *)
+  Plan.run_batch plans out;
+  words.(0) <- Gc.minor_words ();
+  Plan.run_batch plans out;
+  words.(1) <- Gc.minor_words ();
+  Alcotest.(check (float 0.0))
+    "steady-state run_batch allocates zero minor words" 0.0
+    (words.(1) -. words.(0));
+  (* and the batch results are the reference estimates *)
+  let off = ref 0 in
+  List.iteri
+    (fun i q ->
+      let n = Array.length (List.nth per_query i) in
+      let sum = ref 0.0 in
+      for j = !off to !off + n - 1 do
+        sum := !sum +. out.(j)
+      done;
+      off := !off + n;
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "batch sum equals reference: q%d" i)
+        (Est.estimate_reference sk q)
+        !sum)
+    queries
+
+(* 5. Differential under injected faults: when plan/embedding cache
    fills fail intermittently and the caller retries, every eventually
    successful estimate — including those served by plans repatched
    after a histogram refinement — is still bit-equal to the reference
@@ -287,6 +374,8 @@ let () =
             test_plan_cache_hits;
           Alcotest.test_case "invalidation: repatch + recompile correct" `Quick
             test_plan_cache_invalidation;
+          Alcotest.test_case "run_batch allocates zero minor words" `Quick
+            test_run_batch_zero_alloc;
           Alcotest.test_case "fill faults + retry: differential vs reference"
             `Quick test_plan_fill_faults_retry_differential;
         ] );
