@@ -803,8 +803,12 @@ let micro () =
   let imdb = Lazy.force (dataset "imdb").doc in
   let coarse = Sketch.default_of_doc imdb in
   let q =
-    Xtwig_path.Path_parser.twig_of_string
-      "for t0 in //movie, t1 in t0/actor, t2 in t0/producer, t3 in t0/keyword"
+    match
+      Xtwig_path.Path_parser.parse_twig_res
+        "for t0 in //movie, t1 in t0/actor, t2 in t0/producer, t3 in t0/keyword"
+    with
+    | Ok t -> t
+    | Error e -> failwith (Xtwig_util.Xerror.to_string e)
   in
   let small = Xtwig_datagen.Imdb.generate ~scale:0.02 () in
   let cst = Cst.build imdb in
@@ -922,12 +926,13 @@ let () =
       write_parallel_json ()
   | "fault-audit" -> fault_audit ()
   | "scaling" -> scaling_bench ()
+  | "serve" -> Serve_bench.run ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
         "unknown benchmark %S (expected \
          table1|table2|fig9a|fig9b|fig9c|singlepath|ablation|micro|xbuild|\
-         xbuild-par|estimate-batch|parallel|fault-audit|scaling|all)\n"
+         xbuild-par|estimate-batch|parallel|fault-audit|scaling|serve|all)\n"
         other;
       exit 1);
   (match trace_file with

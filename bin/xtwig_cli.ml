@@ -5,13 +5,17 @@
      xtwig inspect imdb.xml
      xtwig estimate imdb.xml "for t0 in //movie, t1 in t0/actor" --budget 8192
      xtwig estimate imdb.xml "..." --jobs 4 --sketch imdb.sketch
+     xtwig estimate imdb.xml "..." --backend cst
      xtwig workload imdb.xml --queries 20 --kind pv
      xtwig compare imdb.xml --budget 8192 --queries 100
      xtwig bench-batch imdb.xml --queries 200 --jobs 4
+     xtwig stats imdb.xml --tenant a=a.sketch --tenant b=b.sketch
 
-   Every command funnels failures through Xtwig_util.Xerror and maps
-   the error class to a stable exit code: 0 = ok, 2 = usage, 3 = parse
-   (document or query), 4 = io/sketch-format, 1 = engine/runtime. *)
+   Estimation paths go through the public Xtwig facade (the same
+   surface xtwigd serves); every failure funnels through
+   Xtwig_util.Xerror and maps to a stable exit code: 0 = ok, 2 =
+   usage, 3 = parse (document or query), 4 = io/sketch-format, 1 =
+   engine/runtime. *)
 
 open Cmdliner
 module Doc = Xtwig_xml.Doc
@@ -47,7 +51,7 @@ let with_obs ~trace ~metrics body =
         prerr_string (Metrics.render (Metrics.diff before (Metrics.snapshot ()))))
     body
 
-let load path = Xtwig_xml.Xml_parser.parse_file_res path
+let load = Xtwig.doc_of_file
 
 (* Every command body returns (unit, Xerror.t) result; this turns it
    into the documented exit code. *)
@@ -57,25 +61,11 @@ let code_of = function
       Printf.eprintf "xtwig: %s\n" (Xerror.to_string e);
       Xerror.exit_code e
 
-let build_sketch ?(quiet = false) ?pool doc ~budget ~seed =
-  let truth_tbl = Hashtbl.create 256 in
-  let truth q =
-    let k = Xtwig_path.Path_printer.twig_to_string q in
-    match Hashtbl.find_opt truth_tbl k with
-    | Some v -> v
-    | None ->
-        let v = float_of_int (Xtwig_eval.Eval_twig.selectivity doc q) in
-        Hashtbl.add truth_tbl k v;
-        v
-  in
-  let workload prng ~focus =
-    Wgen.generate ~focus { Wgen.paper_p with n_queries = 10 } prng doc
-  in
-  Xtwig_sketch.Xbuild.build ?pool ~seed ~budget ~workload ~truth
-    ~on_step:(fun _ info ->
+let build_sketch ?(quiet = false) ?(jobs = 1) doc ~budget ~seed =
+  Xtwig.build_sketch ~budget ~seed ~jobs
+    ~on_step:(fun ~step ~description ~size ->
       if not quiet then
-        Printf.eprintf "step %3d: %-46s -> %d bytes\n%!" info.Xtwig_sketch.Xbuild.step
-          info.Xtwig_sketch.Xbuild.description info.Xtwig_sketch.Xbuild.size)
+        Printf.eprintf "step %3d: %-46s -> %d bytes\n%!" step description size)
     doc
 
 (* ---------------- shared args ---------------- *)
@@ -235,12 +225,8 @@ let build_cmd =
       (with_obs ~trace ~metrics @@ fun () ->
        with_fault fault @@ fun () ->
        let* doc = load file in
-       let build pool = build_sketch ~quiet:true ?pool doc ~budget ~seed in
-       let sketch =
-         if jobs > 1 then Pool.with_pool ~domains:jobs (fun p -> build (Some p))
-         else build None
-       in
-       let* () = Xtwig_sketch.Sketch_io.write_res ~budget ~seed sketch output in
+       let* sketch = build_sketch ~quiet:true ~jobs doc ~budget ~seed in
+       let* () = Xtwig.save_sketch ~budget ~seed sketch output in
        Printf.printf "wrote %s: %d bytes of synopsis for %d elements\n" output
          (Sketch.size_bytes sketch) (Doc.size doc);
        Ok ())
@@ -288,30 +274,48 @@ let estimate_cmd =
             "Also print the query's evaluation wall time, timeout-fallback \
              flag and trace id.")
   in
-  let run file query budget seed exact sketch_file jobs timeout verbose trace
-      metrics fault =
+  let backend_arg =
+    Arg.(
+      value & opt string "xsketch"
+      & info [ "backend" ] ~docv:"NAME"
+          ~doc:
+            "Estimator backend (see $(b,xtwig backends)): 'xsketch' (the \
+             default; the compiled engine path, supports $(b,--sketch)) or \
+             'cst'.")
+  in
+  let run file query budget seed exact sketch_file backend jobs timeout verbose
+      trace metrics fault =
     code_of
       (with_obs ~trace ~metrics @@ fun () ->
        with_fault fault @@ fun () ->
        let* doc = load file in
-       let* q = Xtwig_path.Path_parser.parse_twig_res query in
-       let* sk =
-         match sketch_file with
-         | Some path ->
-             Result.map snd (Xtwig_sketch.Sketch_io.read_res doc path)
-         | None ->
-             let build pool = build_sketch ~quiet:true ?pool doc ~budget ~seed in
-             Ok
-               (if jobs > 1 then
-                  Pool.with_pool ~domains:jobs (fun p -> build (Some p))
-                else build None)
+       let* q = Xtwig.twig_of_string query in
+       let* engine =
+         match String.lowercase_ascii backend with
+         | "xsketch" ->
+             let* sk =
+               match sketch_file with
+               | Some path -> Xtwig.load_sketch doc path
+               | None -> build_sketch ~quiet:true ~jobs doc ~budget ~seed
+             in
+             Xtwig.open_sketch_session ~jobs ~timeout_s:timeout sk
+         | name ->
+             let* () =
+               match sketch_file with
+               | Some _ ->
+                   Error (Xerror.Usage "--sketch applies only to --backend xsketch")
+               | None -> Ok ()
+             in
+             let* inst = Xtwig.build_backend ~backend:name ~budget ~seed doc in
+             Xtwig.open_backend_session ~jobs ~timeout_s:timeout inst
        in
-       let* engine = Engine.of_sketch ~jobs ~timeout_s:timeout sk in
        Fun.protect
-         ~finally:(fun () -> Engine.close engine)
+         ~finally:(fun () -> Xtwig.close_session engine)
          (fun () ->
-           let* a = Engine.estimate engine q in
-           Format.printf "synopsis: %d bytes@." (Sketch.size_bytes sk);
+           let* a = Xtwig.estimate engine q in
+           let st = Engine.stats engine in
+           Format.printf "backend:  %s, synopsis %d bytes@." st.Engine.backend
+             st.Engine.sketch_bytes;
            Format.printf "estimate: %.2f%s@." a.Engine.estimate
              (if a.Engine.fallback then "  (timeout: coarse fallback)" else "");
            if verbose then begin
@@ -320,7 +324,7 @@ let estimate_cmd =
              Format.printf "trace id: %d@." a.Engine.trace_id
            end;
            if exact then
-             Format.printf "exact:    %d@." (Xtwig_eval.Eval_twig.selectivity doc q);
+             Format.printf "exact:    %d@." (Xtwig.selectivity doc q);
            Ok ()))
   in
   Cmd.v
@@ -328,7 +332,8 @@ let estimate_cmd =
        ~doc:"Estimate a twig query's selectivity over a (built or loaded) synopsis.")
     Term.(
       const run $ file_arg $ query $ budget_arg $ seed_arg $ exact $ sketch_file
-      $ jobs_arg $ timeout_arg $ verbose $ trace_arg $ metrics_arg $ fault_arg)
+      $ backend_arg $ jobs_arg $ timeout_arg $ verbose $ trace_arg $ metrics_arg
+      $ fault_arg)
 
 (* ---------------- workload ---------------- *)
 
@@ -389,11 +394,7 @@ let compare_cmd =
        Format.printf "average absolute relative error on %d twig queries:@." n;
        let coarse = Sketch.default_of_doc doc in
        err "coarse xsketch" (List.map (fun q -> Est.estimate coarse q) qs);
-       let build pool = build_sketch ~quiet:true ?pool doc ~budget ~seed in
-       let sketch =
-         if jobs > 1 then Pool.with_pool ~domains:jobs (fun p -> build (Some p))
-         else build None
-       in
+       let* sketch = build_sketch ~quiet:true ~jobs doc ~budget ~seed in
        err
          (Printf.sprintf "xsketch (%d B)" (Sketch.size_bytes sketch))
          (List.map (fun q -> Est.estimate sketch q) qs);
@@ -477,7 +478,62 @@ let stats_cmd =
       & info [ "sketch" ] ~docv:"FILE"
           ~doc:"Reuse a synopsis saved by $(b,xtwig build) instead of rebuilding.")
   in
-  let run file budget seed jobs timeout n sketch_file trace metrics fault =
+  let tenants_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "tenant" ] ~docv:"NAME=SKETCH"
+          ~doc:
+            "Serve the workload through a named session over the sketch file \
+             $(i,SKETCH) (repeatable). With at least one $(b,--tenant) the \
+             report is a per-tenant breakdown — each tenant gets its own \
+             engine, accuracy percentiles and tenant-labelled metrics — \
+             matching the xtwigd catalog model. Without it, one unnamed \
+             session over $(b,--sketch) or a fresh build.")
+  in
+  (* one tenant's serve + report: answers, then the session counters
+     and accuracy, all under the tenant's own metric labels *)
+  let serve_tenant engine qs truths sanity label =
+    let before = Metrics.snapshot () in
+    let* answers = Xtwig.estimate_batch engine qs in
+    let acc = Accuracy.create ~sanity ~name:("xtwig.stats" ^ label) () in
+    List.iteri
+      (fun i (a : Engine.answer) ->
+        Accuracy.observe acc ~truth:truths.(i) ~estimate:a.Engine.estimate)
+      answers;
+    let st = Engine.stats engine in
+    Format.printf "synopsis: %d bytes (%s), %d jobs@." st.Engine.sketch_bytes
+      st.Engine.backend st.Engine.jobs;
+    Format.printf
+      "queries:  %d (%d timeout(s), %d degraded, %d retries, %d breaker \
+       trip(s), sanity bound %g)@."
+      st.Engine.queries_served st.Engine.timeouts st.Engine.degraded
+      st.Engine.retries st.Engine.breaker_trips sanity;
+    (* per-query latency percentiles, read back from the batch's
+       engine.query.seconds histogram delta *)
+    (match
+       Metrics.find
+         (Metrics.diff before (Metrics.snapshot ()))
+         "engine.query.seconds"
+     with
+    | Some (Metrics.Histogram h) when h.Metrics.count > 0 ->
+        Format.printf "latency:  p50=%.2g s  p90=%.2g s  p99=%.2g s@."
+          (Metrics.percentile_of h 50.0)
+          (Metrics.percentile_of h 90.0)
+          (Metrics.percentile_of h 99.0)
+    | _ -> ());
+    Format.printf "%s@." (Accuracy.report acc);
+    Ok ()
+  in
+  let parse_tenant spec =
+    match String.index_opt spec '=' with
+    | Some i when i > 0 && i < String.length spec - 1 ->
+        Ok
+          ( String.sub spec 0 i,
+            String.sub spec (i + 1) (String.length spec - i - 1) )
+    | _ -> Error (Xerror.Usage ("--tenant expects NAME=SKETCH, got " ^ spec))
+  in
+  let run file budget seed jobs timeout n sketch_file tenants trace metrics
+      fault =
     code_of
       (with_obs ~trace ~metrics @@ fun () ->
        with_fault fault @@ fun () ->
@@ -485,71 +541,70 @@ let stats_cmd =
        let* () =
          if n < 1 then Error (Xerror.Usage "--queries must be >= 1") else Ok ()
        in
-       let* sk =
-         match sketch_file with
-         | Some path -> Result.map snd (Xtwig_sketch.Sketch_io.read_res doc path)
-         | None ->
-             let build pool = build_sketch ~quiet:true ?pool doc ~budget ~seed in
-             Ok
-               (if jobs > 1 then
-                  Pool.with_pool ~domains:jobs (fun p -> build (Some p))
-                else build None)
+       let qs =
+         Wgen.generate { Wgen.paper_p with Wgen.n_queries = n } (Prng.create seed)
+           doc
        in
-       let* engine = Engine.of_sketch ~jobs ~timeout_s:timeout sk in
-       Fun.protect
-         ~finally:(fun () -> Engine.close engine)
-         (fun () ->
-           let qs =
-             Wgen.generate
-               { Wgen.paper_p with Wgen.n_queries = n }
-               (Prng.create seed) doc
+       let truths =
+         Array.of_list
+           (List.map (fun q -> float_of_int (Xtwig.selectivity doc q)) qs)
+       in
+       let sanity = Xtwig_workload.Error_metric.sanity_bound truths in
+       match tenants with
+       | [] ->
+           let* sk =
+             match sketch_file with
+             | Some path -> Xtwig.load_sketch doc path
+             | None -> build_sketch ~quiet:true ~jobs doc ~budget ~seed
            in
-           let truths =
-             Array.of_list
-               (List.map
-                  (fun q ->
-                    float_of_int (Xtwig_eval.Eval_twig.selectivity doc q))
-                  qs)
+           let* engine = Xtwig.open_sketch_session ~jobs ~timeout_s:timeout sk in
+           Fun.protect
+             ~finally:(fun () -> Xtwig.close_session engine)
+             (fun () -> serve_tenant engine qs truths sanity "")
+       | specs ->
+           let* () =
+             match sketch_file with
+             | Some _ ->
+                 Error (Xerror.Usage "--sketch and --tenant are exclusive")
+             | None -> Ok ()
            in
-           let sanity = Xtwig_workload.Error_metric.sanity_bound truths in
-           let acc = Accuracy.create ~sanity ~name:"xtwig.stats" () in
-           let before = Metrics.snapshot () in
-           let* answers = Engine.estimate_batch engine qs in
-           List.iteri
-             (fun i (a : Engine.answer) ->
-               Accuracy.observe acc ~truth:truths.(i) ~estimate:a.Engine.estimate)
-             answers;
-           let st = Engine.stats engine in
-           Format.printf "synopsis: %d bytes, %d jobs@." st.Engine.sketch_bytes
-             st.Engine.jobs;
-           Format.printf "queries:  %d (%d timeout fallback(s), sanity bound %g)@."
-             st.Engine.queries_served st.Engine.timeouts sanity;
-           (* per-query latency percentiles, read back from the batch's
-              engine.query.seconds histogram delta *)
-           (match
-              Metrics.find
-                (Metrics.diff before (Metrics.snapshot ()))
-                "engine.query.seconds"
-            with
-           | Some (Metrics.Histogram h) when h.Metrics.count > 0 ->
-               Format.printf
-                 "latency:  p50=%.2g s  p90=%.2g s  p99=%.2g s@."
-                 (Metrics.percentile_of h 50.0)
-                 (Metrics.percentile_of h 90.0)
-                 (Metrics.percentile_of h 99.0)
-           | _ -> ());
-           Format.printf "%s@." (Accuracy.report acc);
-           Ok ()))
+           List.fold_left
+             (fun acc spec ->
+               let* () = acc in
+               let* name, path = parse_tenant spec in
+               let* sk = Xtwig.load_sketch doc path in
+               let* engine =
+                 Xtwig.open_sketch_session ~name ~jobs ~timeout_s:timeout sk
+               in
+               Fun.protect
+                 ~finally:(fun () -> Xtwig.close_session engine)
+                 (fun () ->
+                   Format.printf "@.tenant %s (%s):@." name path;
+                   serve_tenant engine qs truths sanity ("." ^ name)))
+             (Ok ()) specs)
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Serve a random twig workload with known true counts and report \
           accuracy percentiles (p50/p90/p99 relative error), per-query \
-          latency percentiles and engine counters.")
+          latency percentiles and engine counters — per tenant with \
+          repeated $(b,--tenant NAME=SKETCH).")
     Term.(
       const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg $ timeout_arg $ n
-      $ sketch_file $ trace_arg $ metrics_arg $ fault_arg)
+      $ sketch_file $ tenants_arg $ trace_arg $ metrics_arg $ fault_arg)
+
+(* ---------------- backends ---------------- *)
+
+let backends_cmd =
+  let run () =
+    List.iter print_endline (Xtwig.backends ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "backends"
+       ~doc:"List the registered estimator backends ($(b,--backend) values).")
+    Term.(const run $ const ())
 
 let () =
   let doc = "Twig XSKETCH selectivity estimation for XML twig queries" in
@@ -559,5 +614,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; inspect_cmd; build_cmd; estimate_cmd; workload_cmd;
-            compare_cmd; bench_batch_cmd; stats_cmd;
+            compare_cmd; bench_batch_cmd; stats_cmd; backends_cmd;
           ]))

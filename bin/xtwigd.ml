@@ -1,0 +1,176 @@
+(* xtwigd: the multi-tenant estimation server.
+
+     xtwigd --socket /tmp/xtwigd.sock --tenant movies=imdb.xml,imdb.sketch
+     xtwigd --tcp 127.0.0.1:7474 --tenant a=a.xml --tenant b=b.xml,b.sketch
+
+   Each --tenant declares NAME=DOC[,SKETCH]: the XML document and,
+   optionally, a synopsis saved by `xtwig build` (without one the
+   synopsis is built at startup with --budget/--seed). Reload a
+   tenant without restarting by writing a new sketch file (the write
+   is atomic) and sending a `reload` request.
+
+   SIGINT/SIGTERM shut the server down cleanly; exit codes follow the
+   xtwig CLI contract. *)
+
+open Cmdliner
+module Xerror = Xtwig.Xerror
+module Server = Xtwig_serve.Server
+module Catalog = Xtwig_serve.Catalog
+module Fault = Xtwig_fault.Fault
+
+let ( let* ) = Result.bind
+
+let parse_tenant ~backend ~budget ~seed spec =
+  match String.index_opt spec '=' with
+  | Some i when i > 0 && i < String.length spec - 1 -> (
+      let name = String.sub spec 0 i in
+      let paths = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match String.split_on_char ',' paths with
+      | [ doc ] -> Ok (name, Catalog.source ~backend ~budget ~seed doc)
+      | [ doc; sketch ] ->
+          Ok (name, Catalog.source ~sketch_path:sketch ~backend ~budget ~seed doc)
+      | _ -> Error (Xerror.Usage ("--tenant expects NAME=DOC[,SKETCH], got " ^ spec)))
+  | _ -> Error (Xerror.Usage ("--tenant expects NAME=DOC[,SKETCH], got " ^ spec))
+
+let parse_listen socket tcp =
+  match (socket, tcp) with
+  | Some _, Some _ -> Error (Xerror.Usage "--socket and --tcp are exclusive")
+  | None, None -> Ok (`Unix "xtwigd.sock")
+  | Some path, None -> Ok (`Unix path)
+  | None, Some hp -> (
+      match String.rindex_opt hp ':' with
+      | Some i -> (
+          let host = String.sub hp 0 i in
+          let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p >= 0 && p < 65536 -> Ok (`Tcp (host, p))
+          | _ -> Error (Xerror.Usage ("bad --tcp port in " ^ hp)))
+      | None -> Error (Xerror.Usage "--tcp expects HOST:PORT"))
+
+let install_fault spec =
+  match spec with
+  | Some s -> (
+      match Fault.parse_spec s with
+      | Ok sp ->
+          Fault.install sp;
+          Ok ()
+      | Error e -> Error (Xerror.Usage ("--fault-spec: " ^ e)))
+  | None -> (
+      match Fault.env_spec () with
+      | Ok (Some sp) ->
+          Fault.install sp;
+          Ok ()
+      | Ok None -> Ok ()
+      | Error e -> Error (Xerror.Usage ("XTWIG_FAULT_SPEC: " ^ e)))
+
+let run socket tcp tenants backend budget seed jobs timeout queue_cap fault =
+  let result =
+    let* listen = parse_listen socket tcp in
+    let* () = install_fault fault in
+    let* () =
+      if tenants = [] then Error (Xerror.Usage "at least one --tenant is required")
+      else Ok ()
+    in
+    let* specs =
+      List.fold_left
+        (fun acc spec ->
+          let* l = acc in
+          let* t = parse_tenant ~backend ~budget ~seed spec in
+          Ok (t :: l))
+        (Ok []) tenants
+    in
+    let specs = List.rev specs in
+    let cfg = { Server.listen; jobs; timeout_s = timeout; queue_cap } in
+    let* server = Server.create cfg specs in
+    let stop _ = Server.stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    (match listen with
+    | `Unix path -> Printf.eprintf "xtwigd: listening on %s\n%!" path
+    | `Tcp (host, _) ->
+        Printf.eprintf "xtwigd: listening on %s:%d\n%!" host
+          (Option.value ~default:0 (Server.port server)));
+    Printf.eprintf "xtwigd: tenants: %s\n%!"
+      (String.concat ", " (Catalog.names (Server.catalog server)));
+    Server.serve server;
+    Printf.eprintf "xtwigd: shut down\n%!";
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error e ->
+      Printf.eprintf "xtwigd: %s\n" (Xerror.to_string e);
+      Xerror.exit_code e
+
+let cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix socket (default xtwigd.sock).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Listen on TCP instead of a Unix socket. Port 0 binds an ephemeral port.")
+  in
+  let tenants =
+    Arg.(
+      value & opt_all string []
+      & info [ "tenant" ] ~docv:"NAME=DOC[,SKETCH]"
+          ~doc:
+            "Serve tenant $(i,NAME) over XML document $(i,DOC), loading the \
+             synopsis from $(i,SKETCH) when given (else building one at \
+             startup with $(b,--budget)/$(b,--seed)). Repeatable.")
+  in
+  let backend =
+    Arg.(
+      value & opt string "xsketch"
+      & info [ "backend" ] ~docv:"NAME"
+          ~doc:"Estimator backend for every tenant (xsketch or cst).")
+  in
+  let budget =
+    Arg.(
+      value & opt int 8192
+      & info [ "budget" ] ~docv:"BYTES" ~doc:"Synopsis budget for built tenants.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"XBUILD seed.") in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker domains per tenant engine.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-query engine deadline.")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Per-tenant pending-request cap; beyond it requests are shed with \
+             a typed overload error.")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-spec" ] ~docv:"SPEC"
+          ~doc:
+            "Install a deterministic fault-injection scenario (overrides \
+             XTWIG_FAULT_SPEC), e.g. 'seed=7;serve.*:p0.01'.")
+  in
+  let info =
+    Cmd.info "xtwigd" ~version:"1.0.0"
+      ~doc:"Multi-tenant twig selectivity estimation server"
+  in
+  Cmd.v info
+    Term.(
+      const run $ socket $ tcp $ tenants $ backend $ budget $ seed $ jobs
+      $ timeout $ queue_cap $ fault)
+
+let () = exit (Cmd.eval' ~term_err:2 cmd)

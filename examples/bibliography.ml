@@ -11,6 +11,11 @@ module Tsn = Xtwig_synopsis.Tsn
 module Sketch = Xtwig_sketch.Sketch
 module Fx = Xtwig_fixtures.Fixtures
 
+let parse_twig s =
+  match Xtwig_path.Path_parser.parse_twig_res s with
+  | Ok t -> t
+  | Error e -> (print_endline (Xtwig_util.Xerror.to_string e); exit 1)
+
 let () =
   let doc = Fx.bibliography () in
   Format.printf "--- Figure 1 document ---@.%s@."
@@ -70,7 +75,7 @@ let () =
     Sketch.exact_for_scopes syn groupings
   in
   let q2 =
-    Xtwig_path.Path_parser.twig_of_string
+    parse_twig
       "for t0 in //author, t1 in t0/name, t2 in t0/paper, t3 in t2/keyword"
   in
   (match Xtwig_sketch.Embed.embeddings syn q2 with
@@ -92,6 +97,5 @@ let () =
       ("Example 2.1 (branch + value predicates)", q);
       ("authors x names x papers x keywords", q2);
       ( "keyword self-join",
-        Xtwig_path.Path_parser.twig_of_string
-          "for t0 in //paper, t1 in t0/keyword, t2 in t0/keyword" );
+        parse_twig "for t0 in //paper, t1 in t0/keyword, t2 in t0/keyword" );
     ]

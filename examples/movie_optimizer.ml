@@ -15,6 +15,11 @@ module Sketch = Xtwig_sketch.Sketch
 module Est = Xtwig_sketch.Estimator
 module Wgen = Xtwig_workload.Wgen
 
+let parse_twig s =
+  match Xtwig_path.Path_parser.parse_twig_res s with
+  | Ok t -> t
+  | Error e -> (print_endline (Xtwig_util.Xerror.to_string e); exit 1)
+
 let () =
   let doc = Xtwig_datagen.Imdb.generate ~scale:0.2 () in
   Format.printf "catalog: %d elements@." (Xtwig_xml.Doc.size doc);
@@ -33,7 +38,7 @@ let () =
     List.map
       (fun genre ->
         ( genre,
-          Xtwig_path.Path_parser.twig_of_string
+          parse_twig
             (Printf.sprintf
                "for t0 in //movie[genre[. = \"%s\"]], t1 in t0/actor, t2 in \
                 t0/producer"

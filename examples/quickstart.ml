@@ -7,6 +7,16 @@ module Doc = Xtwig_xml.Doc
 module Sketch = Xtwig_sketch.Sketch
 module Estimator = Xtwig_sketch.Estimator
 
+let parse_doc s =
+  match Xtwig_xml.Xml_parser.parse_string_res s with
+  | Ok d -> d
+  | Error e -> (print_endline (Xtwig_util.Xerror.to_string e); exit 1)
+
+let parse_twig s =
+  match Xtwig_path.Path_parser.parse_twig_res s with
+  | Ok t -> t
+  | Error e -> (print_endline (Xtwig_util.Xerror.to_string e); exit 1)
+
 (* actor and producer counts are anticorrelated across movies, so the
    independence product E[actors] x E[producers] misestimates the join *)
 let xml =
@@ -24,14 +34,13 @@ let xml =
 
 let () =
   (* 1. Parse the document. *)
-  let doc = Xtwig_xml.Xml_parser.parse_string xml in
+  let doc = parse_doc xml in
   Format.printf "parsed: %a@." Doc.pp_summary doc;
 
   (* 2. Write a twig query: movies paired with every (actor, producer)
         combination — the paper's canonical structural join. *)
   let query =
-    Xtwig_path.Path_parser.twig_of_string
-      "for t0 in //movie, t1 in t0/actor, t2 in t0/producer"
+    parse_twig "for t0 in //movie, t1 in t0/actor, t2 in t0/producer"
   in
   Format.printf "query:  %s@." (Xtwig_path.Path_printer.twig_to_string query);
 

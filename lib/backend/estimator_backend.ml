@@ -1,0 +1,128 @@
+module Xerror = Xtwig_util.Xerror
+module Doc = Xtwig_xml.Doc
+module Sketch = Xtwig_sketch.Sketch
+module Sketch_io = Xtwig_sketch.Sketch_io
+module Est = Xtwig_sketch.Estimator
+module Xbuild = Xtwig_sketch.Xbuild
+module Wgen = Xtwig_workload.Wgen
+
+type doc = Doc.t
+type twig = Xtwig_path.Path_types.twig
+
+module type S = sig
+  type t
+
+  val name : string
+  val build : ?budget:int -> ?seed:int -> doc -> (t, Xerror.t) result
+  val load : doc -> string -> (t, Xerror.t) result
+  val estimate : t -> twig -> float
+  val coarse : t -> twig -> float
+  val size_bytes : t -> int
+end
+
+type instance = Instance : (module S with type t = 'a) * 'a -> instance
+
+let name_of (Instance ((module M), _)) = M.name
+let estimate (Instance ((module M), v)) q = M.estimate v q
+let coarse (Instance ((module M), v)) q = M.coarse v q
+let size_bytes (Instance ((module M), v)) = M.size_bytes v
+
+(* ------------------------------------------------------------------ *)
+(* XSKETCH: the paper's estimator, behind the generic surface. The
+   engine's compiled fast path (Engine.of_sketch) bypasses this module
+   on purpose; this is the uncompiled reference evaluator, for callers
+   that want XSKETCH through the same door every other backend uses. *)
+
+module Xsketch = struct
+  type t = { sk : Sketch.t; coarse_sk : Sketch.t Lazy.t }
+
+  let name = "xsketch"
+
+  let wrap sk =
+    { sk; coarse_sk = lazy (Sketch.default_of_doc (Sketch.doc sk)) }
+
+  let build ?(budget = 8192) ?(seed = 42) doc =
+    if budget <= 0 then Error (Xerror.Usage "budget must be positive")
+    else
+      let truth_tbl = Hashtbl.create 256 in
+      let truth q =
+        let k = Xtwig_path.Path_printer.twig_to_string q in
+        match Hashtbl.find_opt truth_tbl k with
+        | Some v -> v
+        | None ->
+            let v = float_of_int (Xtwig_eval.Eval_twig.selectivity doc q) in
+            Hashtbl.add truth_tbl k v;
+            v
+      in
+      let workload prng ~focus =
+        Wgen.generate ~focus { Wgen.paper_p with n_queries = 10 } prng doc
+      in
+      match Xbuild.build ~seed ~budget ~workload ~truth doc with
+      | sk -> Ok (wrap sk)
+      | exception e ->
+          Error (Xerror.Engine ("xbuild failed: " ^ Printexc.to_string e))
+
+  let load doc path = Result.map (fun (_, sk) -> wrap sk) (Sketch_io.read_res doc path)
+  let estimate t q = Est.estimate t.sk q
+  let coarse t q = Est.estimate (Lazy.force t.coarse_sk) q
+  let size_bytes t = Sketch.size_bytes t.sk
+end
+
+module Cst = struct
+  type t = Xtwig_cst.Cst.t
+
+  let name = "cst"
+
+  let build ?(budget = 8192) ?seed doc =
+    ignore seed;
+    if budget <= 0 then Error (Xerror.Usage "budget must be positive")
+    else
+      match Xtwig_cst.Cst.build ~budget_bytes:budget doc with
+      | t -> Ok t
+      | exception e ->
+          Error (Xerror.Engine ("cst build failed: " ^ Printexc.to_string e))
+
+  let load _doc _path =
+    Error (Xerror.Sketch_format "the cst backend has no persistent format")
+
+  let estimate t q = Xtwig_cst.Cst.estimate t q
+
+  (* the trie estimate is already O(query); it is its own floor *)
+  let coarse t q = try Xtwig_cst.Cst.estimate t q with _ -> 0.0
+  let size_bytes t = Xtwig_cst.Cst.size_bytes t
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let registry : (string, (module S)) Hashtbl.t = Hashtbl.create 8
+let order : string list ref = ref []
+
+let register (module M : S) =
+  let key = String.lowercase_ascii M.name in
+  if not (Hashtbl.mem registry key) then order := !order @ [ key ];
+  Hashtbl.replace registry key (module M : S)
+
+let () =
+  register (module Xsketch);
+  register (module Cst)
+
+let backends () = List.filter_map (Hashtbl.find_opt registry) !order
+let names () = !order
+
+let find name =
+  match Hashtbl.find_opt registry (String.lowercase_ascii name) with
+  | Some m -> Ok m
+  | None ->
+      Error
+        (Xerror.Usage
+           (Printf.sprintf "unknown backend %S (known: %s)" name
+              (String.concat ", " (names ()))))
+
+let build (module M : S) ?budget ?seed doc =
+  Result.map (fun v -> Instance ((module M), v)) (M.build ?budget ?seed doc)
+
+let load (module M : S) doc path =
+  Result.map (fun v -> Instance ((module M), v)) (M.load doc path)
+
+let of_sketch sk = Instance ((module Xsketch), Xsketch.wrap sk)

@@ -11,6 +11,7 @@ module Counters = Xtwig_util.Counters
 module Metrics = Xtwig_obs.Metrics
 module Trace = Xtwig_obs.Trace
 module Fault = Xtwig_fault.Fault
+module Backend = Xtwig_backend.Estimator_backend
 
 let c_queries = Counters.counter "engine.queries"
 let c_timeouts = Counters.counter "engine.timeouts"
@@ -49,6 +50,8 @@ type answer = {
 }
 
 type stats = {
+  name : string;
+  backend : string;
   jobs : int;
   sketch_bytes : int;
   queries_served : int;
@@ -66,11 +69,22 @@ type stats = {
    in flight deciding whether to close again. *)
 type breaker = Closed | Open_until of float | Half_open
 
+(* What actually answers a query: either the compiled XSKETCH fast
+   path (embedding cache + plan cache + coarse label-split fallback)
+   or an opaque estimator behind the Estimator_backend signature. The
+   hardening fabric (retry, breaker, timeout, guards) is shared. *)
+type core =
+  | Sk of {
+      sk : Sketch.t;
+      coarse : Sketch.t;  (* label-split fallback, shares the document *)
+      cache : Embed.cache;  (* session-lived, keyed to sk's synopsis *)
+      pcache : Plan.cache;  (* compiled plans, same lifecycle as [cache] *)
+    }
+  | Bk of Backend.instance
+
 type t = {
-  sk : Sketch.t;
-  coarse : Sketch.t;  (* label-split fallback, shares the document *)
-  cache : Embed.cache;  (* session-lived, keyed to sk's synopsis *)
-  pcache : Plan.cache;  (* compiled plans, same lifecycle as [cache] *)
+  core : core;
+  name : string option;  (* tenant label; labels the session metrics *)
   pool : Pool.t option;
   n_jobs : int;
   default_timeout : float;
@@ -96,53 +110,102 @@ type t = {
   mutable breaker : breaker;
   mutable consec_failures : int;
   mutable estimate_s : float;
+  (* per-session observability cells: tenant-labeled when [name] is
+     given, the process-global unlabeled cells otherwise *)
+  h_query_s : Metrics.histogram;
+  fb_counter : fallback_reason -> Metrics.counter;
 }
+
+let session_metrics name =
+  match name with
+  | None -> (h_query, c_fallback)
+  | Some tenant ->
+      ( Metrics.histogram
+          ~labels:[ ("tenant", tenant) ]
+          ~bounds:(Metrics.exponential ~start:1e-6 ~factor:2.0 ~n:26)
+          "engine.query.seconds",
+        fun r ->
+          Metrics.counter
+            ~labels:[ ("reason", reason_label r); ("tenant", tenant) ]
+            "engine.fallback" )
 
 let now = Unix.gettimeofday
 
 let make_pool jobs =
   if jobs > 1 then Some (Pool.create ~domains:jobs ()) else None
 
-let of_sketch ?(jobs = 1) ?(timeout_s = 5.0) ?(retries = 2)
+let mk ?name ~core ~jobs ~timeout_s ~on_embedding ~build_s ~retries ~backoff_s
+    ~breaker_threshold ~breaker_cooldown_s ~max_embeddings ~max_embed_nodes
+    ?pool () =
+  let h_query_s, fb_counter = session_metrics name in
+  {
+    core;
+    name;
+    pool = (match pool with Some p -> p | None -> make_pool jobs);
+    n_jobs = jobs;
+    default_timeout = timeout_s;
+    on_embedding;
+    build_s;
+    retry_limit = retries;
+    backoff_s;
+    breaker_threshold;
+    breaker_cooldown_s;
+    max_embeddings;
+    max_embed_nodes;
+    closed = false;
+    queries_served = 0;
+    batches = 0;
+    timeouts = 0;
+    retries_total = 0;
+    degraded = 0;
+    breaker_trips = 0;
+    breaker = Closed;
+    consec_failures = 0;
+    estimate_s = 0.0;
+    h_query_s;
+    fb_counter;
+  }
+
+let check_session_args ~jobs ~retries =
+  if jobs < 1 then Error (Xerror.Engine "jobs must be >= 1")
+  else if retries < 0 then Error (Xerror.Engine "retries must be >= 0")
+  else Ok ()
+
+let of_sketch ?name ?(jobs = 1) ?(timeout_s = 5.0) ?(retries = 2)
     ?(backoff_s = 0.001) ?(breaker_threshold = 8) ?(breaker_cooldown_s = 0.25)
     ?(max_embeddings = 100_000) ?(max_embed_nodes = 1_000_000) ?on_embedding sk
     =
-  if jobs < 1 then Error (Xerror.Engine "jobs must be >= 1")
-  else if retries < 0 then Error (Xerror.Engine "retries must be >= 0")
-  else
-    Ok
-      {
-        sk;
-        coarse = Sketch.default_of_doc (Sketch.doc sk);
-        cache = Embed.create_cache (Sketch.synopsis sk);
-        pcache = Plan.create_cache (Sketch.synopsis sk);
-        pool = make_pool jobs;
-        n_jobs = jobs;
-        default_timeout = timeout_s;
-        on_embedding;
-        build_s = 0.0;
-        retry_limit = retries;
-        backoff_s;
-        breaker_threshold;
-        breaker_cooldown_s;
-        max_embeddings;
-        max_embed_nodes;
-        closed = false;
-        queries_served = 0;
-        batches = 0;
-        timeouts = 0;
-        retries_total = 0;
-        degraded = 0;
-        breaker_trips = 0;
-        breaker = Closed;
-        consec_failures = 0;
-        estimate_s = 0.0;
-      }
+  Result.map
+    (fun () ->
+      let core =
+        Sk
+          {
+            sk;
+            coarse = Sketch.default_of_doc (Sketch.doc sk);
+            cache = Embed.create_cache (Sketch.synopsis sk);
+            pcache = Plan.create_cache (Sketch.synopsis sk);
+          }
+      in
+      mk ?name ~core ~jobs ~timeout_s ~on_embedding ~build_s:0.0 ~retries
+        ~backoff_s ~breaker_threshold ~breaker_cooldown_s ~max_embeddings
+        ~max_embed_nodes ())
+    (check_session_args ~jobs ~retries)
 
-let create ?(seed = 42) ?(jobs = 1) ?candidates ?max_steps ?(timeout_s = 5.0)
-    ?(retries = 2) ?(backoff_s = 0.001) ?(breaker_threshold = 8)
-    ?(breaker_cooldown_s = 0.25) ?(max_embeddings = 100_000)
-    ?(max_embed_nodes = 1_000_000) ?on_embedding ~budget doc =
+let of_backend ?name ?(jobs = 1) ?(timeout_s = 5.0) ?(retries = 2)
+    ?(backoff_s = 0.001) ?(breaker_threshold = 8) ?(breaker_cooldown_s = 0.25)
+    ?on_embedding inst =
+  Result.map
+    (fun () ->
+      mk ?name ~core:(Bk inst) ~jobs ~timeout_s ~on_embedding ~build_s:0.0
+        ~retries ~backoff_s ~breaker_threshold ~breaker_cooldown_s
+        ~max_embeddings:max_int ~max_embed_nodes:max_int ())
+    (check_session_args ~jobs ~retries)
+
+let create ?name ?(seed = 42) ?(jobs = 1) ?candidates ?max_steps
+    ?(timeout_s = 5.0) ?(retries = 2) ?(backoff_s = 0.001)
+    ?(breaker_threshold = 8) ?(breaker_cooldown_s = 0.25)
+    ?(max_embeddings = 100_000) ?(max_embed_nodes = 1_000_000) ?on_embedding
+    ~budget doc =
   if budget <= 0 then Error (Xerror.Engine "budget must be positive")
   else if jobs < 1 then Error (Xerror.Engine "jobs must be >= 1")
   else if retries < 0 then Error (Xerror.Engine "retries must be >= 0")
@@ -177,34 +240,19 @@ let create ?(seed = 42) ?(jobs = 1) ?candidates ?max_steps ?(timeout_s = 5.0)
       | Some pc -> Plan.create_cache ~fallback:pc (Sketch.synopsis sk)
       | None -> Plan.create_cache (Sketch.synopsis sk)
     in
+    let core =
+      Sk
+        {
+          sk;
+          coarse = Sketch.default_of_doc doc;
+          cache = Embed.create_cache (Sketch.synopsis sk);
+          pcache;
+        }
+    in
     Ok
-      {
-        sk;
-        coarse = Sketch.default_of_doc doc;
-        cache = Embed.create_cache (Sketch.synopsis sk);
-        pcache;
-        pool;
-        n_jobs = jobs;
-        default_timeout = timeout_s;
-        on_embedding;
-        build_s;
-        retry_limit = retries;
-        backoff_s;
-        breaker_threshold;
-        breaker_cooldown_s;
-        max_embeddings;
-        max_embed_nodes;
-        closed = false;
-        queries_served = 0;
-        batches = 0;
-        timeouts = 0;
-        retries_total = 0;
-        degraded = 0;
-        breaker_trips = 0;
-        breaker = Closed;
-        consec_failures = 0;
-        estimate_s = 0.0;
-      }
+      (mk ?name ~core ~jobs ~timeout_s ~on_embedding ~build_s ~retries
+         ~backoff_s ~breaker_threshold ~breaker_cooldown_s ~max_embeddings
+         ~max_embed_nodes ~pool ())
   end
 
 (* Capped exponential backoff between retry attempts: base * 2^k,
@@ -214,18 +262,21 @@ let backoff t k =
   let d = Float.min (t.backoff_s *. (2.0 ** float_of_int k)) 0.05 in
   if d > 0.0 then Unix.sleepf d
 
-(* The coarse label-split estimate is the degradation floor; if even
-   that fails (it is pure arithmetic, so only a fault-injection hook or
-   a genuine bug could make it raise) the engine still answers. *)
-let coarse_estimate t q = try Est.estimate t.coarse q with _ -> 0.0
+(* The coarse estimate is the degradation floor; if even that fails
+   (for XSKETCH it is pure arithmetic, so only a fault-injection hook
+   or a genuine bug could make it raise) the engine still answers. *)
+let coarse_estimate t q =
+  match t.core with
+  | Sk { coarse; _ } -> ( try Est.estimate coarse q with _ -> 0.0)
+  | Bk inst -> ( try Backend.coarse inst q with _ -> 0.0)
 
 let degrade_answer t ~trace_id ~t0 ~reason ~retries q =
-  Metrics.incr (c_fallback reason);
+  Metrics.incr (t.fb_counter reason);
   Trace.instant
     ~args:[ ("trace_id", string_of_int trace_id) ]
     "engine.fallback";
   let elapsed_s = now () -. t0 in
-  Metrics.observe h_query elapsed_s;
+  Metrics.observe t.h_query_s elapsed_s;
   {
     query = q;
     estimate = coarse_estimate t q;
@@ -251,16 +302,29 @@ let eval_one t ~trace_id ~deadline q plans =
   let t0 = now () in
   let run_plans () =
     Fault.point "engine.query";
-    let n = Array.length plans in
-    let rec go acc i =
-      if i = n then Some acc
-      else if now () > deadline then None
-      else begin
-        (match t.on_embedding with None -> () | Some f -> f q);
-        go (acc +. Plan.run plans.(i)) (i + 1)
-      end
-    in
-    if now () > deadline then None else go 0.0 0
+    match t.core with
+    | Sk _ ->
+        let n = Array.length plans in
+        let rec go acc i =
+          if i = n then Some acc
+          else if now () > deadline then None
+          else begin
+            (match t.on_embedding with None -> () | Some f -> f q);
+            go (acc +. Plan.run plans.(i)) (i + 1)
+          end
+        in
+        if now () > deadline then None else go 0.0 0
+    | Bk inst ->
+        (* opaque backends evaluate in one step: the deadline is
+           checked before (and re-checked after, so an over-budget
+           answer still reports Timeout) but cannot interrupt the
+           estimate itself *)
+        if now () > deadline then None
+        else begin
+          (match t.on_embedding with None -> () | Some f -> f q);
+          let v = Backend.estimate inst q in
+          if now () > deadline then None else Some v
+        end
   in
   let rec attempt k =
     match run_plans () with
@@ -275,13 +339,13 @@ let eval_one t ~trace_id ~deadline q plans =
   let estimate, reason, retries = attempt 0 in
   (match reason with
   | Some r ->
-      Metrics.incr (c_fallback r);
+      Metrics.incr (t.fb_counter r);
       Trace.instant
         ~args:[ ("trace_id", string_of_int trace_id) ]
         "engine.fallback"
   | None -> ());
   let elapsed_s = now () -. t0 in
-  Metrics.observe h_query elapsed_s;
+  Metrics.observe t.h_query_s elapsed_s;
   { query = q; estimate; fallback = reason <> None; reason; retries; elapsed_s; trace_id }
 
 (* Owner-domain circuit-breaker gate, consulted once per query during
@@ -340,28 +404,34 @@ let compile_prep t ~timeout ~probe i q =
   if breaker_blocks t probe i then Error (Circuit_open, 0)
   else begin
     let deadline = now () +. timeout in
-    let rec attempt k =
-      match
-        let embs = Embed.embeddings_cached t.cache (Sketch.synopsis t.sk) q in
-        if List.length embs > t.max_embeddings then `Guard
-        else begin
-          let nodes =
-            List.fold_left (fun a e -> a + Embed.size e) 0 embs
-          in
-          if nodes > t.max_embed_nodes then `Guard
-          else
-            `Plans (Plan.plans_cached t.pcache ~key:(Embed.cache_key q) t.sk embs)
-        end
-      with
-      | `Plans plans -> Ok (plans, deadline, k)
-      | `Guard -> Error (Guard, k)
-      | exception _ when k < t.retry_limit && now () <= deadline ->
-          Metrics.incr c_retries;
-          backoff t k;
-          attempt (k + 1)
-      | exception _ -> Error (Fault, k)
-    in
-    if now () > deadline then Error (Timeout, 0) else attempt 0
+    match t.core with
+    | Bk _ ->
+        (* opaque backends have no compile phase: evaluation happens
+           in eval_one, under the same deadline *)
+        Ok ([||], deadline, 0)
+    | Sk { sk; cache; pcache; _ } ->
+        let rec attempt k =
+          match
+            let embs = Embed.embeddings_cached cache (Sketch.synopsis sk) q in
+            if List.length embs > t.max_embeddings then `Guard
+            else begin
+              let nodes =
+                List.fold_left (fun a e -> a + Embed.size e) 0 embs
+              in
+              if nodes > t.max_embed_nodes then `Guard
+              else
+                `Plans (Plan.plans_cached pcache ~key:(Embed.cache_key q) sk embs)
+            end
+          with
+          | `Plans plans -> Ok (plans, deadline, k)
+          | `Guard -> Error (Guard, k)
+          | exception _ when k < t.retry_limit && now () <= deadline ->
+              Metrics.incr c_retries;
+              backoff t k;
+              attempt (k + 1)
+          | exception _ -> Error (Fault, k)
+        in
+        if now () > deadline then Error (Timeout, 0) else attempt 0
   end
 
 let estimate_batch ?timeout_s t queries =
@@ -381,8 +451,11 @@ let estimate_batch ?timeout_s t queries =
       (* enumeration and plan compilation on the owner domain against
          the session caches; frozen before any fan-out (the cache
          ownership rule) *)
-      Embed.thaw t.cache;
-      Plan.thaw t.pcache;
+      (match t.core with
+      | Sk { cache; pcache; _ } ->
+          Embed.thaw cache;
+          Plan.thaw pcache
+      | Bk _ -> ());
       let probe = ref None in
       let prepped =
         Trace.with_span ~name:"engine.embed_batch" (fun () ->
@@ -390,8 +463,11 @@ let estimate_batch ?timeout_s t queries =
               (fun i q -> (q, compile_prep t ~timeout ~probe i q))
               queries)
       in
-      Embed.freeze t.cache;
-      Plan.freeze t.pcache;
+      (match t.core with
+      | Sk { cache; pcache; _ } ->
+          Embed.freeze cache;
+          Plan.freeze pcache
+      | Bk _ -> ());
       let earr = Array.of_list prepped in
       let run (q, prep) =
         match prep with
@@ -472,7 +548,18 @@ let estimate ?timeout_s t q =
   | Ok _ -> assert false
   | Error e -> Error e
 
-let sketch t = t.sk
+let sketch t =
+  match t.core with
+  | Sk { sk; _ } -> sk
+  | Bk inst ->
+      invalid_arg
+        (Printf.sprintf "Engine.sketch: %s-backend session has no sketch"
+           (Backend.name_of inst))
+
+let backend_name t =
+  match t.core with Sk _ -> "xsketch" | Bk inst -> Backend.name_of inst
+
+let name t = t.name
 
 let breaker_state t =
   match t.breaker with
@@ -482,8 +569,13 @@ let breaker_state t =
 
 let stats t =
   {
+    name = Option.value t.name ~default:"";
+    backend = backend_name t;
     jobs = t.n_jobs;
-    sketch_bytes = Sketch.size_bytes t.sk;
+    sketch_bytes =
+      (match t.core with
+      | Sk { sk; _ } -> Sketch.size_bytes sk
+      | Bk inst -> Backend.size_bytes inst);
     queries_served = t.queries_served;
     batches = t.batches;
     timeouts = t.timeouts;

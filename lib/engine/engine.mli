@@ -79,6 +79,11 @@ type answer = {
 }
 
 type stats = {
+  name : string;  (** the session's tenant label ([""] if unnamed) *)
+  backend : string;
+      (** which estimator answers: ["xsketch"] for {!of_sketch} /
+          {!create} sessions, the backend's registry name for
+          {!of_backend} sessions *)
   jobs : int;  (** worker domains serving this session (1 = inline) *)
   sketch_bytes : int;
   queries_served : int;
@@ -94,6 +99,7 @@ type stats = {
 }
 
 val create :
+  ?name:string ->
   ?seed:int ->
   ?jobs:int ->
   ?candidates:int ->
@@ -127,6 +133,7 @@ val create :
     count embedding visits. *)
 
 val of_sketch :
+  ?name:string ->
   ?jobs:int ->
   ?timeout_s:float ->
   ?retries:int ->
@@ -139,7 +146,32 @@ val of_sketch :
   Xtwig_sketch.Sketch.t ->
   (t, Xtwig_util.Xerror.t) result
 (** Open a session over an already-built (or loaded) sketch. Same
-    defaults as {!create}. *)
+    defaults as {!create}. [name] is the session's tenant label: when
+    given, the session's [engine.query.seconds] histogram and
+    [engine.fallback] counters carry a [tenant] label, so a
+    multi-sketch catalog (the [xtwigd] service, the CLI's per-tenant
+    stats) reports each sketch separately instead of one global
+    blob. *)
+
+val of_backend :
+  ?name:string ->
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_s:float ->
+  ?on_embedding:(Xtwig_path.Path_types.twig -> unit) ->
+  Xtwig_backend.Estimator_backend.instance ->
+  (t, Xtwig_util.Xerror.t) result
+(** Open a session over any registered estimator backend (see
+    {!Xtwig_backend.Estimator_backend}): the same hardening fabric —
+    retry with backoff, circuit breaker, timeout degradation to the
+    backend's [coarse] floor — around an opaque [estimate] function.
+    Differences from the compiled XSKETCH path: evaluation is one
+    uninterruptible step (the deadline is checked before and after,
+    never inside), and the embedding-cardinality guards do not apply
+    (no embedding enumeration happens here). *)
 
 val estimate_batch :
   ?timeout_s:float -> t -> Xtwig_path.Path_types.twig list ->
@@ -163,6 +195,17 @@ val estimate :
 (** One-query batch. *)
 
 val sketch : t -> Xtwig_sketch.Sketch.t
+(** The session's sketch. Raises [Invalid_argument] on an
+    {!of_backend} session — those have no [Sketch.t]; use
+    {!backend_name} to tell the two apart. *)
+
+val backend_name : t -> string
+(** ["xsketch"] for {!create}/{!of_sketch} sessions, the backend's
+    registry name otherwise. *)
+
+val name : t -> string option
+(** The tenant label the session was opened with. *)
+
 val stats : t -> stats
 
 val breaker_state : t -> [ `Closed | `Open | `Half_open ]

@@ -1,6 +1,13 @@
 module Doc = Xtwig_xml.Doc
 module Value = Xtwig_xml.Value
 
+(* the fixture queries are literals; a parse failure is a bug here,
+   not an input error *)
+let twig s =
+  match Xtwig_path.Path_parser.parse_twig_res s with
+  | Ok t -> t
+  | Error e -> failwith (Xtwig_util.Xerror.to_string e)
+
 let paper b author ~year ~keywords =
   let p = Doc.Builder.child b author "paper" in
   ignore (Doc.Builder.child b p ~value:(Value.Text "a title") "title");
@@ -35,7 +42,7 @@ let bibliography () =
   Doc.Builder.finish b
 
 let example_2_1_query () =
-  Xtwig_path.Path_parser.twig_of_string
+  twig
     "for t0 in //author, t1 in t0/name, t2 in t0/paper[year[. > 2000]], \
      t3 in t2/title, t4 in t2/keyword"
 
@@ -58,7 +65,7 @@ let figure_4_doc_a () = figure_4 [ (10, 100); (100, 10) ]
 let figure_4_doc_b () = figure_4 [ (10, 10); (100, 100) ]
 
 let figure_4_query () =
-  Xtwig_path.Path_parser.twig_of_string "for t0 in //a, t1 in t0/b, t2 in t0/c"
+  twig "for t0 in //a, t1 in t0/b, t2 in t0/c"
 
 let movie_fragment () =
   let b = Doc.Builder.create () in

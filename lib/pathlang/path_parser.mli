@@ -20,8 +20,6 @@
     [';']; each non-first binding must start with a previously bound
     variable. A trailing [return ...] clause is ignored. *)
 
-exception Parse_error of string
-
 val parse_path_res : string -> (Path_types.path, Xtwig_util.Xerror.t) result
 (** Errors are [Xerror.Parse (Path, _)]. This is the supported entry
     point. *)
@@ -29,11 +27,3 @@ val parse_path_res : string -> (Path_types.path, Xtwig_util.Xerror.t) result
 val parse_twig_res : string -> (Path_types.twig, Xtwig_util.Xerror.t) result
 (** Errors are [Xerror.Parse (Twig, _)], including re-bound or unbound
     variables. This is the supported entry point. *)
-
-val path_of_string : string -> Path_types.path
-(** @deprecated Use {!parse_path_res}; this raises {!Parse_error} with
-    the same message. *)
-
-val twig_of_string : string -> Path_types.twig
-(** @deprecated Use {!parse_twig_res}; this raises {!Parse_error} with
-    the same message. *)

@@ -1,0 +1,67 @@
+(** The server's set of named tenants, each an estimation session over
+    its own document and synopsis.
+
+    A tenant is declared by a {!source} — where its document lives,
+    where (or how) its synopsis comes from — and holds one live
+    {!Xtwig.Engine.t} opened through the {!Xtwig} facade with the
+    tenant's name, so every engine metric carries a [tenant] label.
+
+    {2 Hot reload}
+
+    {!reload} re-reads the tenant's source files and opens a {e new}
+    engine before touching the old one: on any failure (missing file,
+    corrupt sketch, mismatched document) the old engine keeps serving
+    and the error is returned to the caller — a bad deploy cannot take
+    a tenant down. On success the engines swap, the generation number
+    increments, and the old session is closed. Combined with
+    [Sketch_io]'s atomic-rename writes (a sketch file is never
+    observable half-written), this is the zero-downtime reload path:
+    write the new sketch, then send [reload]. *)
+
+type source = {
+  doc_path : string;
+  sketch_path : string option;
+      (** [None]: build at load time with [budget]/[seed]. *)
+  backend : string;  (** registry name; ["xsketch"] is the fast path *)
+  budget : int;
+  seed : int;
+}
+
+val source :
+  ?sketch_path:string -> ?backend:string -> ?budget:int -> ?seed:int ->
+  string -> source
+(** [source doc_path] with defaults [backend = "xsketch"],
+    [budget = 8192], [seed = 42]. *)
+
+type tenant
+
+val tenant_name : tenant -> string
+val tenant_generation : tenant -> int
+(** 1 after the initial load, +1 per successful {!reload}. *)
+
+val engine : tenant -> Xtwig.Engine.t
+val tenant_doc : tenant -> Xtwig.doc
+
+type t
+
+val create :
+  ?jobs:int ->
+  ?timeout_s:float ->
+  (string * source) list ->
+  (t, Xtwig.Xerror.t) result
+(** Load every tenant (building or reading each synopsis); the first
+    failure aborts, closing the tenants already opened. Tenant names
+    must be nonempty, unique, and use only [[A-Za-z0-9._-]] (they
+    travel on protocol header lines). *)
+
+val find : t -> string -> (tenant, Xtwig.Xerror.t) result
+(** [Xerror.Usage] naming the known tenants on a miss. *)
+
+val names : t -> string list
+(** In declaration order. *)
+
+val reload : t -> string -> (int, Xtwig.Xerror.t) result
+(** Returns the new generation. See the module preamble for the
+    keep-the-old-engine failure contract. *)
+
+val close : t -> unit

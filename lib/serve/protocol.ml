@@ -1,0 +1,245 @@
+module Xerror = Xtwig.Xerror
+
+type request =
+  | Ping
+  | List
+  | Metrics
+  | Stats of string
+  | Reload of string
+  | Estimate of { tenant : string; query : string }
+  | Batch of { tenant : string; queries : string list }
+
+type response = Reply of string | Fail of Xerror.t
+
+let max_frame = 16 * 1024 * 1024
+
+let frame payload =
+  let n = String.length payload in
+  if n > max_frame then invalid_arg "Protocol.frame: payload over max_frame";
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+(* ---------------- incremental decoder ---------------- *)
+
+type decoder = { mutable buf : Bytes.t; mutable len : int }
+
+let decoder () = { buf = Bytes.create 4096; len = 0 }
+
+let feed d src n =
+  let cap = Bytes.length d.buf in
+  if d.len + n > cap then begin
+    let cap' = max (d.len + n) (2 * cap) in
+    let buf' = Bytes.create cap' in
+    Bytes.blit d.buf 0 buf' 0 d.len;
+    d.buf <- buf'
+  end;
+  Bytes.blit src 0 d.buf d.len n;
+  d.len <- d.len + n
+
+let next_frame d =
+  if d.len < 4 then Ok None
+  else
+    let n = Int32.to_int (Bytes.get_int32_be d.buf 0) in
+    if n < 0 || n > max_frame then
+      Error (Printf.sprintf "frame length %d out of bounds" n)
+    else if d.len < 4 + n then Ok None
+    else begin
+      let payload = Bytes.sub_string d.buf 4 n in
+      Bytes.blit d.buf (4 + n) d.buf 0 (d.len - 4 - n);
+      d.len <- d.len - 4 - n;
+      Ok (Some payload)
+    end
+
+(* ---------------- codec ---------------- *)
+
+let split_header payload =
+  match String.index_opt payload '\n' with
+  | None -> (payload, "")
+  | Some i ->
+      ( String.sub payload 0 i,
+        String.sub payload (i + 1) (String.length payload - i - 1) )
+
+let body_lines body = if body = "" then [] else String.split_on_char '\n' body
+
+let encode_request ~id req =
+  match req with
+  | Ping -> Printf.sprintf "%d ping" id
+  | List -> Printf.sprintf "%d list" id
+  | Metrics -> Printf.sprintf "%d metrics" id
+  | Stats t -> Printf.sprintf "%d stats %s" id t
+  | Reload t -> Printf.sprintf "%d reload %s" id t
+  | Estimate { tenant; query } -> Printf.sprintf "%d estimate %s\n%s" id tenant query
+  | Batch { tenant; queries } ->
+      Printf.sprintf "%d batch %s\n%s" id tenant (String.concat "\n" queries)
+
+let parse_id s =
+  match int_of_string_opt s with
+  | Some id when id >= 0 -> Ok id
+  | _ -> Error (Printf.sprintf "bad request id %S" s)
+
+(* tenant names travel on the header line, so they cannot contain
+   whitespace or newlines; the catalog enforces the same alphabet *)
+let valid_tenant t =
+  t <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '.')
+       t
+
+let check_tenant t k = if valid_tenant t then Ok (k t) else Error ("bad tenant name " ^ t)
+
+let decode_request payload =
+  let header, body = split_header payload in
+  match String.split_on_char ' ' header with
+  | [ id; "ping" ] -> Result.map (fun id -> (id, Ping)) (parse_id id)
+  | [ id; "list" ] -> Result.map (fun id -> (id, List)) (parse_id id)
+  | [ id; "metrics" ] -> Result.map (fun id -> (id, Metrics)) (parse_id id)
+  | [ id; "stats"; t ] ->
+      Result.bind (parse_id id) (fun id -> check_tenant t (fun t -> (id, Stats t)))
+  | [ id; "reload"; t ] ->
+      Result.bind (parse_id id) (fun id -> check_tenant t (fun t -> (id, Reload t)))
+  | [ id; "estimate"; t ] ->
+      Result.bind (parse_id id) (fun id ->
+          check_tenant t (fun t -> (id, Estimate { tenant = t; query = body })))
+  | [ id; "batch"; t ] ->
+      Result.bind (parse_id id) (fun id ->
+          check_tenant t (fun t -> (id, Batch { tenant = t; queries = body_lines body })))
+  | _ -> Error (Printf.sprintf "bad request header %S" header)
+
+let error_class = function
+  | Xerror.Usage _ -> "usage"
+  | Xerror.Parse (Xerror.Xml, _) -> "parse-xml"
+  | Xerror.Parse (Xerror.Path, _) -> "parse-path"
+  | Xerror.Parse (Xerror.Twig, _) -> "parse-twig"
+  | Xerror.Io _ -> "io"
+  | Xerror.Sketch_format _ -> "sketch-format"
+  | Xerror.Corrupt _ -> "corrupt"
+  | Xerror.Engine _ -> "engine"
+  | Xerror.Overload _ -> "overload"
+
+let error_of_class cls msg =
+  match cls with
+  | "usage" -> Ok (Xerror.Usage msg)
+  | "parse-xml" -> Ok (Xerror.Parse (Xerror.Xml, msg))
+  | "parse-path" -> Ok (Xerror.Parse (Xerror.Path, msg))
+  | "parse-twig" -> Ok (Xerror.Parse (Xerror.Twig, msg))
+  | "io" -> Ok (Xerror.Io msg)
+  | "sketch-format" -> Ok (Xerror.Sketch_format msg)
+  | "corrupt" -> Ok (Xerror.Corrupt msg)
+  | "engine" -> Ok (Xerror.Engine msg)
+  | "overload" -> Ok (Xerror.Overload msg)
+  | _ -> Error (Printf.sprintf "unknown error class %S" cls)
+
+(* error messages may span lines (parser positions, paths); they ride
+   in the body with the class on the header line *)
+let encode_response ~id resp =
+  match resp with
+  | Reply "" -> Printf.sprintf "%d ok" id
+  | Reply body -> Printf.sprintf "%d ok\n%s" id body
+  | Fail e ->
+      Printf.sprintf "%d err %s\n%s" id (error_class e) (Xerror.payload e)
+
+let decode_response payload =
+  let header, body = split_header payload in
+  match String.split_on_char ' ' header with
+  | [ id; "ok" ] -> Result.map (fun id -> (id, Reply body)) (parse_id id)
+  | [ id; "err"; cls ] ->
+      Result.bind (parse_id id) (fun id ->
+          Result.map (fun e -> (id, Fail e)) (error_of_class cls body))
+  | _ -> Error (Printf.sprintf "bad response header %S" header)
+
+(* ---------------- answers ---------------- *)
+
+type wire_answer = { estimate : float; fallback : bool; reason : string }
+
+let reason_token = function
+  | None -> "-"
+  | Some Xtwig.Engine.Timeout -> "timeout"
+  | Some Xtwig.Engine.Fault -> "fault"
+  | Some Xtwig.Engine.Circuit_open -> "circuit-open"
+  | Some Xtwig.Engine.Guard -> "guard"
+
+let encode_answer (a : Xtwig.Engine.answer) =
+  Printf.sprintf "%h %d %s" a.Xtwig.Engine.estimate
+    (if a.Xtwig.Engine.fallback then 1 else 0)
+    (reason_token a.Xtwig.Engine.reason)
+
+let decode_answer line =
+  match String.split_on_char ' ' line with
+  | [ est; fb; reason ] -> (
+      match (float_of_string_opt est, fb) with
+      | Some estimate, ("0" | "1") ->
+          Ok { estimate; fallback = fb = "1"; reason }
+      | _ -> Error (Printf.sprintf "bad answer line %S" line))
+  | _ -> Error (Printf.sprintf "bad answer line %S" line)
+
+(* ---------------- client ---------------- *)
+
+module Client = struct
+  type t = { fd : Unix.file_descr; dec : decoder; rbuf : Bytes.t }
+
+  let wrap_io f =
+    match f () with
+    | v -> Ok v
+    | exception Unix.Unix_error (e, fn, _) ->
+        Error (Xerror.Io (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+
+  let connect sockaddr domain =
+    wrap_io (fun () ->
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd sockaddr
+         with e ->
+           Unix.close fd;
+           raise e);
+        { fd; dec = decoder (); rbuf = Bytes.create 65536 })
+
+  let connect_unix path = connect (Unix.ADDR_UNIX path) Unix.PF_UNIX
+
+  let connect_tcp host port =
+    match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+    | [] -> Error (Xerror.Io (Printf.sprintf "cannot resolve %s:%d" host port))
+    | ai :: _ -> connect ai.Unix.ai_addr ai.Unix.ai_family
+
+  let send t ~id req =
+    let bytes = frame (encode_request ~id req) in
+    wrap_io (fun () ->
+        let n = String.length bytes in
+        let sent = ref 0 in
+        while !sent < n do
+          sent :=
+            !sent + Unix.write_substring t.fd bytes !sent (n - !sent)
+        done)
+
+  let rec recv t =
+    match next_frame t.dec with
+    | Error msg -> Error (Xerror.Io ("protocol: " ^ msg))
+    | Ok (Some payload) -> (
+        match decode_response payload with
+        | Ok r -> Ok r
+        | Error msg -> Error (Xerror.Io ("protocol: " ^ msg)))
+    | Ok None -> (
+        match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
+        | 0 -> Error (Xerror.Io "connection closed by server")
+        | n ->
+            feed t.dec t.rbuf n;
+            recv t
+        | exception Unix.Unix_error (e, fn, _) ->
+            Error (Xerror.Io (Printf.sprintf "%s: %s" fn (Unix.error_message e))))
+
+  let call t ~id req =
+    Result.bind (send t ~id req) (fun () ->
+        Result.bind (recv t) (fun (rid, resp) ->
+            if rid = id then Ok resp
+            else
+              Error
+                (Xerror.Io
+                   (Printf.sprintf "response id %d for request %d (pipelined \
+                                    requests need send/recv)" rid id))))
+
+  let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+end

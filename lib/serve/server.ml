@@ -1,0 +1,478 @@
+module Xerror = Xtwig.Xerror
+module Engine = Xtwig.Engine
+module Metrics = Xtwig_obs.Metrics
+module Fault = Xtwig_fault.Fault
+
+type config = {
+  listen : [ `Unix of string | `Tcp of string * int ];
+  jobs : int;
+  timeout_s : float;
+  queue_cap : int;
+}
+
+let default_config =
+  { listen = `Unix "xtwigd.sock"; jobs = 1; timeout_s = 5.0; queue_cap = 64 }
+
+(* ---------------- metrics ---------------- *)
+
+let m_accepted = Metrics.counter "serve.accepted"
+let m_conns = Metrics.gauge "serve.connections"
+let m_uncaught = Metrics.counter "serve.uncaught"
+let m_request verb = Metrics.counter ~labels:[ ("verb", verb) ] "serve.requests"
+let m_shed tenant = Metrics.counter ~labels:[ ("tenant", tenant) ] "serve.shed"
+
+let m_reloads tenant =
+  Metrics.counter ~labels:[ ("tenant", tenant) ] "serve.reloads"
+
+let g_queue tenant =
+  Metrics.gauge ~labels:[ ("tenant", tenant) ] "serve.queue_depth"
+
+let h_request = Metrics.histogram "serve.request.seconds"
+
+(* ---------------- connections ---------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Protocol.decoder;
+  outq : string Queue.t;  (* frames waiting to be written *)
+  mutable out_off : int;  (* consumed prefix of the head frame *)
+  mutable alive : bool;
+  rbuf : Bytes.t;
+}
+
+type item = {
+  conn : conn;
+  id : int;
+  work : [ `Batch of Xtwig.twig list | `Reload ];
+  enqueued_at : float;
+}
+
+type t = {
+  cfg : config;
+  cat : Catalog.t;
+  listen_fd : Unix.file_descr;
+  unix_path : string option;
+  stopping : bool Atomic.t;
+  mutable conns : conn list;
+  queues : (string, item Queue.t) Hashtbl.t;
+}
+
+let catalog t = t.cat
+
+let port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, p) -> Some p
+  | _ -> None
+
+let stop t = Atomic.set t.stopping true
+
+(* ---------------- setup ---------------- *)
+
+let bind_listen = function
+  | `Unix path ->
+      (* replace a stale socket file; refuse to unlink anything else *)
+      (match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+      | _ -> failwith (path ^ " exists and is not a socket")
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, Some path)
+  | `Tcp (host, p) ->
+      let addr =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (addr, p));
+      Unix.listen fd 64;
+      (fd, None)
+
+let create cfg tenants =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match Catalog.create ~jobs:cfg.jobs ~timeout_s:cfg.timeout_s tenants with
+  | Error e -> Error e
+  | Ok cat -> (
+      match bind_listen cfg.listen with
+      | fd, unix_path ->
+          Unix.set_nonblock fd;
+          Ok
+            {
+              cfg;
+              cat;
+              listen_fd = fd;
+              unix_path;
+              stopping = Atomic.make false;
+              conns = [];
+              queues = Hashtbl.create 16;
+            }
+      | exception exn ->
+          Catalog.close cat;
+          Error (Xerror.Io (Printexc.to_string exn)))
+
+(* ---------------- output ---------------- *)
+
+let close_conn t conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    Metrics.set m_conns (float_of_int (List.length t.conns - 1))
+  end
+
+let respond conn ~id resp =
+  if conn.alive then
+    Queue.add (Protocol.frame (Protocol.encode_response ~id resp)) conn.outq
+
+let finish_item it resp =
+  Metrics.observe h_request (Unix.gettimeofday () -. it.enqueued_at);
+  respond it.conn ~id:it.id resp
+
+(* drain as much pending output as the socket accepts; connection
+   failures (peer gone, injected serve.write fault) drop the conn *)
+let flush_conn t conn =
+  try
+    Fault.point "serve.write";
+    let progress = ref true in
+    while conn.alive && !progress && not (Queue.is_empty conn.outq) do
+      let head = Queue.peek conn.outq in
+      let remaining = String.length head - conn.out_off in
+      match Unix.write_substring conn.fd head conn.out_off remaining with
+      | 0 -> progress := false
+      | n ->
+          if n = remaining then begin
+            ignore (Queue.pop conn.outq);
+            conn.out_off <- 0
+          end
+          else begin
+            conn.out_off <- conn.out_off + n;
+            progress := false
+          end
+      | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+          progress := false
+    done
+  with
+  | Fault.Injected _ | Unix.Unix_error _ -> close_conn t conn
+
+(* ---------------- request handling ---------------- *)
+
+let queue_of t tenant =
+  match Hashtbl.find_opt t.queues tenant with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add t.queues tenant q;
+      q
+
+let stats_body tn =
+  let st = Engine.stats (Catalog.engine tn) in
+  let breaker =
+    match Engine.breaker_state (Catalog.engine tn) with
+    | `Closed -> "closed"
+    | `Open -> "open"
+    | `Half_open -> "half-open"
+  in
+  String.concat "\n"
+    [
+      "name " ^ st.Engine.name;
+      "backend " ^ st.Engine.backend;
+      Printf.sprintf "generation %d" (Catalog.tenant_generation tn);
+      Printf.sprintf "jobs %d" st.Engine.jobs;
+      Printf.sprintf "sketch_bytes %d" st.Engine.sketch_bytes;
+      Printf.sprintf "queries_served %d" st.Engine.queries_served;
+      Printf.sprintf "batches %d" st.Engine.batches;
+      Printf.sprintf "timeouts %d" st.Engine.timeouts;
+      Printf.sprintf "retries %d" st.Engine.retries;
+      Printf.sprintf "degraded %d" st.Engine.degraded;
+      Printf.sprintf "breaker_trips %d" st.Engine.breaker_trips;
+      "breaker " ^ breaker;
+    ]
+
+let list_body t =
+  String.concat "\n"
+    (List.map
+       (fun name ->
+         match Catalog.find t.cat name with
+         | Ok tn ->
+             let st = Engine.stats (Catalog.engine tn) in
+             Printf.sprintf "%s %d %s %d" name
+               (Catalog.tenant_generation tn)
+               st.Engine.backend st.Engine.sketch_bytes
+         | Error _ -> name)
+       (Catalog.names t.cat))
+
+(* parse every query of a batch up front: a malformed query rejects
+   the whole request before it costs any engine work *)
+let parse_queries qs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | q :: rest -> (
+        match Xtwig.twig_of_string q with
+        | Ok tw -> go (tw :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] qs
+
+let admit t tenant_name tn n_queued_item =
+  let q = queue_of t tenant_name in
+  if Queue.length q >= t.cfg.queue_cap then
+    Error
+      (Xerror.Overload
+         (Printf.sprintf "tenant %s: queue full (%d pending)" tenant_name
+            (Queue.length q)))
+  else if Engine.breaker_state (Catalog.engine tn) = `Open then
+    Error
+      (Xerror.Overload
+         (Printf.sprintf "tenant %s: circuit breaker open" tenant_name))
+  else begin
+    Queue.add n_queued_item q;
+    Metrics.set (g_queue tenant_name) (float_of_int (Queue.length q));
+    Ok ()
+  end
+
+let rec handle_request t conn id req =
+  let now = Unix.gettimeofday () in
+  match req with
+  | Protocol.Ping ->
+      Metrics.incr (m_request "ping");
+      respond conn ~id (Protocol.Reply ("pong " ^ Xtwig.version))
+  | Protocol.List ->
+      Metrics.incr (m_request "list");
+      respond conn ~id (Protocol.Reply (list_body t))
+  | Protocol.Metrics ->
+      Metrics.incr (m_request "metrics");
+      respond conn ~id (Protocol.Reply (Xtwig.metrics_render ()))
+  | Protocol.Stats tenant -> (
+      Metrics.incr (m_request "stats");
+      match Catalog.find t.cat tenant with
+      | Ok tn -> respond conn ~id (Protocol.Reply (stats_body tn))
+      | Error e -> respond conn ~id (Protocol.Fail e))
+  | Protocol.Reload tenant -> (
+      Metrics.incr (m_request "reload");
+      match Catalog.find t.cat tenant with
+      | Ok _ ->
+          (* not subject to the queue cap: the control plane must be
+             able to reload a tenant that is drowning *)
+          Queue.add
+            { conn; id; work = `Reload; enqueued_at = now }
+            (queue_of t tenant)
+      | Error e -> respond conn ~id (Protocol.Fail e))
+  | Protocol.Estimate { tenant; query } ->
+      Metrics.incr (m_request "estimate");
+      enqueue_batch t conn id tenant [ query ] now
+  | Protocol.Batch { tenant; queries } ->
+      Metrics.incr (m_request "batch");
+      enqueue_batch t conn id tenant queries now
+
+and enqueue_batch t conn id tenant queries now =
+  match Catalog.find t.cat tenant with
+  | Error e -> respond conn ~id (Protocol.Fail e)
+  | Ok tn -> (
+      match parse_queries queries with
+      | Error e -> respond conn ~id (Protocol.Fail e)
+      | Ok [] -> respond conn ~id (Protocol.Reply "")
+      | Ok twigs -> (
+          match
+            admit t tenant tn { conn; id; work = `Batch twigs; enqueued_at = now }
+          with
+          | Ok () -> ()
+          | Error e ->
+              Metrics.incr (m_shed tenant);
+              respond conn ~id (Protocol.Fail e)))
+
+(* ---------------- queue processing ---------------- *)
+
+(* answer a coalesced run of batch items with one engine call; the
+   engine returns answers in query order, so slicing them back per
+   request preserves each request's order *)
+let process_run t tenant_name (items : item list) =
+  match Catalog.find t.cat tenant_name with
+  | Error e -> List.iter (fun it -> finish_item it (Protocol.Fail e)) items
+  | Ok tn -> (
+      let queries =
+        List.concat_map
+          (fun it -> match it.work with `Batch qs -> qs | `Reload -> [])
+          items
+      in
+      match
+        Fault.point "serve.batch";
+        Engine.estimate_batch (Catalog.engine tn) queries
+      with
+      | Ok answers ->
+          let rest = ref answers in
+          List.iter
+            (fun it ->
+              match it.work with
+              | `Reload -> ()
+              | `Batch qs ->
+                  let n = List.length qs in
+                  let mine = List.filteri (fun i _ -> i < n) !rest in
+                  rest := List.filteri (fun i _ -> i >= n) !rest;
+                  finish_item it
+                    (Protocol.Reply
+                       (String.concat "\n" (List.map Protocol.encode_answer mine))))
+            items
+      | Error e -> List.iter (fun it -> finish_item it (Protocol.Fail e)) items
+      | exception Fault.Injected { point; _ } ->
+          let e = Xerror.Engine ("injected fault at " ^ point) in
+          List.iter (fun it -> finish_item it (Protocol.Fail e)) items)
+
+let process_reload t tenant_name it =
+  match
+    Fault.point "serve.reload";
+    Catalog.reload t.cat tenant_name
+  with
+  | Ok generation ->
+      Metrics.incr (m_reloads tenant_name);
+      finish_item it (Protocol.Reply (string_of_int generation))
+  | Error e -> finish_item it (Protocol.Fail e)
+  | exception Fault.Injected { point; _ } ->
+      finish_item it (Protocol.Fail (Xerror.Engine ("injected fault at " ^ point)))
+
+let drain_queue t tenant_name q =
+  while not (Queue.is_empty q) do
+    (* take the maximal prefix of estimate/batch items: one engine
+       call for the whole run; a reload is processed alone, so it
+       barriers the queue *)
+    let run = ref [] in
+    let stop = ref false in
+    while (not !stop) && not (Queue.is_empty q) do
+      match (Queue.peek q).work with
+      | `Batch _ -> run := Queue.pop q :: !run
+      | `Reload -> stop := true
+    done;
+    (match List.rev !run with
+    | [] -> ()
+    | items -> process_run t tenant_name items);
+    if (not (Queue.is_empty q)) && (Queue.peek q).work = `Reload then
+      process_reload t tenant_name (Queue.pop q)
+  done;
+  Metrics.set (g_queue tenant_name) 0.0
+
+let process_queues t =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.queues name with
+      | Some q when not (Queue.is_empty q) -> drain_queue t name q
+      | _ -> ())
+    (Catalog.names t.cat)
+
+(* ---------------- input ---------------- *)
+
+let handle_frame t conn payload =
+  match
+    Fault.point "serve.decode";
+    Protocol.decode_request payload
+  with
+  | Ok (id, req) -> handle_request t conn id req
+  | Error msg -> (
+      (* undecodable: answer on the id if the header carries one,
+         otherwise the frame is unanswerable — drop it *)
+      match String.split_on_char ' ' payload with
+      | id :: _ when int_of_string_opt id <> None ->
+          respond conn ~id:(int_of_string id) (Protocol.Fail (Xerror.Usage msg))
+      | _ -> ())
+  | exception Fault.Injected { point; _ } -> (
+      match String.split_on_char ' ' payload with
+      | id :: _ when int_of_string_opt id <> None ->
+          respond conn ~id:(int_of_string id)
+            (Protocol.Fail (Xerror.Engine ("injected fault at " ^ point)))
+      | _ -> ())
+
+let read_conn t conn =
+  try
+    Fault.point "serve.read";
+    match Unix.read conn.fd conn.rbuf 0 (Bytes.length conn.rbuf) with
+    | 0 -> close_conn t conn
+    | n ->
+        Protocol.feed conn.dec conn.rbuf n;
+        let continue = ref true in
+        while !continue && conn.alive do
+          match Protocol.next_frame conn.dec with
+          | Ok (Some payload) -> handle_frame t conn payload
+          | Ok None -> continue := false
+          | Error _ ->
+              (* oversized frame: unrecoverable framing state *)
+              close_conn t conn
+        done
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> ()
+  with
+  | Fault.Injected _ | Unix.Unix_error _ -> close_conn t conn
+
+let accept_conns t =
+  let continue = ref true in
+  while !continue do
+    match
+      Fault.point "serve.accept";
+      Unix.accept ~cloexec:true t.listen_fd
+    with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        Metrics.incr m_accepted;
+        let conn =
+          {
+            fd;
+            dec = Protocol.decoder ();
+            outq = Queue.create ();
+            out_off = 0;
+            alive = true;
+            rbuf = Bytes.create 65536;
+          }
+        in
+        t.conns <- conn :: t.conns;
+        Metrics.set m_conns (float_of_int (List.length t.conns))
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+        continue := false
+    | exception Fault.Injected _ ->
+        (* the pending connection stays in the backlog; the next tick
+           will offer it again *)
+        continue := false
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+(* ---------------- main loop ---------------- *)
+
+let teardown t =
+  List.iter (fun c -> close_conn t c) t.conns;
+  t.conns <- [];
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.unix_path with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ());
+  Catalog.close t.cat;
+  Metrics.set m_conns 0.0
+
+let serve t =
+  while not (Atomic.get t.stopping) do
+    (try
+       let reads = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+       let writes =
+         List.filter_map
+           (fun c -> if Queue.is_empty c.outq then None else Some c.fd)
+           t.conns
+       in
+       let readable, writable, _ =
+         try Unix.select reads writes [] 0.05
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+       in
+       if List.mem t.listen_fd readable then accept_conns t;
+       List.iter
+         (fun c ->
+           if c.alive && List.mem c.fd readable then read_conn t c)
+         t.conns;
+       process_queues t;
+       List.iter
+         (fun c ->
+           if c.alive && (List.mem c.fd writable || not (Queue.is_empty c.outq))
+           then flush_conn t c)
+         t.conns;
+       t.conns <- List.filter (fun c -> c.alive) t.conns
+     with exn ->
+       (* nothing below should ever reach here; the chaos tests gate
+          this counter at zero *)
+       Metrics.incr m_uncaught;
+       Printf.eprintf "xtwigd: uncaught %s\n%!" (Printexc.to_string exn));
+    ()
+  done;
+  teardown t

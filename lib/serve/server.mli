@@ -1,0 +1,72 @@
+(** The xtwigd server: a single-threaded event loop multiplexing many
+    client connections over one {!Catalog.t}.
+
+    {2 Concurrency model}
+
+    One thread owns the loop ([Unix.select] over nonblocking sockets);
+    per-query fan-out happens {e inside} each tenant's engine (its
+    [jobs] pool), not across requests. This keeps the serving layer
+    free of locks and makes answer content deterministic: requests for
+    one tenant are answered in arrival order, so a differential test
+    can replay the same queries directly against an engine and demand
+    byte-identical estimates.
+
+    {2 Batching, admission control, backpressure}
+
+    Requests park in per-tenant FIFO queues; each loop tick drains a
+    tenant's queue, coalescing consecutive estimate/batch requests
+    into one {!Xtwig.Engine.estimate_batch} call (one compile/cache
+    pass for the whole group). A [reload] request is an ordering
+    barrier: estimates queued before it are answered by the old
+    engine, after it by the new one.
+
+    Admission control sheds {e before} queueing: when a tenant's queue
+    holds [queue_cap] requests, or its circuit breaker is open (the
+    engine is degrading everything anyway), the request is answered
+    immediately with a typed [Xerror.Overload] — the client always
+    holds a well-formed response, never a closed socket. Shed counts
+    are exported as [serve.shed{tenant=...}].
+
+    {2 Failure points}
+
+    [serve.accept], [serve.read], [serve.write] (connection-level: an
+    injected fault closes or skips that connection), [serve.decode],
+    [serve.batch], [serve.reload] (request-level: the affected
+    requests are answered with a typed [engine] error). Anything
+    unexpected that escapes a handler is counted in [serve.uncaught]
+    and the connection dropped — the chaos tests gate that counter at
+    zero. *)
+
+type config = {
+  listen : [ `Unix of string | `Tcp of string * int ];
+      (** [`Tcp (host, 0)] binds an ephemeral port; read it back with
+          {!port}. *)
+  jobs : int;  (** worker domains per tenant engine *)
+  timeout_s : float;  (** per-query engine deadline *)
+  queue_cap : int;  (** per-tenant pending-request cap *)
+}
+
+val default_config : config
+(** Unix socket ["xtwigd.sock"], 1 job, 5 s timeout, queue cap 64. *)
+
+type t
+
+val create :
+  config -> (string * Catalog.source) list -> (t, Xtwig.Xerror.t) result
+(** Load the catalog and bind the socket (a stale Unix socket file is
+    replaced). Ignores SIGPIPE process-wide — a peer hangup must be
+    an [EPIPE] error, not process death. *)
+
+val serve : t -> unit
+(** Run the loop until {!stop}. Never raises: handler failures become
+    error responses or dropped connections, counted in
+    [serve.uncaught] when unexpected. *)
+
+val stop : t -> unit
+(** Thread- and signal-safe; {!serve} returns within one loop tick
+    (~50 ms), closing connections, the socket and the catalog. *)
+
+val port : t -> int option
+(** The bound TCP port, for [`Tcp (_, 0)] configs. *)
+
+val catalog : t -> Catalog.t

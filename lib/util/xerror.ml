@@ -7,6 +7,7 @@ type t =
   | Sketch_format of string
   | Corrupt of string
   | Engine of string
+  | Overload of string
 
 let kind_name = function Xml -> "xml" | Path -> "path" | Twig -> "twig"
 
@@ -17,11 +18,16 @@ let to_string = function
   | Sketch_format msg -> "sketch format error: " ^ msg
   | Corrupt msg -> "corrupt sketch file: " ^ msg
   | Engine msg -> "engine error: " ^ msg
+  | Overload msg -> "overload: " ^ msg
+
+let payload = function
+  | Usage m | Io m | Sketch_format m | Corrupt m | Engine m | Overload m -> m
+  | Parse (_, m) -> m
 
 let exit_code = function
   | Usage _ -> 2
   | Parse _ -> 3
   | Io _ | Sketch_format _ | Corrupt _ -> 4
-  | Engine _ -> 1
+  | Engine _ | Overload _ -> 1
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)

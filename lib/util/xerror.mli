@@ -22,10 +22,19 @@ type t =
           quarantines the file before reporting this *)
   | Engine of string  (** estimation-engine failures (bad session
                           parameters, closed sessions) *)
+  | Overload of string
+      (** admission control shed the request — a serving layer's
+          per-tenant queue was full or its circuit breaker open; the
+          caller holds a well-formed, typed answer (never a closed
+          socket) and may retry after backoff *)
 
 val to_string : t -> string
 (** One line, prefixed with the error class
     (["parse error (xml): ..."], ["sketch format error: ..."]). *)
+
+val payload : t -> string
+(** The message alone, without the class prefix — what travels in a
+    wire response body after the class token. *)
 
 val exit_code : t -> int
 (** The CLI contract: 2 = usage, 3 = parse, 4 = io/format, 1 = engine

@@ -12,9 +12,6 @@
     structurally equal to [d] for any document built by this
     repository. *)
 
-exception Parse_error of string
-(** Raised with a human-readable message and position. *)
-
 val parse_string_res : string -> (Doc.t, Xtwig_util.Xerror.t) result
 (** Errors are [Xerror.Parse (Xml, _)] with message and position. This
     is the supported entry point. Runs through the [xml.parse] fault
@@ -22,11 +19,3 @@ val parse_string_res : string -> (Doc.t, Xtwig_util.Xerror.t) result
 
 val parse_file_res : string -> (Doc.t, Xtwig_util.Xerror.t) result
 (** As {!parse_string_res}; file-system failures are [Xerror.Io]. *)
-
-val parse_string : string -> Doc.t
-(** @deprecated Use {!parse_string_res}; this raises {!Parse_error}
-    with the same message. *)
-
-val parse_file : string -> Doc.t
-(** @deprecated Use {!parse_file_res}; this raises {!Parse_error} or
-    [Sys_error]. *)

@@ -123,12 +123,6 @@ let write_res ?budget ?seed sketch path =
       cleanup ();
       Error (Xerror.Io (Printf.sprintf "injected fault at %s" point))
 
-let save sketch path =
-  match write_res sketch path with
-  | Ok () -> ()
-  | Error (Xerror.Io msg) -> raise (Sys_error msg)
-  | Error e -> raise (Format_error (Xerror.to_string e))
-
 (* ------------------------------------------------------------------ *)
 (* Reading                                                             *)
 
@@ -373,13 +367,3 @@ let read_res doc path =
           err
       | res -> res)
 
-let of_string doc text =
-  match of_string_res doc text with
-  | Ok (_, sketch) -> sketch
-  | Error e -> raise (Format_error (Xerror.to_string e))
-
-let load doc path =
-  match read_res doc path with
-  | Ok (_, sketch) -> sketch
-  | Error (Xerror.Io msg) -> raise (Sys_error msg)
-  | Error e -> raise (Format_error (Xerror.to_string e))

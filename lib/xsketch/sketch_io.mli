@@ -37,8 +37,6 @@
     [sketch_io.fsync], [sketch_io.rename] on the write path (surface
     as [Xerror.Io], destination untouched) and [sketch_io.read]. *)
 
-exception Format_error of string
-
 type meta = { version : int; budget : int option; seed : int option }
 (** Provenance of a loaded sketch file. v1 files carry no budget or
     seed. *)
@@ -72,15 +70,3 @@ val to_string : ?budget:int -> ?seed:int -> Sketch.t -> string
 val tag_digest : Xtwig_xml.Doc.t -> string
 (** MD5 hex digest of the document's tag table, as embedded in v2
     headers. *)
-
-(** {1 Exception-raising wrappers} *)
-
-val save : Sketch.t -> string -> unit
-(** @deprecated Use {!write_res}. Raises [Sys_error]. *)
-
-val load : Xtwig_xml.Doc.t -> string -> Sketch.t
-(** @deprecated Use {!read_res}. Raises {!Format_error} on malformed
-    input or a document mismatch, and [Sys_error] on I/O failure. *)
-
-val of_string : Xtwig_xml.Doc.t -> string -> Sketch.t
-(** @deprecated Use {!of_string_res}. Raises {!Format_error}. *)

@@ -1,0 +1,106 @@
+module Xerror = Xtwig_util.Xerror
+module Backend = Xtwig_backend.Estimator_backend
+module Engine = Xtwig_engine.Engine
+module Pool = Xtwig_util.Pool
+module Wgen = Xtwig_workload.Wgen
+
+type doc = Xtwig_xml.Doc.t
+type twig = Xtwig_path.Path_types.twig
+type path = Xtwig_path.Path_types.path
+type sketch = Xtwig_sketch.Sketch.t
+
+(* ---------------- documents ---------------- *)
+
+let doc_of_string = Xtwig_xml.Xml_parser.parse_string_res
+let doc_of_file = Xtwig_xml.Xml_parser.parse_file_res
+
+let doc_to_file path doc =
+  match Xtwig_xml.Xml_writer.to_file path doc with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error (Xerror.Io msg)
+
+let doc_size = Xtwig_xml.Doc.size
+
+(* ---------------- queries ---------------- *)
+
+let twig_of_string = Xtwig_path.Path_parser.parse_twig_res
+let path_of_string = Xtwig_path.Path_parser.parse_path_res
+let twig_to_string = Xtwig_path.Path_printer.twig_to_string
+let selectivity = Xtwig_eval.Eval_twig.selectivity
+
+(* ---------------- XSKETCH synopses ---------------- *)
+
+(* XBUILD needs ground truth for its workload queries; memoize it so
+   repeated refinement scoring pays one evaluation per query. *)
+let memo_truth doc =
+  let tbl = Hashtbl.create 256 in
+  fun q ->
+    let k = twig_to_string q in
+    match Hashtbl.find_opt tbl k with
+    | Some v -> v
+    | None ->
+        let v = float_of_int (selectivity doc q) in
+        Hashtbl.add tbl k v;
+        v
+
+let build_sketch ?(budget = 8192) ?(seed = 42) ?candidates ?max_steps
+    ?(jobs = 1) ?on_step doc =
+  if budget < 1 then Error (Xerror.Usage "budget must be >= 1")
+  else if jobs < 1 then Error (Xerror.Usage "jobs must be >= 1")
+  else
+    let truth = memo_truth doc in
+    let workload prng ~focus =
+      Wgen.generate ~focus { Wgen.paper_p with n_queries = 10 } prng doc
+    in
+    let on_step =
+      Option.map
+        (fun f _ (info : Xtwig_sketch.Xbuild.step_info) ->
+          f ~step:info.step ~description:info.description ~size:info.size)
+        on_step
+    in
+    let build pool =
+      Xtwig_sketch.Xbuild.build ?pool ?candidates ?max_steps ?on_step ~seed
+        ~budget ~workload ~truth doc
+    in
+    match
+      if jobs > 1 then Pool.with_pool ~domains:jobs (fun p -> build (Some p))
+      else build None
+    with
+    | sk -> Ok sk
+    | exception exn -> Error (Xerror.Engine (Printexc.to_string exn))
+
+let save_sketch = Xtwig_sketch.Sketch_io.write_res
+
+let load_sketch doc path =
+  Result.map snd (Xtwig_sketch.Sketch_io.read_res doc path)
+
+(* ---------------- backends ---------------- *)
+
+let backends = Backend.names
+
+let build_backend ~backend ?budget ?seed doc =
+  Result.bind (Backend.find backend) (fun b -> Backend.build b ?budget ?seed doc)
+
+let load_backend ~backend doc path =
+  Result.bind (Backend.find backend) (fun b -> Backend.load b doc path)
+
+(* ---------------- sessions ---------------- *)
+
+let open_sketch_session ?name ?jobs ?timeout_s ?retries ?backoff_s
+    ?breaker_threshold ?breaker_cooldown_s sk =
+  Engine.of_sketch ?name ?jobs ?timeout_s ?retries ?backoff_s
+    ?breaker_threshold ?breaker_cooldown_s sk
+
+let open_backend_session ?name ?jobs ?timeout_s ?retries ?backoff_s
+    ?breaker_threshold ?breaker_cooldown_s inst =
+  Engine.of_backend ?name ?jobs ?timeout_s ?retries ?backoff_s
+    ?breaker_threshold ?breaker_cooldown_s inst
+
+let estimate = Engine.estimate
+let estimate_batch = Engine.estimate_batch
+let close_session = Engine.close
+
+(* ---------------- observability ---------------- *)
+
+let metrics_render () = Xtwig_obs.Metrics.(render (snapshot ()))
+let version = "1"

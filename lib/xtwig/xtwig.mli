@@ -1,0 +1,162 @@
+(** The public facade of the repository: every entry point an
+    application — the [xtwig] CLI, the [xtwigd] service, a test
+    harness — needs, and nothing that can raise.
+
+    The internal libraries grew one layer per paper section (parsing,
+    synopses, XBUILD, the hardened engine); each kept its own partial
+    functions for its own tests. This module is the single audited
+    surface over them: every function here either is total or returns
+    [(_, Xerror.t) result], so a caller that types against [Xtwig]
+    cannot be surprised by an exception. The raising variants are gone
+    from the public signatures ({!Xtwig_sketch.Sketch_io},
+    {!Xtwig_xml.Xml_parser}, {!Xtwig_path.Path_parser} export only
+    [_res] entry points); this facade is the supported way in.
+
+    Two kinds of estimator sessions exist, mirroring the engine:
+
+    - {!open_sketch_session} over a concrete XSKETCH ({!sketch}) —
+      the compiled fast path with plan caching, the one the paper
+      benchmarks and [xtwigd] serves by default;
+    - {!open_backend_session} over any registered
+      {!Backend.instance} — the generic path ([--backend cst], future
+      estimators), same hardening fabric, opaque evaluation.
+
+    Both return an {!Engine.t}; batches, stats, breaker state and
+    close are uniform from there. *)
+
+module Xerror = Xtwig_util.Xerror
+module Backend = Xtwig_backend.Estimator_backend
+module Engine = Xtwig_engine.Engine
+
+type doc = Xtwig_xml.Doc.t
+type twig = Xtwig_path.Path_types.twig
+type path = Xtwig_path.Path_types.path
+type sketch = Xtwig_sketch.Sketch.t
+
+(** {1 Documents} *)
+
+val doc_of_string : string -> (doc, Xerror.t) result
+(** Parse an XML document. Errors are [Xerror.Parse (Xml, _)]. *)
+
+val doc_of_file : string -> (doc, Xerror.t) result
+(** As {!doc_of_string}; file-system failures are [Xerror.Io]. *)
+
+val doc_to_file : string -> doc -> (unit, Xerror.t) result
+val doc_size : doc -> int
+
+(** {1 Queries} *)
+
+val twig_of_string : string -> (twig, Xerror.t) result
+(** Errors are [Xerror.Parse (Twig, _)]. *)
+
+val path_of_string : string -> (path, Xerror.t) result
+(** Errors are [Xerror.Parse (Path, _)]. *)
+
+val twig_to_string : twig -> string
+(** Canonical concrete syntax; [twig_of_string] round-trips it. *)
+
+val selectivity : doc -> twig -> int
+(** The exact answer, by full evaluation — the ground truth every
+    estimate is judged against. Total. *)
+
+(** {1 XSKETCH synopses} *)
+
+val build_sketch :
+  ?budget:int ->
+  ?seed:int ->
+  ?candidates:int ->
+  ?max_steps:int ->
+  ?jobs:int ->
+  ?on_step:(step:int -> description:string -> size:int -> unit) ->
+  doc ->
+  (sketch, Xerror.t) result
+(** Run XBUILD (defaults: budget 8192, seed 42, the library's
+    candidate/step defaults, [jobs] = 1 — candidate scoring fans out
+    to a domain pool when [jobs] > 1). [on_step] observes every
+    applied refinement (the CLI prints progress with it). Errors are
+    [Xerror.Usage] (non-positive budget/jobs) or [Xerror.Engine] (a
+    fault-injection point fired during the build). *)
+
+val save_sketch :
+  ?budget:int -> ?seed:int -> sketch -> string -> (unit, Xerror.t) result
+(** Crash-safe persistence: temp file + fsync + atomic rename, so the
+    destination never holds a partial file — the hot-reload path of
+    [xtwigd] depends on this. Errors are [Xerror.Io]. *)
+
+val load_sketch : doc -> string -> (sketch, Xerror.t) result
+(** Rebuild a saved sketch against [doc]. Errors: [Xerror.Io],
+    [Xerror.Corrupt] (the damaged file is quarantined first),
+    [Xerror.Sketch_format]. *)
+
+(** {1 Estimator backends} *)
+
+val backends : unit -> string list
+(** Registered backend names (["xsketch"], ["cst"], ...). *)
+
+val build_backend :
+  backend:string ->
+  ?budget:int ->
+  ?seed:int ->
+  doc ->
+  (Backend.instance, Xerror.t) result
+(** Resolve [backend] in the registry (case-insensitive;
+    [Xerror.Usage] names the known backends on a miss) and build its
+    summary of [doc]. *)
+
+val load_backend :
+  backend:string -> doc -> string -> (Backend.instance, Xerror.t) result
+(** Backends without a persistent format return
+    [Xerror.Sketch_format]. *)
+
+(** {1 Estimation sessions} *)
+
+val open_sketch_session :
+  ?name:string ->
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_s:float ->
+  sketch ->
+  (Engine.t, Xerror.t) result
+(** The compiled XSKETCH path (plan cache, embedding cache, pool
+    fan-out). [name] labels the session's metrics with a [tenant]
+    label — see {!Engine.of_sketch}. *)
+
+val open_backend_session :
+  ?name:string ->
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_s:float ->
+  Backend.instance ->
+  (Engine.t, Xerror.t) result
+(** Any registered backend behind the same hardening fabric — see
+    {!Engine.of_backend}. *)
+
+val estimate :
+  ?timeout_s:float -> Engine.t -> twig -> (Engine.answer, Xerror.t) result
+
+val estimate_batch :
+  ?timeout_s:float ->
+  Engine.t ->
+  twig list ->
+  (Engine.answer list, Xerror.t) result
+(** Never raises; answers in query order. See
+    {!Engine.estimate_batch}. *)
+
+val close_session : Engine.t -> unit
+
+(** {1 Observability} *)
+
+val metrics_render : unit -> string
+(** Prometheus text-format snapshot of every metric in the process —
+    what [xtwigd]'s [metrics] verb and the CLI's [--metrics] flag
+    serve. *)
+
+val version : string
+(** The facade/protocol version ("1"): bumped when the wire protocol
+    or this signature changes incompatibly. *)

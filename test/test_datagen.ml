@@ -4,8 +4,17 @@ module Xmark = Xtwig_datagen.Xmark
 module Imdb = Xtwig_datagen.Imdb
 module Sprot = Xtwig_datagen.Sprot
 
-let count_path doc s =
-  Xtwig_eval.Eval_path.count doc ~from:None (Xtwig_path.Path_parser.path_of_string s)
+let parse_p s =
+  match Xtwig_path.Path_parser.parse_path_res s with
+  | Ok p -> p
+  | Error e -> failwith (Xtwig_util.Xerror.to_string e)
+
+let parse_t s =
+  match Xtwig_path.Path_parser.parse_twig_res s with
+  | Ok t -> t
+  | Error e -> failwith (Xtwig_util.Xerror.to_string e)
+
+let count_path doc s = Xtwig_eval.Eval_path.count doc ~from:None (parse_p s)
 
 (* full-scale generations are shared across tests *)
 let xmark = lazy (Xmark.generate ())
@@ -112,8 +121,7 @@ let test_imdb_genre_drives_structure () =
      movies with box_office (action/comedy) *)
   let avg_actors filter =
     let q =
-      Xtwig_path.Path_parser.twig_of_string
-        (Printf.sprintf "for t0 in //movie[%s], t1 in t0/actor" filter)
+      parse_t (Printf.sprintf "for t0 in //movie[%s], t1 in t0/actor" filter)
     in
     let tuples = Xtwig_eval.Eval_twig.selectivity doc q in
     let movies = count_path doc (Printf.sprintf "//movie[%s]" filter) in

@@ -8,8 +8,15 @@ module Eval = Xtwig_eval.Eval_twig
 module Fx = Xtwig_fixtures.Fixtures
 
 let checkf = Alcotest.(check (float 1e-6))
-let parse_t = Xtwig_path.Path_parser.twig_of_string
-let parse_p = Xtwig_path.Path_parser.path_of_string
+let parse_t s =
+  match Xtwig_path.Path_parser.parse_twig_res s with
+  | Ok t -> t
+  | Error e -> failwith (Xtwig_util.Xerror.to_string e)
+
+let parse_p s =
+  match Xtwig_path.Path_parser.parse_path_res s with
+  | Ok p -> p
+  | Error e -> failwith (Xtwig_util.Xerror.to_string e)
 
 (* exact sketch over the full eligible scope of every node *)
 let exact_full doc =

@@ -4,8 +4,15 @@ module Eval_twig = Xtwig_eval.Eval_twig
 module Fx = Xtwig_fixtures.Fixtures
 open Xtwig_path.Path_types
 
-let parse_p = Xtwig_path.Path_parser.path_of_string
-let parse_t = Xtwig_path.Path_parser.twig_of_string
+let parse_p s =
+  match Xtwig_path.Path_parser.parse_path_res s with
+  | Ok p -> p
+  | Error e -> failwith (Xtwig_util.Xerror.to_string e)
+
+let parse_t s =
+  match Xtwig_path.Path_parser.parse_twig_res s with
+  | Ok t -> t
+  | Error e -> failwith (Xtwig_util.Xerror.to_string e)
 
 let bib = Fx.bibliography ()
 

@@ -117,11 +117,19 @@ let test_xml_file_pipeline () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Xtwig_xml.Xml_writer.to_file path doc;
-      let doc2 = Xtwig_xml.Xml_parser.parse_file path in
+      let doc2 =
+        match Xtwig_xml.Xml_parser.parse_file_res path with
+        | Ok d -> d
+        | Error e -> Alcotest.failf "parse_file: %s" (Xtwig_util.Xerror.to_string e)
+      in
       Alcotest.(check int) "same size" (Xtwig_xml.Doc.size doc) (Xtwig_xml.Doc.size doc2);
       let q =
-        Xtwig_path.Path_parser.twig_of_string
-          "for t0 in //entry, t1 in t0/feature, t2 in t1/type, t3 in t0/keyword"
+        match
+          Xtwig_path.Path_parser.parse_twig_res
+            "for t0 in //entry, t1 in t0/feature, t2 in t1/type, t3 in t0/keyword"
+        with
+        | Ok q -> q
+        | Error e -> Alcotest.failf "parse twig: %s" (Xtwig_util.Xerror.to_string e)
       in
       Alcotest.(check int) "same selectivity"
         (Xtwig_eval.Eval_twig.selectivity doc q)

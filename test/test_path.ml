@@ -1,6 +1,17 @@
 open Xtwig_path.Path_types
 module Parser = Xtwig_path.Path_parser
 module Printer = Xtwig_path.Path_printer
+module Xerror = Xtwig_util.Xerror
+
+let path_of_string s =
+  match Parser.parse_path_res s with
+  | Ok p -> p
+  | Error e -> failwith (Xerror.to_string e)
+
+let twig_of_string s =
+  match Parser.parse_twig_res s with
+  | Ok t -> t
+  | Error e -> failwith (Xerror.to_string e)
 
 let path = Alcotest.testable Printer.pp_path (fun a b -> a = b)
 let twig_t = Alcotest.testable Printer.pp_twig equal_twig
@@ -10,32 +21,32 @@ let twig_t = Alcotest.testable Printer.pp_twig equal_twig
 let test_parse_simple () =
   Alcotest.check path "a/b/c"
     [ step "a"; step "b"; step "c" ]
-    (Parser.path_of_string "/a/b/c")
+    (path_of_string "/a/b/c")
 
 let test_parse_descendant () =
   Alcotest.check path "//a/b"
     [ step ~axis:Descendant "a"; step "b" ]
-    (Parser.path_of_string "//a/b");
+    (path_of_string "//a/b");
   Alcotest.check path "interior //"
     [ step "a"; step ~axis:Descendant "b" ]
-    (Parser.path_of_string "/a//b")
+    (path_of_string "/a//b")
 
 let test_parse_relative_default_child () =
-  Alcotest.check path "bare label" [ step "a" ] (Parser.path_of_string "a")
+  Alcotest.check path "bare label" [ step "a" ] (path_of_string "a")
 
 let test_parse_value_preds () =
   Alcotest.check path "range"
     [ step ~vpred:(Range (3.0, 7.0)) "a" ]
-    (Parser.path_of_string "/a[. in 3 .. 7]");
+    (path_of_string "/a[. in 3 .. 7]");
   Alcotest.check path "cmp int"
     [ step ~vpred:(Cmp (Gt, Xtwig_xml.Value.Int 2000)) "y" ]
-    (Parser.path_of_string "/y[. > 2000]");
+    (path_of_string "/y[. > 2000]");
   Alcotest.check path "cmp string"
     [ step ~vpred:(Cmp (Eq, Xtwig_xml.Value.Text "ok")) "s" ]
-    (Parser.path_of_string "/s[. = \"ok\"]")
+    (path_of_string "/s[. = \"ok\"]")
 
 let test_parse_branches () =
-  let p = Parser.path_of_string "/a[b/c][d]/e" in
+  let p = path_of_string "/a[b/c][d]/e" in
   match p with
   | [ s1; s2 ] ->
       Alcotest.(check string) "first label" "a" s1.label;
@@ -45,7 +56,7 @@ let test_parse_branches () =
   | _ -> Alcotest.fail "expected two steps"
 
 let test_parse_nested_branch_with_pred () =
-  let p = Parser.path_of_string "/paper[year[. > 2000]]" in
+  let p = path_of_string "/paper[year[. > 2000]]" in
   match p with
   | [ s ] -> (
       match s.branches with
@@ -57,8 +68,8 @@ let test_parse_nested_branch_with_pred () =
 
 let test_parse_errors () =
   let fails s =
-    match Parser.path_of_string s with
-    | exception Parser.Parse_error _ -> true
+    match Parser.parse_path_res s with
+    | Error (Xerror.Parse (Xerror.Path, _)) -> true
     | _ -> false
   in
   Alcotest.(check bool) "empty" true (fails "");
@@ -70,23 +81,23 @@ let test_parse_errors () =
 (* ---------------- twigs ---------------- *)
 
 let test_twig_parse () =
-  let t = Parser.twig_of_string "for t0 in //m, t1 in t0/a, t2 in t0/b, t3 in t1/c" in
+  let t = twig_of_string "for t0 in //m, t1 in t0/a, t2 in t0/b, t3 in t1/c" in
   Alcotest.(check int) "size" 4 (twig_size t);
   Alcotest.(check int) "root fanout" 2 (List.length t.subs);
   Alcotest.(check (list int)) "fanouts" [ 2; 1 ] (twig_fanouts t)
 
 let test_twig_parse_no_for () =
-  let t = Parser.twig_of_string "x in //m, y in x/a" in
+  let t = twig_of_string "x in //m, y in x/a" in
   Alcotest.(check int) "size" 2 (twig_size t)
 
 let test_twig_parse_return_ignored () =
-  let t = Parser.twig_of_string "for t0 in //m, t1 in t0/a return t1" in
+  let t = twig_of_string "for t0 in //m, t1 in t0/a return t1" in
   Alcotest.(check int) "size" 2 (twig_size t)
 
 let test_twig_errors () =
   let fails s =
-    match Parser.twig_of_string s with
-    | exception Parser.Parse_error _ -> true
+    match Parser.parse_twig_res s with
+    | Error (Xerror.Parse (Xerror.Twig, _)) -> true
     | _ -> false
   in
   Alcotest.(check bool) "unbound var" true (fails "for t0 in //m, t1 in tX/a");
@@ -95,20 +106,20 @@ let test_twig_errors () =
   Alcotest.(check bool) "relative first" true (fails "for t0 in t1/a")
 
 let test_twig_labels () =
-  let t = Parser.twig_of_string "for t0 in //m[x/y], t1 in t0/a, t2 in t0/m" in
+  let t = twig_of_string "for t0 in //m[x/y], t1 in t0/a, t2 in t0/m" in
   Alcotest.(check (list string)) "labels, deduped, in order" [ "m"; "x"; "y"; "a" ]
     (twig_labels t)
 
 let test_twig_predicates_flags () =
-  let t1 = Parser.twig_of_string "for t0 in //m, t1 in t0/a" in
+  let t1 = twig_of_string "for t0 in //m, t1 in t0/a" in
   Alcotest.(check bool) "no preds" false (twig_has_value_pred t1 || twig_has_branches t1);
-  let t2 = Parser.twig_of_string "for t0 in //m[a], t1 in t0/b" in
+  let t2 = twig_of_string "for t0 in //m[a], t1 in t0/b" in
   Alcotest.(check bool) "branches" true (twig_has_branches t2);
-  let t3 = Parser.twig_of_string "for t0 in //m, t1 in t0/y[. > 3]" in
+  let t3 = twig_of_string "for t0 in //m, t1 in t0/y[. > 3]" in
   Alcotest.(check bool) "value pred" true (twig_has_value_pred t3)
 
 let test_twig_fold () =
-  let t = Parser.twig_of_string "for t0 in //m, t1 in t0/a, t2 in t1/b" in
+  let t = twig_of_string "for t0 in //m, t1 in t0/a, t2 in t1/b" in
   let n = twig_fold t ~init:0 ~f:(fun acc _ -> acc + 1) in
   Alcotest.(check int) "fold visits all" 3 n
 
@@ -117,8 +128,8 @@ let test_twig_fold () =
 let test_roundtrip_printer_parser () =
   List.iter
     (fun s ->
-      let p = Parser.path_of_string s in
-      let p2 = Parser.path_of_string (Printer.path_to_string p) in
+      let p = path_of_string s in
+      let p2 = path_of_string (Printer.path_to_string p) in
       Alcotest.check path ("roundtrip " ^ s) p p2)
     [
       "/a/b/c";
@@ -133,8 +144,8 @@ let test_roundtrip_printer_parser () =
 let test_twig_roundtrip () =
   List.iter
     (fun s ->
-      let t = Parser.twig_of_string s in
-      let t2 = Parser.twig_of_string (Printer.twig_to_string t) in
+      let t = twig_of_string s in
+      let t2 = twig_of_string (Printer.twig_to_string t) in
       Alcotest.check twig_t ("roundtrip " ^ s) t t2)
     [
       "for t0 in //movie, t1 in t0/actor, t2 in t0/producer";
@@ -150,13 +161,13 @@ let gen_twig depth = Xtwig_testgen.Testgen.twig ~depth ()
 let prop_twig_roundtrip =
   QCheck2.Test.make ~name:"twig print/parse roundtrip" ~count:200 (gen_twig 2)
     (fun t ->
-      let t2 = Xtwig_path.Path_parser.twig_of_string (Printer.twig_to_string t) in
+      let t2 = twig_of_string (Printer.twig_to_string t) in
       equal_twig t t2)
 
 let prop_path_roundtrip =
   QCheck2.Test.make ~name:"path print/parse roundtrip" ~count:200 gen_path
     (fun p ->
-      let p2 = Xtwig_path.Path_parser.path_of_string (Printer.path_to_string p) in
+      let p2 = path_of_string (Printer.path_to_string p) in
       p = p2)
 
 let prop_size_positive =

@@ -1,0 +1,413 @@
+(* The xtwigd serving layer: protocol framing and codec, end-to-end
+   service over a Unix socket, hot reload under live queries
+   (differential against direct Engine calls, bitwise), admission
+   control (typed overload responses, never a closed socket) and
+   fault-spec chaos over the serve.* points with zero uncaught
+   exceptions. *)
+
+module P = Xtwig_serve.Protocol
+module Server = Xtwig_serve.Server
+module Catalog = Xtwig_serve.Catalog
+module Xerror = Xtwig.Xerror
+module Engine = Xtwig.Engine
+module Metrics = Xtwig_obs.Metrics
+module Fault = Xtwig_fault.Fault
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Xerror.to_string e)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+(* ---------------- framing ---------------- *)
+
+let test_frame_roundtrip () =
+  let payloads = [ ""; "x"; String.make 5000 'q'; "a\nb\nc"; "\x00\xff bytes" ] in
+  (* one stream, all frames, fed in every chunk size from 1 to 17 *)
+  let stream = String.concat "" (List.map P.frame payloads) in
+  for chunk = 1 to 17 do
+    let d = P.decoder () in
+    let got = ref [] in
+    let i = ref 0 in
+    while !i < String.length stream do
+      let n = min chunk (String.length stream - !i) in
+      P.feed d (Bytes.of_string (String.sub stream !i n)) n;
+      i := !i + n;
+      let continue = ref true in
+      while !continue do
+        match P.next_frame d with
+        | Ok (Some p) -> got := p :: !got
+        | Ok None -> continue := false
+        | Error e -> Alcotest.failf "decoder error: %s" e
+      done
+    done;
+    Alcotest.(check (list string))
+      (Printf.sprintf "chunk size %d" chunk)
+      payloads (List.rev !got)
+  done
+
+let test_frame_oversized () =
+  let d = P.decoder () in
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int (P.max_frame + 1));
+  P.feed d b 4;
+  match P.next_frame d with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized length accepted"
+
+(* ---------------- codec ---------------- *)
+
+let test_request_roundtrip () =
+  let reqs =
+    [
+      P.Ping;
+      P.List;
+      P.Metrics;
+      P.Stats "movies";
+      P.Reload "t-1.a_b";
+      P.Estimate { tenant = "m"; query = "for t0 in //a, t1 in t0/b" };
+      P.Batch { tenant = "m"; queries = [ "x in //a"; "y in //b, z in y/c" ] };
+    ]
+  in
+  List.iteri
+    (fun i req ->
+      match P.decode_request (P.encode_request ~id:(i * 7) req) with
+      | Ok (id, req') ->
+          Alcotest.(check int) "id" (i * 7) id;
+          Alcotest.(check bool) "request" true (req = req')
+      | Error e -> Alcotest.failf "decode: %s" e)
+    reqs
+
+let test_response_roundtrip () =
+  let errors =
+    [
+      Xerror.Usage "u";
+      Xerror.Parse (Xerror.Xml, "x");
+      Xerror.Parse (Xerror.Path, "p");
+      Xerror.Parse (Xerror.Twig, "t");
+      Xerror.Io "i";
+      Xerror.Sketch_format "s";
+      Xerror.Corrupt "c";
+      Xerror.Engine "e";
+      Xerror.Overload "queue full (64 pending)";
+    ]
+  in
+  List.iteri
+    (fun i e ->
+      match P.decode_response (P.encode_response ~id:i (P.Fail e)) with
+      | Ok (id, P.Fail e') ->
+          Alcotest.(check int) "id" i id;
+          Alcotest.(check bool) (P.error_class e) true (e = e')
+      | Ok (_, P.Reply _) -> Alcotest.fail "error became ok"
+      | Error msg -> Alcotest.failf "decode: %s" msg)
+    errors;
+  List.iter
+    (fun body ->
+      match P.decode_response (P.encode_response ~id:3 (P.Reply body)) with
+      | Ok (3, P.Reply b) -> Alcotest.(check string) "body" body b
+      | _ -> Alcotest.fail "reply roundtrip")
+    [ ""; "one line"; "a\nb\nc" ]
+
+let test_bad_inputs_rejected () =
+  List.iter
+    (fun s ->
+      match P.decode_request s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "nope"; "-3 ping"; "x ping"; "7 frobnicate"; "7 estimate bad tenant" ]
+
+let any_twig =
+  lazy
+    (match Xtwig.twig_of_string "for t0 in //a, t1 in t0/b" with
+    | Ok t -> t
+    | Error _ -> assert false)
+
+let prop_answer_bitwise =
+  QCheck2.Test.make ~name:"wire answers round-trip bitwise" ~count:500
+    QCheck2.Gen.(map abs_float (float_bound_exclusive 1e18))
+    (fun f ->
+      let a =
+        {
+          Engine.query = Lazy.force any_twig;
+          estimate = f;
+          fallback = false;
+          reason = None;
+          retries = 0;
+          elapsed_s = 0.0;
+          trace_id = 0;
+        }
+      in
+      match P.decode_answer (P.encode_answer a) with
+      | Ok w -> Int64.equal (Int64.bits_of_float w.P.estimate) (Int64.bits_of_float f)
+      | Error _ -> false)
+
+(* ---------------- end-to-end over a unix socket ---------------- *)
+
+let temp_path suffix =
+  let p = Filename.temp_file "xtwig_serve" suffix in
+  Sys.remove p;
+  p
+
+(* a small corpus shared by the service tests: one document on disk,
+   two differently-budgeted sketches of it *)
+type corpus = { doc_path : string; doc : Xtwig.doc; sk_a : string; sk_b : string }
+
+let corpus =
+  lazy
+    (let doc = Xtwig_datagen.Imdb.generate ~scale:0.02 () in
+     let doc_path = temp_path ".xml" in
+     ok_exn (Xtwig.doc_to_file doc_path doc);
+     let sk_a = temp_path ".sketch" in
+     let sk_b = temp_path ".sketch" in
+     let a = ok_exn (Xtwig.build_sketch ~budget:2000 ~seed:1 doc) in
+     let b = ok_exn (Xtwig.build_sketch ~budget:4000 ~seed:2 doc) in
+     ok_exn (Xtwig.save_sketch a sk_a);
+     ok_exn (Xtwig.save_sketch b sk_b);
+     { doc_path; doc; sk_a; sk_b })
+
+let queries =
+  [
+    "for t0 in //movie, t1 in t0/actor";
+    "for t0 in //movie, t1 in t0/actor, t2 in t0/producer";
+    "for t0 in //movie[genre], t1 in t0/keyword";
+  ]
+
+let with_server ?(queue_cap = 64) tenants f =
+  let sock = temp_path ".sock" in
+  let cfg = { Server.default_config with listen = `Unix sock; queue_cap } in
+  let server = ok_exn (Server.create cfg tenants) in
+  let th = Thread.create Server.serve server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Thread.join th)
+    (fun () ->
+      let client = ok_exn (P.Client.connect_unix sock) in
+      Fun.protect ~finally:(fun () -> P.Client.close client) (fun () -> f client))
+
+let call_ok client ~id req =
+  match ok_exn (P.Client.call client ~id req) with
+  | P.Reply body -> body
+  | P.Fail e -> Alcotest.failf "request %d failed: %s" id (Xerror.to_string e)
+
+(* direct answers: what the served answers must match byte for byte *)
+let direct_answers sketch_path qs =
+  let c = Lazy.force corpus in
+  let sk = ok_exn (Xtwig.load_sketch c.doc sketch_path) in
+  let engine = ok_exn (Xtwig.open_sketch_session sk) in
+  Fun.protect
+    ~finally:(fun () -> Xtwig.close_session engine)
+    (fun () ->
+      let twigs = List.map (fun q -> ok_exn (Xtwig.twig_of_string q)) qs in
+      let answers = ok_exn (Xtwig.estimate_batch engine twigs) in
+      List.map P.encode_answer answers)
+
+let test_basic_service () =
+  let c = Lazy.force corpus in
+  with_server [ ("movies", Catalog.source ~sketch_path:c.sk_a c.doc_path) ]
+    (fun client ->
+      let pong = call_ok client ~id:1 P.Ping in
+      Alcotest.(check string) "pong" ("pong " ^ Xtwig.version) pong;
+      let listing = call_ok client ~id:2 P.List in
+      Alcotest.(check bool) "list names tenant" true
+        (String.length listing >= 6 && String.sub listing 0 6 = "movies");
+      let stats = call_ok client ~id:3 (P.Stats "movies") in
+      Alcotest.(check bool) "stats has backend" true
+        (List.mem "backend xsketch" (String.split_on_char '\n' stats));
+      let metrics = call_ok client ~id:4 P.Metrics in
+      Alcotest.(check bool) "metrics mention serve.requests" true
+        (contains metrics "serve_requests");
+      match ok_exn (P.Client.call client ~id:5 (P.Stats "nosuch")) with
+      | P.Fail (Xerror.Usage _) -> ()
+      | _ -> Alcotest.fail "unknown tenant should be a usage error")
+
+let test_served_answers_match_direct () =
+  let c = Lazy.force corpus in
+  with_server [ ("movies", Catalog.source ~sketch_path:c.sk_a c.doc_path) ]
+    (fun client ->
+      let body =
+        call_ok client ~id:1 (P.Batch { tenant = "movies"; queries })
+      in
+      Alcotest.(check (list string))
+        "bitwise equal to direct engine"
+        (direct_answers c.sk_a queries)
+        (String.split_on_char '\n' body))
+
+let test_hot_reload_during_queries () =
+  let c = Lazy.force corpus in
+  (* the tenant's sketch file starts as a copy of sk_a; mid-stream we
+     atomically replace it with sk_b's content and reload *)
+  let live = temp_path ".sketch" in
+  let copy src =
+    let sk = ok_exn (Xtwig.load_sketch c.doc src) in
+    ok_exn (Xtwig.save_sketch sk live)
+  in
+  copy c.sk_a;
+  with_server [ ("movies", Catalog.source ~sketch_path:live c.doc_path) ]
+    (fun client ->
+      (* pipeline the whole sequence before reading: queries, reload
+         barrier, queries — the per-tenant FIFO answers pre-reload
+         queries on the old engine, post-reload ones on the new *)
+      ok_exn (P.Client.send client ~id:1 (P.Batch { tenant = "movies"; queries }));
+      copy c.sk_b;
+      ok_exn (P.Client.send client ~id:2 (P.Reload "movies"));
+      ok_exn (P.Client.send client ~id:3 (P.Batch { tenant = "movies"; queries }));
+      let responses = Hashtbl.create 4 in
+      for _ = 1 to 3 do
+        let id, resp = ok_exn (P.Client.recv client) in
+        Hashtbl.add responses id resp
+      done;
+      let body id =
+        match Hashtbl.find_opt responses id with
+        | Some (P.Reply b) -> b
+        | Some (P.Fail e) ->
+            Alcotest.failf "request %d failed: %s" id (Xerror.to_string e)
+        | None -> Alcotest.failf "no response for %d" id
+      in
+      Alcotest.(check (list string))
+        "pre-reload answers = direct on old sketch"
+        (direct_answers c.sk_a queries)
+        (String.split_on_char '\n' (body 1));
+      Alcotest.(check string) "reload bumped generation" "2" (body 2);
+      Alcotest.(check (list string))
+        "post-reload answers = direct on new sketch"
+        (direct_answers c.sk_b queries)
+        (String.split_on_char '\n' (body 3));
+      (* and the two sketches really do answer differently, so the
+         checks above are not vacuous *)
+      Alcotest.(check bool) "sketches differ" false
+        (direct_answers c.sk_a queries = direct_answers c.sk_b queries))
+
+let test_reload_failure_keeps_serving () =
+  let c = Lazy.force corpus in
+  let live = temp_path ".sketch" in
+  let sk = ok_exn (Xtwig.load_sketch c.doc c.sk_a) in
+  ok_exn (Xtwig.save_sketch sk live);
+  with_server [ ("movies", Catalog.source ~sketch_path:live c.doc_path) ]
+    (fun client ->
+      Sys.remove live;
+      (match ok_exn (P.Client.call client ~id:1 (P.Reload "movies")) with
+      | P.Fail (Xerror.Io _) -> ()
+      | P.Fail e -> Alcotest.failf "expected io error, got %s" (Xerror.to_string e)
+      | P.Reply _ -> Alcotest.fail "reload of a missing sketch succeeded");
+      (* the old engine is still serving, answers unchanged *)
+      let body = call_ok client ~id:2 (P.Batch { tenant = "movies"; queries }) in
+      Alcotest.(check (list string))
+        "still the old answers"
+        (direct_answers c.sk_a queries)
+        (String.split_on_char '\n' body))
+
+let test_overload_sheds_typed () =
+  let c = Lazy.force corpus in
+  with_server ~queue_cap:2
+    [ ("movies", Catalog.source ~sketch_path:c.sk_a c.doc_path) ]
+    (fun client ->
+      (* pipeline many requests in one burst without reading: the
+         server reads them in one tick, admits up to the cap and sheds
+         the rest with a typed overload error *)
+      let n = 24 in
+      for id = 1 to n do
+        ok_exn
+          (P.Client.send client ~id
+             (P.Estimate { tenant = "movies"; query = List.hd queries }))
+      done;
+      let shed = ref 0 and served = ref 0 in
+      let seen = Hashtbl.create n in
+      for _ = 1 to n do
+        let id, resp = ok_exn (P.Client.recv client) in
+        Alcotest.(check bool) "fresh id" false (Hashtbl.mem seen id);
+        Hashtbl.add seen id ();
+        match resp with
+        | P.Reply _ -> incr served
+        | P.Fail (Xerror.Overload msg) ->
+            incr shed;
+            Alcotest.(check bool) "overload names the tenant" true
+              (contains msg "movies")
+        | P.Fail e -> Alcotest.failf "unexpected error %s" (Xerror.to_string e)
+      done;
+      (* every request got exactly one typed response — nothing was
+         dropped and the socket is still usable *)
+      Alcotest.(check int) "all answered" n (!served + !shed);
+      Alcotest.(check bool) "some served" true (!served > 0);
+      Alcotest.(check bool) "some shed" true (!shed > 0);
+      let pong = call_ok client ~id:1000 P.Ping in
+      Alcotest.(check string) "connection survives" ("pong " ^ Xtwig.version) pong)
+
+(* chaos: probabilistic faults on the request-level serve.* points.
+   Gate: every request gets a typed response and serve.uncaught
+   stays zero. *)
+let test_chaos_uncaught_zero () =
+  let c = Lazy.force corpus in
+  let uncaught = Metrics.counter "serve.uncaught" in
+  let before = Metrics.counter_value uncaught in
+  let spec =
+    ok_exn
+      (Result.map_error
+         (fun e -> Xerror.Usage e)
+         (Fault.parse_spec
+            "seed=11;serve.decode:p0.15;serve.batch:p0.2;serve.reload:p0.5"))
+  in
+  Fault.install spec;
+  Fun.protect ~finally:Fault.disable (fun () ->
+      with_server [ ("movies", Catalog.source ~sketch_path:c.sk_a c.doc_path) ]
+        (fun client ->
+          let n = 60 in
+          for id = 1 to n do
+            let req =
+              if id mod 10 = 0 then P.Reload "movies"
+              else
+                P.Estimate
+                  {
+                    tenant = "movies";
+                    query = List.nth queries (id mod List.length queries);
+                  }
+            in
+            ok_exn (P.Client.send client ~id req)
+          done;
+          let responses = ref 0 and injected = ref 0 in
+          for _ = 1 to n do
+            match ok_exn (P.Client.recv client) with
+            | _, P.Reply _ -> incr responses
+            | _, P.Fail (Xerror.Engine _) ->
+                incr responses;
+                incr injected
+            | _, P.Fail e ->
+                Alcotest.failf "unexpected class %s" (Xerror.to_string e)
+          done;
+          Alcotest.(check int) "every request answered" n !responses;
+          Alcotest.(check bool) "chaos actually fired" true (!injected > 0)));
+  Alcotest.(check int) "serve.uncaught stayed zero" before
+    (Metrics.counter_value uncaught)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "framing roundtrip, all chunkings" `Quick
+            test_frame_roundtrip;
+          Alcotest.test_case "oversized frame rejected" `Quick test_frame_oversized;
+          Alcotest.test_case "request codec roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response codec roundtrip" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "bad inputs rejected" `Quick test_bad_inputs_rejected;
+          QCheck_alcotest.to_alcotest prop_answer_bitwise;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "ping/list/stats/metrics" `Quick test_basic_service;
+          Alcotest.test_case "served answers match direct engine" `Quick
+            test_served_answers_match_direct;
+          Alcotest.test_case "hot reload during queries" `Quick
+            test_hot_reload_during_queries;
+          Alcotest.test_case "failed reload keeps old engine" `Quick
+            test_reload_failure_keeps_serving;
+          Alcotest.test_case "overload sheds typed errors" `Quick
+            test_overload_sheds_typed;
+          Alcotest.test_case "serve.* chaos, uncaught = 0" `Quick
+            test_chaos_uncaught_zero;
+        ] );
+    ]

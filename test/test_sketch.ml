@@ -146,7 +146,10 @@ let test_build_reuse () =
 
 (* ---------------- embeddings ---------------- *)
 
-let parse_t = Xtwig_path.Path_parser.twig_of_string
+let parse_t s =
+  match Xtwig_path.Path_parser.parse_twig_res s with
+  | Ok t -> t
+  | Error e -> failwith (Xtwig_util.Xerror.to_string e)
 
 (* descend a chain of single-alternative embedding nodes to the first
    node with the given tag *)

@@ -4,8 +4,17 @@ module Sketch_io = Xtwig_sketch.Sketch_io
 module Est = Xtwig_sketch.Estimator
 module Ref = Xtwig_sketch.Refinement
 module Fx = Xtwig_fixtures.Fixtures
+module Xerror = Xtwig_util.Xerror
 
-let parse_t = Xtwig_path.Path_parser.twig_of_string
+let parse_t s =
+  match Xtwig_path.Path_parser.parse_twig_res s with
+  | Ok t -> t
+  | Error e -> failwith (Xerror.to_string e)
+
+let of_string_exn doc text =
+  match Sketch_io.of_string_res doc text with
+  | Ok (_, sk) -> sk
+  | Error e -> failwith (Xerror.to_string e)
 
 let refined_sketch doc =
   let sk = Sketch.default_of_doc doc in
@@ -34,7 +43,7 @@ let queries =
 let test_roundtrip_estimates () =
   let doc = Fx.bibliography () in
   let sk = refined_sketch doc in
-  let sk' = Sketch_io.of_string doc (Sketch_io.to_string sk) in
+  let sk' = of_string_exn doc (Sketch_io.to_string sk) in
   Alcotest.(check int) "same size" (Sketch.size_bytes sk) (Sketch.size_bytes sk');
   List.iter
     (fun s ->
@@ -49,8 +58,14 @@ let test_roundtrip_file () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Sketch_io.save sk path;
-      let sk' = Sketch_io.load doc path in
+      (match Sketch_io.write_res sk path with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %s" (Xerror.to_string e));
+      let sk' =
+        match Sketch_io.read_res doc path with
+        | Ok (_, sk') -> sk'
+        | Error e -> Alcotest.failf "read: %s" (Xerror.to_string e)
+      in
       let q = parse_t (List.hd queries) in
       Alcotest.(check (float 1e-9)) "file roundtrip" (Est.estimate sk q)
         (Est.estimate sk' q))
@@ -60,8 +75,8 @@ let test_document_mismatch () =
   let other = Fx.movie_fragment () in
   let text = Sketch_io.to_string (Sketch.default_of_doc doc) in
   Alcotest.(check bool) "mismatch refused" true
-    (match Sketch_io.of_string other text with
-    | exception Sketch_io.Format_error _ -> true
+    (match Sketch_io.of_string_res other text with
+    | Error (Xerror.Sketch_format _) -> true
     | _ -> false)
 
 let test_garbage_refused () =
@@ -69,8 +84,8 @@ let test_garbage_refused () =
   List.iter
     (fun text ->
       Alcotest.(check bool) ("refuses " ^ String.escaped text) true
-        (match Sketch_io.of_string doc text with
-        | exception Sketch_io.Format_error _ -> true
+        (match Sketch_io.of_string_res doc text with
+        | Error (Xerror.Sketch_format _ | Xerror.Corrupt _) -> true
         | _ -> false))
     [
       "";
@@ -89,7 +104,7 @@ let test_roundtrip_after_xbuild () =
   let sk =
     Xtwig_sketch.Xbuild.build ~seed:3 ~max_steps:25 ~budget:3000 ~workload ~truth doc
   in
-  let sk' = Sketch_io.of_string doc (Sketch_io.to_string sk) in
+  let sk' = of_string_exn doc (Sketch_io.to_string sk) in
   let q = parse_t "for t0 in //movie, t1 in t0/actor, t2 in t0/producer" in
   Alcotest.(check (float 1e-9)) "xbuild result roundtrips" (Est.estimate sk q)
     (Est.estimate sk' q)

@@ -2,6 +2,12 @@ module Doc = Xtwig_xml.Doc
 module Value = Xtwig_xml.Value
 module Parser = Xtwig_xml.Xml_parser
 module Writer = Xtwig_xml.Xml_writer
+module Xerror = Xtwig_util.Xerror
+
+let parse_string s =
+  match Parser.parse_string_res s with
+  | Ok d -> d
+  | Error e -> failwith (Xerror.to_string e)
 
 let sample () =
   let b = Doc.Builder.create () in
@@ -92,7 +98,7 @@ let test_unknown_tag () =
 (* ---------------- Parser / Writer ---------------- *)
 
 let test_parse_basic () =
-  let d = Parser.parse_string "<a><b>1</b><c x=\"2\"><d/></c></a>" in
+  let d = parse_string "<a><b>1</b><c x=\"2\"><d/></c></a>" in
   Alcotest.(check int) "5 nodes (attr becomes child)" 5 (Doc.size d);
   let b = (Doc.nodes_with_tag d (Option.get (Doc.tag_of_string d "b"))).(0) in
   Alcotest.(check bool) "b value is 1" true (Value.equal (Int 1) (Doc.value d b));
@@ -100,26 +106,26 @@ let test_parse_basic () =
   Alcotest.(check int) "c has attr child + d" 2 (Array.length (Doc.children d c))
 
 let test_parse_entities () =
-  let d = Parser.parse_string "<a>x &amp; y &lt;z&gt; &#65;</a>" in
+  let d = parse_string "<a>x &amp; y &lt;z&gt; &#65;</a>" in
   Alcotest.(check bool) "entities decoded" true
     (Value.equal (Text "x & y <z> A") (Doc.value d (Doc.root d)))
 
 let test_parse_comments_decl () =
   let d =
-    Parser.parse_string
+    parse_string
       "<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/></a><!-- bye -->"
   in
   Alcotest.(check int) "2 nodes" 2 (Doc.size d)
 
 let test_parse_cdata () =
-  let d = Parser.parse_string "<a><![CDATA[<not-a-tag>]]></a>" in
+  let d = parse_string "<a><![CDATA[<not-a-tag>]]></a>" in
   Alcotest.(check bool) "cdata verbatim" true
     (Value.equal (Text "<not-a-tag>") (Doc.value d (Doc.root d)))
 
 let test_parse_errors () =
   let fails s =
-    match Parser.parse_string s with
-    | exception Parser.Parse_error _ -> true
+    match Parser.parse_string_res s with
+    | Error (Xerror.Parse (Xerror.Xml, _)) -> true
     | _ -> false
   in
   Alcotest.(check bool) "mismatched close" true (fails "<a><b></a></b>");
@@ -138,13 +144,13 @@ let rec doc_equal d1 d2 n1 n2 =
 
 let test_write_parse_roundtrip () =
   let d = sample () in
-  let d2 = Parser.parse_string (Writer.to_string d) in
+  let d2 = parse_string (Writer.to_string d) in
   Alcotest.(check bool) "structurally equal" true
     (doc_equal d d2 (Doc.root d) (Doc.root d2))
 
 let test_roundtrip_fixture () =
   let d = Xtwig_fixtures.Fixtures.bibliography () in
-  let d2 = Parser.parse_string (Writer.to_string d) in
+  let d2 = parse_string (Writer.to_string d) in
   Alcotest.(check int) "same size" (Doc.size d) (Doc.size d2);
   Alcotest.(check bool) "structurally equal" true
     (doc_equal d d2 (Doc.root d) (Doc.root d2))
@@ -166,7 +172,7 @@ let gen_doc = Xtwig_testgen.Testgen.doc
 
 let prop_roundtrip =
   QCheck2.Test.make ~name:"write/parse roundtrip" ~count:100 gen_doc (fun d ->
-      let d2 = Parser.parse_string (Writer.to_string d) in
+      let d2 = parse_string (Writer.to_string d) in
       doc_equal d d2 (Doc.root d) (Doc.root d2))
 
 let prop_depth_le_size =
