@@ -427,11 +427,14 @@ let xbuild_bench () =
   Printf.fprintf oc "  \"steps\": %d,\n" !steps;
   Printf.fprintf oc "  \"steps_per_s\": %.3f,\n" steps_per_s;
   Printf.fprintf oc "  \"final_size_bytes\": %d,\n" (Sketch.size_bytes final);
-  Printf.fprintf oc "  \"final_workload_error\": %.6f,\n" !last_err;
+  (* Metrics.json_number: an empty accuracy stream yields NaN
+     percentiles, which must become null, not bare NaN tokens *)
+  Printf.fprintf oc "  \"final_workload_error\": %s,\n"
+    (Metrics.json_number !last_err);
   Printf.fprintf oc "  \"eval_queries\": %d,\n" (List.length eval_qs);
-  Printf.fprintf oc "  \"rel_error_p50\": %.6f,\n" (p 50.0);
-  Printf.fprintf oc "  \"rel_error_p90\": %.6f,\n" (p 90.0);
-  Printf.fprintf oc "  \"rel_error_p99\": %.6f,\n" (p 99.0);
+  Printf.fprintf oc "  \"rel_error_p50\": %s,\n" (Metrics.json_number (p 50.0));
+  Printf.fprintf oc "  \"rel_error_p90\": %s,\n" (Metrics.json_number (p 90.0));
+  Printf.fprintf oc "  \"rel_error_p99\": %s,\n" (Metrics.json_number (p 99.0));
   Printf.fprintf oc "  \"gate_compile_lt_run\": %b,\n" gate_time;
   Printf.fprintf oc "  \"gate_repatches_ge_compiles\": %b,\n" gate_reuse;
   Printf.fprintf oc "  \"counters\": {\n";

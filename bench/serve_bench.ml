@@ -13,6 +13,16 @@
    responses) are counted separately and excluded from the latency
    percentiles.
 
+   Observability run (the default): every request carries a client
+   trace id on the wire, the whole run is traced (client spans,
+   server phase spans and engine/plan spans land in one Chrome trace,
+   written to XTWIG_SERVE_TRACE), the server's structured JSONL log
+   goes to XTWIG_SERVE_LOG, a bench-tenant SLO (p99:50ms, err:1%) is
+   attached, and the report gains per-phase
+   (queue_wait/coalesce/execute/write) percentiles plus the SLO burn
+   rate. XTWIG_SERVE_OBS=0 turns all of it off — the baseline the CI
+   overhead gate compares against.
+
    XTWIG_SERVE_RPS (default 200), XTWIG_SERVE_SECONDS (default 5) and
    XTWIG_SERVE_QUEUE_CAP (default 64) shape the load. *)
 
@@ -22,6 +32,9 @@ module Server = Xtwig_serve.Server
 module Catalog = Xtwig_serve.Catalog
 module Xerror = Xtwig.Xerror
 module Fault = Xtwig_fault.Fault
+module Trace = Xtwig_obs.Trace
+module Log = Xtwig_obs.Log
+module Slo = Xtwig_obs.Slo
 
 let ok_exn = function
   | Ok v -> v
@@ -57,11 +70,67 @@ let percentile sorted q =
   if n = 0 then Float.nan
   else sorted.(Stdlib.min (n - 1) (int_of_float (float_of_int (n - 1) *. q)))
 
+let has_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1))
+  in
+  m = 0 || go 0
+
+(* every client-supplied trace id is [trace_base + request index]: big
+   enough to never collide with the engine's minted ids in this run *)
+let trace_base = 1_000_000
+
+(* the span names carrying [tid] in the captured trace — the
+   acceptance check is that one sampled request's id appears on the
+   client side, in the serving layer, and inside the engine *)
+let names_with_tid json tid =
+  let needle = Printf.sprintf "\"trace_id\":\"%d\"" tid in
+  String.split_on_char '\n' json
+  |> List.filter_map (fun line ->
+         if has_sub line needle then (
+           (* line format: {"name":"...",... *)
+           let pat = "\"name\":\"" in
+           let plen = String.length pat in
+           let n = String.length line in
+           let rec find i =
+             if i + plen > n then None
+             else if String.sub line i plen = pat then Some (i + plen)
+             else find (i + 1)
+           in
+           match find 0 with
+           | None -> None
+           | Some start -> (
+               match String.index_from_opt line start '"' with
+               | Some stop -> Some (String.sub line start (stop - start))
+               | None -> None))
+         else None)
+
+let phase_view snap phase =
+  List.find_map
+    (fun (e : Metrics.entry) ->
+      if
+        String.equal e.Metrics.name "serve.phase.seconds"
+        && List.assoc_opt "phase" e.Metrics.labels = Some phase
+      then
+        match e.Metrics.value with Metrics.Histogram h -> Some h | _ -> None
+      else None)
+    snap
+
 let run () =
   print_header "xtwigd open-loop serving benchmark (IMDB)";
   let rps = env_float "XTWIG_SERVE_RPS" 200.0 in
   let seconds = env_float "XTWIG_SERVE_SECONDS" 5.0 in
   let queue_cap = env_int "XTWIG_SERVE_QUEUE_CAP" 64 in
+  let obs = Sys.getenv_opt "XTWIG_SERVE_OBS" <> Some "0" in
+  let trace_path =
+    Option.value (Sys.getenv_opt "XTWIG_SERVE_TRACE")
+      ~default:"BENCH_serve_trace.json"
+  in
+  let log_path =
+    Option.value (Sys.getenv_opt "XTWIG_SERVE_LOG")
+      ~default:"BENCH_serve_log.jsonl"
+  in
   let doc = Lazy.force (dataset "imdb").doc in
   let doc_path = temp_path ".xml" and live = temp_path ".sketch" in
   ok_exn (Xtwig.doc_to_file doc_path doc);
@@ -89,10 +158,27 @@ let run () =
     | Ok None -> None
     | Error e -> failwith ("XTWIG_FAULT_SPEC: " ^ e)
   in
+  if obs then begin
+    Trace.reset ();
+    Trace.enable ();
+    if Sys.file_exists log_path then Sys.remove log_path;
+    Log.enable ~level:Log.Info ~path:log_path ();
+    log "observability on: trace -> %s, log -> %s" trace_path log_path
+  end
+  else log "observability off (XTWIG_SERVE_OBS=0): overhead baseline run";
+  let slo_objective = { Slo.p99_s = Some 0.05; err_rate = Some 0.01 } in
   let uncaught = Metrics.counter "serve.uncaught" in
   let uncaught0 = Metrics.counter_value uncaught in
+  let m0 = Metrics.snapshot () in
   let sock = temp_path ".sock" in
-  let cfg = { Server.default_config with listen = `Unix sock; queue_cap } in
+  let cfg =
+    {
+      Server.default_config with
+      listen = `Unix sock;
+      queue_cap;
+      slo = (if obs then [ ("bench", slo_objective) ] else []);
+    }
+  in
   let server =
     ok_exn
       (Server.create cfg [ ("bench", Catalog.source ~sketch_path:live doc_path) ])
@@ -118,7 +204,12 @@ let run () =
       end;
       ok_exn
         (P.Client.send client ~id:i
-           (P.Estimate { tenant = "bench"; query = q_strs.(i mod n_qs) }))
+           (P.Estimate
+              {
+                tenant = "bench";
+                query = q_strs.(i mod n_qs);
+                trace = (if obs then Some (trace_base + i) else None);
+              }))
     done
   in
   let sender_th = Thread.create sender () in
@@ -130,6 +221,7 @@ let run () =
   and match_new = ref 0
   and mismatched = ref 0
   and injected = ref 0
+  and first_served = ref None
   and reload_ok = ref false in
   for _ = 0 to n do
     let id, resp = ok_exn (P.Client.recv client) in
@@ -146,7 +238,20 @@ let run () =
       match resp with
       | P.Reply body ->
           incr served;
-          lat.(id) <- t_recv -. sched id;
+          if !first_served = None then first_served := Some id;
+          let l = t_recv -. sched id in
+          lat.(id) <- l;
+          (* the client half of the request's trace: a retrospective X
+             span over schedule-to-receive, carrying the same id the
+             server-side spans were stamped with *)
+          if obs then begin
+            let dur_ns = Int64.of_float (Float.max l 0.0 *. 1e9) in
+            Trace.complete
+              ~args:[ ("trace_id", string_of_int (trace_base + id)) ]
+              ~name:"client.request"
+              ~start_ns:(Int64.sub (Trace.now_ns ()) dur_ns)
+              ~dur_ns ()
+          end;
           if String.equal body old_answers.(id mod n_qs) then incr match_old
           else if String.equal body new_answers.(id mod n_qs) then incr match_new
           else incr mismatched
@@ -162,6 +267,7 @@ let run () =
   Thread.join server_th;
   if fault_spec <> None then Fault.disable ();
   let uncaught_n = Metrics.counter_value uncaught - uncaught0 in
+  let mdiff = Metrics.diff m0 (Metrics.snapshot ()) in
   let sorted =
     let l = Array.to_list lat in
     let l = List.filter (fun x -> not (Float.is_nan x)) l in
@@ -173,11 +279,74 @@ let run () =
   let p99 = percentile sorted 0.99 *. 1e3 in
   let p999 = percentile sorted 0.999 *. 1e3 in
   let shed_rate = float_of_int !shed /. float_of_int n in
+  (* per-phase breakdown, read back from the server's labeled
+     histograms: where a p999 spike actually went *)
+  let phases = [ "queue_wait"; "coalesce"; "execute"; "write" ] in
+  let phase_ms =
+    List.map
+      (fun ph ->
+        match phase_view mdiff ph with
+        | Some h when h.Metrics.count > 0 ->
+            ( ph,
+              Some
+                ( Metrics.percentile_of h 50.0 *. 1e3,
+                  Metrics.percentile_of h 99.0 *. 1e3,
+                  Metrics.percentile_of h 99.9 *. 1e3 ) )
+        | _ -> (ph, None))
+      phases
+  in
+  let burn = if obs then Slo.burn_rate (Server.slo server) "bench" else 0.0 in
+  (* capture + validate the trace, and check propagation: a sampled
+     served request's id must appear on a client span, a serving-layer
+     span and an engine/plan span in the same file *)
+  let trace_valid, trace_spans, trace_propagated =
+    if not obs then (true, 0, false)
+    else begin
+      Trace.disable ();
+      let json = Trace.to_json_string () in
+      let oc = open_out trace_path in
+      output_string oc json;
+      close_out oc;
+      log "wrote %s" trace_path;
+      let valid, spans =
+        match Trace.validate_string json with
+        | Ok s -> (true, s)
+        | Error e ->
+            log "ERROR: trace validation failed: %s" e;
+            (false, 0)
+      in
+      let propagated =
+        match !first_served with
+        | None -> false
+        | Some id ->
+            let names = names_with_tid json (trace_base + id) in
+            let mem n = List.exists (String.equal n) names in
+            let engine_side =
+              List.exists
+                (fun n ->
+                  has_sub n "engine." || has_sub n "plan."
+                  || has_sub n "estimator.")
+                names
+            in
+            mem "client.request"
+            && (mem "serve.batch" || mem "serve.queue_wait")
+            && engine_side
+      in
+      (valid, spans, propagated)
+    end
+  in
+  if obs then begin
+    Log.flush ();
+    log "structured log: %d events -> %s" (Log.emitted ()) log_path;
+    Log.disable ()
+  end;
   (* under injection, typed engine-error responses (including a faulted
      reload) are the expected outcome, not a correctness failure *)
   let correct =
     !mismatched = 0 && !errors = 0 && uncaught_n = 0
     && (fault_spec <> None || !reload_ok)
+    && trace_valid
+    && ((not obs) || !first_served = None || trace_propagated)
   in
   print_row "%-28s %12d" "requests" n;
   print_row "%-28s %12d" "served" !served;
@@ -188,6 +357,20 @@ let run () =
   print_row "%-28s %12.3f" "latency p50 (ms)" p50;
   print_row "%-28s %12.3f" "latency p99 (ms)" p99;
   print_row "%-28s %12.3f" "latency p999 (ms)" p999;
+  List.iter
+    (fun (ph, v) ->
+      match v with
+      | Some (p50, p99, p999) ->
+          print_row "%-28s p50=%8.3f p99=%8.3f p999=%8.3f"
+            ("phase " ^ ph ^ " (ms)") p50 p99 p999
+      | None -> ())
+    phase_ms;
+  if obs then begin
+    print_row "%-28s %12.3f" "slo burn rate" burn;
+    print_row "%-28s %12b" "trace valid" trace_valid;
+    print_row "%-28s %12d" "trace spans" trace_spans;
+    print_row "%-28s %12b" "trace propagated" trace_propagated
+  end;
   print_row "%-28s %12d" "answers = old synopsis" !match_old;
   print_row "%-28s %12d" "answers = new synopsis" !match_new;
   print_row "%-28s %12d" "answers matching neither" !mismatched;
@@ -201,6 +384,7 @@ let run () =
        finished before/after the swap"
       !match_old !match_new;
   let oc = open_out "BENCH_serve.json" in
+  let num v = Metrics.json_number v in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"bench\": \"serve\",\n";
   fprint_provenance oc;
@@ -209,6 +393,7 @@ let run () =
   Printf.fprintf oc "  \"rps\": %g,\n" rps;
   Printf.fprintf oc "  \"seconds\": %g,\n" seconds;
   Printf.fprintf oc "  \"queue_cap\": %d,\n" queue_cap;
+  Printf.fprintf oc "  \"observability\": %b,\n" obs;
   Printf.fprintf oc "  \"requests\": %d,\n" n;
   Printf.fprintf oc "  \"served\": %d,\n" !served;
   Printf.fprintf oc "  \"shed\": %d,\n" !shed;
@@ -218,9 +403,27 @@ let run () =
   | None -> Printf.fprintf oc "  \"fault_spec\": null,\n");
   Printf.fprintf oc "  \"injected\": %d,\n" !injected;
   Printf.fprintf oc "  \"errors\": %d,\n" !errors;
-  Printf.fprintf oc "  \"latency_p50_ms\": %.3f,\n" p50;
-  Printf.fprintf oc "  \"latency_p99_ms\": %.3f,\n" p99;
-  Printf.fprintf oc "  \"latency_p999_ms\": %.3f,\n" p999;
+  Printf.fprintf oc "  \"latency_p50_ms\": %s,\n" (num p50);
+  Printf.fprintf oc "  \"latency_p99_ms\": %s,\n" (num p99);
+  Printf.fprintf oc "  \"latency_p999_ms\": %s,\n" (num p999);
+  Printf.fprintf oc "  \"phases\": {\n";
+  List.iteri
+    (fun i (ph, v) ->
+      let sep = if i = List.length phase_ms - 1 then "" else "," in
+      match v with
+      | Some (p50, p99, p999) ->
+          Printf.fprintf oc
+            "    \"%s\": {\"p50_ms\": %s, \"p99_ms\": %s, \"p999_ms\": %s}%s\n"
+            ph (num p50) (num p99) (num p999) sep
+      | None -> Printf.fprintf oc "    \"%s\": null%s\n" ph sep)
+    phase_ms;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"slo\": {\"tenant\": \"bench\", \"objective\": %S, \"burn_rate\": %s},\n"
+    (if obs then Slo.objective_text slo_objective else "(none)")
+    (num burn);
+  Printf.fprintf oc "  \"trace_valid\": %b,\n" trace_valid;
+  Printf.fprintf oc "  \"trace_spans\": %d,\n" trace_spans;
+  Printf.fprintf oc "  \"trace_propagated\": %b,\n" trace_propagated;
   Printf.fprintf oc "  \"reload_ok\": %b,\n" !reload_ok;
   Printf.fprintf oc "  \"answers_old_synopsis\": %d,\n" !match_old;
   Printf.fprintf oc "  \"answers_new_synopsis\": %d,\n" !match_new;

@@ -30,6 +30,7 @@ module Fault = Xtwig_fault.Fault
 module Metrics = Xtwig_obs.Metrics
 module Trace = Xtwig_obs.Trace
 module Accuracy = Xtwig_obs.Accuracy
+module Slo = Xtwig_obs.Slo
 
 let ( let* ) = Result.bind
 
@@ -283,8 +284,18 @@ let estimate_cmd =
              default; the compiled engine path, supports $(b,--sketch)) or \
              'cst'.")
   in
+  let explain_flag =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the estimate's provenance: plan tier taken (cache hit, \
+             repatch, skeleton adoption, fresh compile, reference interp), \
+             embedding count, retries and fallback reason — the same record \
+             the xtwigd $(b,explain) verb serves.")
+  in
   let run file query budget seed exact sketch_file backend jobs timeout verbose
-      trace metrics fault =
+      explain trace metrics fault =
     code_of
       (with_obs ~trace ~metrics @@ fun () ->
        with_fault fault @@ fun () ->
@@ -312,12 +323,32 @@ let estimate_cmd =
        Fun.protect
          ~finally:(fun () -> Xtwig.close_session engine)
          (fun () ->
-           let* a = Xtwig.estimate engine q in
+           let* a, prov =
+             if explain then
+               let* p = Xtwig.explain engine q in
+               Ok (p.Engine.pv_answer, Some p)
+             else
+               let* a = Xtwig.estimate engine q in
+               Ok (a, None)
+           in
            let st = Engine.stats engine in
            Format.printf "backend:  %s, synopsis %d bytes@." st.Engine.backend
              st.Engine.sketch_bytes;
            Format.printf "estimate: %.2f%s@." a.Engine.estimate
              (if a.Engine.fallback then "  (timeout: coarse fallback)" else "");
+           (match prov with
+           | None -> ()
+           | Some p ->
+               Format.printf "tier:     %s@." (Engine.tier_label p.Engine.pv_tier);
+               Format.printf "embeddings: %d@." p.Engine.pv_embeddings;
+               Format.printf "retries:  %d@." a.Engine.retries;
+               Format.printf "fallback reason: %s@."
+                 (match a.Engine.reason with
+                 | None -> "-"
+                 | Some Engine.Timeout -> "timeout"
+                 | Some Engine.Fault -> "fault"
+                 | Some Engine.Circuit_open -> "circuit-open"
+                 | Some Engine.Guard -> "guard"));
            if verbose then begin
              Format.printf "elapsed:  %.6f s@." a.Engine.elapsed_s;
              Format.printf "fallback: %b@." a.Engine.fallback;
@@ -332,8 +363,8 @@ let estimate_cmd =
        ~doc:"Estimate a twig query's selectivity over a (built or loaded) synopsis.")
     Term.(
       const run $ file_arg $ query $ budget_arg $ seed_arg $ exact $ sketch_file
-      $ backend_arg $ jobs_arg $ timeout_arg $ verbose $ trace_arg $ metrics_arg
-      $ fault_arg)
+      $ backend_arg $ jobs_arg $ timeout_arg $ verbose $ explain_flag
+      $ trace_arg $ metrics_arg $ fault_arg)
 
 (* ---------------- workload ---------------- *)
 
@@ -491,14 +522,24 @@ let stats_cmd =
              session over $(b,--sketch) or a fresh build.")
   in
   (* one tenant's serve + report: answers, then the session counters
-     and accuracy, all under the tenant's own metric labels *)
-  let serve_tenant engine qs truths sanity label =
+     and accuracy, all under the tenant's own metric labels; every
+     answer is classified into the SLO tracker (full-fidelity vs
+     degraded, over-p99-bound) under [tenant] *)
+  let serve_tenant ~slo ~tenant engine qs truths sanity label =
     let before = Metrics.snapshot () in
-    let* answers = Xtwig.estimate_batch engine qs in
+    let* answers =
+      match Xtwig.estimate_batch engine qs with
+      | Ok answers -> Ok answers
+      | Error e ->
+          Slo.record slo ~tenant Slo.Failed;
+          Error e
+    in
     let acc = Accuracy.create ~sanity ~name:("xtwig.stats" ^ label) () in
     List.iteri
       (fun i (a : Engine.answer) ->
-        Accuracy.observe acc ~truth:truths.(i) ~estimate:a.Engine.estimate)
+        Accuracy.observe acc ~truth:truths.(i) ~estimate:a.Engine.estimate;
+        Slo.record slo ~tenant ~latency_s:a.Engine.elapsed_s
+          (if a.Engine.fallback then Slo.Served_degraded else Slo.Served_ok))
       answers;
     let st = Engine.stats engine in
     Format.printf "synopsis: %d bytes (%s), %d jobs@." st.Engine.sketch_bytes
@@ -522,6 +563,7 @@ let stats_cmd =
           (Metrics.percentile_of h 99.0)
     | _ -> ());
     Format.printf "%s@." (Accuracy.report acc);
+    Format.printf "%s@." (Slo.report_tenant slo tenant);
     Ok ()
   in
   let parse_tenant spec =
@@ -532,8 +574,49 @@ let stats_cmd =
             String.sub spec (i + 1) (String.length spec - i - 1) )
     | _ -> Error (Xerror.Usage ("--tenant expects NAME=SKETCH, got " ^ spec))
   in
-  let run file budget seed jobs timeout n sketch_file tenants trace metrics
-      fault =
+  (* bare objectives ("p99:5ms") attach to the unnamed default
+     session; NAME=... attaches to that --tenant *)
+  let parse_slo spec =
+    if String.contains spec '=' then
+      Result.map_error (fun m -> Xerror.Usage m) (Slo.parse spec)
+    else
+      Result.map_error (fun m -> Xerror.Usage m) (Slo.parse ("default=" ^ spec))
+  in
+  let slo_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "slo" ] ~docv:"TENANT=p99:5ms,err:0.1%"
+          ~doc:
+            "Attach an SLO objective ($(b,p99:)$(i,DURATION) and/or \
+             $(b,err:)$(i,RATE)) to a $(b,--tenant) name, or — without the \
+             $(i,TENANT=) prefix — to the unnamed default session. The \
+             report gains outcome attribution (ok/degraded/failed/shed) and \
+             the error-budget burn rate. Repeatable.")
+  in
+  let follow_arg =
+    Arg.(
+      value & flag
+      & info [ "follow" ]
+          ~doc:
+            "Live-refresh mode: re-serve the workload and redraw the report \
+             every $(b,--interval) seconds (Ctrl-C to stop; $(b,--rounds) \
+             bounds the passes). SLO attribution and burn rate accumulate \
+             across passes.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Refresh period for $(b,--follow).")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:"Stop $(b,--follow) after $(i,N) passes (0 = until Ctrl-C).")
+  in
+  let run file budget seed jobs timeout n sketch_file tenants slos follow
+      interval rounds trace metrics fault =
     code_of
       (with_obs ~trace ~metrics @@ fun () ->
        with_fault fault @@ fun () ->
@@ -541,6 +624,16 @@ let stats_cmd =
        let* () =
          if n < 1 then Error (Xerror.Usage "--queries must be >= 1") else Ok ()
        in
+       let* declared =
+         List.fold_left
+           (fun acc spec ->
+             let* l = acc in
+             let* t = parse_slo spec in
+             Ok (t :: l))
+           (Ok []) slos
+         |> Result.map List.rev
+       in
+       let slo = Slo.create declared in
        let qs =
          Wgen.generate { Wgen.paper_p with Wgen.n_queries = n } (Prng.create seed)
            doc
@@ -550,49 +643,99 @@ let stats_cmd =
            (List.map (fun q -> float_of_int (Xtwig.selectivity doc q)) qs)
        in
        let sanity = Xtwig_workload.Error_metric.sanity_bound truths in
-       match tenants with
-       | [] ->
-           let* sk =
-             match sketch_file with
-             | Some path -> Xtwig.load_sketch doc path
-             | None -> build_sketch ~quiet:true ~jobs doc ~budget ~seed
+       (* open every session up front so --follow re-serves through the
+          same engines (plan caches warm across passes) *)
+       let* sessions =
+         match tenants with
+         | [] ->
+             let* sk =
+               match sketch_file with
+               | Some path -> Xtwig.load_sketch doc path
+               | None -> build_sketch ~quiet:true ~jobs doc ~budget ~seed
+             in
+             let* engine = Xtwig.open_sketch_session ~jobs ~timeout_s:timeout sk in
+             Ok [ (None, "default", "", engine) ]
+         | specs ->
+             let* () =
+               match sketch_file with
+               | Some _ ->
+                   Error (Xerror.Usage "--sketch and --tenant are exclusive")
+               | None -> Ok ()
+             in
+             let* opened =
+               List.fold_left
+                 (fun acc spec ->
+                   let* l = acc in
+                   let* name, path = parse_tenant spec in
+                   let* sk = Xtwig.load_sketch doc path in
+                   let* engine =
+                     Xtwig.open_sketch_session ~name ~jobs ~timeout_s:timeout sk
+                   in
+                   Ok ((Some (name, path), name, "." ^ name, engine) :: l))
+                 (Ok []) specs
+             in
+             Ok (List.rev opened)
+       in
+       Fun.protect
+         ~finally:(fun () ->
+           List.iter (fun (_, _, _, engine) -> Xtwig.close_session engine) sessions)
+         (fun () ->
+           let serve_round () =
+             List.fold_left
+               (fun acc (header, tenant, label, engine) ->
+                 let* () = acc in
+                 (match header with
+                 | Some (name, path) ->
+                     Format.printf "@.tenant %s (%s):@." name path
+                 | None -> ());
+                 serve_tenant ~slo ~tenant engine qs truths sanity label)
+               (Ok ()) sessions
            in
-           let* engine = Xtwig.open_sketch_session ~jobs ~timeout_s:timeout sk in
-           Fun.protect
-             ~finally:(fun () -> Xtwig.close_session engine)
-             (fun () -> serve_tenant engine qs truths sanity "")
-       | specs ->
-           let* () =
-             match sketch_file with
-             | Some _ ->
-                 Error (Xerror.Usage "--sketch and --tenant are exclusive")
-             | None -> Ok ()
-           in
-           List.fold_left
-             (fun acc spec ->
-               let* () = acc in
-               let* name, path = parse_tenant spec in
-               let* sk = Xtwig.load_sketch doc path in
-               let* engine =
-                 Xtwig.open_sketch_session ~name ~jobs ~timeout_s:timeout sk
-               in
-               Fun.protect
-                 ~finally:(fun () -> Xtwig.close_session engine)
-                 (fun () ->
-                   Format.printf "@.tenant %s (%s):@." name path;
-                   serve_tenant engine qs truths sanity ("." ^ name)))
-             (Ok ()) specs)
+           if not follow then serve_round ()
+           else begin
+             (* live refresh: clear, redraw, sleep; Ctrl-C ends the
+                loop cleanly instead of killing the process *)
+             let stop = ref false in
+             let prev =
+               Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+             in
+             Fun.protect
+               ~finally:(fun () -> Sys.set_signal Sys.sigint prev)
+               (fun () ->
+                 let round = ref 0 in
+                 let result = ref (Ok ()) in
+                 while
+                   (not !stop)
+                   && Result.is_ok !result
+                   && (rounds = 0 || !round < rounds)
+                 do
+                   incr round;
+                   print_string "\027[H\027[2J";
+                   Format.printf "xtwig stats --follow  round %d  (Ctrl-C to stop)@."
+                     !round;
+                   result := serve_round ();
+                   Format.print_flush ();
+                   if (not !stop) && Result.is_ok !result
+                      && (rounds = 0 || !round < rounds)
+                   then
+                     try Unix.sleepf interval
+                     with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                 done;
+                 !result)
+           end))
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Serve a random twig workload with known true counts and report \
           accuracy percentiles (p50/p90/p99 relative error), per-query \
-          latency percentiles and engine counters — per tenant with \
-          repeated $(b,--tenant NAME=SKETCH).")
+          latency percentiles, engine counters and SLO attribution — per \
+          tenant with repeated $(b,--tenant NAME=SKETCH), live with \
+          $(b,--follow).")
     Term.(
       const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg $ timeout_arg $ n
-      $ sketch_file $ tenants_arg $ trace_arg $ metrics_arg $ fault_arg)
+      $ sketch_file $ tenants_arg $ slo_arg $ follow_arg $ interval_arg
+      $ rounds_arg $ trace_arg $ metrics_arg $ fault_arg)
 
 (* ---------------- backends ---------------- *)
 

@@ -9,6 +9,12 @@
    tenant without restarting by writing a new sketch file (the write
    is atomic) and sending a `reload` request.
 
+   Observability: --log routes the structured event stream (access
+   records, shed/reload/breaker lifecycle) to a JSONL file or stderr,
+   --trace captures a Chrome trace of the serving path, --slo attaches
+   per-tenant latency/error objectives whose burn rates surface in
+   `xtwig stats`.
+
    SIGINT/SIGTERM shut the server down cleanly; exit codes follow the
    xtwig CLI contract. *)
 
@@ -17,6 +23,9 @@ module Xerror = Xtwig.Xerror
 module Server = Xtwig_serve.Server
 module Catalog = Xtwig_serve.Catalog
 module Fault = Xtwig_fault.Fault
+module Log = Xtwig_obs.Log
+module Trace = Xtwig_obs.Trace
+module Slo = Xtwig_obs.Slo
 
 let ( let* ) = Result.bind
 
@@ -63,10 +72,42 @@ let install_fault spec =
       | Ok None -> Ok ()
       | Error e -> Error (Xerror.Usage ("XTWIG_FAULT_SPEC: " ^ e)))
 
-let run socket tcp tenants backend budget seed jobs timeout queue_cap fault =
+let setup_log log log_level =
+  let* level =
+    match Log.level_of_string log_level with
+    | Some l -> Ok l
+    | None ->
+        Error
+          (Xerror.Usage ("--log-level expects debug|info|warn|error, got " ^ log_level))
+  in
+  match log with
+  | None -> Ok ()
+  | Some "-" ->
+      Log.enable ~level ~channel:stderr ();
+      Ok ()
+  | Some path -> (
+      match Log.enable ~level ~path () with
+      | () -> Ok ()
+      | exception Sys_error msg -> Error (Xerror.Io msg))
+
+let parse_slos specs =
+  List.fold_left
+    (fun acc spec ->
+      let* l = acc in
+      match Slo.parse spec with
+      | Ok (tenant, o) -> Ok ((tenant, o) :: l)
+      | Error msg -> Error (Xerror.Usage ("--slo: " ^ msg)))
+    (Ok []) specs
+  |> Result.map List.rev
+
+let run socket tcp tenants backend budget seed jobs timeout queue_cap fault log
+    log_level trace slos =
   let result =
     let* listen = parse_listen socket tcp in
     let* () = install_fault fault in
+    let* () = setup_log log log_level in
+    let* slo = parse_slos slos in
+    if trace <> None then Trace.enable ();
     let* () =
       if tenants = [] then Error (Xerror.Usage "at least one --tenant is required")
       else Ok ()
@@ -80,7 +121,7 @@ let run socket tcp tenants backend budget seed jobs timeout queue_cap fault =
         (Ok []) tenants
     in
     let specs = List.rev specs in
-    let cfg = { Server.listen; jobs; timeout_s = timeout; queue_cap } in
+    let cfg = { Server.listen; jobs; timeout_s = timeout; queue_cap; slo } in
     let* server = Server.create cfg specs in
     let stop _ = Server.stop server in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
@@ -90,9 +131,26 @@ let run socket tcp tenants backend budget seed jobs timeout queue_cap fault =
     | `Tcp (host, _) ->
         Printf.eprintf "xtwigd: listening on %s:%d\n%!" host
           (Option.value ~default:0 (Server.port server)));
-    Printf.eprintf "xtwigd: tenants: %s\n%!"
-      (String.concat ", " (Catalog.names (Server.catalog server)));
+    let tenant_names = Catalog.names (Server.catalog server) in
+    Printf.eprintf "xtwigd: tenants: %s\n%!" (String.concat ", " tenant_names);
+    Log.info "xtwigd.start"
+      ~fields:
+        [
+          ("tenants", Log.S (String.concat "," tenant_names));
+          ("jobs", Log.I jobs);
+          ("queue_cap", Log.I queue_cap);
+        ];
     Server.serve server;
+    Log.info "xtwigd.stop" ~fields:[];
+    (match trace with
+    | None -> ()
+    | Some path -> (
+        match Trace.dump path with
+        | () -> Printf.eprintf "xtwigd: trace written to %s\n%!" path
+        | exception Sys_error msg ->
+            Printf.eprintf "xtwigd: trace write failed: %s\n%!" msg));
+    Log.flush ();
+    Log.disable ();
     Printf.eprintf "xtwigd: shut down\n%!";
     Ok ()
   in
@@ -164,6 +222,42 @@ let cmd =
             "Install a deterministic fault-injection scenario (overrides \
              XTWIG_FAULT_SPEC), e.g. 'seed=7;serve.*:p0.01'.")
   in
+  let log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"PATH"
+          ~doc:
+            "Write structured JSONL events (access records, shed/reload/\
+             breaker lifecycle) to $(i,PATH); $(b,-) writes to stderr. \
+             Off by default.")
+  in
+  let log_level =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Minimum event level: debug, info, warn or error.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Record a Chrome trace of the serving path and write it to \
+             $(i,PATH) on shutdown (open with chrome://tracing or Perfetto).")
+  in
+  let slo =
+    Arg.(
+      value & opt_all string []
+      & info [ "slo" ] ~docv:"TENANT=p99:5ms,err:0.1%"
+          ~doc:
+            "Attach an SLO objective to a tenant: a p99 latency bound \
+             ($(b,p99:)$(i,N)$(b,us|ms|s)) and/or an error-rate bound \
+             ($(b,err:)$(i,N)$(b,%)). Burn rates are exported as \
+             $(b,slo.burn_rate) and reported by $(b,xtwig stats). \
+             Repeatable.")
+  in
   let info =
     Cmd.info "xtwigd" ~version:"1.0.0"
       ~doc:"Multi-tenant twig selectivity estimation server"
@@ -171,6 +265,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ socket $ tcp $ tenants $ backend $ budget $ seed $ jobs
-      $ timeout $ queue_cap $ fault)
+      $ timeout $ queue_cap $ fault $ log $ log_level $ trace $ slo)
 
 let () = exit (Cmd.eval' ~term_err:2 cmd)

@@ -434,12 +434,21 @@ let compile_prep t ~timeout ~probe i q =
         if now () > deadline then Error (Timeout, 0) else attempt 0
   end
 
-let estimate_batch ?timeout_s t queries =
+let estimate_batch ?timeout_s ?trace_id t queries =
   if t.closed then Error (Xerror.Engine "session is closed")
   else begin
     match
       let timeout = Option.value timeout_s ~default:t.default_timeout in
-      let trace_id = Atomic.fetch_and_add next_trace_id 1 in
+      let trace_id =
+        (* a client-propagated id (threaded here by the serving layer)
+           replaces the minted one, so the server's and the engine's
+           spans share it end to end *)
+        match trace_id with
+        | Some id -> id
+        | None -> Atomic.fetch_and_add next_trace_id 1
+      in
+      Trace.with_trace_id trace_id
+      @@ fun () ->
       Trace.with_span ~name:"engine.estimate_batch"
         ~args:
           [
@@ -547,6 +556,127 @@ let estimate ?timeout_s t q =
   | Ok [ a ] -> Ok a
   | Ok _ -> assert false
   | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Per-query provenance: which tier of the plan economy answered       *)
+
+type plan_tier =
+  | Cache_hit
+  | Repatch
+  | Skeleton_adoption
+  | Fresh_compile
+  | Reference_interp
+  | Backend_opaque
+
+let tier_label = function
+  | Cache_hit -> "cache_hit"
+  | Repatch -> "repatch"
+  | Skeleton_adoption -> "skeleton_adoption"
+  | Fresh_compile -> "fresh_compile"
+  | Reference_interp -> "reference_interp"
+  | Backend_opaque -> "backend"
+
+type provenance = {
+  pv_answer : answer;
+  pv_backend : string;
+  pv_tier : plan_tier;
+  pv_embeddings : int;
+}
+
+(* Tier classification reads the process-global plan counters around
+   this query's (owner-domain, sequential) compile phase. A fresh
+   compile also runs the shared payload phase, so [plan.compiles] is
+   checked before [plan.repatches]; adoption and interpretation are
+   tier-path outcomes and take precedence over the repatch they may
+   also book. Concurrent compile phases of OTHER sessions on other
+   domains could alias into the deltas — xtwigd drains tenant queues
+   from one thread, so its explains are exact; a multi-threaded
+   embedder should serialize explain calls itself. *)
+let explain ?timeout_s ?trace_id t q =
+  if t.closed then Error (Xerror.Engine "session is closed")
+  else begin
+    match
+      let timeout = Option.value timeout_s ~default:t.default_timeout in
+      let tid =
+        match trace_id with
+        | Some id -> id
+        | None -> Atomic.fetch_and_add next_trace_id 1
+      in
+      Trace.with_trace_id tid @@ fun () ->
+      Trace.with_span ~name:"engine.explain"
+        ~args:[ ("trace_id", string_of_int tid) ]
+      @@ fun () ->
+      let t0 = now () in
+      (match t.core with
+      | Sk { cache; pcache; _ } ->
+          Embed.thaw cache;
+          Plan.thaw pcache
+      | Bk _ -> ());
+      let probe = ref None in
+      let snap () =
+        ( Counters.get "plan.cache_hits",
+          Counters.get "plan.compiles",
+          Counters.get "plan.repatches",
+          Counters.get "plan.skeleton_adoptions",
+          Counters.get "plan.interp_estimates" )
+      in
+      let _h0, c0, r0, s0, i0 = snap () in
+      let prep = compile_prep t ~timeout ~probe 0 q in
+      let _h1, c1, r1, s1, i1 = snap () in
+      (match t.core with
+      | Sk { cache; pcache; _ } ->
+          Embed.freeze cache;
+          Plan.freeze pcache
+      | Bk _ -> ());
+      let a =
+        match prep with
+        | Ok (plans, deadline, retries) -> (
+            match
+              Fault.with_scope 0 (fun () -> eval_one t ~trace_id:tid ~deadline q plans)
+            with
+            | a -> { a with retries = a.retries + retries }
+            | exception _ ->
+                degrade_answer t ~trace_id:tid ~t0:(now ()) ~reason:Fault
+                  ~retries q)
+        | Error (reason, retries) ->
+            degrade_answer t ~trace_id:tid ~t0:(now ()) ~reason ~retries q
+      in
+      record_outcome t ~probe:!probe 0 a;
+      t.batches <- t.batches + 1;
+      t.queries_served <- t.queries_served + 1;
+      (match a.reason with
+      | Some Timeout -> t.timeouts <- t.timeouts + 1
+      | Some _ -> t.degraded <- t.degraded + 1
+      | None -> ());
+      t.retries_total <- t.retries_total + a.retries;
+      Counters.incr c_batches;
+      Counters.incr c_queries;
+      if a.reason = Some Timeout then Counters.incr c_timeouts;
+      t.estimate_s <- t.estimate_s +. (now () -. t0);
+      let tier =
+        match t.core with
+        | Bk _ -> Backend_opaque
+        | Sk _ ->
+            if c1 > c0 then Fresh_compile
+            else if s1 > s0 then Skeleton_adoption
+            else if i1 > i0 then Reference_interp
+            else if r1 > r0 then Repatch
+            else Cache_hit
+      in
+      let embeddings =
+        match prep with Ok (plans, _, _) -> Array.length plans | Error _ -> 0
+      in
+      let backend =
+        match t.core with Sk _ -> "xsketch" | Bk inst -> Backend.name_of inst
+      in
+      { pv_answer = a; pv_backend = backend; pv_tier = tier; pv_embeddings = embeddings }
+    with
+    | p -> Ok p
+    | exception e ->
+        Error
+          (Xerror.Engine
+             (Printf.sprintf "internal failure: %s" (Printexc.to_string e)))
+  end
 
 let sketch t =
   match t.core with

@@ -174,11 +174,17 @@ val of_backend :
     (no embedding enumeration happens here). *)
 
 val estimate_batch :
-  ?timeout_s:float -> t -> Xtwig_path.Path_types.twig list ->
+  ?timeout_s:float -> ?trace_id:int -> t -> Xtwig_path.Path_types.twig list ->
   (answer list, Xtwig_util.Xerror.t) result
 (** Evaluate a batch concurrently; answers come back in query order
     and are bit-identical to [jobs = 1] evaluation (absent timeouts).
     [timeout_s] overrides the session default for this batch.
+    [trace_id] replaces the minted batch trace id with a
+    client-propagated one (the serving layer threads the protocol's
+    request id here), making it the ambient
+    {!Xtwig_obs.Trace.with_trace_id} for the compile phase — the
+    batch's [engine.*] and [plan.*] spans then share the caller's id
+    end to end.
 
     Never raises, under any fault scenario: failures degrade
     individual answers (see the module preamble), and anything that
@@ -193,6 +199,47 @@ val estimate :
   ?timeout_s:float -> t -> Xtwig_path.Path_types.twig ->
   (answer, Xtwig_util.Xerror.t) result
 (** One-query batch. *)
+
+(** {2 Estimate provenance}
+
+    The plan economy (PR 4/6) decides per query how much work an
+    estimate costs — serve compiled plans from cache, repatch a stale
+    entry's payload, adopt a cached skeleton, compile fresh, or (under
+    tiered execution) interpret through the reference evaluator.
+    {!explain} surfaces that decision per request instead of only in
+    aggregate counters. *)
+
+type plan_tier =
+  | Cache_hit  (** valid compiled plans served straight from cache *)
+  | Repatch  (** a stale entry's payload constants were rebuilt *)
+  | Skeleton_adoption  (** an isomorphic cached skeleton was adopted *)
+  | Fresh_compile  (** at least one plan went through full compilation *)
+  | Reference_interp  (** tier declined to compile; reference evaluator answered *)
+  | Backend_opaque  (** an {!of_backend} session — no plan economy *)
+
+val tier_label : plan_tier -> string
+(** Stable lowercase token, e.g. ["cache_hit"] — the wire encoding of
+    the serving layer's [explain] verb. *)
+
+type provenance = {
+  pv_answer : answer;  (** the estimate itself, as {!estimate} returns *)
+  pv_backend : string;  (** {!backend_name} of the session *)
+  pv_tier : plan_tier;
+  pv_embeddings : int;
+      (** embeddings enumerated (= compiled plans) for the query; 0
+          when the compile phase degraded or on a backend session *)
+}
+
+val explain :
+  ?timeout_s:float -> ?trace_id:int -> t -> Xtwig_path.Path_types.twig ->
+  (provenance, Xtwig_util.Xerror.t) result
+(** Evaluate one query (inline on the owner, identical estimate to
+    {!estimate}) and report its provenance. Tier classification reads
+    the process-global plan counters around this query's sequential
+    compile phase, so it is exact when at most one session is
+    compiling at a time (the [xtwigd] drain loop's situation);
+    concurrent compile phases of other sessions can alias into it.
+    Never raises; same error contract as {!estimate_batch}. *)
 
 val sketch : t -> Xtwig_sketch.Sketch.t
 (** The session's sketch. Raises [Invalid_argument] on an

@@ -54,3 +54,17 @@ let report t =
       (Metrics.percentile_of v 50.0)
       (Metrics.percentile_of v 90.0)
       (Metrics.percentile_of v 99.0)
+
+(* an empty stream yields nan percentiles, which [json_number] maps to
+   null — the emitted object is always parseable JSON *)
+let report_json t =
+  let v = rel_view t in
+  let n = Metrics.json_number in
+  Printf.sprintf
+    "{\"count\": %d, \"rel_error_mean\": %s, \"rel_error_p50\": %s, \
+     \"rel_error_p90\": %s, \"rel_error_p99\": %s}"
+    v.Metrics.count
+    (n (mean_rel t))
+    (n (Metrics.percentile_of v 50.0))
+    (n (Metrics.percentile_of v 90.0))
+    (n (Metrics.percentile_of v 99.0))

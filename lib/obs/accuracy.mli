@@ -34,3 +34,8 @@ val abs_view : t -> Metrics.hview
 
 val report : t -> string
 (** One line: count, mean, p50/p90/p99 relative error. *)
+
+val report_json : t -> string
+(** The same figures as one JSON object. Safe on an empty stream: the
+    percentiles an empty histogram reports as [nan] render as [null],
+    never as the non-JSON [nan] literal. *)

@@ -1,0 +1,145 @@
+(* Structured event logging: leveled JSONL records into a bounded
+   in-memory ring and, optionally, an append-only sink channel.
+
+   The hot-path contract matches Trace: with logging disabled (the
+   default) [event] is one atomic load and returns — fields are
+   evaluated by the caller, so keep them cheap. Enabled, the record is
+   formatted and pushed under a mutex: the emitters (the xtwigd select
+   loop, engine lifecycle transitions) are low-rate control-plane
+   paths, never the per-estimate hot loop. *)
+
+type level = Debug | Info | Warn | Error
+
+type field = S of string | I of int | F of float | B of bool
+
+let level_int = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_text = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let enabled_flag = Atomic.make false
+let min_level = Atomic.make (level_int Info)
+
+type sink = No_sink | Channel of out_channel | Owned_channel of out_channel
+
+type state = {
+  mutable ring : string array;
+  mutable ring_len : int; (* records currently held *)
+  mutable ring_next : int; (* next write slot *)
+  mutable emitted : int;
+  mutable sink : sink;
+}
+
+let st = { ring = Array.make 256 ""; ring_len = 0; ring_next = 0; emitted = 0; sink = No_sink }
+let lock = Mutex.create ()
+
+let close_sink () =
+  match st.sink with
+  | Owned_channel oc ->
+      (try close_out oc with Sys_error _ -> ());
+      st.sink <- No_sink
+  | Channel _ -> st.sink <- No_sink
+  | No_sink -> ()
+
+let enable ?(level = Info) ?(ring_cap = 256) ?path ?channel () =
+  if ring_cap < 1 then invalid_arg "Log.enable: ring_cap < 1";
+  Mutex.lock lock;
+  close_sink ();
+  st.ring <- Array.make ring_cap "";
+  st.ring_len <- 0;
+  st.ring_next <- 0;
+  (match (path, channel) with
+  | Some _, Some _ ->
+      Mutex.unlock lock;
+      invalid_arg "Log.enable: path and channel are exclusive"
+  | Some p, None ->
+      st.sink <- Owned_channel (open_out_gen [ Open_append; Open_creat ] 0o644 p)
+  | None, Some oc -> st.sink <- Channel oc
+  | None, None -> ());
+  Mutex.unlock lock;
+  Atomic.set min_level (level_int level);
+  Atomic.set enabled_flag true
+
+let disable () =
+  Atomic.set enabled_flag false;
+  Mutex.lock lock;
+  close_sink ();
+  Mutex.unlock lock
+
+let enabled () = Atomic.get enabled_flag
+
+let field_json = function
+  | S s -> "\"" ^ Metrics.json_escape s ^ "\""
+  | I n -> string_of_int n
+  | F v -> Metrics.json_number v
+  | B b -> if b then "true" else "false"
+
+let format_line ~ts level name fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"ts\":%.6f,\"level\":\"%s\",\"event\":\"%s\"" ts
+       (level_text level)
+       (Metrics.json_escape name));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"%s\":%s" (Metrics.json_escape k) (field_json v)))
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let event ?(fields = []) level name =
+  if Atomic.get enabled_flag && level_int level >= Atomic.get min_level then begin
+    let line = format_line ~ts:(Unix.gettimeofday ()) level name fields in
+    Mutex.lock lock;
+    let cap = Array.length st.ring in
+    st.ring.(st.ring_next) <- line;
+    st.ring_next <- (st.ring_next + 1) mod cap;
+    if st.ring_len < cap then st.ring_len <- st.ring_len + 1;
+    st.emitted <- st.emitted + 1;
+    (match st.sink with
+    | No_sink -> ()
+    | Channel oc | Owned_channel oc ->
+        output_string oc line;
+        output_char oc '\n');
+    Mutex.unlock lock
+  end
+
+let debug ?fields name = event ?fields Debug name
+let info ?fields name = event ?fields Info name
+let warn ?fields name = event ?fields Warn name
+let error ?fields name = event ?fields Error name
+
+let recent () =
+  Mutex.lock lock;
+  let cap = Array.length st.ring in
+  let start = (st.ring_next - st.ring_len + cap) mod cap in
+  let out =
+    List.init st.ring_len (fun i -> st.ring.((start + i) mod cap))
+  in
+  Mutex.unlock lock;
+  out
+
+let emitted () =
+  Mutex.lock lock;
+  let n = st.emitted in
+  Mutex.unlock lock;
+  n
+
+let flush () =
+  Mutex.lock lock;
+  (match st.sink with
+  | No_sink -> ()
+  | Channel oc | Owned_channel oc -> ( try Stdlib.flush oc with Sys_error _ -> ()));
+  Mutex.unlock lock

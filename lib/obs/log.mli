@@ -1,0 +1,62 @@
+(** Structured event logging: leveled JSONL records, ring-buffered in
+    memory and optionally appended to a sink.
+
+    This replaces ad-hoc [Printf.eprintf] in the serving binaries with
+    machine-readable events — one JSON object per line, each carrying
+    a wall-clock [ts], a [level], an [event] name and typed fields
+    (access-log records carry tenant, verb, bytes, status, trace id
+    and phase timings; lifecycle records carry reload generations,
+    breaker transitions and shed decisions).
+
+    Disabled (the default), {!event} is a single atomic load — the
+    same contract as {!Trace.with_span}. Field lists are evaluated by
+    the caller either way, so keep their construction cheap. Emission
+    is mutex-serialized; emitters are control-plane paths, not the
+    per-estimate hot loop. *)
+
+type level = Debug | Info | Warn | Error
+
+type field = S of string | I of int | F of float | B of bool
+(** Field values; rendered as JSON string / int / number (non-finite
+    floats become [null]) / bool. *)
+
+val enable :
+  ?level:level -> ?ring_cap:int -> ?path:string -> ?channel:out_channel -> unit -> unit
+(** Start recording events at [level] (default [Info]) and above.
+    [ring_cap] (default 256) bounds the in-memory ring read back by
+    {!recent}; older records are overwritten. [path] appends each
+    record to a JSONL file (created if missing); [channel] streams to
+    an existing channel instead (not closed by {!disable}); giving
+    both is an error. Re-enabling resets the ring and replaces the
+    sink. *)
+
+val disable : unit -> unit
+(** Stop recording and close a [path]-opened sink. *)
+
+val enabled : unit -> bool
+
+val event : ?fields:(string * field) list -> level -> string -> unit
+(** [event level name ~fields] records one JSONL line
+    [{"ts":…,"level":…,"event":name,…fields}] if logging is enabled at
+    [level]. One atomic load when disabled. *)
+
+val debug : ?fields:(string * field) list -> string -> unit
+val info : ?fields:(string * field) list -> string -> unit
+val warn : ?fields:(string * field) list -> string -> unit
+val error : ?fields:(string * field) list -> string -> unit
+
+val recent : unit -> string list
+(** The ring's contents, oldest first — at most [ring_cap] lines. *)
+
+val emitted : unit -> int
+(** Records emitted since {!enable} (including ones the ring has since
+    overwritten). *)
+
+val flush : unit -> unit
+(** Flush the sink channel, if any. *)
+
+val level_text : level -> string
+
+val level_of_string : string -> level option
+(** Inverse of {!level_text} ("debug", "info", "warn", "error"),
+    case-insensitive. *)

@@ -20,11 +20,17 @@ type key = { k_name : string; k_labels : (string * string) list }
 let registry : (key, cell) Hashtbl.t = Hashtbl.create 64
 let registry_lock = Mutex.create ()
 
+(* one help string per metric family (by name); first writer wins *)
+let helps : (string, string) Hashtbl.t = Hashtbl.create 16
+
 let norm_labels labels = List.sort compare labels
 
-let register name labels make check =
+let register ?help name labels make check =
   let key = { k_name = name; k_labels = norm_labels labels } in
   Mutex.lock registry_lock;
+  (match help with
+  | Some h when not (Hashtbl.mem helps name) -> Hashtbl.add helps name h
+  | _ -> ());
   let cell =
     match Hashtbl.find_opt registry key with
     | Some c -> c
@@ -40,16 +46,16 @@ let register name labels make check =
       invalid_arg
         (Printf.sprintf "Metrics: %S already registered with another kind" name)
 
-let counter ?(labels = []) name =
-  register name labels
+let counter ?help ?(labels = []) name =
+  register ?help name labels
     (fun () -> Counter_cell { cr_cell = Atomic.make 0 })
     (function Counter_cell c -> Some c | _ -> None)
 
 let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.cr_cell by)
 let counter_value c = Atomic.get c.cr_cell
 
-let gauge ?(labels = []) name =
-  register name labels
+let gauge ?help ?(labels = []) name =
+  register ?help name labels
     (fun () -> Gauge_cell { ga_cell = Atomic.make 0.0 })
     (function Gauge_cell g -> Some g | _ -> None)
 
@@ -68,11 +74,11 @@ let exponential ~start ~factor ~n =
 
 let default_bounds = exponential ~start:1e-6 ~factor:2.0 ~n:28
 
-let histogram ?(labels = []) ?(bounds = default_bounds) name =
+let histogram ?help ?(labels = []) ?(bounds = default_bounds) name =
   let sorted = Array.copy bounds in
   Array.sort compare sorted;
   if sorted <> bounds then invalid_arg "Metrics.histogram: bounds not sorted";
-  register name labels
+  register ?help name labels
     (fun () ->
       Hist_cell
         {
@@ -224,31 +230,63 @@ let sanitize name =
       | _ -> '_')
     name
 
+(* Prometheus exposition-format label-value escaping: backslash,
+   double quote and line feed — and only those — get a backslash.
+   OCaml's %S is wrong here (it emits decimal \ddd escapes scrapers
+   reject). *)
+let prom_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let label_text labels =
   match labels with
   | [] -> ""
   | _ ->
       "{"
       ^ String.concat ","
-          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" (sanitize k) v) labels)
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) (prom_escape v))
+             labels)
       ^ "}"
 
 let render snap =
   let buf = Buffer.create 1024 in
+  (* snapshots are (name, labels)-sorted, so every series of a family
+     is adjacent: emit # HELP/# TYPE when the family changes, never per
+     series — scrapers reject repeated metadata lines *)
+  let announced = ref "" in
+  let announce name kind =
+    if name <> !announced then begin
+      announced := name;
+      let base = sanitize name in
+      (match Hashtbl.find_opt helps name with
+      | Some h -> Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" base h)
+      | None -> ());
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base kind)
+    end
+  in
   List.iter
     (fun e ->
       let base = sanitize e.name in
       match e.value with
       | Counter n ->
+          announce e.name "counter";
           Buffer.add_string buf
-            (Printf.sprintf "# TYPE %s counter\n%s%s %d\n" base base
-               (label_text e.labels) n)
+            (Printf.sprintf "%s%s %d\n" base (label_text e.labels) n)
       | Gauge v ->
+          announce e.name "gauge";
           Buffer.add_string buf
-            (Printf.sprintf "# TYPE %s gauge\n%s%s %g\n" base base
-               (label_text e.labels) v)
+            (Printf.sprintf "%s%s %g\n" base (label_text e.labels) v)
       | Histogram h ->
-          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" base);
+          announce e.name "histogram";
           let cum = ref 0 in
           Array.iteri
             (fun i b ->
@@ -268,6 +306,12 @@ let render snap =
             (Printf.sprintf "%s_count%s %d\n" base (label_text e.labels) h.count))
     snap;
   Buffer.contents buf
+
+(* a float rendered as a JSON number token; non-finite values (empty
+   percentiles are nan) become null, which every JSON parser accepts —
+   nan/inf literals are not JSON *)
+let json_number v =
+  if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in

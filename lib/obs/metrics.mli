@@ -18,14 +18,15 @@ type counter
 type gauge
 type histogram
 
-val counter : ?labels:(string * string) list -> string -> counter
+val counter : ?help:string -> ?labels:(string * string) list -> string -> counter
 (** Registered under [(name, labels)]; two calls with the same pair
-    share one cell. *)
+    share one cell. [help] sets the family's [# HELP] line in
+    {!render} (first writer wins; shared across all label sets). *)
 
 val incr : ?by:int -> counter -> unit
 val counter_value : counter -> int
 
-val gauge : ?labels:(string * string) list -> string -> gauge
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
 val set : gauge -> float -> unit
 val gauge_value : gauge -> float
 
@@ -37,7 +38,11 @@ val default_bounds : float array
     latencies in seconds. *)
 
 val histogram :
-  ?labels:(string * string) list -> ?bounds:float array -> string -> histogram
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?bounds:float array ->
+  string ->
+  histogram
 (** Fixed-bucket histogram: [bounds] are strictly increasing upper
     bounds, plus an implicit overflow bucket. *)
 
@@ -92,11 +97,19 @@ val percentile_of : hview -> float -> float
 (** {1 Exposition} *)
 
 val render : snapshot -> string
-(** Prometheus-style text: [# TYPE] comments, [_bucket{le=...}]
-    cumulative bucket lines, [_sum]/[_count]. Dots in names are
-    sanitized to underscores. *)
+(** Prometheus exposition text: [# HELP]/[# TYPE] emitted exactly once
+    per metric family (labeled series of one family are adjacent in a
+    snapshot), [_bucket{le=...}] cumulative bucket lines,
+    [_sum]/[_count]. Dots in names are sanitized to underscores; label
+    values escape backslash, double quote and newline per the
+    exposition format. *)
 
 val to_json : snapshot -> string
+
+val json_number : float -> string
+(** A float as a JSON number token; non-finite values (e.g. the [nan]
+    an empty histogram's percentile reports) render as [null], keeping
+    emitted documents parseable. *)
 
 val dump_json : string -> snapshot -> unit
 (** Write {!to_json} to a file. *)

@@ -1,0 +1,246 @@
+(* Per-tenant service-level objectives: declared latency/error
+   targets, outcome attribution counters and error-budget burn rate.
+
+   An objective declares at most two targets: a p99 latency bound and
+   an allowed error-rate fraction. The tracker classifies every
+   finished request into ok / degraded / failed / shed, counts each
+   class per tenant in the Metrics registry (so exposition and
+   snapshots see them), and maintains a burn-rate gauge: how fast the
+   tenant is spending its error budget, where 1.0 means "exactly at
+   the objective". Burn rate is the max of
+     - (failed + shed) / requests / err_rate_objective, and
+     - over-latency fraction / 1% (a p99 bound allows 1% of requests
+       over it by definition),
+   each term dropping out when its target is undeclared. *)
+
+type objective = { p99_s : float option; err_rate : float option }
+
+let no_objective = { p99_s = None; err_rate = None }
+
+type outcome = Served_ok | Served_degraded | Failed | Shed
+
+(* ------------------------------------------------------------------ *)
+(* Objective-spec parsing: "tenant=p99:5ms,err:0.1%"                   *)
+
+let parse_duration s =
+  let num suffix =
+    let body = String.sub s 0 (String.length s - String.length suffix) in
+    float_of_string_opt body
+  in
+  let ends suffix =
+    let ls = String.length s and lx = String.length suffix in
+    ls > lx && String.sub s (ls - lx) lx = suffix
+  in
+  if ends "ms" then Option.map (fun v -> v /. 1e3) (num "ms")
+  else if ends "us" then Option.map (fun v -> v /. 1e6) (num "us")
+  else if ends "s" then num "s"
+  else None
+
+let parse_rate s =
+  let ls = String.length s in
+  if ls > 1 && s.[ls - 1] = '%' then
+    Option.map (fun v -> v /. 100.0) (float_of_string_opt (String.sub s 0 (ls - 1)))
+  else float_of_string_opt s
+
+let parse_objective parts =
+  List.fold_left
+    (fun acc part ->
+      Result.bind acc (fun o ->
+          match String.index_opt part ':' with
+          | Some i -> (
+              let key = String.sub part 0 i in
+              let v = String.sub part (i + 1) (String.length part - i - 1) in
+              match key with
+              | "p99" -> (
+                  match parse_duration v with
+                  | Some d when d > 0.0 -> Ok { o with p99_s = Some d }
+                  | _ -> Error (Printf.sprintf "bad p99 duration %S (want e.g. 5ms)" v))
+              | "err" -> (
+                  match parse_rate v with
+                  | Some r when r >= 0.0 && r <= 1.0 -> Ok { o with err_rate = Some r }
+                  | _ -> Error (Printf.sprintf "bad err rate %S (want e.g. 0.1%%)" v))
+              | k -> Error (Printf.sprintf "unknown objective %S (want p99 or err)" k))
+          | None -> Error (Printf.sprintf "bad objective %S (want KEY:VALUE)" part)))
+    (Ok no_objective) parts
+
+let parse spec =
+  match String.index_opt spec '=' with
+  | Some i when i > 0 && i < String.length spec - 1 -> (
+      let tenant = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match parse_objective (String.split_on_char ',' rest) with
+      | Ok o -> Ok (tenant, o)
+      | Error e -> Error (Printf.sprintf "--slo %s: %s" tenant e))
+  | _ -> Error (Printf.sprintf "bad SLO spec %S (want TENANT=p99:5ms,err:0.1%%)" spec)
+
+let parse_all specs =
+  List.fold_left
+    (fun acc spec ->
+      Result.bind acc (fun l -> Result.map (fun t -> t :: l) (parse spec)))
+    (Ok []) specs
+  |> Result.map List.rev
+
+let objective_text o =
+  let parts =
+    (match o.p99_s with
+    | Some d -> [ Printf.sprintf "p99:%gms" (d *. 1e3) ]
+    | None -> [])
+    @
+    match o.err_rate with
+    | Some r -> [ Printf.sprintf "err:%g%%" (r *. 100.0) ]
+    | None -> []
+  in
+  match parts with [] -> "(none)" | _ -> String.concat "," parts
+
+(* ------------------------------------------------------------------ *)
+(* Tracking                                                            *)
+
+type cells = {
+  objective : objective;
+  c_requests : Metrics.counter;
+  c_ok : Metrics.counter;
+  c_degraded : Metrics.counter;
+  c_failed : Metrics.counter;
+  c_shed : Metrics.counter;
+  c_lat_viol : Metrics.counter;
+  g_burn : Metrics.gauge;
+}
+
+type t = {
+  declared : (string * objective) list;
+  table : (string, cells) Hashtbl.t;
+  table_lock : Mutex.t;
+}
+
+let cells_for objective tenant =
+  let labels = [ ("tenant", tenant) ] in
+  {
+    objective;
+    c_requests =
+      Metrics.counter ~help:"requests classified for SLO accounting" ~labels
+        "slo.requests";
+    c_ok = Metrics.counter ~labels "slo.ok";
+    c_degraded =
+      Metrics.counter ~help:"served with degraded fidelity (coarse fallback)"
+        ~labels "slo.degraded";
+    c_failed = Metrics.counter ~help:"typed error responses" ~labels "slo.failed";
+    c_shed = Metrics.counter ~help:"requests shed by admission control" ~labels "slo.shed";
+    c_lat_viol =
+      Metrics.counter ~help:"served over the tenant's p99 latency objective"
+        ~labels "slo.latency_violations";
+    g_burn =
+      Metrics.gauge
+        ~help:"error-budget burn rate (1.0 = exactly at objective)" ~labels
+        "slo.burn_rate";
+  }
+
+let create declared =
+  let t =
+    { declared; table = Hashtbl.create 8; table_lock = Mutex.create () }
+  in
+  (* pre-register declared tenants so their series exist (at zero)
+     before the first request *)
+  List.iter
+    (fun (tenant, o) ->
+      Hashtbl.replace t.table tenant (cells_for o tenant))
+    declared;
+  t
+
+let cells t tenant =
+  Mutex.lock t.table_lock;
+  let c =
+    match Hashtbl.find_opt t.table tenant with
+    | Some c -> c
+    | None ->
+        (* undeclared tenants are tracked (attribution is always
+           useful) against an empty objective: burn rate stays 0 *)
+        let c = cells_for no_objective tenant in
+        Hashtbl.add t.table tenant c;
+        c
+  in
+  Mutex.unlock t.table_lock;
+  c
+
+let burn_of c =
+  let reqs = float_of_int (Metrics.counter_value c.c_requests) in
+  if reqs <= 0.0 then 0.0
+  else
+    let err_burn =
+      match c.objective.err_rate with
+      | Some r when r > 0.0 ->
+          let bad =
+            float_of_int
+              (Metrics.counter_value c.c_failed + Metrics.counter_value c.c_shed)
+          in
+          bad /. reqs /. r
+      | Some _ ->
+          (* a 0% objective: any error is an infinite burn; cap to a
+             large finite value so exposition stays numeric *)
+          if Metrics.counter_value c.c_failed + Metrics.counter_value c.c_shed > 0
+          then 1e9
+          else 0.0
+      | None -> 0.0
+    in
+    let lat_burn =
+      match c.objective.p99_s with
+      | Some _ ->
+          let over = float_of_int (Metrics.counter_value c.c_lat_viol) in
+          over /. reqs /. 0.01
+      | None -> 0.0
+    in
+    Float.max err_burn lat_burn
+
+let record t ~tenant ?latency_s outcome =
+  let c = cells t tenant in
+  Metrics.incr c.c_requests;
+  (match outcome with
+  | Served_ok -> Metrics.incr c.c_ok
+  | Served_degraded -> Metrics.incr c.c_degraded
+  | Failed -> Metrics.incr c.c_failed
+  | Shed -> Metrics.incr c.c_shed);
+  (match (outcome, latency_s, c.objective.p99_s) with
+  | (Served_ok | Served_degraded), Some l, Some bound when l > bound ->
+      Metrics.incr c.c_lat_viol
+  | _ -> ());
+  Metrics.set c.g_burn (burn_of c)
+
+let burn_rate t tenant =
+  Mutex.lock t.table_lock;
+  let c = Hashtbl.find_opt t.table tenant in
+  Mutex.unlock t.table_lock;
+  match c with Some c -> burn_of c | None -> 0.0
+
+let tenants t =
+  Mutex.lock t.table_lock;
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] in
+  Mutex.unlock t.table_lock;
+  List.sort compare names
+
+let objective_of t tenant =
+  Mutex.lock t.table_lock;
+  let c = Hashtbl.find_opt t.table tenant in
+  Mutex.unlock t.table_lock;
+  match c with Some c -> Some c.objective | None -> None
+
+let report_tenant t tenant =
+  let c = cells t tenant in
+  Printf.sprintf
+    "slo %s: objective %s requests %d ok %d degraded %d failed %d shed %d \
+     latency_violations %d burn_rate %.3f"
+    tenant (objective_text c.objective)
+    (Metrics.counter_value c.c_requests)
+    (Metrics.counter_value c.c_ok)
+    (Metrics.counter_value c.c_degraded)
+    (Metrics.counter_value c.c_failed)
+    (Metrics.counter_value c.c_shed)
+    (Metrics.counter_value c.c_lat_viol)
+    (burn_of c)
+
+let report t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun tenant ->
+      Buffer.add_string buf (report_tenant t tenant);
+      Buffer.add_char buf '\n')
+    (tenants t);
+  Buffer.contents buf

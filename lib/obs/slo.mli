@@ -1,0 +1,56 @@
+(** Per-tenant service-level objectives: declared latency/error
+    targets, outcome attribution and error-budget burn rate.
+
+    Objectives are declared as [TENANT=p99:5ms,err:0.1%] (either part
+    optional; durations take [us]/[ms]/[s] suffixes; rates take a [%]
+    suffix or a bare fraction). Every finished request is classified —
+    served at full fidelity, served degraded, failed with a typed
+    error, or shed by admission control — into per-tenant counters in
+    the {!Metrics} registry ([slo.requests], [slo.ok], [slo.degraded],
+    [slo.failed], [slo.shed], [slo.latency_violations], each labeled
+    [{tenant=…}]), and a [slo.burn_rate] gauge tracks how fast the
+    tenant spends its error budget: 1.0 means exactly at objective,
+    above 1.0 the budget is burning down. Undeclared tenants are
+    tracked for attribution with an empty objective (burn rate 0). *)
+
+type objective = { p99_s : float option; err_rate : float option }
+
+val no_objective : objective
+
+type outcome = Served_ok | Served_degraded | Failed | Shed
+
+val parse : string -> (string * objective, string) result
+(** One [TENANT=p99:5ms,err:0.1%] spec. *)
+
+val parse_all : string list -> ((string * objective) list, string) result
+
+val objective_text : objective -> string
+(** Round-trippable rendering, ["(none)"] for {!no_objective}. *)
+
+type t
+
+val create : (string * objective) list -> t
+(** Declared tenants' metric series are registered immediately (at
+    zero), so they appear in exposition before the first request. *)
+
+val record : t -> tenant:string -> ?latency_s:float -> outcome -> unit
+(** Classify one finished request. [latency_s] (served outcomes only)
+    is checked against the tenant's p99 bound; over-bound requests
+    count as latency violations. Updates the burn-rate gauge. *)
+
+val burn_rate : t -> string -> float
+(** Max over declared targets of (observed bad fraction / allowed bad
+    fraction); a p99 bound allows 1% over-bound by definition. 0.0 for
+    unknown tenants or empty objectives. *)
+
+val tenants : t -> string list
+(** All tracked tenants (declared plus observed), sorted. *)
+
+val objective_of : t -> string -> objective option
+
+val report_tenant : t -> string -> string
+(** One tenant's line: objective, outcome counts
+    (ok/degraded/failed/shed/latency violations), burn rate. *)
+
+val report : t -> string
+(** {!report_tenant} for every tracked tenant, one line each. *)

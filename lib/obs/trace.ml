@@ -8,12 +8,13 @@
    lock-free; the global registry of buffers is only locked on a
    domain's first event and at dump/reset time. *)
 
-type phase = B | E | I
+type phase = B | E | I | X
 
 type event = {
   ev_name : string;
   ev_phase : phase;
   ev_ts : int64; (* monotonic ns *)
+  ev_dur : int64; (* ns; only meaningful for X (complete) events *)
   ev_args : (string * string) list;
 }
 
@@ -30,7 +31,8 @@ let soft_cap = Atomic.make 1_000_000
 let bufs : buf list ref = ref []
 let bufs_lock = Mutex.create ()
 
-let dummy_event = { ev_name = ""; ev_phase = I; ev_ts = 0L; ev_args = [] }
+let dummy_event =
+  { ev_name = ""; ev_phase = I; ev_ts = 0L; ev_dur = 0L; ev_args = [] }
 
 let key : buf option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
@@ -98,18 +100,49 @@ let push_capped b ev =
   end
 
 let now = Monotonic_clock.now
+let now_ns () = now ()
+
+(* Ambient trace id: a per-domain slot set by [with_trace_id] and
+   stamped onto every event recorded while it is live, so deep spans
+   (plan compilation, estimator work) correlate with the originating
+   request without threading an id through every call site. *)
+let trace_id_key : int option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_trace_id () = !(Domain.DLS.get trace_id_key)
+
+let with_trace_id id f =
+  let slot = Domain.DLS.get trace_id_key in
+  let saved = !slot in
+  slot := Some id;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let stamp args =
+  match current_trace_id () with
+  | None -> args
+  | Some id ->
+      if List.mem_assoc "trace_id" args then args
+      else ("trace_id", string_of_int id) :: args
 
 let with_span ?(args = []) ~name f =
   if not (Atomic.get enabled_flag) then f ()
   else begin
     let b = my_buf () in
     let recorded =
-      push_capped b { ev_name = name; ev_phase = B; ev_ts = now (); ev_args = args }
+      push_capped b
+        {
+          ev_name = name;
+          ev_phase = B;
+          ev_ts = now ();
+          ev_dur = 0L;
+          ev_args = stamp args;
+        }
     in
     Fun.protect
       ~finally:(fun () ->
         if recorded then
-          push b { ev_name = name; ev_phase = E; ev_ts = now (); ev_args = [] })
+          push b
+            { ev_name = name; ev_phase = E; ev_ts = now (); ev_dur = 0L; ev_args = [] })
       f
   end
 
@@ -117,14 +150,36 @@ let instant ?(args = []) name =
   if Atomic.get enabled_flag then
     ignore
       (push_capped (my_buf ())
-         { ev_name = name; ev_phase = I; ev_ts = now (); ev_args = args })
+         {
+           ev_name = name;
+           ev_phase = I;
+           ev_ts = now ();
+           ev_dur = 0L;
+           ev_args = stamp args;
+         })
+
+(* A retrospective span: recorded after the fact from a start/duration
+   pair as a Chrome "X" (complete) event. Unlike B/E pairs, X events
+   need no nesting discipline, so phases measured across select-loop
+   ticks (queue wait, response write) can be booked on any domain. *)
+let complete ?(args = []) ~name ~start_ns ~dur_ns () =
+  if Atomic.get enabled_flag then
+    ignore
+      (push_capped (my_buf ())
+         {
+           ev_name = name;
+           ev_phase = X;
+           ev_ts = start_ns;
+           ev_dur = (if Int64.compare dur_ns 0L < 0 then 0L else dur_ns);
+           ev_args = stamp args;
+         })
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace_event export (JSON Array Format, one event per line)   *)
 
 let escape = Metrics.json_escape
 
-let phase_text = function B -> "B" | E -> "E" | I -> "i"
+let phase_text = function B -> "B" | E -> "E" | I -> "i" | X -> "X"
 
 let event_line buf tid ev =
   Buffer.add_string buf
@@ -133,6 +188,9 @@ let event_line buf tid ev =
        (Int64.to_float ev.ev_ts /. 1e3)
        tid);
   if ev.ev_phase = I then Buffer.add_string buf ",\"s\":\"t\"";
+  if ev.ev_phase = X then
+    Buffer.add_string buf
+      (Printf.sprintf ",\"dur\":%.3f" (Int64.to_float ev.ev_dur /. 1e3));
   (match ev.ev_args with
   | [] -> ()
   | args ->
@@ -274,6 +332,13 @@ let validate_string text =
             else
               let s = stack tid in
               match ph with
+              | "X" ->
+                  (* complete events carry their own duration; they are
+                     self-contained and need no stack discipline *)
+                  let dur = Option.value ~default:Float.nan (num_field line "dur") in
+                  if Float.is_nan dur then fail line "X event without dur"
+                  else if dur < 0.0 then fail line "X event %S with negative dur" name
+                  else Stdlib.incr spans
               | "B" -> s := (name, ts) :: !s
               | "E" -> (
                   match !s with

@@ -34,6 +34,32 @@ val with_span : ?args:(string * string) list -> name:string -> (unit -> 'a) -> '
 val instant : ?args:(string * string) list -> string -> unit
 (** A zero-duration marker event. *)
 
+val now_ns : unit -> int64
+(** The trace clock (monotonic nanoseconds) — pair with {!complete} to
+    record a span retrospectively. *)
+
+val complete :
+  ?args:(string * string) list -> name:string -> start_ns:int64 -> dur_ns:int64 -> unit -> unit
+(** [complete ~name ~start_ns ~dur_ns ()] records a Chrome "X"
+    (complete) event: a span with explicit start and duration. X
+    events carry no nesting obligation, so a phase measured across
+    event-loop ticks (queue wait, response write) can be booked from
+    whichever domain observed its end. Negative durations clamp to 0. *)
+
+(** {1 Trace-context propagation} *)
+
+val with_trace_id : int -> (unit -> 'a) -> 'a
+(** [with_trace_id id f] makes [id] the ambient trace id of the
+    calling domain for the duration of [f]: every span, instant and
+    complete event recorded within (that does not already carry one)
+    gains a ["trace_id"] arg. Nests; restores the previous id on exit,
+    also on exception. Cheap enough to call unconditionally — one DLS
+    access — whether or not tracing is enabled. *)
+
+val current_trace_id : unit -> int option
+(** The ambient trace id installed by the innermost {!with_trace_id}
+    on this domain, if any. *)
+
 (** {1 Export} *)
 
 val to_json_string : unit -> string
@@ -48,7 +74,8 @@ val dump : string -> unit
 val validate_string : string -> (int, string) result
 (** Check a dump produced by this module: every "B" is closed by a
     matching "E" on the same tid in stack (nesting) order, with a
-    non-negative duration. [Ok n] is the number of well-formed spans;
-    an event-free trace is an error. *)
+    non-negative duration; "X" events must carry a non-negative [dur].
+    [Ok n] is the number of well-formed spans (B/E pairs plus X
+    events); an event-free trace is an error. *)
 
 val validate_file : string -> (int, string) result

@@ -6,8 +6,9 @@ type request =
   | Metrics
   | Stats of string
   | Reload of string
-  | Estimate of { tenant : string; query : string }
-  | Batch of { tenant : string; queries : string list }
+  | Estimate of { tenant : string; query : string; trace : int option }
+  | Batch of { tenant : string; queries : string list; trace : int option }
+  | Explain of { tenant : string; query : string; trace : int option }
 
 type response = Reply of string | Fail of Xerror.t
 
@@ -63,6 +64,13 @@ let split_header payload =
 
 let body_lines body = if body = "" then [] else String.split_on_char '\n' body
 
+(* a client-supplied trace context rides as an optional trailing
+   [trace=N] header token — absent, the wire format is byte-identical
+   to the pre-trace protocol, so old clients keep working *)
+let trace_token = function
+  | None -> ""
+  | Some tid -> Printf.sprintf " trace=%d" tid
+
 let encode_request ~id req =
   match req with
   | Ping -> Printf.sprintf "%d ping" id
@@ -70,9 +78,13 @@ let encode_request ~id req =
   | Metrics -> Printf.sprintf "%d metrics" id
   | Stats t -> Printf.sprintf "%d stats %s" id t
   | Reload t -> Printf.sprintf "%d reload %s" id t
-  | Estimate { tenant; query } -> Printf.sprintf "%d estimate %s\n%s" id tenant query
-  | Batch { tenant; queries } ->
-      Printf.sprintf "%d batch %s\n%s" id tenant (String.concat "\n" queries)
+  | Estimate { tenant; query; trace } ->
+      Printf.sprintf "%d estimate %s%s\n%s" id tenant (trace_token trace) query
+  | Batch { tenant; queries; trace } ->
+      Printf.sprintf "%d batch %s%s\n%s" id tenant (trace_token trace)
+        (String.concat "\n" queries)
+  | Explain { tenant; query; trace } ->
+      Printf.sprintf "%d explain %s%s\n%s" id tenant (trace_token trace) query
 
 let parse_id s =
   match int_of_string_opt s with
@@ -93,6 +105,15 @@ let valid_tenant t =
 
 let check_tenant t k = if valid_tenant t then Ok (k t) else Error ("bad tenant name " ^ t)
 
+let parse_trace tok =
+  let pfx = "trace=" in
+  let lp = String.length pfx in
+  if String.length tok > lp && String.sub tok 0 lp = pfx then
+    match int_of_string_opt (String.sub tok lp (String.length tok - lp)) with
+    | Some tid when tid >= 0 -> Ok (Some tid)
+    | _ -> Error (Printf.sprintf "bad trace token %S" tok)
+  else Error (Printf.sprintf "bad trace token %S" tok)
+
 let decode_request payload =
   let header, body = split_header payload in
   match String.split_on_char ' ' header with
@@ -103,12 +124,23 @@ let decode_request payload =
       Result.bind (parse_id id) (fun id -> check_tenant t (fun t -> (id, Stats t)))
   | [ id; "reload"; t ] ->
       Result.bind (parse_id id) (fun id -> check_tenant t (fun t -> (id, Reload t)))
-  | [ id; "estimate"; t ] ->
-      Result.bind (parse_id id) (fun id ->
-          check_tenant t (fun t -> (id, Estimate { tenant = t; query = body })))
-  | [ id; "batch"; t ] ->
-      Result.bind (parse_id id) (fun id ->
-          check_tenant t (fun t -> (id, Batch { tenant = t; queries = body_lines body })))
+  | id :: (("estimate" | "batch" | "explain") as verb) :: t :: rest -> (
+      match
+        match rest with
+        | [] -> Ok None
+        | [ tok ] -> parse_trace tok
+        | _ -> Error (Printf.sprintf "bad request header %S" header)
+      with
+      | Error e -> Error e
+      | Ok trace ->
+          Result.bind (parse_id id) (fun id ->
+              check_tenant t (fun t ->
+                  match verb with
+                  | "estimate" ->
+                      (id, Estimate { tenant = t; query = body; trace })
+                  | "batch" ->
+                      (id, Batch { tenant = t; queries = body_lines body; trace })
+                  | _ -> (id, Explain { tenant = t; query = body; trace }))))
   | _ -> Error (Printf.sprintf "bad request header %S" header)
 
 let error_class = function
@@ -168,6 +200,35 @@ let encode_answer (a : Xtwig.Engine.answer) =
   Printf.sprintf "%h %d %s" a.Xtwig.Engine.estimate
     (if a.Xtwig.Engine.fallback then 1 else 0)
     (reason_token a.Xtwig.Engine.reason)
+
+(* the explain verb's reply body: one [key value] pair per line. The
+   first line is the answer in the exact [encode_answer] wire format,
+   so an explain reply's estimate is byte-comparable with an estimate
+   reply's. *)
+let encode_provenance (p : Xtwig.Engine.provenance) =
+  let a = p.Xtwig.Engine.pv_answer in
+  String.concat "\n"
+    [
+      "answer " ^ encode_answer a;
+      "backend " ^ p.Xtwig.Engine.pv_backend;
+      "tier " ^ Xtwig.Engine.tier_label p.Xtwig.Engine.pv_tier;
+      Printf.sprintf "embeddings %d" p.Xtwig.Engine.pv_embeddings;
+      Printf.sprintf "retries %d" a.Xtwig.Engine.retries;
+      "fallback_reason " ^ reason_token a.Xtwig.Engine.reason;
+      Printf.sprintf "elapsed_us %.1f" (a.Xtwig.Engine.elapsed_s *. 1e6);
+      Printf.sprintf "trace_id %d" a.Xtwig.Engine.trace_id;
+    ]
+
+(* field lookup in an explain reply body; [None] when absent *)
+let provenance_field body key =
+  List.find_map
+    (fun line ->
+      let pfx = key ^ " " in
+      let lp = String.length pfx in
+      if String.length line >= lp && String.sub line 0 lp = pfx then
+        Some (String.sub line lp (String.length line - lp))
+      else None)
+    (body_lines body)
 
 let decode_answer line =
   match String.split_on_char ' ' line with

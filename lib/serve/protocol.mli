@@ -11,12 +11,20 @@
 
     {2 Payloads}
 
-    A request payload is a header line [<id> <verb> [<tenant>]]
-    followed by an optional body ([estimate]: one query line; [batch]:
-    one query per line). [id] is an arbitrary nonnegative integer the
-    client uses to match responses to requests — the server echoes it
-    verbatim, and per-tenant responses can overtake each other across
-    tenants, so clients must not assume ordering.
+    A request payload is a header line
+    [<id> <verb> [<tenant>] [trace=<n>]] followed by an optional body
+    ([estimate]/[explain]: one query line; [batch]: one query per
+    line). [id] is an arbitrary nonnegative integer the client uses to
+    match responses to requests — the server echoes it verbatim, and
+    per-tenant responses can overtake each other across tenants, so
+    clients must not assume ordering.
+
+    The optional trailing [trace=<n>] token is the client's trace
+    context: the server threads it connection → tenant queue → batch →
+    {!Xtwig.Engine.estimate_batch}, so the request's server-side spans
+    ([serve.queue_wait], [serve.batch], [engine.query], [plan.*])
+    carry the client's id in one Chrome trace. Without the token the
+    wire format is byte-identical to the pre-trace protocol.
 
     A response payload is [<id> ok] followed by the body, or
     [<id> err <class> <message>] where [class] is the stable token of
@@ -41,8 +49,11 @@ type request =
       (** re-open the tenant's engine from its source files; body =
           the new generation number. Acts as an ordering barrier in
           the tenant's queue. *)
-  | Estimate of { tenant : string; query : string }
-  | Batch of { tenant : string; queries : string list }
+  | Estimate of { tenant : string; query : string; trace : int option }
+  | Batch of { tenant : string; queries : string list; trace : int option }
+  | Explain of { tenant : string; query : string; trace : int option }
+      (** one query, answered with its provenance (plan tier, embedding
+          count, retries, fallback reason) — see {!encode_provenance} *)
 
 type response = Reply of string | Fail of Xtwig.Xerror.t
 
@@ -85,6 +96,17 @@ type wire_answer = { estimate : float; fallback : bool; reason : string }
 
 val encode_answer : Xtwig.Engine.answer -> string
 val decode_answer : string -> (wire_answer, string) result
+
+val encode_provenance : Xtwig.Engine.provenance -> string
+(** The [explain] reply body: one [key value] pair per line — [answer]
+    (in the {!encode_answer} wire format, so estimates stay
+    byte-comparable), [backend], [tier] ({!Xtwig.Engine.tier_label}),
+    [embeddings], [retries], [fallback_reason], [elapsed_us],
+    [trace_id]. *)
+
+val provenance_field : string -> string -> string option
+(** [provenance_field body key] is the value of [key] in an explain
+    reply body, if present. *)
 
 (** {1 Client}
 

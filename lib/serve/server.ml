@@ -1,6 +1,9 @@
 module Xerror = Xtwig.Xerror
 module Engine = Xtwig.Engine
 module Metrics = Xtwig_obs.Metrics
+module Trace = Xtwig_obs.Trace
+module Log = Xtwig_obs.Log
+module Slo = Xtwig_obs.Slo
 module Fault = Xtwig_fault.Fault
 
 type config = {
@@ -8,10 +11,17 @@ type config = {
   jobs : int;
   timeout_s : float;
   queue_cap : int;
+  slo : (string * Slo.objective) list;
 }
 
 let default_config =
-  { listen = `Unix "xtwigd.sock"; jobs = 1; timeout_s = 5.0; queue_cap = 64 }
+  {
+    listen = `Unix "xtwigd.sock";
+    jobs = 1;
+    timeout_s = 5.0;
+    queue_cap = 64;
+    slo = [];
+  }
 
 (* ---------------- metrics ---------------- *)
 
@@ -25,16 +35,35 @@ let m_reloads tenant =
   Metrics.counter ~labels:[ ("tenant", tenant) ] "serve.reloads"
 
 let g_queue tenant =
-  Metrics.gauge ~labels:[ ("tenant", tenant) ] "serve.queue_depth"
+  Metrics.gauge
+    ~help:"requests currently parked in the tenant's queue"
+    ~labels:[ ("tenant", tenant) ]
+    "serve.queue_depth"
 
 let h_request = Metrics.histogram "serve.request.seconds"
 
+(* the per-request phase breakdown: queue_wait (enqueue to drain),
+   coalesce (drain to engine submit), execute (the engine call) and
+   write (response enqueued to frame flushed), each labeled so a p999
+   spike in the request histogram is attributable to one phase *)
+let h_phase phase tenant =
+  Metrics.histogram
+    ~help:"per-request phase latency (queue_wait/coalesce/execute/write)"
+    ~labels:[ ("phase", phase); ("tenant", tenant) ]
+    "serve.phase.seconds"
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+
 (* ---------------- connections ---------------- *)
+
+(* a queued output frame; [on_flush] fires when its last byte reaches
+   the socket (the end of the request's write phase) *)
+type out_frame = { bytes : string; on_flush : (unit -> unit) option }
 
 type conn = {
   fd : Unix.file_descr;
   dec : Protocol.decoder;
-  outq : string Queue.t;  (* frames waiting to be written *)
+  outq : out_frame Queue.t;  (* frames waiting to be written *)
   mutable out_off : int;  (* consumed prefix of the head frame *)
   mutable alive : bool;
   rbuf : Bytes.t;
@@ -43,21 +72,29 @@ type conn = {
 type item = {
   conn : conn;
   id : int;
-  work : [ `Batch of Xtwig.twig list | `Reload ];
+  tenant : string;
+  verb : string;
+  trace : int option;  (* client-supplied trace context, if any *)
+  work : [ `Batch of Xtwig.twig list | `Explain of Xtwig.twig | `Reload ];
   enqueued_at : float;
+  enq_ns : int64;  (* trace-clock enqueue time, for the phase spans *)
 }
 
 type t = {
   cfg : config;
   cat : Catalog.t;
+  slo : Slo.t;
   listen_fd : Unix.file_descr;
   unix_path : string option;
   stopping : bool Atomic.t;
   mutable conns : conn list;
   queues : (string, item Queue.t) Hashtbl.t;
+  breaker_seen : (string, string) Hashtbl.t;
+      (* last observed breaker state per tenant, to log transitions *)
 }
 
 let catalog t = t.cat
+let slo t = t.slo
 
 let port t =
   match Unix.getsockname t.listen_fd with
@@ -102,11 +139,13 @@ let create cfg tenants =
             {
               cfg;
               cat;
+              slo = Slo.create cfg.slo;
               listen_fd = fd;
               unix_path;
               stopping = Atomic.make false;
               conns = [];
               queues = Hashtbl.create 16;
+              breaker_seen = Hashtbl.create 16;
             }
       | exception exn ->
           Catalog.close cat;
@@ -118,16 +157,16 @@ let close_conn t conn =
   if conn.alive then begin
     conn.alive <- false;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    Log.debug ~fields:[ ("conns", Log.I (List.length t.conns - 1)) ]
+      "serve.conn_closed";
     Metrics.set m_conns (float_of_int (List.length t.conns - 1))
   end
 
-let respond conn ~id resp =
+let respond ?on_flush conn ~id resp =
   if conn.alive then
-    Queue.add (Protocol.frame (Protocol.encode_response ~id resp)) conn.outq
-
-let finish_item it resp =
-  Metrics.observe h_request (Unix.gettimeofday () -. it.enqueued_at);
-  respond it.conn ~id:it.id resp
+    Queue.add
+      { bytes = Protocol.frame (Protocol.encode_response ~id resp); on_flush }
+      conn.outq
 
 (* drain as much pending output as the socket accepts; connection
    failures (peer gone, injected serve.write fault) drop the conn *)
@@ -137,13 +176,14 @@ let flush_conn t conn =
     let progress = ref true in
     while conn.alive && !progress && not (Queue.is_empty conn.outq) do
       let head = Queue.peek conn.outq in
-      let remaining = String.length head - conn.out_off in
-      match Unix.write_substring conn.fd head conn.out_off remaining with
+      let remaining = String.length head.bytes - conn.out_off in
+      match Unix.write_substring conn.fd head.bytes conn.out_off remaining with
       | 0 -> progress := false
       | n ->
           if n = remaining then begin
             ignore (Queue.pop conn.outq);
-            conn.out_off <- 0
+            conn.out_off <- 0;
+            match head.on_flush with None -> () | Some f -> f ()
           end
           else begin
             conn.out_off <- conn.out_off + n;
@@ -161,11 +201,98 @@ let queue_of t tenant =
   match Hashtbl.find_opt t.queues tenant with
   | Some q -> q
   | None ->
-      let q = Queue.create () in
+      let q = Queue.create ()
+      in
       Hashtbl.add t.queues tenant q;
       q
 
-let stats_body tn =
+(* the queue-depth gauge mirrors the queue after EVERY mutation —
+   enqueue (including reloads, which bypass admission), each drain
+   pop, and shed decisions (which leave the length unchanged but must
+   re-publish it: the shed path used to leave depth accounting to the
+   next drain) *)
+let refresh_queue_gauge t tenant =
+  let depth =
+    match Hashtbl.find_opt t.queues tenant with
+    | Some q -> Queue.length q
+    | None -> 0
+  in
+  Metrics.set (g_queue tenant) (float_of_int depth)
+
+let trace_args it =
+  match it.trace with
+  | Some tid -> [ ("trace_id", string_of_int tid) ]
+  | None -> []
+
+(* outcome accounting when a request's response is enqueued: request
+   histogram, phase histograms + X spans, SLO classification, and the
+   access-log record (emitted from the write-flush callback so it can
+   carry the complete phase breakdown including the write) *)
+let finish_item t it ~run_start_ns ~exec_start_ns ~exec_end_ns resp =
+  let latency_s = Unix.gettimeofday () -. it.enqueued_at in
+  Metrics.observe h_request latency_s;
+  let queue_wait_ns = Int64.sub run_start_ns it.enq_ns in
+  let coalesce_ns = Int64.sub exec_start_ns run_start_ns in
+  let exec_ns = Int64.sub exec_end_ns exec_start_ns in
+  Metrics.observe (h_phase "queue_wait" it.tenant) (ns_to_s queue_wait_ns);
+  Metrics.observe (h_phase "coalesce" it.tenant) (ns_to_s coalesce_ns);
+  Metrics.observe (h_phase "execute" it.tenant) (ns_to_s exec_ns);
+  let args = trace_args it in
+  Trace.complete ~args ~name:"serve.queue_wait" ~start_ns:it.enq_ns
+    ~dur_ns:queue_wait_ns ();
+  let status, outcome =
+    match resp with
+    | Protocol.Reply body ->
+        (* a served answer degrades the SLO outcome iff any answer in
+           the body carries the fallback flag ("<est> 1 <reason>") *)
+        let degraded =
+          List.exists
+            (fun line ->
+              match Protocol.decode_answer line with
+              | Ok a -> a.Protocol.fallback
+              | Error _ -> false)
+            (if body = "" then [] else String.split_on_char '\n' body)
+        in
+        ( "ok",
+          if degraded then Slo.Served_degraded else Slo.Served_ok )
+    | Protocol.Fail e -> (
+        match e with
+        | Xerror.Overload _ -> (Protocol.error_class e, Slo.Shed)
+        | _ -> (Protocol.error_class e, Slo.Failed))
+  in
+  Slo.record t.slo ~tenant:it.tenant ~latency_s outcome;
+  let write_start_ns = Trace.now_ns () in
+  let frame_bytes =
+    String.length (Protocol.encode_response ~id:it.id resp) + 4
+  in
+  let on_flush () =
+    let write_ns = Int64.sub (Trace.now_ns ()) write_start_ns in
+    Metrics.observe (h_phase "write" it.tenant) (ns_to_s write_ns);
+    Trace.complete ~args ~name:"serve.write" ~start_ns:write_start_ns
+      ~dur_ns:write_ns ();
+    Log.info "serve.access"
+      ~fields:
+        ([
+           ("tenant", Log.S it.tenant);
+           ("verb", Log.S it.verb);
+           ("id", Log.I it.id);
+           ("status", Log.S status);
+           ("bytes", Log.I frame_bytes);
+         ]
+        @ (match it.trace with
+          | Some tid -> [ ("trace_id", Log.I tid) ]
+          | None -> [])
+        @ [
+            ("queue_wait_us", Log.F (Int64.to_float queue_wait_ns /. 1e3));
+            ("coalesce_us", Log.F (Int64.to_float coalesce_ns /. 1e3));
+            ("execute_us", Log.F (Int64.to_float exec_ns /. 1e3));
+            ("write_us", Log.F (Int64.to_float write_ns /. 1e3));
+            ("total_ms", Log.F (latency_s *. 1e3));
+          ])
+  in
+  respond ~on_flush it.conn ~id:it.id resp
+
+let stats_body t tn tenant =
   let st = Engine.stats (Catalog.engine tn) in
   let breaker =
     match Engine.breaker_state (Catalog.engine tn) with
@@ -174,20 +301,29 @@ let stats_body tn =
     | `Half_open -> "half-open"
   in
   String.concat "\n"
+    ([
+       "name " ^ st.Engine.name;
+       "backend " ^ st.Engine.backend;
+       Printf.sprintf "generation %d" (Catalog.tenant_generation tn);
+       Printf.sprintf "jobs %d" st.Engine.jobs;
+       Printf.sprintf "sketch_bytes %d" st.Engine.sketch_bytes;
+       Printf.sprintf "queries_served %d" st.Engine.queries_served;
+       Printf.sprintf "batches %d" st.Engine.batches;
+       Printf.sprintf "timeouts %d" st.Engine.timeouts;
+       Printf.sprintf "retries %d" st.Engine.retries;
+       Printf.sprintf "degraded %d" st.Engine.degraded;
+       Printf.sprintf "breaker_trips %d" st.Engine.breaker_trips;
+       "breaker " ^ breaker;
+     ]
+    @
+    (* per-tenant SLO block: objective, attribution, burn rate *)
     [
-      "name " ^ st.Engine.name;
-      "backend " ^ st.Engine.backend;
-      Printf.sprintf "generation %d" (Catalog.tenant_generation tn);
-      Printf.sprintf "jobs %d" st.Engine.jobs;
-      Printf.sprintf "sketch_bytes %d" st.Engine.sketch_bytes;
-      Printf.sprintf "queries_served %d" st.Engine.queries_served;
-      Printf.sprintf "batches %d" st.Engine.batches;
-      Printf.sprintf "timeouts %d" st.Engine.timeouts;
-      Printf.sprintf "retries %d" st.Engine.retries;
-      Printf.sprintf "degraded %d" st.Engine.degraded;
-      Printf.sprintf "breaker_trips %d" st.Engine.breaker_trips;
-      "breaker " ^ breaker;
-    ]
+      "slo_objective "
+      ^ Slo.objective_text
+          (Option.value (Slo.objective_of t.slo tenant) ~default:Slo.no_objective);
+      Printf.sprintf "slo_burn_rate %.3f" (Slo.burn_rate t.slo tenant);
+      Slo.report_tenant t.slo tenant;
+    ])
 
 let list_body t =
   String.concat "\n"
@@ -214,20 +350,18 @@ let parse_queries qs =
   in
   go [] qs
 
-let admit t tenant_name tn n_queued_item =
-  let q = queue_of t tenant_name in
+let admit t tn it =
+  let q = queue_of t it.tenant in
   if Queue.length q >= t.cfg.queue_cap then
     Error
       (Xerror.Overload
-         (Printf.sprintf "tenant %s: queue full (%d pending)" tenant_name
+         (Printf.sprintf "tenant %s: queue full (%d pending)" it.tenant
             (Queue.length q)))
   else if Engine.breaker_state (Catalog.engine tn) = `Open then
-    Error
-      (Xerror.Overload
-         (Printf.sprintf "tenant %s: circuit breaker open" tenant_name))
+    Error (Xerror.Overload (Printf.sprintf "tenant %s: circuit breaker open" it.tenant))
   else begin
-    Queue.add n_queued_item q;
-    Metrics.set (g_queue tenant_name) (float_of_int (Queue.length q));
+    Queue.add it q;
+    refresh_queue_gauge t it.tenant;
     Ok ()
   end
 
@@ -246,7 +380,7 @@ let rec handle_request t conn id req =
   | Protocol.Stats tenant -> (
       Metrics.incr (m_request "stats");
       match Catalog.find t.cat tenant with
-      | Ok tn -> respond conn ~id (Protocol.Reply (stats_body tn))
+      | Ok tn -> respond conn ~id (Protocol.Reply (stats_body t tn tenant))
       | Error e -> respond conn ~id (Protocol.Fail e))
   | Protocol.Reload tenant -> (
       Metrics.incr (m_request "reload");
@@ -255,68 +389,197 @@ let rec handle_request t conn id req =
           (* not subject to the queue cap: the control plane must be
              able to reload a tenant that is drowning *)
           Queue.add
-            { conn; id; work = `Reload; enqueued_at = now }
-            (queue_of t tenant)
+            {
+              conn;
+              id;
+              tenant;
+              verb = "reload";
+              trace = None;
+              work = `Reload;
+              enqueued_at = now;
+              enq_ns = Trace.now_ns ();
+            }
+            (queue_of t tenant);
+          refresh_queue_gauge t tenant
       | Error e -> respond conn ~id (Protocol.Fail e))
-  | Protocol.Estimate { tenant; query } ->
+  | Protocol.Estimate { tenant; query; trace } ->
       Metrics.incr (m_request "estimate");
-      enqueue_batch t conn id tenant [ query ] now
-  | Protocol.Batch { tenant; queries } ->
+      enqueue_work t conn id tenant ~verb:"estimate" ~trace
+        (`Queries [ query ]) now
+  | Protocol.Batch { tenant; queries; trace } ->
       Metrics.incr (m_request "batch");
-      enqueue_batch t conn id tenant queries now
+      enqueue_work t conn id tenant ~verb:"batch" ~trace (`Queries queries) now
+  | Protocol.Explain { tenant; query; trace } ->
+      Metrics.incr (m_request "explain");
+      enqueue_work t conn id tenant ~verb:"explain" ~trace (`One query) now
 
-and enqueue_batch t conn id tenant queries now =
+and enqueue_work t conn id tenant ~verb ~trace payload now =
   match Catalog.find t.cat tenant with
   | Error e -> respond conn ~id (Protocol.Fail e)
   | Ok tn -> (
-      match parse_queries queries with
+      let work =
+        match payload with
+        | `Queries qs -> Result.map (fun ts -> `Batch ts) (parse_queries qs)
+        | `One q -> Result.map (fun tw -> `Explain tw) (Xtwig.twig_of_string q)
+      in
+      match work with
       | Error e -> respond conn ~id (Protocol.Fail e)
-      | Ok [] -> respond conn ~id (Protocol.Reply "")
-      | Ok twigs -> (
-          match
-            admit t tenant tn { conn; id; work = `Batch twigs; enqueued_at = now }
-          with
+      | Ok (`Batch []) -> respond conn ~id (Protocol.Reply "")
+      | Ok work -> (
+          let it =
+            {
+              conn;
+              id;
+              tenant;
+              verb;
+              trace;
+              work;
+              enqueued_at = now;
+              enq_ns = Trace.now_ns ();
+            }
+          in
+          match admit t tn it with
           | Ok () -> ()
           | Error e ->
               Metrics.incr (m_shed tenant);
+              refresh_queue_gauge t tenant;
+              Slo.record t.slo ~tenant Slo.Shed;
+              Log.warn "serve.shed"
+                ~fields:
+                  [
+                    ("tenant", Log.S tenant);
+                    ("verb", Log.S verb);
+                    ("id", Log.I id);
+                    ( "depth",
+                      Log.I
+                        (match Hashtbl.find_opt t.queues tenant with
+                        | Some q -> Queue.length q
+                        | None -> 0) );
+                  ];
               respond conn ~id (Protocol.Fail e)))
 
 (* ---------------- queue processing ---------------- *)
 
+(* log circuit-breaker transitions observed after engine work: the
+   breaker lives inside the engine, so the serving layer notices state
+   changes at the drain boundary *)
+let note_breaker t tenant_name =
+  match Catalog.find t.cat tenant_name with
+  | Error _ -> ()
+  | Ok tn ->
+      let state =
+        match Engine.breaker_state (Catalog.engine tn) with
+        | `Closed -> "closed"
+        | `Open -> "open"
+        | `Half_open -> "half-open"
+      in
+      let prev = Hashtbl.find_opt t.breaker_seen tenant_name in
+      if prev <> Some state then begin
+        Hashtbl.replace t.breaker_seen tenant_name state;
+        if prev <> None then
+          Log.warn "serve.breaker"
+            ~fields:
+              [
+                ("tenant", Log.S tenant_name);
+                ("from", Log.S (Option.value prev ~default:"?"));
+                ("to", Log.S state);
+              ]
+      end
+
+(* the trace context of a coalesced run: the first client-supplied id
+   in arrival order (an uncontended run has at most one) *)
+let run_trace_id items = List.find_map (fun it -> it.trace) items
+
 (* answer a coalesced run of batch items with one engine call; the
    engine returns answers in query order, so slicing them back per
-   request preserves each request's order *)
-let process_run t tenant_name (items : item list) =
+   request preserves each request's order. The run's coalesce and
+   execute phase times are shared by its items — one engine call
+   served them all. *)
+let process_run t tenant_name ~run_start_ns (items : item list) =
   match Catalog.find t.cat tenant_name with
-  | Error e -> List.iter (fun it -> finish_item it (Protocol.Fail e)) items
+  | Error e ->
+      let ts = Trace.now_ns () in
+      List.iter
+        (fun it ->
+          finish_item t it ~run_start_ns ~exec_start_ns:ts ~exec_end_ns:ts
+            (Protocol.Fail e))
+        items
   | Ok tn -> (
       let queries =
         List.concat_map
-          (fun it -> match it.work with `Batch qs -> qs | `Reload -> [])
+          (fun it ->
+            match it.work with `Batch qs -> qs | `Explain _ | `Reload -> [])
+          items
+      in
+      let trace_id = run_trace_id items in
+      let exec_start_ns = Trace.now_ns () in
+      let finish_all resp_of =
+        let exec_end_ns = Trace.now_ns () in
+        List.iter
+          (fun it ->
+            finish_item t it ~run_start_ns ~exec_start_ns ~exec_end_ns
+              (resp_of it))
           items
       in
       match
+        Trace.with_span ~name:"serve.batch"
+          ~args:
+            ((match trace_id with
+             | Some tid -> [ ("trace_id", string_of_int tid) ]
+             | None -> [])
+            @ [
+                ("tenant", tenant_name);
+                ("queries", string_of_int (List.length queries));
+              ])
+        @@ fun () ->
         Fault.point "serve.batch";
-        Engine.estimate_batch (Catalog.engine tn) queries
+        Engine.estimate_batch ?trace_id (Catalog.engine tn) queries
       with
       | Ok answers ->
           let rest = ref answers in
-          List.iter
-            (fun it ->
+          finish_all (fun it ->
               match it.work with
-              | `Reload -> ()
+              | `Reload | `Explain _ -> assert false
               | `Batch qs ->
                   let n = List.length qs in
                   let mine = List.filteri (fun i _ -> i < n) !rest in
                   rest := List.filteri (fun i _ -> i >= n) !rest;
-                  finish_item it
-                    (Protocol.Reply
-                       (String.concat "\n" (List.map Protocol.encode_answer mine))))
-            items
-      | Error e -> List.iter (fun it -> finish_item it (Protocol.Fail e)) items
+                  Protocol.Reply
+                    (String.concat "\n" (List.map Protocol.encode_answer mine)));
+          note_breaker t tenant_name
+      | Error e ->
+          finish_all (fun _ -> Protocol.Fail e);
+          note_breaker t tenant_name
       | exception Fault.Injected { point; _ } ->
           let e = Xerror.Engine ("injected fault at " ^ point) in
-          List.iter (fun it -> finish_item it (Protocol.Fail e)) items)
+          finish_all (fun _ -> Protocol.Fail e))
+
+(* an explain runs alone (its own engine call), but inside the normal
+   queue so it observes the reload barrier ordering *)
+let process_explain t tenant_name ~run_start_ns it q =
+  match Catalog.find t.cat tenant_name with
+  | Error e ->
+      let ts = Trace.now_ns () in
+      finish_item t it ~run_start_ns ~exec_start_ns:ts ~exec_end_ns:ts
+        (Protocol.Fail e)
+  | Ok tn -> (
+      let exec_start_ns = Trace.now_ns () in
+      let finish resp =
+        finish_item t it ~run_start_ns ~exec_start_ns
+          ~exec_end_ns:(Trace.now_ns ()) resp
+      in
+      match
+        Fault.point "serve.batch";
+        Engine.explain ?trace_id:it.trace (Catalog.engine tn) q
+      with
+      | Ok p ->
+          finish (Protocol.Reply (Protocol.encode_provenance p));
+          note_breaker t tenant_name
+      | Error e ->
+          finish (Protocol.Fail e);
+          note_breaker t tenant_name
+      | exception Fault.Injected { point; _ } ->
+          finish (Protocol.Fail (Xerror.Engine ("injected fault at " ^ point))))
 
 let process_reload t tenant_name it =
   match
@@ -325,30 +588,56 @@ let process_reload t tenant_name it =
   with
   | Ok generation ->
       Metrics.incr (m_reloads tenant_name);
-      finish_item it (Protocol.Reply (string_of_int generation))
-  | Error e -> finish_item it (Protocol.Fail e)
+      Log.info "serve.reload"
+        ~fields:
+          [ ("tenant", Log.S tenant_name); ("generation", Log.I generation) ];
+      Metrics.observe h_request (Unix.gettimeofday () -. it.enqueued_at);
+      respond it.conn ~id:it.id (Protocol.Reply (string_of_int generation))
+  | Error e ->
+      Log.error "serve.reload_failed"
+        ~fields:
+          [
+            ("tenant", Log.S tenant_name);
+            ("error", Log.S (Xerror.to_string e));
+          ];
+      Metrics.observe h_request (Unix.gettimeofday () -. it.enqueued_at);
+      respond it.conn ~id:it.id (Protocol.Fail e)
   | exception Fault.Injected { point; _ } ->
-      finish_item it (Protocol.Fail (Xerror.Engine ("injected fault at " ^ point)))
+      Metrics.observe h_request (Unix.gettimeofday () -. it.enqueued_at);
+      respond it.conn ~id:it.id
+        (Protocol.Fail (Xerror.Engine ("injected fault at " ^ point)))
 
 let drain_queue t tenant_name q =
   while not (Queue.is_empty q) do
+    let run_start_ns = Trace.now_ns () in
     (* take the maximal prefix of estimate/batch items: one engine
-       call for the whole run; a reload is processed alone, so it
-       barriers the queue *)
+       call for the whole run; an explain runs alone; a reload is
+       processed alone, so it barriers the queue *)
     let run = ref [] in
     let stop = ref false in
     while (not !stop) && not (Queue.is_empty q) do
       match (Queue.peek q).work with
       | `Batch _ -> run := Queue.pop q :: !run
-      | `Reload -> stop := true
+      | `Explain _ | `Reload -> stop := true
     done;
+    refresh_queue_gauge t tenant_name;
     (match List.rev !run with
     | [] -> ()
-    | items -> process_run t tenant_name items);
-    if (not (Queue.is_empty q)) && (Queue.peek q).work = `Reload then
-      process_reload t tenant_name (Queue.pop q)
+    | items -> process_run t tenant_name ~run_start_ns items);
+    if not (Queue.is_empty q) then begin
+      match (Queue.peek q).work with
+      | `Explain tw ->
+          let it = Queue.pop q in
+          refresh_queue_gauge t tenant_name;
+          process_explain t tenant_name ~run_start_ns:it.enq_ns it tw
+      | `Reload ->
+          let it = Queue.pop q in
+          refresh_queue_gauge t tenant_name;
+          process_reload t tenant_name it
+      | `Batch _ -> ()
+    end
   done;
-  Metrics.set (g_queue tenant_name) 0.0
+  refresh_queue_gauge t tenant_name
 
 let process_queues t =
   List.iter
@@ -386,6 +675,9 @@ let read_conn t conn =
     match Unix.read conn.fd conn.rbuf 0 (Bytes.length conn.rbuf) with
     | 0 -> close_conn t conn
     | n ->
+        Trace.with_span ~name:"serve.read"
+          ~args:[ ("bytes", string_of_int n) ]
+        @@ fun () ->
         Protocol.feed conn.dec conn.rbuf n;
         let continue = ref true in
         while !continue && conn.alive do
@@ -421,6 +713,8 @@ let accept_conns t =
           }
         in
         t.conns <- conn :: t.conns;
+        Log.debug ~fields:[ ("conns", Log.I (List.length t.conns)) ]
+          "serve.conn_accepted";
         Metrics.set m_conns (float_of_int (List.length t.conns))
     | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
         continue := false
@@ -472,6 +766,8 @@ let serve t =
        (* nothing below should ever reach here; the chaos tests gate
           this counter at zero *)
        Metrics.incr m_uncaught;
+       Log.error ~fields:[ ("exn", Log.S (Printexc.to_string exn)) ]
+         "serve.uncaught";
        Printf.eprintf "xtwigd: uncaught %s\n%!" (Printexc.to_string exn));
     ()
   done;

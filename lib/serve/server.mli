@@ -35,7 +35,25 @@
     requests are answered with a typed [engine] error). Anything
     unexpected that escapes a handler is counted in [serve.uncaught]
     and the connection dropped — the chaos tests gate that counter at
-    zero. *)
+    zero.
+
+    {2 Observability}
+
+    Every request's life is split into four phases, exported as
+    [serve.phase.seconds{phase,tenant}] histograms and as Chrome-trace
+    [X] spans: [queue_wait] (enqueue → drain), [coalesce] (drain →
+    engine submit), [execute] (the engine call) and [write] (response
+    enqueued → frame flushed). A client-supplied [trace=<n>] header
+    token is threaded through the queue into
+    {!Xtwig.Engine.estimate_batch}, so the server-side spans of that
+    request — down to [plan.*] — carry the client's trace id.
+
+    Access and lifecycle events go to {!Xtwig_obs.Log}: one
+    [serve.access] record per flushed response (tenant, verb, status,
+    bytes, trace id, all four phase timings), plus [serve.shed],
+    [serve.reload] and [serve.breaker] transitions. Per-tenant SLO
+    objectives ({!config.slo}) are tracked by an {!Xtwig_obs.Slo.t};
+    the [stats] verb reports the objective and current burn rate. *)
 
 type config = {
   listen : [ `Unix of string | `Tcp of string * int ];
@@ -44,6 +62,9 @@ type config = {
   jobs : int;  (** worker domains per tenant engine *)
   timeout_s : float;  (** per-query engine deadline *)
   queue_cap : int;  (** per-tenant pending-request cap *)
+  slo : (string * Xtwig_obs.Slo.objective) list;
+      (** per-tenant SLO objectives; tenants without one are tracked
+          with empty objectives (burn rate 0) *)
 }
 
 val default_config : config
@@ -70,3 +91,6 @@ val port : t -> int option
 (** The bound TCP port, for [`Tcp (_, 0)] configs. *)
 
 val catalog : t -> Catalog.t
+
+val slo : t -> Xtwig_obs.Slo.t
+(** The server's SLO tracker, for tests and embedding harnesses. *)

@@ -43,6 +43,7 @@ module G = Xtwig_synopsis.Graph_synopsis
 module Edge_hist = Xtwig_hist.Edge_hist
 module Counters = Xtwig_util.Counters
 module Metrics = Xtwig_obs.Metrics
+module Trace = Xtwig_obs.Trace
 module A1 = Bigarray.Array1
 open Embed
 
@@ -378,6 +379,9 @@ let skel_sig sketch (root : enode) : int =
 let payload_of ~(enode_of : enode -> enode) ~(node_of : int -> int) (t : t)
     sketch : t =
   Counters.incr c_repatch;
+  (* inherits the ambient trace id when an engine batch is compiling,
+     so per-request plan work shows under the request in a trace *)
+  Trace.with_span ~name:"plan.repatch" @@ fun () ->
   Counters.time t_repatch @@ fun () ->
   let syn = Sketch.synopsis sketch in
   let nodes =
@@ -532,6 +536,7 @@ let compile_in ?sig_ cx (root : enode) : t =
      as placeholders and filled by the shared payload phase below, so
      [plan.compile_ns] times exactly the work a repatch skips. *)
   let skel =
+    Trace.with_span ~name:"plan.compile" @@ fun () ->
     Counters.time t_compile @@ fun () ->
     let sketch = cx.cx_sketch in
   let syn = cx.cx_syn in

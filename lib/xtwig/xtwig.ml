@@ -98,6 +98,7 @@ let open_backend_session ?name ?jobs ?timeout_s ?retries ?backoff_s
 
 let estimate = Engine.estimate
 let estimate_batch = Engine.estimate_batch
+let explain = Engine.explain
 let close_session = Engine.close
 
 (* ---------------- observability ---------------- *)

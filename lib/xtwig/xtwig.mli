@@ -142,11 +142,22 @@ val estimate :
 
 val estimate_batch :
   ?timeout_s:float ->
+  ?trace_id:int ->
   Engine.t ->
   twig list ->
   (Engine.answer list, Xerror.t) result
-(** Never raises; answers in query order. See
+(** Never raises; answers in query order. [trace_id] propagates a
+    client-supplied trace context into the batch's spans. See
     {!Engine.estimate_batch}. *)
+
+val explain :
+  ?timeout_s:float ->
+  ?trace_id:int ->
+  Engine.t ->
+  twig ->
+  (Engine.provenance, Xerror.t) result
+(** One query's estimate with its provenance — backend, plan tier,
+    embedding count, retries, fallback reason. See {!Engine.explain}. *)
 
 val close_session : Engine.t -> unit
 

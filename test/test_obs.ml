@@ -10,7 +10,23 @@
 module Metrics = Xtwig_obs.Metrics
 module Trace = Xtwig_obs.Trace
 module Accuracy = Xtwig_obs.Accuracy
+module Log = Xtwig_obs.Log
+module Slo = Xtwig_obs.Slo
 module Pool = Xtwig_util.Pool
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let count_sub needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i acc =
+    if i + nl > hl then acc
+    else if String.sub hay i nl = needle then go (i + nl) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -291,6 +307,202 @@ let test_accuracy_stream_and_report () =
      in
      contains 0)
 
+let test_render_escapes_label_values () =
+  (* Prometheus exposition escapes exactly backslash, double quote and
+     newline in label values; everything else passes through. *)
+  let tricky = "a\\b\"c\nd" in
+  let c = Metrics.counter ~labels:[ ("path", tricky) ] "t.escape.ops" in
+  Metrics.incr c;
+  let text = Metrics.render (Metrics.snapshot ()) in
+  Alcotest.(check bool) "escaped value rendered" true
+    (contains "t_escape_ops{path=\"a\\\\b\\\"c\\nd\"} 1" text);
+  Alcotest.(check bool) "no raw newline inside the label value" false
+    (contains "c\nd\"" text)
+
+let test_render_family_comments_once () =
+  (* # TYPE / # HELP appear exactly once per family even when several
+     labeled series of the same family interleave with other families
+     in registration order. *)
+  let mk tenant = Metrics.counter ~help:"interleaved family"
+      ~labels:[ ("tenant", tenant) ] "t.family.once" in
+  let a = mk "a" in
+  let _other = Metrics.counter "t.family.spacer" in
+  let b = mk "b" in
+  let _other2 = Metrics.gauge "t.family.spacer2" in
+  let c = mk "c" in
+  Metrics.incr a;
+  Metrics.incr ~by:2 b;
+  Metrics.incr ~by:3 c;
+  let text = Metrics.render (Metrics.snapshot ()) in
+  Alcotest.(check int) "one TYPE line" 1
+    (count_sub "# TYPE t_family_once counter" text);
+  Alcotest.(check int) "one HELP line" 1
+    (count_sub "# HELP t_family_once interleaved family" text);
+  Alcotest.(check int) "three series" 3 (count_sub "t_family_once{tenant=" text)
+
+let test_trace_concurrent_domains_validate () =
+  (* satellite (c): several domains emitting B/E spans, X complete
+     events and instants concurrently still produce a trace the
+     validator accepts — pairing is per-tid, never cross-domain.
+     (enable keeps the previous soft cap, and the cap test above
+     shrank it: restore a roomy one explicitly) *)
+  Trace.enable ~cap:100_000 ();
+  Trace.reset ();
+  Fun.protect ~finally:Trace.disable @@ fun () ->
+  let worker k () =
+    for i = 1 to 25 do
+      Trace.with_trace_id ((k * 1000) + i) (fun () ->
+          Trace.with_span ~name:"dom.outer" (fun () ->
+              Trace.with_span ~name:"dom.inner" (fun () ->
+                  Trace.instant "dom.mark");
+              let start_ns = Int64.sub (Trace.now_ns ()) 1_000L in
+              Trace.complete ~name:"dom.retro" ~start_ns ~dur_ns:1_000L ()))
+    done
+  in
+  let doms = List.init 4 (fun k -> Domain.spawn (worker (k + 1))) in
+  List.iter Domain.join doms;
+  match Trace.validate_string (Trace.to_json_string ()) with
+  | Ok n ->
+      (* 4 domains x 25 iterations x (2 B/E spans + 1 X span) *)
+      Alcotest.(check int) "all spans pair" 300 n
+  | Error e -> Alcotest.fail e
+
+let test_accuracy_empty_report_has_no_nan () =
+  (* satellite (c): an empty stream must not leak NaN into JSON —
+     percentiles of nothing render as null. *)
+  let acc = Accuracy.create ~sanity:10.0 ~name:"t.acc.empty" () in
+  let js = Accuracy.report_json acc in
+  Alcotest.(check bool) "json object" true (String.length js > 0 && js.[0] = '{');
+  Alcotest.(check bool) "no nan token" false (contains "nan" (String.lowercase_ascii js));
+  Alcotest.(check bool) "no inf token" false (contains "inf" (String.lowercase_ascii js));
+  Alcotest.(check bool) "count is zero" true (contains "\"count\": 0" js || contains "\"count\":0" js);
+  (* the human report must not crash either *)
+  let (_ : string) = Accuracy.report acc in
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Log                                                                 *)
+
+let test_log_disabled_is_noop () =
+  Log.disable ();
+  Alcotest.(check bool) "disabled" false (Log.enabled ());
+  Log.info ~fields:[ ("k", Log.S "v") ] "t.log.off";
+  Alcotest.(check (list string)) "ring empty" [] (Log.recent ())
+
+let test_log_ring_sink_and_levels () =
+  let path = Filename.temp_file "xtwig_log" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Log.disable (); Sys.remove path) @@ fun () ->
+  Log.enable ~level:Log.Info ~ring_cap:4 ~path ();
+  Log.debug "t.log.filtered" (* below threshold: dropped *);
+  Log.info ~fields:[ ("tenant", Log.S "a\"b\\c"); ("bytes", Log.I 17) ] "t.log.access";
+  Log.warn ~fields:[ ("depth", Log.I 3); ("ok", Log.B false) ] "t.log.shed";
+  Log.error ~fields:[ ("ratio", Log.F 0.5) ] "t.log.fail";
+  Alcotest.(check int) "three emitted" 3 (Log.emitted ());
+  let ring = Log.recent () in
+  Alcotest.(check int) "ring holds them" 3 (List.length ring);
+  let first = List.hd ring in
+  Alcotest.(check bool) "oldest first" true (contains "t.log.access" first);
+  Alcotest.(check bool) "json-escaped field" true (contains "a\\\"b\\\\c" first);
+  Alcotest.(check bool) "level tagged" true (contains "\"level\":\"info\"" first);
+  (* overflow the ring: oldest records are overwritten, emitted keeps counting *)
+  for i = 1 to 6 do
+    Log.info ~fields:[ ("i", Log.I i) ] "t.log.spam"
+  done;
+  Alcotest.(check int) "emitted counts overwrites" 9 (Log.emitted ());
+  Alcotest.(check int) "ring capped" 4 (List.length (Log.recent ()));
+  Log.flush ();
+  let ic = open_in path in
+  let n = ref 0 and saw_access = ref false in
+  (try
+     while true do
+       let l = input_line ic in
+       incr n;
+       if contains "t.log.access" l then saw_access := true;
+       Alcotest.(check bool) "sink line is an object" true
+         (String.length l > 0 && l.[0] = '{')
+     done
+   with End_of_file -> close_in ic);
+  Alcotest.(check int) "sink kept every record" 9 !n;
+  Alcotest.(check bool) "sink kept the overwritten record" true !saw_access
+
+let test_log_level_of_string () =
+  Alcotest.(check bool) "debug" true (Log.level_of_string "debug" = Some Log.Debug);
+  Alcotest.(check bool) "WARN case-insensitive" true
+    (Log.level_of_string "WARN" = Some Log.Warn);
+  Alcotest.(check bool) "warning alias" true
+    (Log.level_of_string "warning" = Some Log.Warn);
+  Alcotest.(check bool) "garbage rejected" true (Log.level_of_string "loud" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Slo                                                                 *)
+
+let test_slo_parse () =
+  (match Slo.parse "movies=p99:5ms,err:0.1%" with
+  | Ok ("movies", o) ->
+      (match o.Slo.p99_s with
+      | Some v -> Alcotest.(check (float 1e-12)) "5ms" 0.005 v
+      | None -> Alcotest.fail "p99 missing");
+      (match o.Slo.err_rate with
+      | Some v -> Alcotest.(check (float 1e-12)) "0.1%" 0.001 v
+      | None -> Alcotest.fail "err missing")
+  | Ok _ -> Alcotest.fail "wrong tenant"
+  | Error e -> Alcotest.fail e);
+  (match Slo.parse "t=p99:250us" with
+  | Ok (_, o) ->
+      Alcotest.(check bool) "us suffix" true (o.Slo.p99_s = Some 0.00025);
+      Alcotest.(check bool) "err absent" true (o.Slo.err_rate = None)
+  | Error e -> Alcotest.fail e);
+  (match Slo.parse "no-equals-sign" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "spec without '=' must be rejected");
+  (match Slo.parse "t=p99:fast" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unparseable duration must be rejected");
+  (* objective_text round-trips through parse *)
+  match Slo.parse "rt=p99:5ms,err:0.1%" with
+  | Error e -> Alcotest.fail e
+  | Ok (_, o) -> (
+      match Slo.parse ("rt2=" ^ Slo.objective_text o) with
+      | Ok (_, o') -> Alcotest.(check bool) "round trip" true (o = o')
+      | Error e -> Alcotest.fail e)
+
+let test_slo_burn_rate () =
+  (* metric cells are process-global: tenant names unique to this test *)
+  let t =
+    Slo.create
+      [
+        ("obs_err", { Slo.p99_s = None; err_rate = Some 0.1 });
+        ("obs_lat", { Slo.p99_s = Some 0.001; err_rate = None });
+      ]
+  in
+  (* 9 good + 1 failed of 10 = 10% errors, exactly the 10% budget *)
+  for _ = 1 to 9 do
+    Slo.record t ~tenant:"obs_err" ~latency_s:0.0001 Slo.Served_ok
+  done;
+  Slo.record t ~tenant:"obs_err" Slo.Failed;
+  Alcotest.(check (float 1e-9)) "at budget burns at 1.0" 1.0
+    (Slo.burn_rate t "obs_err");
+  (* every request blows the 1ms p99 bound: violation fraction 1.0
+     against the 1% allowance = burn 100 *)
+  for _ = 1 to 10 do
+    Slo.record t ~tenant:"obs_lat" ~latency_s:0.5 Slo.Served_ok
+  done;
+  Alcotest.(check (float 1e-6)) "all-violating latency burns at 100" 100.0
+    (Slo.burn_rate t "obs_lat");
+  (* shed counts against the error budget too *)
+  Slo.record t ~tenant:"obs_err" Slo.Shed;
+  Alcotest.(check bool) "shed raises the burn" true
+    (Slo.burn_rate t "obs_err" > 1.0);
+  (* undeclared tenants are tracked but burn nothing *)
+  Slo.record t ~tenant:"obs_walkin" Slo.Served_degraded;
+  Alcotest.(check (float 0.0)) "no objective, no burn" 0.0
+    (Slo.burn_rate t "obs_walkin");
+  Alcotest.(check bool) "walk-in tenant tracked" true
+    (List.mem "obs_walkin" (Slo.tenants t));
+  let line = Slo.report_tenant t "obs_err" in
+  Alcotest.(check bool) "report names the tenant" true (contains "obs_err" line);
+  Alcotest.(check bool) "report shows the burn" true (contains "burn_rate" line)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -312,6 +524,10 @@ let () =
           Alcotest.test_case "reset_all" `Quick test_reset_all;
           Alcotest.test_case "Counters adapter shares cells" `Quick
             test_counters_adapter;
+          Alcotest.test_case "render escapes label values" `Quick
+            test_render_escapes_label_values;
+          Alcotest.test_case "family comments emitted once" `Quick
+            test_render_family_comments_once;
         ] );
       ( "trace",
         [
@@ -325,6 +541,8 @@ let () =
             test_trace_dump_and_tamper;
           Alcotest.test_case "cap drops whole spans" `Quick
             test_trace_cap_drops_whole_spans;
+          Alcotest.test_case "concurrent domains validate" `Quick
+            test_trace_concurrent_domains_validate;
         ] );
       ( "accuracy",
         [
@@ -332,5 +550,19 @@ let () =
             test_accuracy_rel_error;
           Alcotest.test_case "stream + percentiles + report" `Quick
             test_accuracy_stream_and_report;
+          Alcotest.test_case "empty stream has no NaN in JSON" `Quick
+            test_accuracy_empty_report_has_no_nan;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_log_disabled_is_noop;
+          Alcotest.test_case "ring, sink and level filtering" `Quick
+            test_log_ring_sink_and_levels;
+          Alcotest.test_case "level_of_string" `Quick test_log_level_of_string;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "parse specs" `Quick test_slo_parse;
+          Alcotest.test_case "burn-rate arithmetic" `Quick test_slo_burn_rate;
         ] );
     ]

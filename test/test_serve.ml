@@ -68,8 +68,17 @@ let test_request_roundtrip () =
       P.Metrics;
       P.Stats "movies";
       P.Reload "t-1.a_b";
-      P.Estimate { tenant = "m"; query = "for t0 in //a, t1 in t0/b" };
-      P.Batch { tenant = "m"; queries = [ "x in //a"; "y in //b, z in y/c" ] };
+      P.Estimate { tenant = "m"; query = "for t0 in //a, t1 in t0/b"; trace = None };
+      P.Estimate { tenant = "m"; query = "for t0 in //a"; trace = Some 42 };
+      P.Batch
+        {
+          tenant = "m";
+          queries = [ "x in //a"; "y in //b, z in y/c" ];
+          trace = None;
+        };
+      P.Batch { tenant = "m"; queries = [ "x in //a" ]; trace = Some 0 };
+      P.Explain { tenant = "m"; query = "for t0 in //a, t1 in t0/b"; trace = None };
+      P.Explain { tenant = "m"; query = "for t0 in //a"; trace = Some 7 };
     ]
   in
   List.iteri
@@ -117,7 +126,10 @@ let test_bad_inputs_rejected () =
       match P.decode_request s with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "accepted %S" s)
-    [ ""; "nope"; "-3 ping"; "x ping"; "7 frobnicate"; "7 estimate bad tenant" ]
+    [
+      ""; "nope"; "-3 ping"; "x ping"; "7 frobnicate"; "7 estimate bad tenant";
+      "7 estimate m trace=x"; "7 estimate m trace=-2"; "7 explain m bogus";
+    ]
 
 let any_twig =
   lazy
@@ -175,9 +187,9 @@ let queries =
     "for t0 in //movie[genre], t1 in t0/keyword";
   ]
 
-let with_server ?(queue_cap = 64) tenants f =
+let with_server ?(queue_cap = 64) ?(slo = []) tenants f =
   let sock = temp_path ".sock" in
-  let cfg = { Server.default_config with listen = `Unix sock; queue_cap } in
+  let cfg = { Server.default_config with listen = `Unix sock; queue_cap; slo } in
   let server = ok_exn (Server.create cfg tenants) in
   let th = Thread.create Server.serve server in
   Fun.protect
@@ -229,7 +241,7 @@ let test_served_answers_match_direct () =
   with_server [ ("movies", Catalog.source ~sketch_path:c.sk_a c.doc_path) ]
     (fun client ->
       let body =
-        call_ok client ~id:1 (P.Batch { tenant = "movies"; queries })
+        call_ok client ~id:1 (P.Batch { tenant = "movies"; queries; trace = None })
       in
       Alcotest.(check (list string))
         "bitwise equal to direct engine"
@@ -251,10 +263,14 @@ let test_hot_reload_during_queries () =
       (* pipeline the whole sequence before reading: queries, reload
          barrier, queries — the per-tenant FIFO answers pre-reload
          queries on the old engine, post-reload ones on the new *)
-      ok_exn (P.Client.send client ~id:1 (P.Batch { tenant = "movies"; queries }));
+      ok_exn
+        (P.Client.send client ~id:1
+           (P.Batch { tenant = "movies"; queries; trace = None }));
       copy c.sk_b;
       ok_exn (P.Client.send client ~id:2 (P.Reload "movies"));
-      ok_exn (P.Client.send client ~id:3 (P.Batch { tenant = "movies"; queries }));
+      ok_exn
+        (P.Client.send client ~id:3
+           (P.Batch { tenant = "movies"; queries; trace = None }));
       let responses = Hashtbl.create 4 in
       for _ = 1 to 3 do
         let id, resp = ok_exn (P.Client.recv client) in
@@ -294,7 +310,9 @@ let test_reload_failure_keeps_serving () =
       | P.Fail e -> Alcotest.failf "expected io error, got %s" (Xerror.to_string e)
       | P.Reply _ -> Alcotest.fail "reload of a missing sketch succeeded");
       (* the old engine is still serving, answers unchanged *)
-      let body = call_ok client ~id:2 (P.Batch { tenant = "movies"; queries }) in
+      let body =
+        call_ok client ~id:2 (P.Batch { tenant = "movies"; queries; trace = None })
+      in
       Alcotest.(check (list string))
         "still the old answers"
         (direct_answers c.sk_a queries)
@@ -312,7 +330,8 @@ let test_overload_sheds_typed () =
       for id = 1 to n do
         ok_exn
           (P.Client.send client ~id
-             (P.Estimate { tenant = "movies"; query = List.hd queries }))
+             (P.Estimate
+                { tenant = "movies"; query = List.hd queries; trace = None }))
       done;
       let shed = ref 0 and served = ref 0 in
       let seen = Hashtbl.create n in
@@ -334,7 +353,122 @@ let test_overload_sheds_typed () =
       Alcotest.(check bool) "some served" true (!served > 0);
       Alcotest.(check bool) "some shed" true (!shed > 0);
       let pong = call_ok client ~id:1000 P.Ping in
-      Alcotest.(check string) "connection survives" ("pong " ^ Xtwig.version) pong)
+      Alcotest.(check string) "connection survives" ("pong " ^ Xtwig.version) pong;
+      (* the queue-depth gauge tracks the queue through shed decisions
+         as well as drains: with everything answered it reads 0 *)
+      let depth =
+        List.find_map
+          (fun (e : Metrics.entry) ->
+            if
+              String.equal e.Metrics.name "serve.queue_depth"
+              && List.assoc_opt "tenant" e.Metrics.labels = Some "movies"
+            then
+              match e.Metrics.value with Metrics.Gauge v -> Some v | _ -> None
+            else None)
+          (Metrics.snapshot ())
+      in
+      Alcotest.(check (option (float 0.0))) "queue depth drained to zero"
+        (Some 0.0) depth)
+
+(* the explain verb's provenance: a cold query compiles fresh, the
+   same query again is a plan-cache hit — the tier provably differs *)
+let test_explain_cold_vs_cached () =
+  let c = Lazy.force corpus in
+  with_server [ ("movies", Catalog.source ~sketch_path:c.sk_a c.doc_path) ]
+    (fun client ->
+      let q = List.hd queries in
+      let explain id =
+        let body =
+          call_ok client ~id (P.Explain { tenant = "movies"; query = q; trace = None })
+        in
+        match P.provenance_field body "tier" with
+        | Some t -> (body, t)
+        | None -> Alcotest.failf "no tier in explain body %S" body
+      in
+      let body1, tier1 = explain 1 in
+      let _, tier2 = explain 2 in
+      (* cold = real compile work: fresh, or adopting an isomorphic
+         skeleton another session of this process already compiled *)
+      Alcotest.(check bool)
+        (Printf.sprintf "cold query did compile work (got %s)" tier1)
+        true
+        (List.mem tier1 [ "fresh_compile"; "skeleton_adoption" ]);
+      Alcotest.(check string) "warm query hit the plan cache" "cache_hit" tier2;
+      Alcotest.(check bool) "cold and cached tiers provably differ" true
+        (not (String.equal tier1 tier2));
+      Alcotest.(check (option string))
+        "backend provenance" (Some "xsketch")
+        (P.provenance_field body1 "backend");
+      (match P.provenance_field body1 "embeddings" with
+      | Some e ->
+          Alcotest.(check bool) "embeddings counted" true (int_of_string e >= 1)
+      | None -> Alcotest.fail "no embeddings field");
+      (* the answer inside the provenance is the engine's answer,
+         bitwise — same oracle as the estimate verb *)
+      Alcotest.(check (option string))
+        "provenance answer matches direct engine"
+        (Some (List.hd (direct_answers c.sk_a [ q ])))
+        (P.provenance_field body1 "answer"))
+
+(* a client-supplied trace id must reach the serving-layer spans and
+   the engine's spans: one trace file, one id, both halves *)
+let test_trace_propagation () =
+  let c = Lazy.force corpus in
+  let module Trace = Xtwig_obs.Trace in
+  Trace.reset ();
+  Trace.enable ();
+  Fun.protect ~finally:Trace.disable (fun () ->
+      with_server [ ("movies", Catalog.source ~sketch_path:c.sk_a c.doc_path) ]
+        (fun client ->
+          let tid = 987654 in
+          let _ =
+            call_ok client ~id:1
+              (P.Estimate
+                 { tenant = "movies"; query = List.hd queries; trace = Some tid })
+          in
+          ()));
+  let json = Xtwig_obs.Trace.to_json_string () in
+  let needle = Printf.sprintf "\"trace_id\":\"%d\"" 987654 in
+  let tagged_lines =
+    List.filter (fun l -> contains l needle) (String.split_on_char '\n' json)
+  in
+  let tagged name =
+    List.exists (fun l -> contains l ("\"name\":\"" ^ name)) tagged_lines
+  in
+  Alcotest.(check bool) "serve.queue_wait carries the client id" true
+    (tagged "serve.queue_wait");
+  Alcotest.(check bool) "serve.batch carries the client id" true
+    (tagged "serve.batch");
+  Alcotest.(check bool) "an engine-side span carries the client id" true
+    (tagged "engine.");
+  match Xtwig_obs.Trace.validate_string json with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "captured trace invalid: %s" e
+
+(* per-tenant SLO: the stats verb reports the declared objective,
+   attribution counts and a burn rate *)
+let test_stats_reports_slo () =
+  let c = Lazy.force corpus in
+  let slo =
+    [ ("movies", { Xtwig_obs.Slo.p99_s = Some 1.0; err_rate = Some 0.5 }) ]
+  in
+  with_server ~slo [ ("movies", Catalog.source ~sketch_path:c.sk_a c.doc_path) ]
+    (fun client ->
+      let _ =
+        call_ok client ~id:1
+          (P.Estimate { tenant = "movies"; query = List.hd queries; trace = None })
+      in
+      let stats = call_ok client ~id:2 (P.Stats "movies") in
+      Alcotest.(check bool) "objective rendered" true
+        (contains stats "slo_objective p99:1000ms,err:50%");
+      Alcotest.(check bool) "burn rate line present" true
+        (contains stats "slo_burn_rate");
+      (* attribution line (counters are process-global, so no exact
+         counts — the line and its fields must be there) *)
+      Alcotest.(check bool) "attribution line present" true
+        (contains stats "slo movies: objective");
+      Alcotest.(check bool) "attribution counts degraded and shed" true
+        (contains stats "degraded" && contains stats "shed"))
 
 (* chaos: probabilistic faults on the request-level serve.* points.
    Gate: every request gets a typed response and serve.uncaught
@@ -363,6 +497,7 @@ let test_chaos_uncaught_zero () =
                   {
                     tenant = "movies";
                     query = List.nth queries (id mod List.length queries);
+                    trace = None;
                   }
             in
             ok_exn (P.Client.send client ~id req)
@@ -407,6 +542,12 @@ let () =
             test_reload_failure_keeps_serving;
           Alcotest.test_case "overload sheds typed errors" `Quick
             test_overload_sheds_typed;
+          Alcotest.test_case "explain: cold vs cached tier" `Quick
+            test_explain_cold_vs_cached;
+          Alcotest.test_case "trace id propagates client -> engine" `Quick
+            test_trace_propagation;
+          Alcotest.test_case "stats reports SLO attribution" `Quick
+            test_stats_reports_slo;
           Alcotest.test_case "serve.* chaos, uncaught = 0" `Quick
             test_chaos_uncaught_zero;
         ] );
