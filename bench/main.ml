@@ -5,10 +5,15 @@
 
    Usage: main.exe
    [table1|table2|fig9a|fig9b|fig9c|singlepath|ablation|micro|xbuild|
-    xbuild-par|estimate-batch|parallel|fault-audit|all] [--trace FILE]
+    xbuild-par|estimate-batch|parallel|fault-audit|ingest|all]
+   [--trace FILE]
    (default: all). [xbuild] times one full greedy construction and
    writes its wall time, steps/sec and reuse/cache counters to
-   BENCH_xbuild.json. [parallel] (= xbuild-par + estimate-batch) times
+   BENCH_xbuild.json. [ingest] times the streaming parser against the
+   retained PR-8 parser and Sketch.apply_delta against a full
+   re-XBUILD, runs the delta differential, and writes
+   BENCH_ingest.json (exits 1 on any mismatch or throughput-floor
+   breach). [parallel] (= xbuild-par + estimate-batch) times
    pooled candidate scoring against sequential — checking the two
    synopses are byte-identical — and Engine batch throughput, and
    writes BENCH_parallel.json; XTWIG_JOBS sets the domain count
@@ -798,6 +803,301 @@ let scaling_bench () =
   log "wrote BENCH_scaling.json"
 
 (* ------------------------------------------------------------------ *)
+(* Streaming-ingestion benchmark: the PR-9 tentpole's evidence.
+
+   Part 1 times the chunked SAX parser against the retained PR-8
+   whole-string parser (reference_parse_string_res) on the IMDB and
+   XMark texts, interleaved best-of-N, and asserts the two documents
+   are traversal-identical (every tag, parent, child order and value)
+   — which pins the fig9a trajectory, double-checked by comparing the
+   coarsest synopses byte-for-byte.
+
+   Part 2 times Sketch.apply_delta for a single-subtree insert and
+   delete against a full re-XBUILD over the updated document, and runs
+   the differential contract: delta-maintained sketch vs
+   rebuild-from-scratch over the same synopsis+config must be
+   byte-identical (and the reuse path must equal the no-reuse path).
+
+   Results go to BENCH_ingest.json. Exit code 1 if any differential
+   mismatches, if a traversal differs, or if the streaming throughput
+   falls below XTWIG_INGEST_FLOOR_MBS (default 0 = no floor) — the CI
+   ingest-smoke job gates on that exit code.                          *)
+
+module Xml_parser = Xtwig_xml.Xml_parser
+module Value = Xtwig_xml.Value
+
+let ingest_reps =
+  match Sys.getenv_opt "XTWIG_INGEST_REPS" with
+  | Some s -> (try Stdlib.max 3 (int_of_string s) with _ -> 15)
+  | None -> 15
+
+let ingest_floor_mbs =
+  match Sys.getenv_opt "XTWIG_INGEST_FLOOR_MBS" with
+  | Some s -> (try float_of_string s with _ -> 0.0)
+  | None -> 0.0
+
+(* exhaustive structural comparison: same node numbering, tags,
+   parents, child order and values *)
+let docs_equal a b =
+  Doc.size a = Doc.size b
+  && begin
+       let ok = ref true in
+       for e = 0 to Doc.size a - 1 do
+         if
+           not
+             (String.equal (Doc.tag_name a e) (Doc.tag_name b e)
+             && Doc.parent a e = Doc.parent b e
+             && Value.equal (Doc.value a e) (Doc.value b e)
+             && Doc.children a e = Doc.children b e)
+         then ok := false
+       done;
+       !ok
+     end
+
+type parse_run = {
+  p_dataset : string;
+  p_bytes : int;
+  p_stream_s : float;
+  p_reference_s : float;
+  p_traversal_identical : bool;
+  p_coarse_identical : bool;
+}
+
+let mbs bytes secs = float_of_int bytes /. 1_048_576.0 /. Stdlib.max 1e-9 secs
+
+let ingest_parse_one name =
+  let doc0 = Lazy.force (dataset name).doc in
+  let xml = Xtwig_xml.Xml_writer.to_string doc0 in
+  let bytes = String.length xml in
+  let force = function
+    | Ok d -> d
+    | Error e -> failwith (Xtwig_util.Xerror.to_string e)
+  in
+  (* one untimed pass of each parser first (page cache, interner and
+     GC warm), then interleaved best-of-N: alternating the two parsers
+     inside each rep cancels slow drift out of the ratio *)
+  let ds = force (Xml_parser.parse_string_res xml) in
+  let dr = force (Xml_parser.reference_parse_string_res xml) in
+  (* start each dataset from a compacted heap: garbage left by the
+     previous dataset's reps would tax the two parsers unevenly *)
+  Gc.compact ();
+  let best_stream = ref Float.max_float and best_ref = ref Float.max_float in
+  for _ = 1 to ingest_reps do
+    let t0 = now () in
+    ignore (Sys.opaque_identity (force (Xml_parser.parse_string_res xml)));
+    let ts = now () -. t0 in
+    let t0 = now () in
+    ignore
+      (Sys.opaque_identity (force (Xml_parser.reference_parse_string_res xml)));
+    let tr = now () -. t0 in
+    if ts < !best_stream then best_stream := ts;
+    if tr < !best_ref then best_ref := tr
+  done;
+  (* the generators do not number nodes in document order, so the
+     re-serialization, not index-wise equality, is the roundtrip
+     check against the source text; the two parsers must agree
+     index-wise *)
+  let identical =
+    docs_equal ds dr && String.equal (Xtwig_xml.Xml_writer.to_string ds) xml
+  in
+  let coarse_identical =
+    String.equal
+      (Sketch_io.to_string (Sketch.default_of_doc ds))
+      (Sketch_io.to_string (Sketch.default_of_doc dr))
+  in
+  let r =
+    {
+      p_dataset = name;
+      p_bytes = bytes;
+      p_stream_s = !best_stream;
+      p_reference_s = !best_ref;
+      p_traversal_identical = identical;
+      p_coarse_identical = coarse_identical;
+    }
+  in
+  print_row "%-8s %10.2f MB %9.1f MB/s stream %9.1f MB/s reference %7.2fx %s"
+    name
+    (float_of_int bytes /. 1_048_576.0)
+    (mbs bytes r.p_stream_s) (mbs bytes r.p_reference_s)
+    (r.p_reference_s /. Stdlib.max 1e-9 r.p_stream_s)
+    (if identical && coarse_identical then "identical" else "MISMATCH");
+  r
+
+type delta_run = {
+  d_budget : int;
+  d_xbuild_s : float;
+  d_rexbuild_s : float;
+  d_insert_s : float;
+  d_delete_s : float;
+  d_mismatches : int;
+  d_kept_nodes : int;
+  d_deltas : int;
+}
+
+let ingest_delta () =
+  let doc = Lazy.force (dataset "imdb").doc in
+  let budget = par_budget doc in
+  let t0 = now () in
+  let sk = par_build doc in
+  let xbuild_s = now () -. t0 in
+  let fragment =
+    match
+      Xtwig_xml.Xml_parser.parse_string_res
+        "<movie><title>Delta Test</title><year>1999</year><actor>A. \
+         Actor</actor><genre>drama</genre></movie>"
+    with
+    | Ok d -> d
+    | Error e -> failwith (Xtwig_util.Xerror.to_string e)
+  in
+  let parent = Doc.root doc in
+  let victim =
+    (* a real single-subtree edit: drop one whole movie element *)
+    match Doc.tag_of_string doc "movie" with
+    | Some tag -> (Doc.nodes_with_tag doc tag).(0)
+    | None -> failwith "IMDB document has no movie elements"
+  in
+  let insert = Sketch.Insert { parent; fragment } and delete = Sketch.Delete victim in
+  (* apply_delta is functional, so the same base sketch serves every
+     timing rep; best-of-N for the same reason as the parse loop *)
+  let time_delta d =
+    let best = ref Float.max_float in
+    for _ = 1 to ingest_reps do
+      let t0 = now () in
+      ignore (Sketch.apply_delta sk d);
+      let t = now () -. t0 in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let insert_s = time_delta insert and delete_s = time_delta delete in
+  (* differential contract, counted as mismatches (gate: zero):
+     1. delta result = rebuild-from-scratch over its synopsis+config
+     2. reuse path = no-reuse path *)
+  let m0 = Metrics.snapshot () in
+  let mismatches = ref 0 in
+  let check d =
+    let maintained = Sketch.apply_delta ~reuse:true sk d in
+    let rebuilt =
+      Sketch.build (Sketch.synopsis maintained) (Sketch.config maintained)
+    in
+    let no_reuse = Sketch.apply_delta ~reuse:false sk d in
+    let b = Sketch_io.to_string maintained in
+    if not (String.equal b (Sketch_io.to_string rebuilt)) then incr mismatches;
+    if not (String.equal b (Sketch_io.to_string no_reuse)) then incr mismatches
+  in
+  check insert;
+  check delete;
+  let counters = counters_of (Metrics.diff m0 (Metrics.snapshot ())) in
+  let cval n = Option.value ~default:0 (List.assoc_opt n counters) in
+  (* the honest re-XBUILD comparator: a from-scratch greedy build over
+     the post-insert document, same knobs as the initial build *)
+  let doc' = Sketch.doc (Sketch.apply_delta sk insert) in
+  let t0 = now () in
+  ignore (par_build doc');
+  let rexbuild_s = now () -. t0 in
+  print_row "%-28s %12.3f" "initial XBUILD wall (s)" xbuild_s;
+  print_row "%-28s %12.3f" "re-XBUILD wall (s)" rexbuild_s;
+  print_row "%-28s %12.2f" "insert delta (ms)" (insert_s *. 1e3);
+  print_row "%-28s %12.2f" "delete delta (ms)" (delete_s *. 1e3);
+  print_row "%-28s %12.0fx" "speedup vs re-XBUILD"
+    (rexbuild_s /. Stdlib.max 1e-9 (Stdlib.max insert_s delete_s));
+  print_row "%-28s %12d" "differential mismatches" !mismatches;
+  {
+    d_budget = budget;
+    d_xbuild_s = xbuild_s;
+    d_rexbuild_s = rexbuild_s;
+    d_insert_s = insert_s;
+    d_delete_s = delete_s;
+    d_mismatches = !mismatches;
+    d_kept_nodes = cval "sketch.delta_nodes_kept";
+    d_deltas = cval "sketch.deltas";
+  }
+
+let ingest () =
+  print_header "Streaming ingestion benchmark (parse + delta maintenance)";
+  log "reps: %d (XTWIG_INGEST_REPS), floor: %.1f MB/s (XTWIG_INGEST_FLOOR_MBS)"
+    ingest_reps ingest_floor_mbs;
+  let parses = List.map ingest_parse_one [ "IMDB"; "XMark" ] in
+  print_header "Delta maintenance vs re-XBUILD (IMDB, single-subtree edits)";
+  let d = ingest_delta () in
+  let worst_delta = Stdlib.max d.d_insert_s d.d_delete_s in
+  let delta_speedup = d.d_rexbuild_s /. Stdlib.max 1e-9 worst_delta in
+  let gate_parse =
+    List.for_all
+      (fun p -> p.p_reference_s /. Stdlib.max 1e-9 p.p_stream_s >= 3.0)
+      parses
+  in
+  let gate_traversal =
+    List.for_all
+      (fun p -> p.p_traversal_identical && p.p_coarse_identical)
+      parses
+  in
+  let gate_floor =
+    List.for_all (fun p -> mbs p.p_bytes p.p_stream_s >= ingest_floor_mbs) parses
+  in
+  let gate_delta = delta_speedup >= 10.0 in
+  let gate_diff = d.d_mismatches = 0 in
+  List.iter
+    (fun (name, pass) ->
+      print_row "%-44s %12s" name (if pass then "PASS" else "FAIL"))
+    [
+      ("gate: streaming >= 3x reference", gate_parse);
+      ("gate: traversal + coarse synopsis identical", gate_traversal);
+      ("gate: streaming above recorded floor", gate_floor);
+      ("gate: delta >= 10x below re-XBUILD", gate_delta);
+      ("gate: differential mismatches = 0", gate_diff);
+    ];
+  let oc = open_out "BENCH_ingest.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"ingest\",\n";
+  fprint_provenance oc;
+  Printf.fprintf oc "  \"scale\": %g,\n" scale;
+  Printf.fprintf oc "  \"reps\": %d,\n" ingest_reps;
+  Printf.fprintf oc "  \"floor_mb_s\": %g,\n" ingest_floor_mbs;
+  Printf.fprintf oc "  \"parse\": [\n";
+  List.iteri
+    (fun i p ->
+      Printf.fprintf oc "    {\n";
+      Printf.fprintf oc "      \"dataset\": %S,\n" p.p_dataset;
+      Printf.fprintf oc "      \"bytes\": %d,\n" p.p_bytes;
+      Printf.fprintf oc "      \"stream_s\": %.6f,\n" p.p_stream_s;
+      Printf.fprintf oc "      \"reference_s\": %.6f,\n" p.p_reference_s;
+      Printf.fprintf oc "      \"stream_mb_s\": %.1f,\n" (mbs p.p_bytes p.p_stream_s);
+      Printf.fprintf oc "      \"reference_mb_s\": %.1f,\n"
+        (mbs p.p_bytes p.p_reference_s);
+      Printf.fprintf oc "      \"speedup\": %.3f,\n"
+        (p.p_reference_s /. Stdlib.max 1e-9 p.p_stream_s);
+      Printf.fprintf oc "      \"traversal_identical\": %b,\n"
+        p.p_traversal_identical;
+      Printf.fprintf oc "      \"coarse_synopsis_identical\": %b\n"
+        p.p_coarse_identical;
+      Printf.fprintf oc "    }%s\n" (if i = List.length parses - 1 then "" else ","))
+    parses;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"delta\": {\n";
+  Printf.fprintf oc "    \"dataset\": \"IMDB\",\n";
+  Printf.fprintf oc "    \"budget_bytes\": %d,\n" d.d_budget;
+  Printf.fprintf oc "    \"xbuild_wall_s\": %.3f,\n" d.d_xbuild_s;
+  Printf.fprintf oc "    \"rexbuild_wall_s\": %.3f,\n" d.d_rexbuild_s;
+  Printf.fprintf oc "    \"insert_s\": %.6f,\n" d.d_insert_s;
+  Printf.fprintf oc "    \"delete_s\": %.6f,\n" d.d_delete_s;
+  Printf.fprintf oc "    \"speedup_vs_rexbuild\": %.1f,\n" delta_speedup;
+  Printf.fprintf oc "    \"differential_mismatches\": %d,\n" d.d_mismatches;
+  Printf.fprintf oc "    \"delta_calls\": %d,\n" d.d_deltas;
+  Printf.fprintf oc "    \"summary_nodes_reused\": %d\n" d.d_kept_nodes;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"gates\": {\n";
+  Printf.fprintf oc "    \"parse_speedup_ge_3\": %b,\n" gate_parse;
+  Printf.fprintf oc "    \"traversal_identical\": %b,\n" gate_traversal;
+  Printf.fprintf oc "    \"stream_above_floor\": %b,\n" gate_floor;
+  Printf.fprintf oc "    \"delta_ge_10x\": %b,\n" gate_delta;
+  Printf.fprintf oc "    \"differential_zero_mismatch\": %b\n" gate_diff;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  log "wrote BENCH_ingest.json";
+  if not (gate_traversal && gate_floor && gate_diff) then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 
 let micro () =
@@ -929,13 +1229,14 @@ let () =
       write_parallel_json ()
   | "fault-audit" -> fault_audit ()
   | "scaling" -> scaling_bench ()
+  | "ingest" -> ingest ()
   | "serve" -> Serve_bench.run ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
         "unknown benchmark %S (expected \
          table1|table2|fig9a|fig9b|fig9c|singlepath|ablation|micro|xbuild|\
-         xbuild-par|estimate-batch|parallel|fault-audit|scaling|serve|all)\n"
+         xbuild-par|estimate-batch|parallel|fault-audit|scaling|ingest|serve|all)\n"
         other;
       exit 1);
   (match trace_file with

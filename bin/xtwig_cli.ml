@@ -221,12 +221,35 @@ let build_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .sketch file.")
   in
-  let run file budget seed jobs output trace metrics fault =
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:
+            "Print document statistics after the parse (node count, max \
+             depth, text bytes, parse throughput) and XBUILD step progress \
+             to stderr.")
+  in
+  let run file budget seed jobs output verbose trace metrics fault =
     code_of
       (with_obs ~trace ~metrics @@ fun () ->
        with_fault fault @@ fun () ->
+       let t0 = Unix.gettimeofday () in
        let* doc = load file in
-       let* sketch = build_sketch ~quiet:true ~jobs doc ~budget ~seed in
+       let parse_s = Unix.gettimeofday () -. t0 in
+       if verbose then begin
+         let file_bytes =
+           try (Unix.stat file).Unix.st_size with Unix.Unix_error _ -> 0
+         in
+         Printf.eprintf
+           "parsed %s: %d nodes, max depth %d, %d text bytes, %.1f MB/s\n%!"
+           file (Doc.size doc) (Doc.max_depth doc)
+           (Xtwig_xml.Xml_writer.text_size doc)
+           (if parse_s > 0.0 then
+              float_of_int file_bytes /. 1_048_576.0 /. parse_s
+            else 0.0)
+       end;
+       let* sketch = build_sketch ~quiet:(not verbose) ~jobs doc ~budget ~seed in
        let* () = Xtwig.save_sketch ~budget ~seed sketch output in
        Printf.printf "wrote %s: %d bytes of synopsis for %d elements\n" output
          (Sketch.size_bytes sketch) (Doc.size doc);
@@ -237,7 +260,7 @@ let build_cmd =
        ~doc:"Run XBUILD on a document and persist the synopsis configuration.")
     Term.(
       const run $ file_arg $ budget_arg $ seed_arg $ jobs_arg $ output
-      $ trace_arg $ metrics_arg $ fault_arg)
+      $ verbose $ trace_arg $ metrics_arg $ fault_arg)
 
 (* ---------------- estimate ---------------- *)
 

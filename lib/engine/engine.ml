@@ -83,7 +83,9 @@ type core =
   | Bk of Backend.instance
 
 type t = {
-  core : core;
+  mutable core : core;
+      (* swapped wholesale by [update]; owner-domain only, like every
+         other mutable field *)
   name : string option;  (* tenant label; labels the session metrics *)
   pool : Pool.t option;
   n_jobs : int;
@@ -677,6 +679,44 @@ let explain ?timeout_s ?trace_id t q =
           (Xerror.Engine
              (Printf.sprintf "internal failure: %s" (Printexc.to_string e)))
   end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental document updates                                        *)
+
+(* Swap the core for one maintained incrementally across a subtree
+   splice. Runs on the owner domain between batches (the same
+   single-writer discipline as [stats] / [close]): workers only ever
+   see the core their batch captured. The embedding cache is keyed to
+   the synopsis and must start fresh; the plan cache chains the old
+   one as its fallback so the first batch after an update repatches
+   matching skeletons instead of compiling from nothing. *)
+let update t delta =
+  if t.closed then Error (Xerror.Engine "session is closed")
+  else
+    match t.core with
+    | Bk inst ->
+        Error
+          (Xerror.Usage
+             (Printf.sprintf
+                "Engine.update: %s-backend session holds no document"
+                (Backend.name_of inst)))
+    | Sk { sk; pcache; _ } -> (
+        match Sketch.apply_delta sk delta with
+        | sk' ->
+            let syn' = Sketch.synopsis sk' in
+            t.core <-
+              Sk
+                {
+                  sk = sk';
+                  coarse = Sketch.default_of_doc (Sketch.doc sk');
+                  cache = Embed.create_cache syn';
+                  pcache = Plan.create_cache ~fallback:pcache syn';
+                };
+            Ok ()
+        | exception Invalid_argument msg -> Error (Xerror.Usage msg)
+        | exception Fault.Injected _ ->
+            Error (Xerror.Engine "injected fault at sketch.delta")
+        | exception e -> Error (Xerror.Engine (Printexc.to_string e)))
 
 let sketch t =
   match t.core with

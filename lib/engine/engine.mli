@@ -241,6 +241,23 @@ val explain :
     concurrent compile phases of other sessions can alias into it.
     Never raises; same error contract as {!estimate_batch}. *)
 
+val update :
+  t -> Xtwig_sketch.Sketch.delta -> (unit, Xtwig_util.Xerror.t) result
+(** Apply a subtree insert/delete to the session's document and swap
+    in the incrementally maintained sketch
+    ({!Xtwig_sketch.Sketch.apply_delta}): summaries untouched by the
+    edit are reused in place, the coarse fallback is rebuilt over the
+    new document, the embedding cache starts fresh (it is keyed to the
+    synopsis), and the plan cache chains the old one as its fallback
+    so the next batch repatches matching skeletons instead of
+    compiling cold.
+
+    Owner-domain only, between batches — the same single-writer
+    discipline as {!stats} and {!close}; a batch in flight keeps the
+    core it captured. Errors: [Xerror.Usage] on an {!of_backend}
+    session or an out-of-range node, [Xerror.Engine] on a closed
+    session or an injected [sketch.delta] fault. *)
+
 val sketch : t -> Xtwig_sketch.Sketch.t
 (** The session's sketch. Raises [Invalid_argument] on an
     {!of_backend} session — those have no [Sketch.t]; use

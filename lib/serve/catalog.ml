@@ -104,6 +104,15 @@ let find t name =
            (Printf.sprintf "unknown tenant %s (have: %s)" name
               (String.concat ", " t.order)))
 
+let update t name delta =
+  let* tn = find t name in
+  (* the engine swaps its core only on success, so a failed update
+     leaves the tenant serving its current document *)
+  let* () = Engine.update tn.engine delta in
+  tn.doc <- Xtwig.sketch_doc (Engine.sketch tn.engine);
+  tn.generation <- tn.generation + 1;
+  Ok tn.generation
+
 let reload t name =
   let* tn = find t name in
   (* open the replacement first: any failure leaves the live engine

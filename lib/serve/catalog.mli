@@ -64,4 +64,11 @@ val reload : t -> string -> (int, Xtwig.Xerror.t) result
 (** Returns the new generation. See the module preamble for the
     keep-the-old-engine failure contract. *)
 
+val update : t -> string -> Xtwig.delta -> (int, Xtwig.Xerror.t) result
+(** Apply a subtree insert/delete to the tenant's live session
+    ({!Xtwig.update_session}) — the sketch is maintained incrementally
+    rather than rebuilt — and bump the generation. On failure
+    (backend session, out-of-range node, injected fault) the tenant
+    keeps serving its current document. *)
+
 val close : t -> unit

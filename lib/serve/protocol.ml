@@ -1,11 +1,16 @@
 module Xerror = Xtwig.Xerror
 
+type update_op =
+  | Ins of { parent : int; fragment_xml : string }
+  | Del of int
+
 type request =
   | Ping
   | List
   | Metrics
   | Stats of string
   | Reload of string
+  | Update of { tenant : string; op : update_op }
   | Estimate of { tenant : string; query : string; trace : int option }
   | Batch of { tenant : string; queries : string list; trace : int option }
   | Explain of { tenant : string; query : string; trace : int option }
@@ -78,6 +83,10 @@ let encode_request ~id req =
   | Metrics -> Printf.sprintf "%d metrics" id
   | Stats t -> Printf.sprintf "%d stats %s" id t
   | Reload t -> Printf.sprintf "%d reload %s" id t
+  | Update { tenant; op = Ins { parent; fragment_xml } } ->
+      Printf.sprintf "%d update %s\ninsert %d\n%s" id tenant parent fragment_xml
+  | Update { tenant; op = Del node } ->
+      Printf.sprintf "%d update %s\ndelete %d" id tenant node
   | Estimate { tenant; query; trace } ->
       Printf.sprintf "%d estimate %s%s\n%s" id tenant (trace_token trace) query
   | Batch { tenant; queries; trace } ->
@@ -114,6 +123,27 @@ let parse_trace tok =
     | _ -> Error (Printf.sprintf "bad trace token %S" tok)
   else Error (Printf.sprintf "bad trace token %S" tok)
 
+(* the update body: an op line ([insert <parent>] with the fragment
+   XML as the rest of the body, or [delete <node>]), parsed here so a
+   malformed op is a protocol error, not engine work — the fragment
+   itself stays opaque text for the server to parse *)
+let parse_update_op body =
+  let op_line, rest = split_header body in
+  match String.split_on_char ' ' op_line with
+  | [ "insert"; p ] -> (
+      match int_of_string_opt p with
+      | Some parent when parent >= 0 ->
+          if rest = "" then Error "insert op without a fragment"
+          else Ok (Ins { parent; fragment_xml = rest })
+      | _ -> Error (Printf.sprintf "bad insert parent %S" p))
+  | [ "delete"; n ] -> (
+      match int_of_string_opt n with
+      | Some node when node >= 0 ->
+          if rest <> "" then Error "delete op with trailing body"
+          else Ok (Del node)
+      | _ -> Error (Printf.sprintf "bad delete node %S" n))
+  | _ -> Error (Printf.sprintf "bad update op %S" op_line)
+
 let decode_request payload =
   let header, body = split_header payload in
   match String.split_on_char ' ' header with
@@ -124,6 +154,13 @@ let decode_request payload =
       Result.bind (parse_id id) (fun id -> check_tenant t (fun t -> (id, Stats t)))
   | [ id; "reload"; t ] ->
       Result.bind (parse_id id) (fun id -> check_tenant t (fun t -> (id, Reload t)))
+  | [ id; "update"; t ] ->
+      Result.bind (parse_id id) (fun id ->
+          if not (valid_tenant t) then Error ("bad tenant name " ^ t)
+          else
+            Result.map
+              (fun op -> (id, Update { tenant = t; op }))
+              (parse_update_op body))
   | id :: (("estimate" | "batch" | "explain") as verb) :: t :: rest -> (
       match
         match rest with

@@ -40,6 +40,11 @@
     what lets the differential tests compare served answers against
     direct {!Xtwig.Engine} calls byte for byte. *)
 
+type update_op =
+  | Ins of { parent : int; fragment_xml : string }
+      (** graft the parsed fragment as a new last child of [parent] *)
+  | Del of int  (** remove the subtree rooted at this node *)
+
 type request =
   | Ping
   | List  (** one body line per tenant: [name generation backend bytes] *)
@@ -49,6 +54,13 @@ type request =
       (** re-open the tenant's engine from its source files; body =
           the new generation number. Acts as an ordering barrier in
           the tenant's queue. *)
+  | Update of { tenant : string; op : update_op }
+      (** apply a subtree insert/delete to the tenant's document and
+          swap in the incrementally maintained sketch
+          ({!Xtwig.update_session}); body = the new generation number.
+          Wire body: [insert <parent>] followed by the fragment XML on
+          the remaining lines, or [delete <node>]. Barriers the
+          tenant's queue exactly like [Reload]. *)
   | Estimate of { tenant : string; query : string; trace : int option }
   | Batch of { tenant : string; queries : string list; trace : int option }
   | Explain of { tenant : string; query : string; trace : int option }

@@ -34,6 +34,9 @@ let m_shed tenant = Metrics.counter ~labels:[ ("tenant", tenant) ] "serve.shed"
 let m_reloads tenant =
   Metrics.counter ~labels:[ ("tenant", tenant) ] "serve.reloads"
 
+let m_updates tenant =
+  Metrics.counter ~labels:[ ("tenant", tenant) ] "serve.updates"
+
 let g_queue tenant =
   Metrics.gauge
     ~help:"requests currently parked in the tenant's queue"
@@ -75,7 +78,11 @@ type item = {
   tenant : string;
   verb : string;
   trace : int option;  (* client-supplied trace context, if any *)
-  work : [ `Batch of Xtwig.twig list | `Explain of Xtwig.twig | `Reload ];
+  work :
+    [ `Batch of Xtwig.twig list
+    | `Explain of Xtwig.twig
+    | `Reload
+    | `Update of Xtwig.delta ];
   enqueued_at : float;
   enq_ns : int64;  (* trace-clock enqueue time, for the phase spans *)
 }
@@ -402,6 +409,39 @@ let rec handle_request t conn id req =
             (queue_of t tenant);
           refresh_queue_gauge t tenant
       | Error e -> respond conn ~id (Protocol.Fail e))
+  | Protocol.Update { tenant; op } -> (
+      Metrics.incr (m_request "update");
+      match Catalog.find t.cat tenant with
+      | Error e -> respond conn ~id (Protocol.Fail e)
+      | Ok _ -> (
+          (* parse the fragment up front: a malformed fragment is the
+             client's error before it reaches the queue *)
+          let delta =
+            match op with
+            | Protocol.Del node -> Ok (Xtwig.Delete node)
+            | Protocol.Ins { parent; fragment_xml } ->
+                Result.map
+                  (fun fragment -> Xtwig.Insert { parent; fragment })
+                  (Xtwig.doc_of_string fragment_xml)
+          in
+          match delta with
+          | Error e -> respond conn ~id (Protocol.Fail e)
+          | Ok delta ->
+              (* like reload, not subject to the queue cap: a document
+                 mutation must not be shed behind a query flood *)
+              Queue.add
+                {
+                  conn;
+                  id;
+                  tenant;
+                  verb = "update";
+                  trace = None;
+                  work = `Update delta;
+                  enqueued_at = now;
+                  enq_ns = Trace.now_ns ();
+                }
+                (queue_of t tenant);
+              refresh_queue_gauge t tenant))
   | Protocol.Estimate { tenant; query; trace } ->
       Metrics.incr (m_request "estimate");
       enqueue_work t conn id tenant ~verb:"estimate" ~trace
@@ -508,7 +548,9 @@ let process_run t tenant_name ~run_start_ns (items : item list) =
       let queries =
         List.concat_map
           (fun it ->
-            match it.work with `Batch qs -> qs | `Explain _ | `Reload -> [])
+            match it.work with
+            | `Batch qs -> qs
+            | `Explain _ | `Reload | `Update _ -> [])
           items
       in
       let trace_id = run_trace_id items in
@@ -539,7 +581,7 @@ let process_run t tenant_name ~run_start_ns (items : item list) =
           let rest = ref answers in
           finish_all (fun it ->
               match it.work with
-              | `Reload | `Explain _ -> assert false
+              | `Reload | `Explain _ | `Update _ -> assert false
               | `Batch qs ->
                   let n = List.length qs in
                   let mine = List.filteri (fun i _ -> i < n) !rest in
@@ -607,6 +649,29 @@ let process_reload t tenant_name it =
       respond it.conn ~id:it.id
         (Protocol.Fail (Xerror.Engine ("injected fault at " ^ point)))
 
+(* an update barriers the queue like a reload: batches enqueued before
+   it are answered over the old document, batches after it over the
+   new one — the engine core swaps between engine calls, never during
+   one *)
+let process_update t tenant_name it delta =
+  match Catalog.update t.cat tenant_name delta with
+  | Ok generation ->
+      Metrics.incr (m_updates tenant_name);
+      Log.info "serve.update"
+        ~fields:
+          [ ("tenant", Log.S tenant_name); ("generation", Log.I generation) ];
+      Metrics.observe h_request (Unix.gettimeofday () -. it.enqueued_at);
+      respond it.conn ~id:it.id (Protocol.Reply (string_of_int generation))
+  | Error e ->
+      Log.error "serve.update_failed"
+        ~fields:
+          [
+            ("tenant", Log.S tenant_name);
+            ("error", Log.S (Xerror.to_string e));
+          ];
+      Metrics.observe h_request (Unix.gettimeofday () -. it.enqueued_at);
+      respond it.conn ~id:it.id (Protocol.Fail e)
+
 let drain_queue t tenant_name q =
   while not (Queue.is_empty q) do
     let run_start_ns = Trace.now_ns () in
@@ -618,7 +683,7 @@ let drain_queue t tenant_name q =
     while (not !stop) && not (Queue.is_empty q) do
       match (Queue.peek q).work with
       | `Batch _ -> run := Queue.pop q :: !run
-      | `Explain _ | `Reload -> stop := true
+      | `Explain _ | `Reload | `Update _ -> stop := true
     done;
     refresh_queue_gauge t tenant_name;
     (match List.rev !run with
@@ -634,6 +699,10 @@ let drain_queue t tenant_name q =
           let it = Queue.pop q in
           refresh_queue_gauge t tenant_name;
           process_reload t tenant_name it
+      | `Update delta ->
+          let it = Queue.pop q in
+          refresh_queue_gauge t tenant_name;
+          process_update t tenant_name it delta
       | `Batch _ -> ()
     end
   done;

@@ -14,13 +14,66 @@ type t = {
   max_depth : int; (* cached: consulted per embedding enumeration *)
 }
 
+(* Shared assembly: freeze columns (ids in an order where parents
+   precede children and sibling order is id order) into the full
+   indexed representation. Child arrays are derived from the parent
+   column alone with a counts-then-fill pass — ascending ids reproduce
+   document order because every construction path allocates children
+   in document order. *)
+let assemble ~tags ~parents ~values ~tag_names ~tag_codes =
+  let size = Array.length tags in
+  (* [parents.(i)] is validated (or correct by construction) before
+     assembly, so the fill passes use unchecked accesses: this runs
+     once per parse and per splice. *)
+  let ccount = Array.make size 0 in
+  for i = 1 to size - 1 do
+    let p = Array.unsafe_get parents i in
+    Array.unsafe_set ccount p (Array.unsafe_get ccount p + 1)
+  done;
+  let child_arr = Array.map (fun c -> Array.make c 0) ccount in
+  let cfill = Array.make size 0 in
+  for i = 1 to size - 1 do
+    let p = Array.unsafe_get parents i in
+    let k = Array.unsafe_get cfill p in
+    Array.unsafe_set (Array.unsafe_get child_arr p) k i;
+    Array.unsafe_set cfill p (k + 1)
+  done;
+  let counts = Array.make (Array.length tag_names) 0 in
+  Array.iter (fun t -> counts.(t) <- counts.(t) + 1) tags;
+  let by_tag = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make (Array.length tag_names) 0 in
+  for i = 0 to size - 1 do
+    let t = Array.unsafe_get tags i in
+    let k = Array.unsafe_get fill t in
+    Array.unsafe_set (Array.unsafe_get by_tag t) k i;
+    Array.unsafe_set fill t (k + 1)
+  done;
+  let depths = Array.make size 0 in
+  let max_depth = ref 0 in
+  for i = 1 to size - 1 do
+    let d = Array.unsafe_get depths (Array.unsafe_get parents i) + 1 in
+    Array.unsafe_set depths i d;
+    if d > !max_depth then max_depth := d
+  done;
+  {
+    size;
+    tags;
+    parents;
+    child_arr;
+    values;
+    tag_names;
+    tag_codes;
+    by_tag;
+    depths;
+    max_depth = !max_depth;
+  }
+
 module Builder = struct
   type b = {
     mutable n : int;
     mutable tags : tag array;
     mutable parents : node array;
     mutable values : Value.t array;
-    mutable kids : node list array; (* reversed child lists *)
     mutable names : string list;   (* reversed interned names *)
     mutable name_count : int;
     codes : (string, tag) Hashtbl.t;
@@ -35,7 +88,6 @@ module Builder = struct
       tags = Array.make hint 0;
       parents = Array.make hint (-1);
       values = Array.make hint Value.Null;
-      kids = Array.make hint [];
       names = [];
       name_count = 0;
       codes = Hashtbl.create 64;
@@ -63,8 +115,7 @@ module Builder = struct
       in
       b.tags <- extend b.tags 0;
       b.parents <- extend b.parents (-1);
-      b.values <- extend b.values Value.Null;
-      b.kids <- extend b.kids []
+      b.values <- extend b.values Value.Null
     end
 
   let alloc b parent value name =
@@ -75,8 +126,6 @@ module Builder = struct
     b.tags.(id) <- intern b name;
     b.parents.(id) <- parent;
     b.values.(id) <- value;
-    b.kids.(id) <- [];
-    if parent >= 0 then b.kids.(parent) <- id :: b.kids.(parent);
     id
 
   let root b ?(value = Value.Null) name =
@@ -96,40 +145,106 @@ module Builder = struct
     assert (b.n > 0);
     b.finished <- true;
     let size = b.n in
-    let tags = Array.sub b.tags 0 size in
-    let parents = Array.sub b.parents 0 size in
-    let values = Array.sub b.values 0 size in
-    let child_arr =
-      Array.init size (fun i -> Array.of_list (List.rev b.kids.(i)))
-    in
-    let tag_names = Array.of_list (List.rev b.names) in
-    let counts = Array.make (Array.length tag_names) 0 in
-    Array.iter (fun t -> counts.(t) <- counts.(t) + 1) tags;
-    let by_tag = Array.map (fun c -> Array.make c 0) counts in
-    let fill = Array.make (Array.length tag_names) 0 in
-    for i = 0 to size - 1 do
-      let t = tags.(i) in
-      by_tag.(t).(fill.(t)) <- i;
-      fill.(t) <- fill.(t) + 1
-    done;
-    let depths = Array.make size 0 in
-    for i = 1 to size - 1 do
-      (* parents precede children because ids are allocated top-down *)
-      depths.(i) <- depths.(parents.(i)) + 1
-    done;
-    {
-      size;
-      tags;
-      parents;
-      child_arr;
-      values;
-      tag_names;
-      tag_codes = b.codes;
-      by_tag;
-      depths;
-      max_depth = Array.fold_left Stdlib.max 0 depths;
-    }
+    assemble
+      ~tags:(Array.sub b.tags 0 size)
+      ~parents:(Array.sub b.parents 0 size)
+      ~values:(Array.sub b.values 0 size)
+      ~tag_names:(Array.of_list (List.rev b.names))
+      ~tag_codes:b.codes
 end
+
+let of_columns ~tags ~parents ~values ~tag_names =
+  let size = Array.length tags in
+  if size = 0 then invalid_arg "Doc.of_columns: empty document";
+  if Array.length parents <> size || Array.length values <> size then
+    invalid_arg "Doc.of_columns: column length mismatch";
+  if parents.(0) <> -1 then invalid_arg "Doc.of_columns: node 0 must be the root";
+  let ntags = Array.length tag_names in
+  for i = 0 to size - 1 do
+    let t = Array.unsafe_get tags i in
+    if t < 0 || t >= ntags then
+      invalid_arg "Doc.of_columns: tag code out of range";
+    let p = Array.unsafe_get parents i in
+    if i > 0 && (p < 0 || p >= i) then
+      invalid_arg "Doc.of_columns: parents must precede children"
+  done;
+  let tag_codes = Hashtbl.create (2 * ntags) in
+  Array.iteri (fun c name -> Hashtbl.replace tag_codes name c) tag_names;
+  if Hashtbl.length tag_codes <> ntags then
+    invalid_arg "Doc.of_columns: duplicate tag name";
+  assemble ~tags ~parents ~values ~tag_names ~tag_codes
+
+let splice_insert t ~parent ~fragment =
+  if parent < 0 || parent >= t.size then
+    invalid_arg "Doc.splice_insert: parent out of range";
+  let n = t.size and m = fragment.size in
+  let tags = Array.make (n + m) 0 in
+  let parents = Array.make (n + m) 0 in
+  let values = Array.make (n + m) Value.Null in
+  Array.blit t.tags 0 tags 0 n;
+  Array.blit t.parents 0 parents 0 n;
+  Array.blit t.values 0 values 0 n;
+  (* re-intern the fragment's tags into (a copy of) this document's
+     tag space, appending unseen names *)
+  let codes = Hashtbl.copy t.tag_codes in
+  let extra = ref [] in
+  let count = ref (Array.length t.tag_names) in
+  let map_tag ft =
+    let name = fragment.tag_names.(ft) in
+    match Hashtbl.find_opt codes name with
+    | Some c -> c
+    | None ->
+        let c = !count in
+        Hashtbl.add codes name c;
+        extra := name :: !extra;
+        incr count;
+        c
+  in
+  for j = 0 to m - 1 do
+    tags.(n + j) <- map_tag fragment.tags.(j);
+    parents.(n + j) <- (if j = 0 then parent else n + fragment.parents.(j));
+    values.(n + j) <- fragment.values.(j)
+  done;
+  let tag_names = Array.make !count "" in
+  Array.blit t.tag_names 0 tag_names 0 (Array.length t.tag_names);
+  List.iteri
+    (fun i name -> tag_names.(!count - 1 - i) <- name)
+    !extra;
+  assemble ~tags ~parents ~values ~tag_names ~tag_codes:codes
+
+let splice_delete t node =
+  if node <= 0 || node >= t.size then
+    invalid_arg "Doc.splice_delete: node out of range (or the root)";
+  let del = Array.make t.size false in
+  del.(node) <- true;
+  (* descendants have larger ids than their ancestors *)
+  for i = node + 1 to t.size - 1 do
+    if del.(t.parents.(i)) then del.(i) <- true
+  done;
+  let map = Array.make t.size (-1) in
+  let k = ref 0 in
+  for i = 0 to t.size - 1 do
+    if not del.(i) then begin
+      map.(i) <- !k;
+      incr k
+    end
+  done;
+  let size' = !k in
+  let tags = Array.make size' 0 in
+  let parents = Array.make size' (-1) in
+  let values = Array.make size' Value.Null in
+  for i = 0 to t.size - 1 do
+    let i' = map.(i) in
+    if i' >= 0 then begin
+      tags.(i') <- t.tags.(i);
+      parents.(i') <- (if t.parents.(i) < 0 then -1 else map.(t.parents.(i)));
+      values.(i') <- t.values.(i)
+    end
+  done;
+  (* tag codes are kept stable even when a tag loses its last node *)
+  ( assemble ~tags ~parents ~values ~tag_names:t.tag_names
+      ~tag_codes:t.tag_codes,
+    map )
 
 let size t = t.size
 let root _ = 0

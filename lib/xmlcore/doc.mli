@@ -35,6 +35,38 @@ module Builder : sig
   (** Freezes the builder. The builder must not be reused. *)
 end
 
+val of_columns :
+  tags:tag array ->
+  parents:node array ->
+  values:Value.t array ->
+  tag_names:string array ->
+  t
+(** Bulk constructor over pre-assembled columns — the freeze step of
+    the streaming parser's arena ({!Sax}). Requirements (checked,
+    [Invalid_argument] otherwise): non-empty; [parents.(0) = -1];
+    [parents.(i) < i] for every other node (parents precede children,
+    sibling order = id order); tag codes index [tag_names]; tag names
+    distinct. Child arrays, per-tag indexes and depths are derived in
+    bulk passes. *)
+
+(** {1 Splicing}
+
+    Functional subtree edits, the document half of synopsis deltas.
+    Both return a new document; the receiver is untouched. *)
+
+val splice_insert : t -> parent:node -> fragment:t -> t
+(** Graft [fragment] (its root becomes the last child of [parent]).
+    Existing nodes keep their ids and tag codes — the result extends
+    the id space, fragment node [j] becoming [size t + j] — so
+    per-node state carries over by identity. Fragment tags are
+    re-interned, appending new codes. *)
+
+val splice_delete : t -> node -> t * int array
+(** Remove the subtree rooted at [node] (the root itself cannot be
+    deleted). Returns the new document and the old-id-to-new-id map
+    ([-1] for removed nodes); surviving nodes keep their relative
+    order and all tag codes remain valid. *)
+
 (** {1 Accessors} *)
 
 val size : t -> int

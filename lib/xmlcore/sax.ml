@@ -1,0 +1,788 @@
+exception Error of string
+
+(* ------------------------------------------------------------------ *)
+(* Input window                                                        *)
+
+(* A bounded window over the input. [read buf pos len] refills like
+   [input]; 0 means end of input. [tok] pins a window index across
+   refills (compaction rebases it instead of discarding the bytes),
+   which is how name/entity slices survive a chunk boundary without
+   being copied out. *)
+type st = {
+  read : Bytes.t -> int -> int -> int;
+  mutable buf : Bytes.t;
+  mutable len : int; (* valid bytes in [buf] *)
+  mutable pos : int; (* cursor *)
+  mutable base : int; (* absolute offset of buf.[0] *)
+  mutable tok : int; (* pinned token start, -1 = none *)
+  mutable seen_eof : bool;
+  mutable line : int;
+  mutable nhash : int; (* hash of the last scanned name (fused in scan_name) *)
+}
+
+let count_nl b off len =
+  let n = ref 0 in
+  for i = off to off + len - 1 do
+    if Bytes.unsafe_get b i = '\n' then incr n
+  done;
+  !n
+
+(* [st.line] counts newlines already slid out of the window (plus 1);
+   the newlines still in the window are only counted here, on the cold
+   error path — the hot loops never track lines. *)
+let fail st msg =
+  let line = st.line + count_nl st.buf 0 st.pos in
+  raise
+    (Error (Printf.sprintf "line %d (offset %d): %s" line (st.base + st.pos) msg))
+
+let refill st =
+  if st.seen_eof then false
+  else begin
+    let keep = if st.tok >= 0 && st.tok < st.pos then st.tok else st.pos in
+    if keep > 0 then begin
+      (* the discarded bytes leave the window for good: bank their
+         newlines now so [fail] can recover exact line numbers *)
+      st.line <- st.line + count_nl st.buf 0 keep;
+      Bytes.blit st.buf keep st.buf 0 (st.len - keep);
+      st.base <- st.base + keep;
+      st.len <- st.len - keep;
+      st.pos <- st.pos - keep;
+      if st.tok >= 0 then st.tok <- st.tok - keep
+    end;
+    if st.len = Bytes.length st.buf then begin
+      (* a pinned token fills the whole window: grow it *)
+      let b = Bytes.create (2 * Bytes.length st.buf) in
+      Bytes.blit st.buf 0 b 0 st.len;
+      st.buf <- b
+    end;
+    Xtwig_fault.Fault.point "ingest.chunk";
+    let n = st.read st.buf st.len (Bytes.length st.buf - st.len) in
+    if n = 0 then begin
+      st.seen_eof <- true;
+      false
+    end
+    else begin
+      st.len <- st.len + n;
+      true
+    end
+  end
+
+let rec ensure_slow st n =
+  st.len - st.pos >= n || (refill st && ensure_slow st n) || st.len - st.pos >= n
+
+let[@inline] ensure st n = st.len - st.pos >= n || ensure_slow st n
+let[@inline] at_eof st = not (ensure st 1)
+
+(* only called with at least one byte ensured *)
+let[@inline] advance st = st.pos <- st.pos + 1
+
+(* Top-level so no closure is allocated per call (the non-flambda
+   compiler heap-allocates capturing local [let rec]s, which is real
+   per-node garbage on the hot path). *)
+let rec bytes_eq_str b p s i n =
+  i = n || (Bytes.unsafe_get b (p + i) = String.unsafe_get s i && bytes_eq_str b p s (i + 1) n)
+
+let looking_at st s =
+  let n = String.length s in
+  ensure st n && bytes_eq_str st.buf st.pos s 0 n
+
+(* the expected literals never contain a newline *)
+let expect st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else fail st (Printf.sprintf "expected %S" s)
+
+let rec skip_until st marker =
+  let n = String.length marker in
+  if not (ensure st n) then
+    fail st (Printf.sprintf "unterminated, expected %S" marker)
+  else if looking_at st marker then st.pos <- st.pos + n
+  else begin
+    advance st;
+    skip_until st marker
+  end
+
+let rec skip_ws st =
+  let b = st.buf and lim = st.len in
+  let i = ref st.pos in
+  let more = ref true in
+  while !more && !i < lim do
+    match Bytes.unsafe_get b !i with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | _ -> more := false
+  done;
+  st.pos <- !i;
+  if !more && refill st then skip_ws st
+
+let rec skip_misc st =
+  skip_ws st;
+  if looking_at st "<!--" then begin
+    st.pos <- st.pos + 4;
+    skip_until st "-->";
+    skip_misc st
+  end
+  else if looking_at st "<?" then begin
+    st.pos <- st.pos + 2;
+    skip_until st "?>";
+    skip_misc st
+  end
+  else if looking_at st "<!DOCTYPE" then begin
+    st.pos <- st.pos + 9;
+    skip_until st ">";
+    skip_misc st
+  end
+
+let name_char_tbl =
+  let t = Bytes.make 256 '\000' in
+  String.iter
+    (fun c -> Bytes.set t (Char.code c) '\001')
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.:@";
+  t
+
+let[@inline] is_name_char c =
+  Bytes.unsafe_get name_char_tbl (Char.code c) <> '\000'
+
+(* Scan a name in place and return its length; the slice starts at
+   [st.pos - len]. Valid only until the next [ensure]; callers intern
+   or compare it immediately. Name characters never include a
+   newline. Returns the length rather than a (start, len) pair so the
+   hot path does not allocate a tuple per name. *)
+let scan_name st =
+  if at_eof st then fail st "expected a name";
+  st.tok <- st.pos;
+  let more = ref true in
+  let h = ref 0x811c9dc5 in
+  while !more do
+    let b = st.buf and lim = st.len in
+    let i = ref st.pos in
+    let hh = ref !h in
+    let go = ref true in
+    while !go && !i < lim do
+      let c = Bytes.unsafe_get b !i in
+      if is_name_char c then begin
+        hh := (!hh lxor Char.code c) * 0x01000193 land 0x3FFFFFFF;
+        incr i
+      end
+      else go := false
+    done;
+    h := !hh;
+    st.pos <- !i;
+    if !i < lim then more := false else if not (refill st) then more := false
+  done;
+  let l = st.pos - st.tok in
+  st.tok <- -1;
+  if l = 0 then fail st "expected a name";
+  st.nhash <- !h;
+  l
+
+(* ------------------------------------------------------------------ *)
+(* Growable byte buffer (text scratch / per-depth accumulators)        *)
+
+type tbuf = { mutable b : Bytes.t; mutable l : int }
+
+let tbuf_create n = { b = Bytes.create n; l = 0 }
+let tbuf_clear t = t.l <- 0
+
+let tbuf_reserve t n =
+  if t.l + n > Bytes.length t.b then begin
+    let cap = ref (2 * Bytes.length t.b) in
+    while t.l + n > !cap do
+      cap := 2 * !cap
+    done;
+    let b = Bytes.create !cap in
+    Bytes.blit t.b 0 b 0 t.l;
+    t.b <- b
+  end
+
+let tbuf_add_char t c =
+  tbuf_reserve t 1;
+  Bytes.unsafe_set t.b t.l c;
+  t.l <- t.l + 1
+
+(* [Bytes.blit] is a C call; most copies here are a handful of bytes
+   (tag gaps, attribute values, short texts), where an inline loop is
+   cheaper. Only used between distinct buffers. *)
+let[@inline] blit_small src soff dst doff len =
+  if len < 16 then
+    for i = 0 to len - 1 do
+      Bytes.unsafe_set dst (doff + i) (Bytes.unsafe_get src (soff + i))
+    done
+  else Bytes.blit src soff dst doff len
+
+let tbuf_add_sub t src off len =
+  tbuf_reserve t len;
+  blit_small src off t.b t.l len;
+  t.l <- t.l + len
+
+(* ------------------------------------------------------------------ *)
+(* Slice interner                                                      *)
+
+(* Tag names interned straight from window slices: lookup hashes the
+   bytes and compares against stored names without allocating; only a
+   first sighting copies the slice out. Open addressing with linear
+   probing — [slots.(i)] holds code + 1, 0 means empty — because a
+   generic [Hashtbl.find] costs a seeded C hash call per lookup and
+   this runs twice per element. *)
+type interner = {
+  mutable names : string array; (* code -> name *)
+  mutable count : int;
+  mutable slots : int array; (* hash-indexed, code + 1; 0 = empty *)
+  mutable mask : int;
+}
+
+let interner_create () =
+  { names = Array.make 16 ""; count = 0; slots = Array.make 128 0; mask = 127 }
+
+let hash_str s =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * 0x01000193 land 0x3FFFFFFF
+  done;
+  !h
+
+let slice_eq b off len s =
+  String.length s = len && bytes_eq_str b off s 0 len
+
+let interner_rehash it =
+  let cap = 2 * (it.mask + 1) in
+  let slots = Array.make cap 0 in
+  let mask = cap - 1 in
+  for c = 0 to it.count - 1 do
+    let i = ref (hash_str it.names.(c) land mask) in
+    while slots.(!i) <> 0 do
+      i := (!i + 1) land mask
+    done;
+    slots.(!i) <- c + 1
+  done;
+  it.slots <- slots;
+  it.mask <- mask
+
+let intern it h b off len =
+  let slots = it.slots and mask = it.mask and names = it.names in
+  let i = ref (h land mask) in
+  let found = ref (-1) in
+  let probing = ref true in
+  while !probing do
+    let c = Array.unsafe_get slots !i in
+    if c = 0 then probing := false
+    else if slice_eq b off len names.(c - 1) then begin
+      found := c - 1;
+      probing := false
+    end
+    else i := (!i + 1) land mask
+  done;
+  if !found >= 0 then !found
+  else begin
+    let c = it.count in
+    if c = Array.length it.names then begin
+      let a = Array.make (2 * c) "" in
+      Array.blit it.names 0 a 0 c;
+      it.names <- a
+    end;
+    it.names.(c) <- Bytes.sub_string b off len;
+    it.count <- c + 1;
+    slots.(!i) <- c + 1;
+    if 2 * it.count > it.mask then interner_rehash it;
+    c
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Arena node store                                                    *)
+
+module BA = Bigarray.Array1
+
+(* Native-int Bigarray columns: reads and writes are unboxed (an
+   [Int32] element kind would box a fresh int32 on every store, which
+   is exactly the per-node allocation the arena exists to avoid), and
+   the columns live outside the OCaml heap so the GC never scans
+   them. *)
+type col = (int, Bigarray.int_elt, Bigarray.c_layout) BA.t
+
+let ba n : col = BA.create Bigarray.Int Bigarray.C_layout n
+
+let ba_grow (a : col) : col =
+  let b = ba (2 * BA.dim a) in
+  BA.blit a (BA.sub b 0 (BA.dim a));
+  b
+
+(* Struct-of-arrays store the parse events write into: tag code,
+   parent and value span per node as columns, plus one shared byte
+   heap holding every value's text. *)
+type arena = {
+  it : interner;
+  mutable tags : col;
+  mutable parents : col;
+  mutable voff : col;
+  mutable vlen : col;
+  mutable n : int;
+  mutable heap : Bytes.t;
+  mutable hlen : int;
+}
+
+let arena_create ?(hint = 1024) () =
+  {
+    it = interner_create ();
+    tags = ba hint;
+    parents = ba hint;
+    voff = ba hint;
+    vlen = ba hint;
+    n = 0;
+    heap = Bytes.create 4096;
+    hlen = 0;
+  }
+
+let add_node ar ~parent ~tag =
+  if ar.n = BA.dim ar.tags then begin
+    ar.tags <- ba_grow ar.tags;
+    ar.parents <- ba_grow ar.parents;
+    ar.voff <- ba_grow ar.voff;
+    ar.vlen <- ba_grow ar.vlen
+  end;
+  let id = ar.n in
+  ar.n <- id + 1;
+  BA.unsafe_set ar.tags id tag;
+  BA.unsafe_set ar.parents id parent;
+  BA.unsafe_set ar.voff id 0;
+  BA.unsafe_set ar.vlen id 0;
+  id
+
+let set_value_span ar id (src : tbuf) =
+  if src.l > 0 then begin
+    if ar.hlen + src.l > Bytes.length ar.heap then begin
+      let cap = ref (2 * Bytes.length ar.heap) in
+      while ar.hlen + src.l > !cap do
+        cap := 2 * !cap
+      done;
+      let h = Bytes.create !cap in
+      Bytes.blit ar.heap 0 h 0 ar.hlen;
+      ar.heap <- h
+    end;
+    blit_small src.b 0 ar.heap ar.hlen src.l;
+    BA.unsafe_set ar.voff id ar.hlen;
+    BA.unsafe_set ar.vlen id src.l;
+    ar.hlen <- ar.hlen + src.l
+  end
+
+let to_doc ar =
+  let n = ar.n in
+  let tags = Array.make n 0 in
+  let parents = Array.make n 0 in
+  let values = Array.make n Value.Null in
+  for i = 0 to n - 1 do
+    Array.unsafe_set tags i (BA.unsafe_get ar.tags i);
+    Array.unsafe_set parents i (BA.unsafe_get ar.parents i);
+    let l = BA.unsafe_get ar.vlen i in
+    if l > 0 then
+      Array.unsafe_set values i
+        (Value.of_slice ar.heap ~pos:(BA.unsafe_get ar.voff i) ~len:l)
+  done;
+  let tag_names = Array.sub ar.it.names 0 ar.it.count in
+  Doc.of_columns ~tags ~parents ~values ~tag_names
+
+(* ------------------------------------------------------------------ *)
+(* Entity and text decoding                                            *)
+
+let rec scan_to_semi st =
+  if not (ensure st 1) then begin
+    st.tok <- -1;
+    fail st "unterminated entity"
+  end
+  else if Bytes.unsafe_get st.buf st.pos = ';' then ()
+  else begin
+    advance st;
+    scan_to_semi st
+  end
+
+(* Every supported entity decodes to exactly one byte, so this
+   returns the char instead of writing through a buffer — the content
+   path feeds it into the trim/join state machine directly. *)
+let decode_entity st =
+  (* called just past '&' *)
+  st.tok <- st.pos;
+  scan_to_semi st;
+  let s = st.tok and l = st.pos - st.tok in
+  st.pos <- st.pos + 1;
+  (* skip ';' *)
+  st.tok <- -1;
+  let b = st.buf in
+  if slice_eq b s l "amp" then '&'
+  else if slice_eq b s l "lt" then '<'
+  else if slice_eq b s l "gt" then '>'
+  else if slice_eq b s l "quot" then '"'
+  else if slice_eq b s l "apos" then '\''
+  else if l > 1 && Bytes.get b s = '#' then begin
+    let hex = l > 2 && (Bytes.get b (s + 1) = 'x' || Bytes.get b (s + 1) = 'X') in
+    let first = s + if hex then 2 else 1 in
+    let code = ref 0 in
+    let digits = ref 0 in
+    let valid = ref (first < s + l) in
+    for i = first to s + l - 1 do
+      let c = Bytes.get b i in
+      let d =
+        if c >= '0' && c <= '9' then Char.code c - Char.code '0'
+        else if hex && c >= 'a' && c <= 'f' then Char.code c - Char.code 'a' + 10
+        else if hex && c >= 'A' && c <= 'F' then Char.code c - Char.code 'A' + 10
+        else if c = '_' && i > first then -1 (* int_of_string's separator *)
+        else -2
+      in
+      if d = -2 then valid := false
+      else if d >= 0 then begin
+        incr digits;
+        if !code < 0x110000 then code := (!code * if hex then 16 else 10) + d
+      end
+    done;
+    if (not !valid) || !digits = 0 then
+      fail st
+        (Printf.sprintf "bad character reference &%s;" (Bytes.sub_string b s l))
+    else if !code < 128 then Char.chr !code
+    else '?'
+  end
+  else fail st (Printf.sprintf "unknown entity &%s;" (Bytes.sub_string b s l))
+
+(* String.trim's whitespace set *)
+let is_sp c = c = ' ' || c = '\012' || c = '\n' || c = '\r' || c = '\t'
+
+(* Content text streams straight into the owning element's accumulator
+   [dst] with the reference parser's semantics — each segment (the
+   text between structural tags) is trimmed and non-empty segments are
+   space-joined — maintained incrementally: [started] says whether
+   this segment has contributed a non-whitespace byte yet (so leading
+   whitespace is dropped and the join space added exactly once), and
+   [pend] buffers the whitespace run seen since the last
+   non-whitespace byte (flushed if more text follows, discarded at the
+   segment end, where it is trailing). *)
+
+let app_char pend dst started c =
+  if is_sp c then begin
+    if started then tbuf_add_char pend c;
+    started
+  end
+  else begin
+    if not started then begin
+      if dst.l > 0 then tbuf_add_char dst ' '
+    end
+    else if pend.l > 0 then begin
+      tbuf_add_sub dst pend.b 0 pend.l;
+      tbuf_clear pend
+    end;
+    tbuf_add_char dst c;
+    true
+  end
+
+let app_run pend dst started b off fin =
+  let i = ref off in
+  if not started then
+    while !i < fin && is_sp (Bytes.unsafe_get b !i) do
+      incr i
+    done;
+  if !i >= fin then started
+  else begin
+    (* hold back the trailing whitespace of the run *)
+    let k = ref fin in
+    while !k > !i && is_sp (Bytes.unsafe_get b (!k - 1)) do
+      decr k
+    done;
+    if !k > !i then begin
+      if not started then begin
+        if dst.l > 0 then tbuf_add_char dst ' '
+      end
+      else if pend.l > 0 then begin
+        tbuf_add_sub dst pend.b 0 pend.l;
+        tbuf_clear pend
+      end;
+      tbuf_add_sub dst b !i (!k - !i);
+      tbuf_add_sub pend b !k (fin - !k);
+      true
+    end
+    else begin
+      (* run is all whitespace and the segment has started: pend it *)
+      tbuf_add_sub pend b !i (fin - !i);
+      started
+    end
+  end
+
+let rec read_cdata st pend dst started =
+  if not (ensure st 3) then
+    (* fewer than 3 bytes remain, so no terminator fits; the reference
+       parser consumes them as content and reports the error at
+       end-of-input — mirror its position exactly *)
+    if ensure st 1 then begin
+      let started = app_char pend dst started (Bytes.unsafe_get st.buf st.pos) in
+      advance st;
+      read_cdata st pend dst started
+    end
+    else fail st "expected \"]]>\""
+  else
+    let b = st.buf and p = st.pos in
+    if
+      Bytes.unsafe_get b p = ']'
+      && Bytes.unsafe_get b (p + 1) = ']'
+      && Bytes.unsafe_get b (p + 2) = '>'
+    then begin
+      st.pos <- p + 3;
+      started
+    end
+    else begin
+      let started = app_char pend dst started (Bytes.unsafe_get b p) in
+      advance st;
+      read_cdata st pend dst started
+    end
+
+(* One maximal text segment: characters, entities and CDATA sections
+   up to the next structural '<' (or end of input), streamed into
+   [dst] through the trim/join state machine above. Plain character
+   runs are located with a tight window scan and blitted in bulk. *)
+let rec read_segment st pend dst started =
+  if ensure st 1 then begin
+    let c = Bytes.unsafe_get st.buf st.pos in
+    if c = '<' then begin
+      (* one-byte pre-check: most '<' start tags, not CDATA sections *)
+      if
+        ensure st 2
+        && Bytes.unsafe_get st.buf (st.pos + 1) = '!'
+        && looking_at st "<![CDATA["
+      then begin
+        st.pos <- st.pos + 9;
+        let started = read_cdata st pend dst started in
+        read_segment st pend dst started
+      end
+    end
+    else if c = '&' then begin
+      advance st;
+      let started = app_char pend dst started (decode_entity st) in
+      read_segment st pend dst started
+    end
+    else begin
+      let b = st.buf in
+      let i = ref st.pos in
+      let stop = ref false in
+      while (not !stop) && !i < st.len do
+        let c = Bytes.unsafe_get b !i in
+        if c = '<' || c = '&' then stop := true else incr i
+      done;
+      let started = app_run pend dst started b st.pos !i in
+      st.pos <- !i;
+      read_segment st pend dst started
+    end
+  end
+
+let rec attr_value_tail st dst quote =
+  if at_eof st then fail st "unterminated attribute value"
+  else
+    let c = Bytes.unsafe_get st.buf st.pos in
+    if c = quote then advance st
+    else if c = '&' then begin
+      advance st;
+      tbuf_add_char dst (decode_entity st);
+      attr_value_tail st dst quote
+    end
+    else begin
+      (* bulk run up to the closing quote or an entity *)
+      let b = st.buf in
+      let i = ref st.pos in
+      let stop = ref false in
+      while (not !stop) && !i < st.len do
+        let c = Bytes.unsafe_get b !i in
+        if c = quote || c = '&' then stop := true else incr i
+      done;
+      tbuf_add_sub dst b st.pos (!i - st.pos);
+      st.pos <- !i;
+      attr_value_tail st dst quote
+    end
+
+let read_attr_value st dst =
+  tbuf_clear dst;
+  if at_eof st then fail st "expected a quoted attribute value";
+  let quote = Bytes.unsafe_get st.buf st.pos in
+  if quote <> '"' && quote <> '\'' then
+    fail st "expected a quoted attribute value";
+  advance st;
+  attr_value_tail st dst quote
+
+(* ------------------------------------------------------------------ *)
+(* Parser driver                                                       *)
+
+type ps = {
+  mutable stack_node : int array; (* open element arena ids *)
+  mutable stack_tag : int array; (* and their tag codes *)
+  mutable texts : tbuf array; (* per-depth text accumulators *)
+  mutable depth : int;
+  seg : tbuf; (* pending-whitespace scratch for the trim/join machine *)
+  attr : tbuf; (* shared attribute-value scratch *)
+}
+
+let ps_create () =
+  {
+    stack_node = Array.make 32 0;
+    stack_tag = Array.make 32 0;
+    texts = Array.init 32 (fun _ -> tbuf_create 64);
+    depth = 0;
+    seg = tbuf_create 256;
+    attr = tbuf_create 64;
+  }
+
+let push ps node tag =
+  let d = ps.depth in
+  if d = Array.length ps.stack_node then begin
+    let grow a fill =
+      let a' = Array.make (2 * d) fill in
+      Array.blit a 0 a' 0 d;
+      a'
+    in
+    ps.stack_node <- grow ps.stack_node 0;
+    ps.stack_tag <- grow ps.stack_tag 0;
+    let t' = Array.init (2 * d) (fun i -> if i < d then ps.texts.(i) else tbuf_create 64) in
+    ps.texts <- t'
+  end;
+  ps.stack_node.(d) <- node;
+  ps.stack_tag.(d) <- tag;
+  tbuf_clear ps.texts.(d);
+  ps.depth <- d + 1
+
+(* <name attr="v"...> — allocates the element and its attribute leaves
+   in the arena; pushes unless self-closing. *)
+let rec attrs st ar ps node =
+  skip_ws st;
+  if at_eof st then fail st "expected a name"
+  else
+    match Bytes.unsafe_get st.buf st.pos with
+    | '>' | '/' -> ()
+    | _ ->
+        let l = scan_name st in
+        let atag = intern ar.it st.nhash st.buf (st.pos - l) l in
+        (* fast path: '=' immediately after the name *)
+        if ensure st 1 && Bytes.unsafe_get st.buf st.pos = '=' then
+          st.pos <- st.pos + 1
+        else begin
+          skip_ws st;
+          expect st "="
+        end;
+        skip_ws st;
+        read_attr_value st ps.attr;
+        let anode = add_node ar ~parent:node ~tag:atag in
+        set_value_span ar anode ps.attr;
+        attrs st ar ps node
+
+let open_element st ar ps parent =
+  (* callers ensured a byte is available *)
+  if Bytes.unsafe_get st.buf st.pos <> '<' then fail st "expected \"<\"";
+  st.pos <- st.pos + 1;
+  let l = scan_name st in
+  let tag = intern ar.it st.nhash st.buf (st.pos - l) l in
+  let node = add_node ar ~parent ~tag in
+  (* fast path: '>' right after the name (no attributes) *)
+  if ensure st 1 && Bytes.unsafe_get st.buf st.pos = '>' then begin
+    st.pos <- st.pos + 1;
+    push ps node tag
+  end
+  else begin
+    attrs st ar ps node;
+    if looking_at st "/>" then st.pos <- st.pos + 2
+    else begin
+      expect st ">";
+      push ps node tag
+    end
+  end
+
+let close_element st ar ps =
+  (* just past "</" *)
+  let l = scan_name st in
+  let s = st.pos - l in
+  let d = ps.depth - 1 in
+  let open_name = ar.it.names.(ps.stack_tag.(d)) in
+  if not (slice_eq st.buf s l open_name) then
+    fail st
+      (Printf.sprintf "mismatched close tag </%s> for <%s>"
+         (Bytes.sub_string st.buf s l)
+         open_name);
+  (* fast path: '>' immediately after the name *)
+  if ensure st 1 && Bytes.unsafe_get st.buf st.pos = '>' then st.pos <- st.pos + 1
+  else begin
+    skip_ws st;
+    expect st ">"
+  end;
+  set_value_span ar ps.stack_node.(d) ps.texts.(d);
+  ps.depth <- d
+
+let run st =
+  let ar = arena_create () in
+  let ps = ps_create () in
+  skip_misc st;
+  if at_eof st then fail st "empty document";
+  open_element st ar ps (-1);
+  while ps.depth > 0 do
+    tbuf_clear ps.seg;
+    read_segment st ps.seg ps.texts.(ps.depth - 1) false;
+    if at_eof st then
+      fail st
+        (Printf.sprintf "unterminated element <%s>"
+           ar.it.names.(ps.stack_tag.(ps.depth - 1)))
+    else begin
+      (* at a structural '<': dispatch on the next byte instead of
+         prefix-matching each alternative *)
+      let c2 =
+        if ensure st 2 then Bytes.unsafe_get st.buf (st.pos + 1) else '\000'
+      in
+      if c2 = '/' then begin
+        st.pos <- st.pos + 2;
+        close_element st ar ps
+      end
+      else if c2 = '!' && looking_at st "<!--" then begin
+        st.pos <- st.pos + 4;
+        skip_until st "-->"
+      end
+      else open_element st ar ps ps.stack_node.(ps.depth - 1)
+    end
+  done;
+  skip_misc st;
+  if not (at_eof st) then fail st "trailing content after the root element";
+  to_doc ar
+
+let make ~chunk read =
+  {
+    read;
+    buf = Bytes.create (max 64 chunk);
+    len = 0;
+    pos = 0;
+    base = 0;
+    tok = -1;
+    seen_eof = false;
+    line = 1;
+    nhash = 0;
+  }
+
+let parse_string ?chunk s =
+  match chunk with
+  | None ->
+      (* whole input preloaded as a single window: no reader round
+         trips, no compaction. The [ingest.chunk] fault point still
+         fires once, standing in for the one chunk this path reads. *)
+      Xtwig_fault.Fault.point "ingest.chunk";
+      run
+        {
+          read = (fun _ _ _ -> 0);
+          buf = Bytes.of_string s;
+          len = String.length s;
+          pos = 0;
+          base = 0;
+          tok = -1;
+          seen_eof = true;
+          line = 1;
+          nhash = 0;
+        }
+  | Some c ->
+      (* each read delivers at most [chunk] bytes (the window itself
+         never shrinks below 64): small chunks force the refill and
+         compaction paths at every token boundary, which is the whole
+         point of this knob *)
+      let chunk = max 1 c in
+      let off = ref 0 in
+      let read buf pos len =
+        let n = min (min len chunk) (String.length s - !off) in
+        Bytes.blit_string s !off buf pos n;
+        off := !off + n;
+        n
+      in
+      run (make ~chunk read)
+
+let parse_channel ?(chunk = 1 lsl 18) ic =
+  run (make ~chunk:(max 1 chunk) (fun buf pos len -> input ic buf pos len))

@@ -1,0 +1,36 @@
+(** Chunked SAX-style streaming XML parser over an arena node store.
+
+    The PR-8 parser materialised the whole input string, then built a
+    pointer-rich tree through {!Doc.Builder} — one closure frame, one
+    child-list cons and several short-lived strings per element. This
+    module parses the same XML subset (see {!Xml_parser}) in a single
+    forward pass over a bounded window of the input, emitting
+    open/close/text events straight into a struct-of-arrays arena:
+    int32 Bigarray columns for tag codes, parents and value spans, and
+    one shared byte heap for text. The hot loop allocates no per-node
+    OCaml values — names are interned by hashing window slices, text
+    runs are blitted in bulk, and the only per-document allocations
+    happen in the final {!Doc.of_columns} freeze.
+
+    The produced document is byte-identical to the reference parser's:
+    same node ids (pre-order), same tag-interning order (element name
+    first, then its attributes, depth-first), same value semantics
+    ([Value.of_string] over the joined, trimmed text segments).
+
+    Every window refill passes the [ingest.chunk] fault point, so the
+    fault matrix can exercise mid-parse I/O failures. *)
+
+exception Error of string
+(** Parse failure, formatted as ["line %d (offset %d): %s"] — the same
+    shape as {!Xml_parser}'s errors. *)
+
+val parse_string : ?chunk:int -> string -> Doc.t
+(** Parse from a string. [chunk] bounds the streaming window and each
+    reader refill (default: one window covering the whole input);
+    tests use small values to force refill/compaction at every token
+    boundary. Raises {!Error} and {!Xtwig_fault.Fault.Injected}. *)
+
+val parse_channel : ?chunk:int -> in_channel -> Doc.t
+(** Parse from a channel without materialising the input (default
+    window 256 KiB). Raises {!Error}, {!Xtwig_fault.Fault.Injected}
+    and [Sys_error] (from reads). *)

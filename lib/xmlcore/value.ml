@@ -28,6 +28,65 @@ let of_string s =
         | Some f -> Float f
         | None -> Text s)
 
+(* [of_string] over a byte slice without materialising the string for
+   the common shapes. The classification must agree with [of_string]
+   exactly, so the fast paths only cover cases where OCaml's literal
+   grammar is unambiguous:
+   - a pure decimal integer (optional sign, <= 18 digits) parses
+     manually — same result as [int_of_string];
+   - a slice whose first character can start neither an int nor a
+     float literal (any letter but the inf/nan starters) is [Text];
+   everything else falls back to [of_string] on the extracted slice. *)
+(* One scan rejecting slices no numeric literal can match, so common
+   almost-numeric texts (dates, phone numbers, "0417 9931") skip two
+   failed parses in [of_slice]. Sound because OCaml int/float literals
+   only contain [0-9A-Za-z._+-], with an inner sign legal only right
+   after an exponent marker. *)
+let rec numericish b i fin prev =
+  i >= fin
+  ||
+  let c = Bytes.unsafe_get b i in
+  (match c with
+  | '0' .. '9' | 'a' .. 'z' | 'A' .. 'Z' | '.' | '_' -> true
+  | '+' | '-' -> prev = 'e' || prev = 'E' || prev = 'p' || prev = 'P'
+  | _ -> false)
+  && numericish b (i + 1) fin c
+
+let rec all_digits b i fin =
+  i >= fin
+  ||
+  let c = Bytes.unsafe_get b i in
+  c >= '0' && c <= '9' && all_digits b (i + 1) fin
+
+let of_slice b ~pos ~len =
+  if len = 0 then Null
+  else
+    let c0 = Bytes.unsafe_get b pos in
+    let signed = c0 = '-' || c0 = '+' in
+    let i0 = pos + if signed then 1 else 0 in
+    let fin = pos + len in
+    if i0 < fin && fin - i0 <= 18 && all_digits b i0 fin then begin
+      let v = ref 0 in
+      for i = i0 to fin - 1 do
+        v := (10 * !v) + (Char.code (Bytes.unsafe_get b i) - 48)
+      done;
+      Int (if c0 = '-' then - !v else !v)
+    end
+    else
+      match c0 with
+      | 'a' .. 'z' | 'A' .. 'Z'
+        when not
+               (c0 = 'i' || c0 = 'I' || c0 = 'n' || c0 = 'N' || c0 = 'x'
+              || c0 = 'X' || c0 = 'o' || c0 = 'O' || c0 = 'b' || c0 = 'B') ->
+          Text (Bytes.sub_string b pos len)
+      | ' ' | '!' .. '*' | ',' | '/' | ':' .. '?' ->
+          (* first char already outside every numeric literal *)
+          Text (Bytes.sub_string b pos len)
+      | _ ->
+          if numericish b (pos + 1) fin c0 then
+            of_string (Bytes.sub_string b pos len)
+          else Text (Bytes.sub_string b pos len)
+
 let equal a b =
   match (a, b) with
   | Null, Null -> true

@@ -24,6 +24,12 @@ val of_string : string -> t
     parse to [Int], other numbers to [Float], everything else to
     [Text]; [""] parses to [Null]. *)
 
+val of_slice : Bytes.t -> pos:int -> len:int -> t
+(** [of_string] over a byte slice, allocating the string only when the
+    result is [Text] or the shape needs the full parser. Agrees with
+    [of_string (Bytes.sub_string b pos len)] exactly — the streaming
+    parser's value classification ({!Sax}). *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit

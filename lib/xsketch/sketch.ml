@@ -137,13 +137,20 @@ let node_map_of prev syn =
 
 let t_build_ns = Counters.timer "sketch.build_ns"
 
-let build ?prev syn config =
+(* The full construction, parameterized over the node correspondence.
+   [node_map] maps each node of [syn] to the node of [prev] whose
+   extent is elementwise identical under the caller's element
+   correspondence (identity for [build]; the splice survivor map for
+   [apply_delta]), or [-1]. Reuse soundness only needs that invariant:
+   edge distributions depend on the extents of the owning node and of
+   every dimension endpoint, value summaries on the owning node's
+   extent alone. *)
+let build_with ?prev ~node_map syn config =
   Counters.time t_build_ns @@ fun () ->
   Counters.incr c_builds;
   let n_nodes = G.node_count syn in
   if Array.length config.especs <> n_nodes || Array.length config.vbudgets <> n_nodes
   then invalid_arg "Sketch.build: config arity mismatch";
-  let node_map = node_map_of prev syn in
   (* previous histogram with exactly these dimensions (in [prev]'s node
      ids) and this budget, at previous node [o] *)
   let prev_hist o (old_dims : dim array) budget =
@@ -294,6 +301,129 @@ let build ?prev syn config =
         Some !changed
   in
   { syn; config; ehists; ebudgets; vhists; vcats; changed_vs_prev }
+
+let build ?prev syn config =
+  build_with ?prev ~node_map:(node_map_of prev syn) syn config
+
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance                                             *)
+
+type delta =
+  | Insert of { parent : Doc.node; fragment : Doc.t }
+  | Delete of Doc.node
+
+let c_deltas = Counters.counter "sketch.deltas"
+let c_delta_nodes_kept = Counters.counter "sketch.delta_nodes_kept"
+let t_delta_ns = Counters.timer "sketch.delta_ns"
+
+(* Smallest synopsis node carrying [tname], if any — where inserted
+   elements of an already-known tag are filed. *)
+let min_node_with_label syn tname =
+  match G.nodes_with_label syn tname with
+  | [] -> -1
+  | n :: rest -> List.fold_left Stdlib.min n rest
+
+let apply_delta ?(reuse = true) t delta =
+  Xtwig_fault.Fault.point "sketch.delta";
+  Counters.time t_delta_ns @@ fun () ->
+  Counters.incr c_deltas;
+  let syn = t.syn in
+  let doc = G.doc syn in
+  let n_nodes = G.node_count syn in
+  (* 1. splice the document; [emap] maps each old element to its new
+     id, -1 for deleted ones (the identity under an insert: survivors
+     keep their ids, the fragment is appended) *)
+  let doc', emap =
+    match delta with
+    | Insert { parent; fragment } ->
+        (Doc.splice_insert doc ~parent ~fragment, Array.init (Doc.size doc) Fun.id)
+    | Delete node -> Doc.splice_delete doc node
+  in
+  (* 2. partition keys in the new numbering. Survivors keep their old
+     synopsis node as the key, so every surviving group persists (and
+     [of_partition]'s dense first-appearance renumbering preserves
+     their relative order). Inserted elements of a known tag join that
+     tag's smallest node; fresh tags get keys disjoint from the old
+     node ids, one group per tag. *)
+  let n_new = Doc.size doc' in
+  let keys = Array.make n_new (-1) in
+  Array.iteri
+    (fun e e' -> if e' >= 0 then keys.(e') <- G.node_of_elem syn e)
+    emap;
+  for e' = 0 to n_new - 1 do
+    if keys.(e') < 0 then
+      keys.(e') <-
+        (match min_node_with_label syn (Doc.tag_name doc' e') with
+        | -1 -> n_nodes + Doc.tag doc' e'
+        | n -> n)
+  done;
+  let syn' = G.of_partition doc' keys in
+  let n_nodes' = G.node_count syn' in
+  (* 3. node correspondences. [image]: old node -> the new node its
+     survivors landed in (every survivor shares the key, hence the
+     group), -1 when the whole extent was deleted. [nmap]: new node ->
+     old node, defined only when the extents are elementwise identical
+     through [emap] — the reuse precondition of [build_with]. *)
+  let image = Array.make n_nodes (-1) in
+  let nmap = Array.make n_nodes' (-1) in
+  for o = 0 to n_nodes - 1 do
+    let ext = G.extent syn o in
+    let surv = ref (-1) in
+    let intact = ref true in
+    Array.iter
+      (fun e ->
+        let e' = Array.unsafe_get emap e in
+        if e' < 0 then intact := false else if !surv < 0 then surv := e')
+      ext;
+    if !surv >= 0 then begin
+      let n' = G.node_of_elem syn' !surv in
+      image.(o) <- n';
+      if !intact then begin
+        let ext' = G.extent syn' n' in
+        if Array.length ext' = Array.length ext then begin
+          let same = ref true in
+          Array.iteri
+            (fun i e -> if emap.(e) <> Array.unsafe_get ext' i then same := false)
+            ext;
+          if !same then begin
+            nmap.(n') <- o;
+            Counters.incr c_delta_nodes_kept
+          end
+        end
+      end
+    end
+  done;
+  (* 4. carry the configuration across: specs follow their owning node
+     through [image]; dimensions whose endpoint vanished are dropped
+     (exactly the silent-drop rule [build] applies to scope-ineligible
+     dims). Nodes of fresh tags start with the coarsest defaults — no
+     edge histograms (Forward Uniformity serves their edges) and a
+     2-bucket value summary, matching [coarsest]. *)
+  let especs' = Array.make n_nodes' [] in
+  let vbudgets' = Array.make n_nodes' 2 in
+  for o = 0 to n_nodes - 1 do
+    let n' = image.(o) in
+    if n' >= 0 then begin
+      vbudgets'.(n') <- t.config.vbudgets.(o);
+      especs'.(n') <-
+        List.filter_map
+          (fun spec ->
+            match
+              List.filter_map
+                (fun d ->
+                  let s = image.(d.src) and dst = image.(d.dst) in
+                  if s < 0 || dst < 0 then None
+                  else Some { d with src = s; dst })
+                spec.dims
+            with
+            | [] -> None
+            | dims -> Some { spec with dims })
+          t.config.especs.(o)
+    end
+  done;
+  let config' = { especs = especs'; vbudgets = vbudgets' } in
+  if reuse then build_with ~prev:t ~node_map:(fun n -> nmap.(n)) syn' config'
+  else build_with ~node_map:(fun _ -> -1) syn' config'
 
 let coarsest ?(ebudget = 1) ?(vbudget = 2) syn =
   let n_nodes = G.node_count syn in

@@ -64,6 +64,55 @@ val build : ?prev:t -> Xtwig_synopsis.Graph_synopsis.t -> config -> t
     Reuse is observable through the [sketch.*] counters of
     {!Xtwig_util.Counters}. *)
 
+val build_with :
+  ?prev:t ->
+  node_map:(int -> int) ->
+  Xtwig_synopsis.Graph_synopsis.t ->
+  config ->
+  t
+(** [build] with an explicit node correspondence: [node_map n] is the
+    node of [prev] whose extent is elementwise identical to [n]'s
+    under the caller's element correspondence, or [-1]. This is the
+    construction {!apply_delta} runs after a splice, where the
+    documents differ and {!build}'s same-document matching cannot
+    apply. Callers must uphold the elementwise-extent invariant — it
+    is exactly what makes histogram and value-summary reuse sound. *)
+
+(** {1 Incremental maintenance} *)
+
+type delta =
+  | Insert of { parent : Xtwig_xml.Doc.node; fragment : Xtwig_xml.Doc.t }
+      (** graft [fragment] (a parsed document) as a new last child of
+          [parent] *)
+  | Delete of Xtwig_xml.Doc.node
+      (** remove the subtree rooted at a (non-root) node *)
+
+val apply_delta : ?reuse:bool -> t -> delta -> t
+(** Incrementally maintain the sketch under a subtree insert or
+    delete, without re-running XBUILD:
+
+    - the document is spliced ({!Xtwig_xml.Doc.splice_insert} /
+      [splice_delete]);
+    - the partition is carried across — surviving groups persist,
+      inserted elements of a known tag join that tag's smallest node,
+      fresh tags get fresh nodes;
+    - the configuration follows its nodes (dimensions whose endpoint
+      vanished are dropped); fresh nodes start with the coarsest
+      defaults;
+    - every histogram and value summary whose owning node and
+      dimension endpoints have elementwise-identical extents across
+      the splice is reused in place; only the neighbourhood of the
+      edit recomputes.
+
+    Differential contract: the result equals
+    [build (synopsis result) (config result)] — a from-scratch build
+    over the same synopsis and configuration — bucket for bucket.
+    [~reuse:false] forces that from-scratch path (the differential
+    harness in [bench ingest] compares the two). Raises
+    [Invalid_argument] on an out-of-range node (or deleting the
+    root). Runs through the [sketch.delta] fault point. Reuse is
+    observable via the [sketch.delta*] counters. *)
+
 val coarsest :
   ?ebudget:int -> ?vbudget:int -> Xtwig_synopsis.Graph_synopsis.t -> t
 (** The initial synopsis of XBUILD: one 1-d histogram per F-stable

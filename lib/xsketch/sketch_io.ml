@@ -339,12 +339,19 @@ let of_string_res doc text =
   | exception Corrupt_error msg -> Error (Xerror.Corrupt msg)
 
 (* Move a damaged file aside so the next write starts clean and the
-   evidence survives for inspection. Best-effort: quarantining must
-   never turn a readable error into a crash. *)
+   evidence survives for inspection. Repeated corruptions of the same
+   path must each keep their evidence, so the destination takes the
+   first free counter suffix instead of overwriting [.quarantined].
+   Best-effort: quarantining must never turn a readable error into a
+   crash. *)
 let quarantine path =
-  let dst = path ^ ".quarantined" in
-  (try Sys.remove dst with Sys_error _ -> ());
+  let base = path ^ ".quarantined" in
+  let rec free n =
+    let dst = if n = 0 then base else Printf.sprintf "%s.%d" base n in
+    if Sys.file_exists dst && n < 1000 then free (n + 1) else dst
+  in
   try
+    let dst = free 0 in
     Sys.rename path dst;
     Some dst
   with Sys_error _ -> None

@@ -29,7 +29,9 @@
     publishes atomically (sibling temp file, fsync, rename): a crash
     or injected fault mid-write leaves the destination either absent
     or its previous complete version. {!read_res} quarantines a
-    corrupt file (renames it to [<path>.quarantined]) before
+    corrupt file (renames it to [<path>.quarantined], or
+    [<path>.quarantined.N] with the first free [N] when earlier
+    evidence already sits there) before
     reporting, so the next write starts clean and the evidence
     survives.
 

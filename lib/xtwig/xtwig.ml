@@ -20,6 +20,7 @@ let doc_to_file path doc =
   | exception Sys_error msg -> Error (Xerror.Io msg)
 
 let doc_size = Xtwig_xml.Doc.size
+let sketch_doc = Xtwig_sketch.Sketch.doc
 
 (* ---------------- queries ---------------- *)
 
@@ -69,6 +70,16 @@ let build_sketch ?(budget = 8192) ?(seed = 42) ?candidates ?max_steps
     | sk -> Ok sk
     | exception exn -> Error (Xerror.Engine (Printexc.to_string exn))
 
+type delta = Xtwig_sketch.Sketch.delta =
+  | Insert of { parent : int; fragment : doc }
+  | Delete of int
+
+let update_sketch ?reuse sk delta =
+  match Xtwig_sketch.Sketch.apply_delta ?reuse sk delta with
+  | sk' -> Ok sk'
+  | exception Invalid_argument msg -> Error (Xerror.Usage msg)
+  | exception exn -> Error (Xerror.Engine (Printexc.to_string exn))
+
 let save_sketch = Xtwig_sketch.Sketch_io.write_res
 
 let load_sketch doc path =
@@ -96,6 +107,7 @@ let open_backend_session ?name ?jobs ?timeout_s ?retries ?backoff_s
   Engine.of_backend ?name ?jobs ?timeout_s ?retries ?backoff_s
     ?breaker_threshold ?breaker_cooldown_s inst
 
+let update_session = Engine.update
 let estimate = Engine.estimate
 let estimate_batch = Engine.estimate_batch
 let explain = Engine.explain

@@ -44,6 +44,10 @@ val doc_of_file : string -> (doc, Xerror.t) result
 val doc_to_file : string -> doc -> (unit, Xerror.t) result
 val doc_size : doc -> int
 
+val sketch_doc : sketch -> doc
+(** The document a sketch summarizes — after {!update_session} this is
+    how a caller observes the updated document. Total. *)
+
 (** {1 Queries} *)
 
 val twig_of_string : string -> (twig, Xerror.t) result
@@ -76,6 +80,31 @@ val build_sketch :
     applied refinement (the CLI prints progress with it). Errors are
     [Xerror.Usage] (non-positive budget/jobs) or [Xerror.Engine] (a
     fault-injection point fired during the build). *)
+
+(** {1 Incremental updates} *)
+
+type delta = Xtwig_sketch.Sketch.delta =
+  | Insert of { parent : int; fragment : doc }
+      (** graft [fragment] as a new last child of node [parent] *)
+  | Delete of int  (** remove the subtree rooted at a non-root node *)
+
+val update_sketch : ?reuse:bool -> sketch -> delta -> (sketch, Xerror.t) result
+(** Incrementally maintain a sketch under a subtree insert/delete
+    ({!Xtwig_sketch.Sketch.apply_delta}): the document is spliced and
+    only the summaries in the edit's neighbourhood recompute — the
+    result is bucket-for-bucket identical to rebuilding over the
+    updated document with the carried-over configuration.
+    [~reuse:false] forces that from-scratch path (the differential
+    check of [bench ingest]). Errors: [Xerror.Usage] on an
+    out-of-range node or deleting the root, [Xerror.Engine] on an
+    injected [sketch.delta] fault. *)
+
+val update_session : Engine.t -> delta -> (unit, Xerror.t) result
+(** {!update_sketch} inside a live session: swaps the maintained
+    sketch in, rebuilds the coarse fallback, starts a fresh embedding
+    cache and chains the plan cache so the next batch repatches
+    instead of compiling cold. Owner-domain only, between batches —
+    see {!Engine.update}. *)
 
 val save_sketch :
   ?budget:int -> ?seed:int -> sketch -> string -> (unit, Xerror.t) result

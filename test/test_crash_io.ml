@@ -42,7 +42,8 @@ let write_raw path text =
 let cleanup path =
   List.iter
     (fun p -> try Sys.remove p with Sys_error _ -> ())
-    [ path; path ^ ".quarantined"; path ^ ".tmp" ]
+    (path :: (path ^ ".quarantined") :: (path ^ ".tmp")
+    :: List.init 8 (fun n -> Printf.sprintf "%s.quarantined.%d" path n))
 
 (* a small document and its sketch, shared by the deterministic tests *)
 let doc =
@@ -129,6 +130,32 @@ let test_garbage_still_format_error () =
       Alcotest.(check bool) "left in place" true (Sys.file_exists path)
   | Ok _ -> Alcotest.fail "garbage read as Ok"
   | Error e -> Alcotest.fail ("expected Sketch_format, got " ^ Xerror.to_string e)
+
+let test_quarantine_no_collision () =
+  (* repeated corruptions of the same path must each keep their own
+     evidence: .quarantined, then .quarantined.1, .quarantined.2 — a
+     later corruption never overwrites an earlier one's file *)
+  let text = Sketch_io.to_string sketch in
+  let path = fresh_path () in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  let corrupt_once len =
+    write_raw path (String.sub text 0 len);
+    match Sketch_io.read_res doc path with
+    | Error (Xerror.Corrupt _) -> ()
+    | Ok _ -> Alcotest.fail "corrupt prefix read as Ok"
+    | Error e -> Alcotest.fail ("expected Corrupt, got " ^ Xerror.to_string e)
+  in
+  let n = String.length text in
+  corrupt_once (n - 1);
+  corrupt_once (n - 2);
+  corrupt_once (n - 3);
+  let len p = (Unix.stat p).Unix.st_size in
+  List.iter
+    (fun (suffix, expect) ->
+      let p = path ^ suffix in
+      Alcotest.(check bool) (suffix ^ " exists") true (Sys.file_exists p);
+      Alcotest.(check int) (suffix ^ " keeps its own evidence") expect (len p))
+    [ (".quarantined", n - 1); (".quarantined.1", n - 2); (".quarantined.2", n - 3) ]
 
 (* ------------------------------------------------------------------ *)
 (* Atomic writes under injected faults *)
@@ -217,6 +244,8 @@ let () =
           Alcotest.test_case "checksum tamper" `Quick test_checksum_tamper;
           Alcotest.test_case "garbage stays Sketch_format" `Quick
             test_garbage_still_format_error;
+          Alcotest.test_case "repeated quarantines never collide" `Quick
+            test_quarantine_no_collision;
         ] );
       ( "atomic writes",
         [

@@ -352,6 +352,62 @@ let prop_engine_never_raises =
           QCheck2.Test.fail_reportf "estimate_batch raised %s"
             (Printexc.to_string e))
 
+(* ------------------------------------------------------------------ *)
+(* PR-9 ingest points: ingest.chunk (streaming-parse window refills)
+   and sketch.delta (incremental synopsis maintenance) *)
+
+let test_ingest_chunk_fault =
+  protecting @@ fun () ->
+  let xml = "<lib><a><b>1</b></a><a><b>2</b></a></lib>" in
+  Fault.install (spec "ingest.chunk:always");
+  (match Xtwig_xml.Xml_parser.parse_string_res xml with
+  | Error (Xerror.Io msg) ->
+      Alcotest.(check bool) "names the point" true
+        (String.length msg >= 12 && String.sub msg 0 8 = "injected")
+  | Ok _ -> Alcotest.fail "parse claimed success under injection"
+  | Error e -> Alcotest.failf "expected Io, got %s" (Xerror.to_string e));
+  (* a later refill of a bounded window fires mid-parse too, and the
+     raw Sax surface raises the typed exception, never a crash *)
+  Fault.reset ();
+  Fault.install (spec "ingest.chunk:n3");
+  (match Xtwig_xml.Sax.parse_string ~chunk:4 xml with
+  | (_ : Xtwig_xml.Doc.t) -> Alcotest.fail "chunked parse ignored the fault"
+  | exception Fault.Injected { point; _ } ->
+      Alcotest.(check string) "mid-parse point" "ingest.chunk" point);
+  Fault.disable ();
+  match Xtwig_xml.Xml_parser.parse_string_res xml with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "healthy parse failed: %s" (Xerror.to_string e)
+
+let test_sketch_delta_fault =
+  protecting @@ fun () ->
+  let doc =
+    get (Xtwig_xml.Xml_parser.parse_string_res "<lib><b>1</b><b>2</b></lib>")
+  in
+  let fragment = get (Xtwig_xml.Xml_parser.parse_string_res "<b>3</b>") in
+  let sk0 = Sketch.default_of_doc doc in
+  let delta = Sketch.Insert { parent = 0; fragment } in
+  Fault.install (spec "sketch.delta:always");
+  (* the facade turns the injected fault into a typed Engine error *)
+  (match Xtwig.update_sketch sk0 delta with
+  | Error (Xerror.Engine _) -> ()
+  | Ok _ -> Alcotest.fail "update_sketch claimed success under injection"
+  | Error e -> Alcotest.failf "expected Engine, got %s" (Xerror.to_string e));
+  (* a live session survives the failed update and accepts it once the
+     scenario lifts *)
+  let eng = get (Engine.of_sketch sk0) in
+  Fun.protect
+    ~finally:(fun () -> Engine.close eng)
+    (fun () ->
+      (match Engine.update eng delta with
+      | Error (Xerror.Engine _) -> ()
+      | Ok () -> Alcotest.fail "Engine.update claimed success under injection"
+      | Error e -> Alcotest.failf "expected Engine, got %s" (Xerror.to_string e));
+      Fault.disable ();
+      match Engine.update eng delta with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "healthy update failed: %s" (Xerror.to_string e))
+
 (* CI chaos hook: when XTWIG_FAULT_SPEC carries a scenario, run the
    batch under it — the fault-matrix job feeds canned chaos through
    the same never-raise assertion *)
@@ -369,6 +425,38 @@ let test_env_scenario =
           Alcotest.(check int) "every query answered" (List.length qs)
             (List.length answers)
       | Error e -> Alcotest.fail ("typed error is fine, but: " ^ Xerror.to_string e));
+      (* the ingest surfaces under the same scenario: a chunked parse
+         and a sketch delta either succeed or fail typed — never raise.
+         Small chunks maximise ingest.chunk trigger opportunities. *)
+      let xml =
+        "<lib>"
+        ^ String.concat ""
+            (List.init 64 (fun i -> Printf.sprintf "<b><y>%d</y></b>" i))
+        ^ "</lib>"
+      in
+      for _ = 1 to 20 do
+        (match Xtwig_xml.Sax.parse_string ~chunk:8 xml with
+        | (_ : Xtwig_xml.Doc.t) -> ()
+        | exception Fault.Injected _ -> ());
+        match Xtwig_xml.Xml_parser.parse_string_res xml with
+        | Ok doc -> (
+            match Xtwig_xml.Xml_parser.parse_string_res "<b><y>99</y></b>" with
+            | Error _ -> () (* fragment parse itself drew a fault *)
+            | Ok fragment -> (
+                let sk = Sketch.default_of_doc doc in
+                match
+                  Xtwig.update_sketch sk
+                    (Sketch.Insert { parent = Xtwig_xml.Doc.root doc; fragment })
+                with
+                | Ok _ | Error (Xerror.Engine _) -> ()
+                | Error e ->
+                    Alcotest.failf "delta under chaos: expected Engine, got %s"
+                      (Xerror.to_string e)))
+        | Error (Xerror.Io _) -> ()
+        | Error e ->
+            Alcotest.failf "parse under chaos: expected Io, got %s"
+              (Xerror.to_string e)
+      done;
       Printf.printf "fault-matrix: %d faults injected under %S\n%!"
         (Fault.injected_count ()) (Fault.spec_to_string spec)
 
@@ -404,5 +492,12 @@ let () =
           QCheck_alcotest.to_alcotest prop_engine_never_raises;
           Alcotest.test_case "XTWIG_FAULT_SPEC chaos (fault matrix)" `Quick
             test_env_scenario;
+        ] );
+      ( "ingest",
+        [
+          Alcotest.test_case "ingest.chunk surfaces typed" `Quick
+            test_ingest_chunk_fault;
+          Alcotest.test_case "sketch.delta surfaces typed" `Quick
+            test_sketch_delta_fault;
         ] );
     ]

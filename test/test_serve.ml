@@ -79,6 +79,12 @@ let test_request_roundtrip () =
       P.Batch { tenant = "m"; queries = [ "x in //a" ]; trace = Some 0 };
       P.Explain { tenant = "m"; query = "for t0 in //a, t1 in t0/b"; trace = None };
       P.Explain { tenant = "m"; query = "for t0 in //a"; trace = Some 7 };
+      P.Update
+        {
+          tenant = "m";
+          op = P.Ins { parent = 0; fragment_xml = "<movie><a>1</a>\n</movie>" };
+        };
+      P.Update { tenant = "m"; op = P.Del 17 };
     ]
   in
   List.iteri
@@ -129,6 +135,9 @@ let test_bad_inputs_rejected () =
     [
       ""; "nope"; "-3 ping"; "x ping"; "7 frobnicate"; "7 estimate bad tenant";
       "7 estimate m trace=x"; "7 estimate m trace=-2"; "7 explain m bogus";
+      "7 update m"; "7 update m\nfrob 3"; "7 update m\ninsert x\n<a/>";
+      "7 update m\ninsert 0"; "7 update m\ndelete 3\n<a/>";
+      "7 update m\ndelete -2"; "7 update m\ninsert -1\n<a/>";
     ]
 
 let any_twig =
@@ -370,6 +379,134 @@ let test_overload_sheds_typed () =
       Alcotest.(check (option (float 0.0))) "queue depth drained to zero"
         (Some 0.0) depth)
 
+(* ---------------- incremental updates over the wire ---------------- *)
+
+(* what the served answers must match after a sequence of deltas: the
+   same deltas applied through the facade to a fresh sketch *)
+let direct_answers_of_sketch sk qs =
+  let engine = ok_exn (Xtwig.open_sketch_session sk) in
+  Fun.protect
+    ~finally:(fun () -> Xtwig.close_session engine)
+    (fun () ->
+      let twigs = List.map (fun q -> ok_exn (Xtwig.twig_of_string q)) qs in
+      List.map P.encode_answer (ok_exn (Xtwig.estimate_batch engine twigs)))
+
+let test_update_over_the_wire () =
+  let c = Lazy.force corpus in
+  (* node ids on the wire refer to the document as the SERVER parsed
+     it, so the comparator must start from the same parse *)
+  let pdoc = ok_exn (Xtwig.doc_of_file c.doc_path) in
+  let frag_xml =
+    "<movie><title>Wire Delta</title><year>1999</year><actor>A</actor></movie>"
+  in
+  let root = Xtwig_xml.Doc.root pdoc in
+  let victim =
+    let tag = Option.get (Xtwig_xml.Doc.tag_of_string pdoc "movie") in
+    (Xtwig_xml.Doc.nodes_with_tag pdoc tag).(0)
+  in
+  with_server [ ("movies", Catalog.source ~sketch_path:c.sk_a c.doc_path) ]
+    (fun client ->
+      (* pipeline the whole sequence: queries, insert barrier, queries,
+         delete barrier, queries — the per-tenant FIFO must answer
+         each batch against the document state at its queue position *)
+      let batch id =
+        ok_exn
+          (P.Client.send client ~id
+             (P.Batch { tenant = "movies"; queries; trace = None }))
+      in
+      batch 1;
+      ok_exn
+        (P.Client.send client ~id:2
+           (P.Update
+              {
+                tenant = "movies";
+                op = P.Ins { parent = root; fragment_xml = frag_xml };
+              }));
+      batch 3;
+      ok_exn
+        (P.Client.send client ~id:4
+           (P.Update { tenant = "movies"; op = P.Del victim }));
+      batch 5;
+      let responses = Hashtbl.create 8 in
+      for _ = 1 to 5 do
+        let id, resp = ok_exn (P.Client.recv client) in
+        Hashtbl.add responses id resp
+      done;
+      let body id =
+        match Hashtbl.find_opt responses id with
+        | Some (P.Reply b) -> b
+        | Some (P.Fail e) ->
+            Alcotest.failf "request %d failed: %s" id (Xerror.to_string e)
+        | None -> Alcotest.failf "no response for %d" id
+      in
+      Alcotest.(check string) "insert bumped generation" "2" (body 2);
+      Alcotest.(check string) "delete bumped generation" "3" (body 4);
+      let sk0 = ok_exn (Xtwig.load_sketch pdoc c.sk_a) in
+      let fragment = ok_exn (Xtwig.doc_of_string frag_xml) in
+      let sk1 =
+        ok_exn (Xtwig.update_sketch sk0 (Xtwig.Insert { parent = root; fragment }))
+      in
+      let sk2 = ok_exn (Xtwig.update_sketch sk1 (Xtwig.Delete victim)) in
+      let answers id = String.split_on_char '\n' (body id) in
+      Alcotest.(check (list string))
+        "pre-update answers = direct on the loaded sketch"
+        (direct_answers_of_sketch sk0 queries)
+        (answers 1);
+      Alcotest.(check (list string))
+        "post-insert answers = direct on the maintained sketch"
+        (direct_answers_of_sketch sk1 queries)
+        (answers 3);
+      Alcotest.(check (list string))
+        "post-delete answers = direct on the maintained sketch"
+        (direct_answers_of_sketch sk2 queries)
+        (answers 5);
+      (* the deltas really changed the answers, so the checks above
+         are not vacuous *)
+      Alcotest.(check bool) "insert visible" false (answers 1 = answers 3))
+
+let test_update_failure_keeps_serving () =
+  let c = Lazy.force corpus in
+  with_server [ ("movies", Catalog.source ~sketch_path:c.sk_a c.doc_path) ]
+    (fun client ->
+      let before =
+        call_ok client ~id:1 (P.Batch { tenant = "movies"; queries; trace = None })
+      in
+      (* deleting an out-of-range node is a usage error from the
+         sketch layer; the tenant must keep serving unchanged *)
+      (match
+         ok_exn
+           (P.Client.call client ~id:2
+              (P.Update { tenant = "movies"; op = P.Del 999_999 }))
+       with
+      | P.Fail (Xerror.Usage _) -> ()
+      | P.Fail e -> Alcotest.failf "expected Usage, got %s" (Xerror.to_string e)
+      | P.Reply _ -> Alcotest.fail "out-of-range delete succeeded");
+      (* a fragment that does not parse is rejected up front *)
+      (match
+         ok_exn
+           (P.Client.call client ~id:3
+              (P.Update
+                 {
+                   tenant = "movies";
+                   op = P.Ins { parent = 0; fragment_xml = "<broken" };
+                 }))
+       with
+      | P.Fail (Xerror.Parse (Xerror.Xml, _)) -> ()
+      | P.Fail e -> Alcotest.failf "expected Parse, got %s" (Xerror.to_string e)
+      | P.Reply _ -> Alcotest.fail "unparseable fragment accepted");
+      (* unknown tenant is the usual usage error *)
+      (match
+         ok_exn
+           (P.Client.call client ~id:4
+              (P.Update { tenant = "nosuch"; op = P.Del 1 }))
+       with
+      | P.Fail (Xerror.Usage _) -> ()
+      | _ -> Alcotest.fail "unknown tenant should be a usage error");
+      let after =
+        call_ok client ~id:5 (P.Batch { tenant = "movies"; queries; trace = None })
+      in
+      Alcotest.(check string) "answers unchanged" before after)
+
 (* the explain verb's provenance: a cold query compiles fresh, the
    same query again is a plan-cache hit — the tier provably differs *)
 let test_explain_cold_vs_cached () =
@@ -544,6 +681,10 @@ let () =
             test_overload_sheds_typed;
           Alcotest.test_case "explain: cold vs cached tier" `Quick
             test_explain_cold_vs_cached;
+          Alcotest.test_case "update over the wire" `Quick
+            test_update_over_the_wire;
+          Alcotest.test_case "update failure keeps serving" `Quick
+            test_update_failure_keeps_serving;
           Alcotest.test_case "trace id propagates client -> engine" `Quick
             test_trace_propagation;
           Alcotest.test_case "stats reports SLO attribution" `Quick
