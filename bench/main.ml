@@ -1098,6 +1098,198 @@ let ingest () =
   if not (gate_traversal && gate_floor && gate_diff) then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Cost-based optimizer closed loop: plan every workload query from    *)
+(* the sketch's estimates (the xtwig optimize path), evaluate exactly  *)
+(* under the default and the chosen branch orders, gate                *)
+(* order-invariance (counts bit-equal) and record per-query            *)
+(* order/cost/wall-time to BENCH_optimize.json — the end-to-end demo   *)
+(* that estimator accuracy buys execution speed, not just error        *)
+(* numbers.                                                            *)
+
+let opt_reps =
+  match Sys.getenv_opt "XTWIG_OPT_REPS" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 3)
+  | None -> 3
+
+let opt_queries_n =
+  match Sys.getenv_opt "XTWIG_OPT_QUERIES" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 60)
+  | None -> 60
+
+type opt_query = {
+  oq_twig : string;
+  oq_orders : string;  (** semicolon-joined [node:i,j,...] tokens *)
+  oq_cost : float;
+  oq_default_cost : float;
+  oq_changed : bool;
+  oq_count : int;
+  oq_match : bool;
+  oq_plan_s : float;
+  oq_wall_default_s : float;
+  oq_wall_opt_s : float;
+}
+
+type opt_result = {
+  o_dataset : string;
+  o_queries : opt_query list;
+  o_mismatches : int;
+  o_changed : int;
+  o_wall_default_s : float;
+  o_wall_opt_s : float;
+  o_plan_s : float;
+}
+
+let optimize_one name =
+  let doc = Lazy.force (dataset name).doc in
+  let t0 = now () in
+  let sk = par_build doc in
+  log "%s: sketch built in %.1fs (%d bytes)" name (now () -. t0)
+    (Sketch.size_bytes sk);
+  let queries =
+    Wgen.generate
+      { Wgen.paper_pv with Wgen.n_queries = opt_queries_n }
+      (Prng.create 23) doc
+  in
+  let best_of f =
+    let best = ref infinity and out = ref 0 in
+    for _ = 1 to opt_reps do
+      let t0 = now () in
+      out := f ();
+      best := Float.min !best (now () -. t0)
+    done;
+    (!out, !best)
+  in
+  let rows =
+    List.map
+      (fun q ->
+        let t0 = now () in
+        let plan = Xtwig.optimize sk q in
+        let plan_s = now () -. t0 in
+        let n_def, s_def = best_of (fun () -> Xtwig_eval.Eval_twig.selectivity doc q) in
+        let n_opt, s_opt =
+          best_of (fun () -> Xtwig.selectivity_ordered doc plan q)
+        in
+        let orders =
+          String.concat ";"
+            (List.filter_map
+               (fun (tn, perm) ->
+                 if Array.length perm >= 2 then
+                   Some
+                     (Printf.sprintf "%d:%s" tn
+                        (String.concat ","
+                           (Array.to_list (Array.map string_of_int perm))))
+                 else None)
+               (Array.to_list
+                  (Array.mapi (fun i p -> (i, p)) plan.Xtwig.Opt.orders)))
+        in
+        {
+          oq_twig = Path_printer.twig_to_string q;
+          oq_orders = orders;
+          oq_cost = plan.Xtwig.Opt.cost;
+          oq_default_cost = plan.Xtwig.Opt.default_cost;
+          oq_changed = plan.Xtwig.Opt.changed;
+          oq_count = n_def;
+          oq_match = n_def = n_opt;
+          oq_plan_s = plan_s;
+          oq_wall_default_s = s_def;
+          oq_wall_opt_s = s_opt;
+        })
+      queries
+  in
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  {
+    o_dataset = name;
+    o_queries = rows;
+    o_mismatches = List.length (List.filter (fun r -> not r.oq_match) rows);
+    o_changed = List.length (List.filter (fun r -> r.oq_changed) rows);
+    o_wall_default_s = sum (fun r -> r.oq_wall_default_s);
+    o_wall_opt_s = sum (fun r -> r.oq_wall_opt_s);
+    o_plan_s = sum (fun r -> r.oq_plan_s);
+  }
+
+let optimize_bench () =
+  print_header "Cost-based branch ordering (estimator-costed vs default order)";
+  log "queries: %d (XTWIG_OPT_QUERIES), reps: %d (XTWIG_OPT_REPS)" opt_queries_n
+    opt_reps;
+  let results = List.map optimize_one [ "IMDB"; "XMark" ] in
+  print_row "%-8s %8s %9s %9s %16s %16s %9s" "" "queries" "reordered"
+    "mismatch" "wall default (s)" "wall optimized" "speedup";
+  List.iter
+    (fun r ->
+      print_row "%-8s %8d %9d %9d %16.4f %16.4f %9.2f" r.o_dataset
+        (List.length r.o_queries) r.o_changed r.o_mismatches
+        r.o_wall_default_s r.o_wall_opt_s
+        (r.o_wall_default_s /. Stdlib.max 1e-9 r.o_wall_opt_s))
+    results;
+  let gate_invariance = List.for_all (fun r -> r.o_mismatches = 0) results in
+  let gate_speedup =
+    List.exists (fun r -> r.o_wall_opt_s < r.o_wall_default_s) results
+  in
+  let gate_reordered = List.exists (fun r -> r.o_changed > 0) results in
+  List.iter
+    (fun (name, pass) ->
+      print_row "%-44s %12s" name (if pass then "PASS" else "FAIL"))
+    [
+      ("gate: order-invariance mismatches = 0", gate_invariance);
+      ("gate: optimized order beats default somewhere", gate_speedup);
+      ("gate: at least one plan reorders", gate_reordered);
+    ];
+  let oc = open_out "BENCH_optimize.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"optimize\",\n";
+  fprint_provenance oc;
+  Printf.fprintf oc "  \"scale\": %g,\n" scale;
+  Printf.fprintf oc "  \"reps\": %d,\n" opt_reps;
+  Printf.fprintf oc "  \"datasets\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "    {\n";
+      Printf.fprintf oc "      \"dataset\": %S,\n" r.o_dataset;
+      Printf.fprintf oc "      \"queries\": %d,\n" (List.length r.o_queries);
+      Printf.fprintf oc "      \"reordered\": %d,\n" r.o_changed;
+      Printf.fprintf oc "      \"mismatches\": %d,\n" r.o_mismatches;
+      Printf.fprintf oc "      \"plan_wall_s\": %.6f,\n" r.o_plan_s;
+      Printf.fprintf oc "      \"wall_default_s\": %.6f,\n" r.o_wall_default_s;
+      Printf.fprintf oc "      \"wall_optimized_s\": %.6f,\n" r.o_wall_opt_s;
+      Printf.fprintf oc "      \"speedup\": %.3f,\n"
+        (r.o_wall_default_s /. Stdlib.max 1e-9 r.o_wall_opt_s);
+      Printf.fprintf oc "      \"per_query\": [\n";
+      let nq = List.length r.o_queries in
+      List.iteri
+        (fun j q ->
+          Printf.fprintf oc "        {\n";
+          Printf.fprintf oc "          \"twig\": %S,\n" q.oq_twig;
+          Printf.fprintf oc "          \"orders\": %S,\n" q.oq_orders;
+          Printf.fprintf oc "          \"est_cost\": %.6g,\n" q.oq_cost;
+          Printf.fprintf oc "          \"est_cost_default\": %.6g,\n"
+            q.oq_default_cost;
+          Printf.fprintf oc "          \"changed\": %b,\n" q.oq_changed;
+          Printf.fprintf oc "          \"count\": %d,\n" q.oq_count;
+          Printf.fprintf oc "          \"count_match\": %b,\n" q.oq_match;
+          Printf.fprintf oc "          \"plan_s\": %.6f,\n" q.oq_plan_s;
+          Printf.fprintf oc "          \"wall_default_s\": %.6f,\n"
+            q.oq_wall_default_s;
+          Printf.fprintf oc "          \"wall_optimized_s\": %.6f\n"
+            q.oq_wall_opt_s;
+          Printf.fprintf oc "        }%s\n" (if j = nq - 1 then "" else ","))
+        r.o_queries;
+      Printf.fprintf oc "      ]\n";
+      Printf.fprintf oc "    }%s\n"
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"gates\": {\n";
+  Printf.fprintf oc "    \"order_invariance_zero_mismatch\": %b,\n"
+    gate_invariance;
+  Printf.fprintf oc "    \"optimized_beats_default_somewhere\": %b,\n"
+    gate_speedup;
+  Printf.fprintf oc "    \"some_plan_reorders\": %b\n" gate_reordered;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  log "wrote BENCH_optimize.json";
+  if not gate_invariance then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 
 let micro () =
@@ -1230,13 +1422,15 @@ let () =
   | "fault-audit" -> fault_audit ()
   | "scaling" -> scaling_bench ()
   | "ingest" -> ingest ()
+  | "optimize" -> optimize_bench ()
   | "serve" -> Serve_bench.run ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
         "unknown benchmark %S (expected \
          table1|table2|fig9a|fig9b|fig9c|singlepath|ablation|micro|xbuild|\
-         xbuild-par|estimate-batch|parallel|fault-audit|scaling|ingest|serve|all)\n"
+         xbuild-par|estimate-batch|parallel|fault-audit|scaling|ingest|\
+         optimize|serve|all)\n"
         other;
       exit 1);
   (match trace_file with

@@ -317,14 +317,23 @@ let estimate_cmd =
              embedding count, retries and fallback reason — the same record \
              the xtwigd $(b,explain) verb serves.")
   in
+  let optimize_flag =
+    Arg.(
+      value & flag
+      & info [ "optimize" ]
+          ~doc:
+            "Also run the cost-based branch orderer and print its plan; \
+             with $(b,--exact), the exact evaluation follows the optimized \
+             order (the count is identical by construction).")
+  in
   let run file query budget seed exact sketch_file backend jobs timeout verbose
-      explain trace metrics fault =
+      explain optimize trace metrics fault =
     code_of
       (with_obs ~trace ~metrics @@ fun () ->
        with_fault fault @@ fun () ->
        let* doc = load file in
        let* q = Xtwig.twig_of_string query in
-       let* engine =
+       let* engine, planner =
          match String.lowercase_ascii backend with
          | "xsketch" ->
              let* sk =
@@ -332,7 +341,8 @@ let estimate_cmd =
                | Some path -> Xtwig.load_sketch doc path
                | None -> build_sketch ~quiet:true ~jobs doc ~budget ~seed
              in
-             Xtwig.open_sketch_session ~jobs ~timeout_s:timeout sk
+             let* e = Xtwig.open_sketch_session ~jobs ~timeout_s:timeout sk in
+             Ok (e, fun () -> Xtwig.optimize sk q)
          | name ->
              let* () =
                match sketch_file with
@@ -341,7 +351,8 @@ let estimate_cmd =
                | None -> Ok ()
              in
              let* inst = Xtwig.build_backend ~backend:name ~budget ~seed doc in
-             Xtwig.open_backend_session ~jobs ~timeout_s:timeout inst
+             let* e = Xtwig.open_backend_session ~jobs ~timeout_s:timeout inst in
+             Ok (e, fun () -> Xtwig.optimize_backend inst q)
        in
        Fun.protect
          ~finally:(fun () -> Xtwig.close_session engine)
@@ -377,8 +388,21 @@ let estimate_cmd =
              Format.printf "fallback: %b@." a.Engine.fallback;
              Format.printf "trace id: %d@." a.Engine.trace_id
            end;
-           if exact then
-             Format.printf "exact:    %d@." (Xtwig.selectivity doc q);
+           let plan = if optimize then Some (planner ()) else None in
+           (match plan with
+           | None -> ()
+           | Some p ->
+               List.iter
+                 (fun l -> Format.printf "plan %s@." l)
+                 (Xtwig.Opt.to_lines p));
+           if exact then begin
+             let n =
+               match plan with
+               | Some p -> Xtwig.selectivity_ordered doc p q
+               | None -> Xtwig.selectivity doc q
+             in
+             Format.printf "exact:    %d@." n
+           end;
            Ok ()))
   in
   Cmd.v
@@ -387,7 +411,89 @@ let estimate_cmd =
     Term.(
       const run $ file_arg $ query $ budget_arg $ seed_arg $ exact $ sketch_file
       $ backend_arg $ jobs_arg $ timeout_arg $ verbose $ explain_flag
-      $ trace_arg $ metrics_arg $ fault_arg)
+      $ optimize_flag $ trace_arg $ metrics_arg $ fault_arg)
+
+(* ---------------- optimize ---------------- *)
+
+let optimize_cmd =
+  let query =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"Twig query to plan.")
+  in
+  let sketch_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sketch" ] ~docv:"FILE"
+          ~doc:"Reuse a synopsis saved by $(b,xtwig build) instead of rebuilding.")
+  in
+  let execute =
+    Arg.(
+      value & flag
+      & info [ "execute" ]
+          ~doc:
+            "Evaluate the query exactly under both the default and the \
+             optimized branch order and report wall times; the counts must \
+             match bit for bit (they do by construction).")
+  in
+  let reps =
+    Arg.(
+      value & opt int 3
+      & info [ "reps" ] ~docv:"N"
+          ~doc:"Repetitions per order when $(b,--execute) times them (best-of).")
+  in
+  let run file query budget seed sketch_file jobs execute reps trace metrics
+      fault =
+    code_of
+      (with_obs ~trace ~metrics @@ fun () ->
+       with_fault fault @@ fun () ->
+       let* doc = load file in
+       let* q = Xtwig.twig_of_string query in
+       let* sk =
+         match sketch_file with
+         | Some path -> Xtwig.load_sketch doc path
+         | None -> build_sketch ~quiet:true ~jobs doc ~budget ~seed
+       in
+       let plan = Xtwig.optimize sk q in
+       List.iter (fun l -> Format.printf "%s@." l) (Xtwig.Opt.to_lines plan);
+       if not execute then Ok ()
+       else begin
+         let time f =
+           let best = ref infinity in
+           let out = ref 0 in
+           for _ = 1 to max 1 reps do
+             let t0 = Unix.gettimeofday () in
+             out := f ();
+             best := Float.min !best (Unix.gettimeofday () -. t0)
+           done;
+           (!out, !best)
+         in
+         let n_def, s_def = time (fun () -> Xtwig.selectivity doc q) in
+         let n_opt, s_opt =
+           time (fun () -> Xtwig.selectivity_ordered doc plan q)
+         in
+         Format.printf "exact %d@." n_def;
+         Format.printf "wall_default %.6f s@." s_def;
+         Format.printf "wall_optimized %.6f s@." s_opt;
+         if n_def <> n_opt then
+           Error
+             (Xerror.Engine
+                (Printf.sprintf "order-invariance violated: %d <> %d" n_def
+                   n_opt))
+         else Ok ()
+       end)
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Plan a twig query's branch evaluation order from the synopsis's \
+          cost estimates (the same plan the xtwigd $(b,optimize) verb \
+          serves); optionally execute and time both orders.")
+    Term.(
+      const run $ file_arg $ query $ budget_arg $ seed_arg $ sketch_file
+      $ jobs_arg $ execute $ reps $ trace_arg $ metrics_arg $ fault_arg)
 
 (* ---------------- workload ---------------- *)
 
@@ -779,6 +885,7 @@ let () =
     (Cmd.eval' ~term_err:2
        (Cmd.group info
           [
-            generate_cmd; inspect_cmd; build_cmd; estimate_cmd; workload_cmd;
-            compare_cmd; bench_batch_cmd; stats_cmd; backends_cmd;
+            generate_cmd; inspect_cmd; build_cmd; estimate_cmd; optimize_cmd;
+            workload_cmd; compare_cmd; bench_batch_cmd; stats_cmd;
+            backends_cmd;
           ]))

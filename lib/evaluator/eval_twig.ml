@@ -34,8 +34,7 @@ let sat_mul a b =
   else if a > saturation / b then saturation
   else a * b
 
-let selectivity doc t =
-  let it = index_twig t in
+let run doc it =
   let width = Array.length it.paths in
   let memo : (int, int) Hashtbl.t = Hashtbl.create 1024 in
   (* tuples rooted at element [e] bound to twig node [tn]; memo keys
@@ -70,6 +69,41 @@ let selectivity doc t =
   in
   let roots = Eval_path.eval doc ~from:None it.paths.(0) in
   List.fold_left (fun acc e -> sat_add acc (tuples_at e 0)) 0 roots
+
+let selectivity doc t = run doc (index_twig t)
+
+(* Plan-driven branch order: permute each node's sub list before the
+   same memoized evaluation runs. The per-branch counts multiply with
+   [sat_mul] — min(saturation, product) over non-negatives, which is
+   commutative and associative, and the early exit only skips work
+   whose product is already pinned at zero — so any order returns the
+   same count bit for bit (the differential tests hold this). *)
+let is_permutation perm k =
+  Array.length perm = k
+  &&
+  let seen = Array.make k false in
+  Array.for_all
+    (fun i ->
+      i >= 0 && i < k && (not seen.(i))
+      &&
+      (seen.(i) <- true;
+       true))
+    perm
+
+let selectivity_ordered doc ~orders t =
+  let it = index_twig t in
+  let subs =
+    Array.mapi
+      (fun tn kids ->
+        let perm = if tn < Array.length orders then orders.(tn) else [||] in
+        let k = List.length kids in
+        if k >= 2 && is_permutation perm k then
+          let a = Array.of_list kids in
+          Array.to_list (Array.map (fun i -> a.(i)) perm)
+        else kids)
+      it.subs
+  in
+  run doc { it with subs }
 
 let bindings ?(limit = 1000) doc t =
   let it = index_twig t in

@@ -10,6 +10,37 @@ val selectivity : Xtwig_xml.Doc.t -> Xtwig_path.Path_types.twig -> int
 (** Exact binding-tuple count. Memoized internally; linear-ish in
     (matched elements x twig nodes). *)
 
+val selectivity_ordered :
+  Xtwig_xml.Doc.t ->
+  orders:int array array ->
+  Xtwig_path.Path_types.twig ->
+  int
+(** As {!selectivity}, but each twig node's branches are evaluated in
+    the order given by [orders.(tn)] (pre-order twig-node numbering —
+    the numbering {!Xtwig_opt.Opt} plans against). Entries that are
+    missing, empty or not a permutation of the node's branch count
+    fall back to the syntactic order, so a degraded or mismatched plan
+    can never change the evaluation. The count returned is bit-equal
+    to {!selectivity} for every order: branch counts combine with the
+    commutative, associative saturating product and the early zero
+    exit never changes a value — order only moves the work. *)
+
+(** {1 Saturating counters}
+
+    Counts saturate at [1 lsl 55] — far above any real selectivity but
+    well below [max_int] — so degenerate queries stay ordered instead
+    of wrapping. Exposed for the edge-case tests. *)
+
+val saturation : int
+
+val sat_add : int -> int -> int
+(** [min saturation (a + b)] for non-negative operands. *)
+
+val sat_mul : int -> int -> int
+(** [0] when either operand is 0, else [min saturation (a * b)] —
+    commutative and associative on non-negatives, which is what makes
+    branch reordering answer-preserving. *)
+
 val bindings :
   ?limit:int -> Xtwig_xml.Doc.t -> Xtwig_path.Path_types.twig ->
   Xtwig_xml.Doc.node array list

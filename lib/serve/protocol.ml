@@ -14,6 +14,7 @@ type request =
   | Estimate of { tenant : string; query : string; trace : int option }
   | Batch of { tenant : string; queries : string list; trace : int option }
   | Explain of { tenant : string; query : string; trace : int option }
+  | Optimize of { tenant : string; query : string; trace : int option }
 
 type response = Reply of string | Fail of Xerror.t
 
@@ -94,6 +95,8 @@ let encode_request ~id req =
         (String.concat "\n" queries)
   | Explain { tenant; query; trace } ->
       Printf.sprintf "%d explain %s%s\n%s" id tenant (trace_token trace) query
+  | Optimize { tenant; query; trace } ->
+      Printf.sprintf "%d optimize %s%s\n%s" id tenant (trace_token trace) query
 
 let parse_id s =
   match int_of_string_opt s with
@@ -161,7 +164,8 @@ let decode_request payload =
             Result.map
               (fun op -> (id, Update { tenant = t; op }))
               (parse_update_op body))
-  | id :: (("estimate" | "batch" | "explain") as verb) :: t :: rest -> (
+  | id :: (("estimate" | "batch" | "explain" | "optimize") as verb) :: t
+    :: rest -> (
       match
         match rest with
         | [] -> Ok None
@@ -177,6 +181,8 @@ let decode_request payload =
                       (id, Estimate { tenant = t; query = body; trace })
                   | "batch" ->
                       (id, Batch { tenant = t; queries = body_lines body; trace })
+                  | "optimize" ->
+                      (id, Optimize { tenant = t; query = body; trace })
                   | _ -> (id, Explain { tenant = t; query = body; trace }))))
   | _ -> Error (Printf.sprintf "bad request header %S" header)
 
@@ -256,7 +262,15 @@ let encode_provenance (p : Xtwig.Engine.provenance) =
       Printf.sprintf "trace_id %d" a.Xtwig.Engine.trace_id;
     ]
 
-(* field lookup in an explain reply body; [None] when absent *)
+(* the optimize verb's reply body: the plan's stable line rendering
+   ([cost]/[default_cost]/[changed]/[fallback] plus one [order] line
+   per reordered node) — byte-comparable with a direct
+   [Xtwig.Opt.to_lines] of the same plan, which is the differential
+   oracle of the serve tests *)
+let encode_plan (p : Xtwig.Opt.plan) = String.concat "\n" (Xtwig.Opt.to_lines p)
+
+(* field lookup in an explain or optimize reply body; [None] when
+   absent *)
 let provenance_field body key =
   List.find_map
     (fun line ->

@@ -66,6 +66,9 @@ type request =
   | Explain of { tenant : string; query : string; trace : int option }
       (** one query, answered with its provenance (plan tier, embedding
           count, retries, fallback reason) — see {!encode_provenance} *)
+  | Optimize of { tenant : string; query : string; trace : int option }
+      (** one query, answered with its cost-based branch-order plan —
+          see {!encode_plan} *)
 
 type response = Reply of string | Fail of Xtwig.Xerror.t
 
@@ -116,9 +119,16 @@ val encode_provenance : Xtwig.Engine.provenance -> string
     [embeddings], [retries], [fallback_reason], [elapsed_us],
     [trace_id]. *)
 
+val encode_plan : Xtwig.Opt.plan -> string
+(** The [optimize] reply body: {!Xtwig.Opt.to_lines} joined with
+    newlines — [cost], [default_cost], [changed], [fallback], then one
+    [order <node> <i...>] line per reordered twig node. Byte-equal to
+    rendering the same plan locally, so served plans diff cleanly
+    against direct {!Xtwig.optimize} calls. *)
+
 val provenance_field : string -> string -> string option
 (** [provenance_field body key] is the value of [key] in an explain
-    reply body, if present. *)
+    (or optimize) reply body, if present. *)
 
 (** {1 Client}
 

@@ -81,6 +81,7 @@ type item = {
   work :
     [ `Batch of Xtwig.twig list
     | `Explain of Xtwig.twig
+    | `Optimize of Xtwig.twig
     | `Reload
     | `Update of Xtwig.delta ];
   enqueued_at : float;
@@ -452,6 +453,9 @@ let rec handle_request t conn id req =
   | Protocol.Explain { tenant; query; trace } ->
       Metrics.incr (m_request "explain");
       enqueue_work t conn id tenant ~verb:"explain" ~trace (`One query) now
+  | Protocol.Optimize { tenant; query; trace } ->
+      Metrics.incr (m_request "optimize");
+      enqueue_work t conn id tenant ~verb:"optimize" ~trace (`Opt query) now
 
 and enqueue_work t conn id tenant ~verb ~trace payload now =
   match Catalog.find t.cat tenant with
@@ -461,6 +465,7 @@ and enqueue_work t conn id tenant ~verb ~trace payload now =
         match payload with
         | `Queries qs -> Result.map (fun ts -> `Batch ts) (parse_queries qs)
         | `One q -> Result.map (fun tw -> `Explain tw) (Xtwig.twig_of_string q)
+        | `Opt q -> Result.map (fun tw -> `Optimize tw) (Xtwig.twig_of_string q)
       in
       match work with
       | Error e -> respond conn ~id (Protocol.Fail e)
@@ -550,7 +555,7 @@ let process_run t tenant_name ~run_start_ns (items : item list) =
           (fun it ->
             match it.work with
             | `Batch qs -> qs
-            | `Explain _ | `Reload | `Update _ -> [])
+            | `Explain _ | `Optimize _ | `Reload | `Update _ -> [])
           items
       in
       let trace_id = run_trace_id items in
@@ -581,7 +586,7 @@ let process_run t tenant_name ~run_start_ns (items : item list) =
           let rest = ref answers in
           finish_all (fun it ->
               match it.work with
-              | `Reload | `Explain _ | `Update _ -> assert false
+              | `Reload | `Explain _ | `Optimize _ | `Update _ -> assert false
               | `Batch qs ->
                   let n = List.length qs in
                   let mine = List.filteri (fun i _ -> i < n) !rest in
@@ -622,6 +627,38 @@ let process_explain t tenant_name ~run_start_ns it q =
           note_breaker t tenant_name
       | exception Fault.Injected { point; _ } ->
           finish (Protocol.Fail (Xerror.Engine ("injected fault at " ^ point))))
+
+(* an optimize also runs alone inside the queue (barrier-ordered like
+   explain). Planning itself is total — an [opt.plan] fault degrades
+   to the identity plan with [fallback true], never an error — so the
+   only failure modes here are an unknown tenant or a backend without
+   a sketch to cost against. *)
+let process_optimize t tenant_name ~run_start_ns it q =
+  match Catalog.find t.cat tenant_name with
+  | Error e ->
+      let ts = Trace.now_ns () in
+      finish_item t it ~run_start_ns ~exec_start_ns:ts ~exec_end_ns:ts
+        (Protocol.Fail e)
+  | Ok tn -> (
+      let exec_start_ns = Trace.now_ns () in
+      let finish resp =
+        finish_item t it ~run_start_ns ~exec_start_ns
+          ~exec_end_ns:(Trace.now_ns ()) resp
+      in
+      match
+        Trace.with_span ~name:"serve.optimize"
+          ~args:[ ("tenant", tenant_name) ]
+        @@ fun () ->
+        let sk = Engine.sketch (Catalog.engine tn) in
+        Xtwig.optimize sk q
+      with
+      | plan -> finish (Protocol.Reply (Protocol.encode_plan plan))
+      | exception Invalid_argument _ ->
+          finish
+            (Protocol.Fail
+               (Xerror.Usage
+                  ("tenant " ^ tenant_name
+                 ^ " serves a sketch-less backend; optimize needs xsketch"))))
 
 let process_reload t tenant_name it =
   match
@@ -683,7 +720,7 @@ let drain_queue t tenant_name q =
     while (not !stop) && not (Queue.is_empty q) do
       match (Queue.peek q).work with
       | `Batch _ -> run := Queue.pop q :: !run
-      | `Explain _ | `Reload | `Update _ -> stop := true
+      | `Explain _ | `Optimize _ | `Reload | `Update _ -> stop := true
     done;
     refresh_queue_gauge t tenant_name;
     (match List.rev !run with
@@ -695,6 +732,10 @@ let drain_queue t tenant_name q =
           let it = Queue.pop q in
           refresh_queue_gauge t tenant_name;
           process_explain t tenant_name ~run_start_ns:it.enq_ns it tw
+      | `Optimize tw ->
+          let it = Queue.pop q in
+          refresh_queue_gauge t tenant_name;
+          process_optimize t tenant_name ~run_start_ns:it.enq_ns it tw
       | `Reload ->
           let it = Queue.pop q in
           refresh_queue_gauge t tenant_name;

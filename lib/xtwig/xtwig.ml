@@ -29,6 +29,37 @@ let path_of_string = Xtwig_path.Path_parser.parse_path_res
 let twig_to_string = Xtwig_path.Path_printer.twig_to_string
 let selectivity = Xtwig_eval.Eval_twig.selectivity
 
+(* ---------------- optimizer ---------------- *)
+
+module Opt = Xtwig_opt.Opt
+module Synopsis = Xtwig_synopsis.Graph_synopsis
+
+(* Resolve a step label to the value histogram of the biggest synopsis
+   node carrying one — the propagation pass's column statistics. *)
+let sketch_vhist sk label =
+  let syn = Xtwig_sketch.Sketch.synopsis sk in
+  List.fold_left
+    (fun acc node ->
+      match Xtwig_sketch.Sketch.vhist sk node with
+      | None -> acc
+      | Some h -> (
+          let sz = Synopsis.extent_size syn node in
+          match acc with
+          | Some (best, _) when best >= sz -> acc
+          | _ -> Some (sz, h)))
+    None
+    (Synopsis.nodes_with_label syn label)
+  |> Option.map snd
+
+let optimize sk q =
+  let inst = Backend.of_sketch sk in
+  Opt.plan ~estimate:(Backend.estimate inst) ~vhist:(sketch_vhist sk) q
+
+let optimize_backend inst q = Opt.plan ~estimate:(Backend.estimate inst) q
+
+let selectivity_ordered doc plan q =
+  Xtwig_eval.Eval_twig.selectivity_ordered doc ~orders:plan.Opt.orders q
+
 (* ---------------- XSKETCH synopses ---------------- *)
 
 (* XBUILD needs ground truth for its workload queries; memoize it so

@@ -63,6 +63,35 @@ val selectivity : doc -> twig -> int
 (** The exact answer, by full evaluation — the ground truth every
     estimate is judged against. Total. *)
 
+(** {1 Cost-based optimization}
+
+    The first consumer of the estimates: a Selinger-style subset DP
+    ({!Xtwig_opt.Opt}) orders each twig node's branches by modeled
+    cost, so cheap/selective branches run first and the evaluator's
+    early zero-exit skips the expensive ones. Plans are advisory —
+    ordered evaluation returns counts bit-equal to {!selectivity} for
+    any plan, and planning itself degrades to the default order on any
+    failure, so neither function can produce a wrong answer. *)
+
+module Opt = Xtwig_opt.Opt
+
+val optimize : sketch -> twig -> Opt.plan
+(** Plan a twig's branch evaluation order, costed by the sketch's
+    estimates through the {!Backend} registry, with constraint
+    propagation over the sketch's 1-d value histograms refining
+    value-predicate selectivities before costing. Total: failures
+    (including an injected [opt.plan] fault) yield the identity plan
+    with [fallback = true]. *)
+
+val optimize_backend : Backend.instance -> twig -> Opt.plan
+(** As {!optimize} over any registered backend. No histogram access,
+    so propagation falls back to default predicate selectivities. *)
+
+val selectivity_ordered : doc -> Opt.plan -> twig -> int
+(** Exact evaluation under the plan's branch orders
+    ({!Xtwig_eval.Eval_twig.selectivity_ordered}). Bit-equal to
+    {!selectivity} always. Total. *)
+
 (** {1 XSKETCH synopses} *)
 
 val build_sketch :

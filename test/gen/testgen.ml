@@ -103,6 +103,7 @@ let fault_points =
     "embed.fill";
     "plan.fill";
     "engine.query";
+    "opt.plan";
   ]
 
 let fault_trigger =

@@ -168,6 +168,46 @@ let prop_chain_equals_path =
       let t = { path = p; subs = [] } in
       Eval_twig.selectivity doc t = Eval_path.count doc ~from:None p)
 
+(* the order-invariance of reordered evaluation (lib/opt) rests on
+   sat_add/sat_mul being commutative, associative min-saturating ops;
+   pin the edges at and just below the saturation ceiling *)
+let test_saturation_edges () =
+  let s = Eval_twig.saturation in
+  Alcotest.(check int) "ceiling is 2^55" (1 lsl 55) s;
+  Alcotest.(check int) "add below ceiling" (s - 1) (Eval_twig.sat_add (s - 2) 1);
+  Alcotest.(check int) "add reaches ceiling" s (Eval_twig.sat_add (s - 1) 1);
+  Alcotest.(check int) "add clamps past ceiling" s (Eval_twig.sat_add s s);
+  Alcotest.(check int) "add identity" 7 (Eval_twig.sat_add 7 0);
+  Alcotest.(check int) "mul below ceiling" (s - 2)
+    (Eval_twig.sat_mul ((s / 2) - 1) 2);
+  Alcotest.(check int) "mul reaches ceiling" s (Eval_twig.sat_mul (s / 2) 2);
+  Alcotest.(check int) "mul clamps past ceiling" s
+    (Eval_twig.sat_mul ((s / 2) + 1) 2);
+  Alcotest.(check int) "mul clamps saturated operands" s (Eval_twig.sat_mul s s);
+  Alcotest.(check int) "mul annihilates on zero" 0 (Eval_twig.sat_mul s 0);
+  Alcotest.(check int) "mul annihilates on left zero" 0 (Eval_twig.sat_mul 0 s)
+
+let test_saturation_order_free =
+  QCheck2.Test.make ~name:"sat ops commute and associate near the ceiling"
+    ~count:500
+    QCheck2.Gen.(
+      let edge =
+        oneof
+          [
+            0 -- 1000;
+            map (fun d -> (1 lsl 55) - d) (0 -- 1000);
+            map (fun d -> (1 lsl 54) + d) (0 -- 1000);
+          ]
+      in
+      triple edge edge edge)
+    (fun (a, b, c) ->
+      Eval_twig.sat_add a b = Eval_twig.sat_add b a
+      && Eval_twig.sat_mul a b = Eval_twig.sat_mul b a
+      && Eval_twig.sat_add (Eval_twig.sat_add a b) c
+         = Eval_twig.sat_add a (Eval_twig.sat_add b c)
+      && Eval_twig.sat_mul (Eval_twig.sat_mul a b) c
+         = Eval_twig.sat_mul a (Eval_twig.sat_mul b c))
+
 let () =
   Alcotest.run "evaluator"
     [
@@ -202,6 +242,10 @@ let () =
             test_bindings_count_figure4;
           Alcotest.test_case "shared sub-twigs" `Quick test_shared_subtwig_physical;
         ] );
+      ( "saturation",
+        Alcotest.test_case "edges at 2^55" `Quick test_saturation_edges
+        :: List.map QCheck_alcotest.to_alcotest [ test_saturation_order_free ]
+      );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_chain_equals_path ] );
     ]

@@ -457,6 +457,19 @@ let test_env_scenario =
             Alcotest.failf "parse under chaos: expected Io, got %s"
               (Xerror.to_string e)
       done;
+      (* the optimizer under the same scenario: planning is total — a
+         drawn opt.plan fault degrades to the default branch order,
+         never a raise and never a changed answer *)
+      let doc = Lazy.force imdb in
+      let sketch = Lazy.force sk in
+      List.iteri
+        (fun i q ->
+          let plan = Xtwig.optimize sketch q in
+          Alcotest.(check int)
+            (Printf.sprintf "optimize under chaos: q%d answer unchanged" i)
+            (Xtwig.selectivity doc q)
+            (Xtwig.selectivity_ordered doc plan q))
+        (List.filteri (fun i _ -> i < 10) qs);
       Printf.printf "fault-matrix: %d faults injected under %S\n%!"
         (Fault.injected_count ()) (Fault.spec_to_string spec)
 

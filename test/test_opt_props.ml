@@ -1,0 +1,148 @@
+(* Property tests for the cost-based branch orderer: the Selinger
+   subset DP must be provably cost-optimal — its chosen order's cost
+   equal (exactly, float for float) to the minimum over brute-force
+   enumeration of all permutations — both on random cost models and on
+   the models the planner derives from real estimates over generated
+   documents; and the constraint-propagation pass must only ever
+   narrow (intervals shrink, trueFractions fall). *)
+
+module Testgen = Xtwig_testgen.Testgen
+module Opt = Xtwig_opt.Opt
+module Hist1d = Xtwig_hist.Hist1d
+module Backend = Xtwig_backend.Estimator_backend
+open Xtwig_path.Path_types
+
+(* all permutations of [0 .. k-1], as arrays *)
+let permutations k =
+  let rec insert x = function
+    | [] -> [ [ x ] ]
+    | y :: ys as l -> (x :: l) :: List.map (fun r -> y :: r) (insert x ys)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: xs -> List.concat_map (insert x) (perms xs)
+  in
+  List.map Array.of_list (perms (List.init k Fun.id))
+
+let exhaustive_min ~costs ~probs =
+  List.fold_left
+    (fun acc p -> Float.min acc (Opt.order_cost ~costs ~probs p))
+    infinity
+    (permutations (Array.length costs))
+
+(* branch cost models: up to 6 branches (the oracle bound — 720
+   permutations), costs positive, probabilities in [0, 1] *)
+let model_gen =
+  QCheck2.Gen.(
+    let* k = 0 -- 6 in
+    let* costs = array_size (return k) (float_range 0.01 50.0) in
+    let* probs = array_size (return k) (float_range 0.0 1.0) in
+    return (costs, probs))
+
+let prop_dp_equals_exhaustive =
+  QCheck2.Test.make
+    ~name:"DP order cost = exhaustive permutation minimum (<= 6 branches)"
+    ~count:500 model_gen
+    (fun (costs, probs) ->
+      let order, cost = Opt.best_order ~costs ~probs in
+      let k = Array.length costs in
+      (* the returned order must be a real permutation *)
+      let sorted = Array.copy order in
+      Array.sort compare sorted;
+      sorted = Array.init k Fun.id
+      (* its cost must replay exactly *)
+      && cost = Opt.order_cost ~costs ~probs order
+      (* and equal the brute-force minimum, bit for bit *)
+      && (k = 0 || cost = exhaustive_min ~costs ~probs))
+
+(* the same oracle over the planner's own cost models: plan a
+   generated twig against a generated document's sketch estimates and
+   check every multi-branch node's chosen order beats all
+   permutations of the model the planner recorded *)
+let prop_plan_nodes_optimal =
+  QCheck2.Test.make
+    ~name:"planned per-node orders are permutation-optimal on real twigs"
+    ~count:60
+    QCheck2.Gen.(pair Testgen.doc_with_sketch (Testgen.twig ~depth:2 ()))
+    (fun ((_doc, sk), twig) ->
+      let inst = Backend.of_sketch sk in
+      let plan = Opt.plan ~estimate:(Backend.estimate inst) twig in
+      (not plan.Opt.fallback)
+      && plan.Opt.cost <= plan.Opt.default_cost
+      && Array.for_all2
+           (fun order (m : Opt.node_model) ->
+             let k = Array.length m.Opt.costs in
+             k < 2 || k > 6
+             || Opt.order_cost ~costs:m.Opt.costs ~probs:m.Opt.probs order
+                = exhaustive_min ~costs:m.Opt.costs ~probs:m.Opt.probs)
+           plan.Opt.orders plan.Opt.models)
+
+(* ------------------------------------------------------------------ *)
+(* constraint propagation                                              *)
+
+let value_pred_gen =
+  QCheck2.Gen.(
+    let cmp =
+      oneofl [ Lt; Le; Eq; Ne; Ge; Gt ] >>= fun op ->
+      oneof
+        [
+          map (fun v -> Cmp (op, Xtwig_xml.Value.Int v)) (-50 -- 50);
+          map
+            (fun v -> Cmp (op, Xtwig_xml.Value.Float (float_of_int v /. 2.)))
+            (-100 -- 100);
+          (* non-numeric: must not narrow, must still not widen *)
+          return (Cmp (op, Xtwig_xml.Value.Text "abc"));
+        ]
+    in
+    oneof
+      [
+        cmp;
+        map2
+          (fun a b ->
+            Range (float_of_int (min a b), float_of_int (max a b)))
+          (-50 -- 50) (-50 -- 50);
+      ])
+
+let hist_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return None;
+        map
+          (fun vals ->
+            Some (Hist1d.build (Array.map float_of_int (Array.of_list vals))))
+          (list_size (1 -- 40) (-50 -- 50));
+      ])
+
+let subset a b = a.Opt.lo >= b.Opt.lo && a.Opt.hi <= b.Opt.hi
+
+let prop_propagation_never_widens =
+  QCheck2.Test.make
+    ~name:"constraint propagation never widens (interval or trueFraction)"
+    ~count:500
+    QCheck2.Gen.(pair hist_gen (list_size (1 -- 8) value_pred_gen))
+    (fun (hist, preds) ->
+      let r0 = Opt.top ?hist () in
+      let _, ok =
+        List.fold_left
+          (fun (r, ok) pred ->
+            let r' = Opt.constrain ?hist r pred in
+            ( r',
+              ok && subset r'.Opt.itv r.Opt.itv
+              && r'.Opt.frac <= r.Opt.frac
+              && r'.Opt.frac >= 0.0 && r'.Opt.frac <= 1.0 ))
+          (r0, r0.Opt.frac >= 0.0 && r0.Opt.frac <= 1.0)
+          preds
+      in
+      ok)
+
+let () =
+  Alcotest.run "opt_props"
+    [
+      ( "dp-oracle",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_dp_equals_exhaustive; prop_plan_nodes_optimal ] );
+      ( "propagation",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_propagation_never_widens ] );
+    ]
